@@ -1,0 +1,219 @@
+//! Total variation distance and empirical distributions.
+//!
+//! The paper's success criterion (§2.3) is
+//! `dTV(µ, ν) = ½ Σ_σ |µ(σ) − ν(σ)| ≤ ε`; everything here serves
+//! measuring that quantity.
+
+use std::collections::HashMap;
+
+/// Total variation distance between two dense distributions.
+///
+/// # Panics
+/// Panics if lengths differ.
+///
+/// # Example
+/// ```
+/// let a = [0.5, 0.5];
+/// let b = [1.0, 0.0];
+/// assert_eq!(lsl_analysis::tv_distance(&a, &b), 0.5);
+/// ```
+pub fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distributions must share a support");
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Normalizes `v` in place to sum to 1.
+///
+/// # Panics
+/// Panics if the sum is not positive.
+pub fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    assert!(sum > 0.0, "cannot normalize a zero vector");
+    for x in v {
+        *x /= sum;
+    }
+}
+
+/// Whether `v` is a probability distribution up to tolerance `tol`.
+pub fn is_distribution(v: &[f64], tol: f64) -> bool {
+    v.iter().all(|&x| x >= -tol) && (v.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+/// An empirical distribution over `usize`-indexed outcomes, built from
+/// samples.
+///
+/// # Example
+/// ```
+/// use lsl_analysis::EmpiricalDistribution;
+/// let mut e = EmpiricalDistribution::new();
+/// e.record(0);
+/// e.record(0);
+/// e.record(1);
+/// assert_eq!(e.total(), 3);
+/// assert!((e.frequency(0) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EmpiricalDistribution {
+    counts: HashMap<usize, u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// An empty empirical distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `outcome`.
+    pub fn record(&mut self, outcome: usize) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Empirical frequency of `outcome`.
+    pub fn frequency(&self, outcome: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&outcome).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Raw count of `outcome`.
+    pub fn count(&self, outcome: usize) -> u64 {
+        *self.counts.get(&outcome).unwrap_or(&0)
+    }
+
+    /// Total variation distance to a dense reference distribution whose
+    /// support is `0..reference.len()`.
+    ///
+    /// Outcomes outside the reference support contribute their full
+    /// empirical mass.
+    pub fn tv_against_dense(&self, reference: &[f64]) -> f64 {
+        if self.total == 0 {
+            return 0.5 * reference.iter().sum::<f64>();
+        }
+        let mut acc = 0.0;
+        // |emp - ref| over the reference support.
+        for (i, &p) in reference.iter().enumerate() {
+            acc += (self.frequency(i) - p).abs();
+        }
+        // Empirical mass outside the reference support.
+        for (&outcome, &c) in &self.counts {
+            if outcome >= reference.len() {
+                acc += c as f64 / self.total as f64;
+            }
+        }
+        0.5 * acc
+    }
+
+    /// Total variation distance to another empirical distribution.
+    pub fn tv_against(&self, other: &EmpiricalDistribution) -> f64 {
+        let keys: std::collections::HashSet<usize> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        0.5 * keys
+            .into_iter()
+            .map(|k| (self.frequency(k) - other.frequency(k)).abs())
+            .sum::<f64>()
+    }
+
+    /// Iterator over `(outcome, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl Extend<usize> for EmpiricalDistribution {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<usize> for EmpiricalDistribution {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut e = EmpiricalDistribution::new();
+        e.extend(iter);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_basic_identities() {
+        let a = [0.25, 0.25, 0.5];
+        assert_eq!(tv_distance(&a, &a), 0.0);
+        let b = [0.5, 0.25, 0.25];
+        assert!((tv_distance(&a, &b) - 0.25).abs() < 1e-12);
+        // TV is symmetric.
+        assert_eq!(tv_distance(&a, &b), tv_distance(&b, &a));
+        // Disjoint supports: TV = 1.
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a support")]
+    fn tv_length_mismatch() {
+        tv_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_works() {
+        let mut v = [2.0, 2.0];
+        normalize(&mut v);
+        assert_eq!(v, [0.5, 0.5]);
+        assert!(is_distribution(&v, 1e-12));
+        assert!(!is_distribution(&[0.5, 0.6], 1e-12));
+    }
+
+    #[test]
+    fn empirical_tv_converges() {
+        // Empirical distribution of a fair coin approaches the truth.
+        let mut e = EmpiricalDistribution::new();
+        for i in 0..10_000 {
+            e.record(i % 2);
+        }
+        assert!(e.tv_against_dense(&[0.5, 0.5]) < 1e-9);
+    }
+
+    #[test]
+    fn empirical_mass_outside_support_counts() {
+        let e: EmpiricalDistribution = [0usize, 5].into_iter().collect();
+        // Reference support {0}: outcome 5 contributes half its mass.
+        let tv = e.tv_against_dense(&[1.0]);
+        assert!((tv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_vs_empirical() {
+        let a: EmpiricalDistribution = [0usize, 0, 1, 1].into_iter().collect();
+        let b: EmpiricalDistribution = [0usize, 0, 0, 0].into_iter().collect();
+        assert!((a.tv_against(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.tv_against(&a), 0.0);
+    }
+
+    #[test]
+    fn empty_empirical() {
+        let e = EmpiricalDistribution::new();
+        assert_eq!(e.total(), 0);
+        assert_eq!(e.frequency(3), 0.0);
+        assert!((e.tv_against_dense(&[1.0]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,364 @@
+//! Operations on explicit Markov transition kernels.
+//!
+//! The paper's Proposition 3.1 and Theorem 4.1 assert that LubyGlauber and
+//! LocalMetropolis are reversible with stationary distribution µ. On small
+//! instances we *construct the kernels exactly* (see `lsl-core::kernel`)
+//! and verify those claims with the tools here: detailed-balance
+//! residuals, stationarity residuals, worst-start mixing curves `d(t)`,
+//! and spectral gaps.
+
+use crate::dist::tv_distance;
+
+/// A row-stochastic transition kernel in sparse row form.
+///
+/// `rows[i]` lists `(j, P(i → j))` with positive probabilities.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl Kernel {
+    /// Builds a kernel from sparse rows.
+    ///
+    /// # Errors
+    /// Returns a message if some row does not sum to 1 (tolerance `1e-9`)
+    /// or an entry is negative or out of range.
+    pub fn new(rows: Vec<Vec<(usize, f64)>>) -> Result<Self, String> {
+        let n = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            let mut sum = 0.0;
+            for &(j, p) in row {
+                if j >= n {
+                    return Err(format!("row {i}: column {j} out of range"));
+                }
+                if !(p >= 0.0) || !p.is_finite() {
+                    return Err(format!("row {i}: invalid probability {p}"));
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(format!("row {i} sums to {sum}, not 1"));
+            }
+        }
+        Ok(Kernel { rows })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Probability `P(i → j)` (linear scan of row `i`).
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.rows[i]
+            .iter()
+            .find(|&&(k, _)| k == j)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Sparse row `i`.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// One step of distribution evolution: `out = dist · P`.
+    ///
+    /// # Panics
+    /// Panics if `dist.len()` differs from the state count.
+    pub fn apply(&self, dist: &[f64]) -> Vec<f64> {
+        assert_eq!(dist.len(), self.rows.len());
+        let mut out = vec![0.0; dist.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let p_i = dist[i];
+            if p_i == 0.0 {
+                continue;
+            }
+            for &(j, p) in row {
+                out[j] += p_i * p;
+            }
+        }
+        out
+    }
+
+    /// Evolves a point mass at `start` for `t` steps.
+    pub fn evolve_from(&self, start: usize, t: usize) -> Vec<f64> {
+        let mut dist = vec![0.0; self.num_states()];
+        dist[start] = 1.0;
+        for _ in 0..t {
+            dist = self.apply(&dist);
+        }
+        dist
+    }
+
+    /// Stationary distribution by power iteration from the uniform
+    /// distribution, restricted to reachable mass.
+    ///
+    /// Suitable for aperiodic chains (all our samplers have self-loops).
+    pub fn stationary_power(&self, max_iters: usize, tol: f64) -> Vec<f64> {
+        let n = self.num_states();
+        let mut dist = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let next = self.apply(&dist);
+            let delta = tv_distance(&next, &dist);
+            dist = next;
+            if delta < tol {
+                break;
+            }
+        }
+        dist
+    }
+
+    /// Largest stationarity residual `|π P − π|_∞` for a candidate `π`.
+    pub fn stationarity_residual(&self, pi: &[f64]) -> f64 {
+        let image = self.apply(pi);
+        image
+            .iter()
+            .zip(pi)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest detailed-balance residual
+    /// `max_{i,j} |π_i P(i,j) − π_j P(j,i)|` over the sparse support —
+    /// zero iff the chain is reversible w.r.t. `π`.
+    pub fn detailed_balance_residual(&self, pi: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, p) in row {
+                let forward = pi[i] * p;
+                let backward = pi[j] * self.prob(j, i);
+                worst = worst.max((forward - backward).abs());
+            }
+        }
+        worst
+    }
+
+    /// Worst-start total variation distance to `pi` after `t` steps:
+    /// `d(t) = max_i dTV(P^t(i, ·), π)`, optionally restricted to starting
+    /// states listed in `starts` (e.g. feasible states only).
+    pub fn worst_start_tv(&self, pi: &[f64], t: usize, starts: Option<&[usize]>) -> f64 {
+        let all: Vec<usize>;
+        let starts = match starts {
+            Some(s) => s,
+            None => {
+                all = (0..self.num_states()).collect();
+                &all
+            }
+        };
+        starts
+            .iter()
+            .map(|&s| tv_distance(&self.evolve_from(s, t), pi))
+            .fold(0.0, f64::max)
+    }
+
+    /// Exact mixing time `τ(ε) = min { t : d(t) ≤ ε }` by stepping the
+    /// worst-start TV curve, up to `max_t`. Returns `None` if not mixed
+    /// within the horizon.
+    pub fn mixing_time(&self, pi: &[f64], eps: f64, max_t: usize, starts: Option<&[usize]>) -> Option<usize> {
+        let all: Vec<usize>;
+        let starts_slice = match starts {
+            Some(s) => s,
+            None => {
+                all = (0..self.num_states()).collect();
+                &all
+            }
+        };
+        // Evolve all starts in lockstep to reuse work.
+        let mut dists: Vec<Vec<f64>> = starts_slice
+            .iter()
+            .map(|&s| {
+                let mut d = vec![0.0; self.num_states()];
+                d[s] = 1.0;
+                d
+            })
+            .collect();
+        for t in 0..=max_t {
+            let worst = dists
+                .iter()
+                .map(|d| tv_distance(d, pi))
+                .fold(0.0, f64::max);
+            if worst <= eps {
+                return Some(t);
+            }
+            if t == max_t {
+                break;
+            }
+            for d in &mut dists {
+                *d = self.apply(d);
+            }
+        }
+        None
+    }
+
+    /// Spectral gap `1 − |λ₂|` of a chain *reversible* w.r.t. `pi`,
+    /// restricted to the support of `pi`, via power iteration on the
+    /// symmetrized kernel with deflation of the top eigenvector.
+    ///
+    /// Returns `None` if the support is trivial or iteration fails to
+    /// produce a finite estimate.
+    pub fn spectral_gap(&self, pi: &[f64], iters: usize) -> Option<f64> {
+        let support: Vec<usize> = (0..self.num_states()).filter(|&i| pi[i] > 0.0).collect();
+        let k = support.len();
+        if k < 2 {
+            return None;
+        }
+        let index_of: std::collections::HashMap<usize, usize> = support
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local))
+            .collect();
+        // Symmetrized operator S = D^{1/2} P D^{-1/2} on the support;
+        // top eigenvector is sqrt(pi).
+        let sqrt_pi: Vec<f64> = support.iter().map(|&i| pi[i].sqrt()).collect();
+        let apply_s = |x: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; k];
+            for (li, &gi) in support.iter().enumerate() {
+                for &(gj, p) in &self.rows[gi] {
+                    if let Some(&lj) = index_of.get(&gj) {
+                        // S[li][lj] = sqrt(pi_i) P(i,j) / sqrt(pi_j)
+                        out[lj] += x[li] * sqrt_pi[li] * p / sqrt_pi[lj];
+                    }
+                }
+            }
+            out
+        };
+        // Deterministic pseudo-random start orthogonal to sqrt(pi).
+        let mut x: Vec<f64> = (0..k)
+            .map(|i| {
+                let mut s = i as u64 + 12345;
+                // splitmix-style hash to floats in [-0.5, 0.5].
+                s ^= s >> 33;
+                s = s.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                s ^= s >> 33;
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            // Deflate sqrt(pi).
+            let dot: f64 = x.iter().zip(&sqrt_pi).map(|(a, b)| a * b).sum();
+            let norm_pi: f64 = sqrt_pi.iter().map(|a| a * a).sum();
+            for (xi, pi_i) in x.iter_mut().zip(&sqrt_pi) {
+                *xi -= dot / norm_pi * pi_i;
+            }
+            let y = apply_s(&x);
+            let norm: f64 = y.iter().map(|a| a * a).sum::<f64>().sqrt();
+            if norm == 0.0 {
+                // The orthogonal complement is annihilated: λ₂ = 0.
+                lambda = 0.0;
+                break;
+            }
+            if !norm.is_finite() {
+                return None;
+            }
+            let x_norm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+            lambda = norm / x_norm;
+            x = y.iter().map(|a| a / norm).collect();
+        }
+        lambda.is_finite().then_some(1.0 - lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p: f64, q: f64) -> Kernel {
+        Kernel::new(vec![
+            vec![(0, 1.0 - p), (1, p)],
+            vec![(0, q), (1, 1.0 - q)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Kernel::new(vec![vec![(0, 0.5)]]).is_err()); // row sum 0.5
+        assert!(Kernel::new(vec![vec![(1, 1.0)]]).is_err()); // out of range
+        assert!(Kernel::new(vec![vec![(0, 1.0)]]).is_ok());
+    }
+
+    #[test]
+    fn two_state_stationary() {
+        // Stationary of (p, q) flip chain is (q, p)/(p+q).
+        let k = two_state(0.3, 0.1);
+        let pi = k.stationary_power(10_000, 1e-14);
+        assert!((pi[0] - 0.25).abs() < 1e-9, "pi = {pi:?}");
+        assert!((pi[1] - 0.75).abs() < 1e-9);
+        assert!(k.stationarity_residual(&pi) < 1e-9);
+        // Any two-state chain is reversible.
+        assert!(k.detailed_balance_residual(&pi) < 1e-9);
+    }
+
+    #[test]
+    fn detailed_balance_detects_irreversibility() {
+        // A directed 3-cycle with slight laziness: stationary uniform but
+        // not reversible.
+        let k = Kernel::new(vec![
+            vec![(0, 0.1), (1, 0.9)],
+            vec![(1, 0.1), (2, 0.9)],
+            vec![(2, 0.1), (0, 0.9)],
+        ])
+        .unwrap();
+        let pi = vec![1.0 / 3.0; 3];
+        assert!(k.stationarity_residual(&pi) < 1e-12);
+        assert!(k.detailed_balance_residual(&pi) > 0.1);
+    }
+
+    #[test]
+    fn mixing_time_of_lazy_flip() {
+        // Lazy fair flip: d(t) = (1/2)(1-2p)^t ... for p = 0.5 the chain
+        // mixes in one step.
+        let k = two_state(0.5, 0.5);
+        let pi = vec![0.5, 0.5];
+        assert_eq!(k.mixing_time(&pi, 1e-9, 10, None), Some(1));
+        // Slow chain takes longer.
+        let slow = two_state(0.05, 0.05);
+        let t = slow.mixing_time(&pi, 0.01, 1000, None).unwrap();
+        assert!(t > 10, "t = {t}");
+    }
+
+    #[test]
+    fn worst_start_tv_monotone() {
+        let k = two_state(0.2, 0.4);
+        let pi = k.stationary_power(10_000, 1e-14);
+        let mut last = f64::INFINITY;
+        for t in 0..10 {
+            let d = k.worst_start_tv(&pi, t, None);
+            assert!(d <= last + 1e-12, "d(t) increased at t = {t}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn spectral_gap_of_flip_chain() {
+        // Eigenvalues of the (p, q) chain: 1 and 1-p-q.
+        let k = two_state(0.3, 0.2);
+        let pi = k.stationary_power(10_000, 1e-14);
+        let gap = k.spectral_gap(&pi, 500).unwrap();
+        assert!((gap - 0.5).abs() < 1e-6, "gap = {gap}");
+    }
+
+    #[test]
+    fn spectral_gap_respects_support() {
+        // State 2 is unreachable/null: restrict to {0, 1}.
+        let k = Kernel::new(vec![
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(0, 1.0)],
+        ])
+        .unwrap();
+        let pi = vec![0.5, 0.5, 0.0];
+        let gap = k.spectral_gap(&pi, 300).unwrap();
+        assert!((gap - 1.0).abs() < 1e-6, "gap = {gap}");
+    }
+
+    #[test]
+    fn evolve_from_point_mass() {
+        let k = two_state(1.0, 1.0); // deterministic swap
+        let d1 = k.evolve_from(0, 1);
+        assert_eq!(d1, vec![0.0, 1.0]);
+        let d2 = k.evolve_from(0, 2);
+        assert_eq!(d2, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Distributional analysis for the `lsl` sampling experiments.
+//!
+//! Three jobs:
+//!
+//! * [`dist`] — total variation distance (the paper's correctness metric,
+//!   §2.3) between dense, sparse, and empirical distributions;
+//! * [`kernelops`] — operations on explicit Markov transition kernels:
+//!   stationarity, detailed-balance residuals (the paper's Proposition 3.1
+//!   and Theorem 4.1 claims, checked *exactly*), worst-start mixing curves
+//!   `d(t)`, and spectral gaps of reversible chains;
+//! * [`theory`] — the paper's closed-form quantities as code: Dobrushin
+//!   mixing bounds (Theorem 3.2), the LocalMetropolis one-step contraction
+//!   margins (inequalities (13) and (26)), the ideal-coupling expectation
+//!   of §4.2.1, and the thresholds `α* ≈ 3.634` and `2 + √2` they induce;
+//! * [`stats`] — summary statistics for experiment harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use lsl_analysis::theory;
+//!
+//! // The local-coupling margin (13) changes sign at α* = root of
+//! // α = 2e^{1/α} + 1 ≈ 3.6344.
+//! let a = theory::alpha_star();
+//! assert!((theory::local_margin_limit(a)).abs() < 1e-9);
+//! assert!((a - 3.634).abs() < 1e-3);
+//! ```
+
+pub mod dist;
+pub mod kernelops;
+pub mod stats;
+pub mod theory;
+
+pub use dist::{tv_distance, EmpiricalDistribution};
+pub use kernelops::Kernel;

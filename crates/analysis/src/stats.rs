@@ -1,0 +1,161 @@
+//! Summary statistics for experiment harnesses.
+
+/// Mean of a sample (0 for an empty sample).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (0 for fewer than two points).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean.
+pub fn std_error(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// A compact summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    pub fn of(xs: &[f64]) -> Self {
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            std_error: std_error(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} se={:.4} min={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.std_error, self.min, self.max
+        )
+    }
+}
+
+/// Lag-`k` autocorrelation of a series (biased estimator); 0 when the
+/// series is too short or constant.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    if xs.len() <= k + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .iter()
+        .zip(&xs[k..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    num / denom
+}
+
+/// Simple linear regression slope of `y` on `x` (least squares);
+/// `None` if `x` is constant or lengths mismatch.
+///
+/// Used to fit scaling exponents: e.g. regressing rounds on `log n`
+/// recovers the `O(log n)` shape of Theorem 1.2.
+pub fn regression_slope(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((std_error(&xs) - (5.0f64 / 3.0).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(std_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn autocorrelation_signs() {
+        // Alternating series: strong negative lag-1 autocorrelation.
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+        // Constant series: defined as 0.
+        assert_eq!(autocorrelation(&[2.0; 50], 1), 0.0);
+        // Lag 0 of a non-constant series is 1.
+        let xs = [1.0, 2.0, 1.5, 3.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_recovers_slope() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|a| 3.0 * a + 1.0).collect();
+        let slope = regression_slope(&x, &y).unwrap();
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!(regression_slope(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(regression_slope(&[1.0], &[2.0]).is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's closed-form bounds and thresholds, as executable code.
+//!
+//! These functions generate the "figure" series of experiment E4 and give
+//! every mixing experiment its predicted round budget:
+//!
+//! * Theorem 3.2: `τ(ε) = O(1/((1−α)γ) · log(n/ε))` for LubyGlauber under
+//!   Dobrushin's condition, with `γ = 1/(Δ+1)` for the Luby step;
+//! * §4.2.2 inequality (13): the one-step contraction margin of the *local*
+//!   LocalMetropolis coupling, positive for `q ≥ α∆ + 3` with
+//!   `α > α* ≈ 3.634` (root of `α = 2e^{1/α} + 1`);
+//! * §4.2.3 inequality (26): the margin of the *global* coupling, positive
+//!   in the limit for `α > 2 + √2`;
+//! * §4.2.1: the ideal-coupling expected disagreement on a Δ-regular tree,
+//!   whose crossing also pins `2 + √2`.
+
+/// Upper bound on the LubyGlauber mixing time from the proof of Theorem
+/// 3.2: `T = T₁ + T₂` with `T₁ = ⌈ln(4n/ε)/γ⌉` and
+/// `T₂ = ⌈ln(2n/ε)/((1−α)γ)⌉`, where `γ` lower-bounds `Pr[v ∈ I]`.
+///
+/// # Panics
+/// Panics unless `0 < gamma <= 1`, `0 <= alpha < 1`, `eps > 0`, `n >= 1`.
+pub fn luby_glauber_mixing_bound(n: usize, eps: f64, alpha: f64, gamma: f64) -> usize {
+    assert!(n >= 1 && eps > 0.0, "need n >= 1 and eps > 0");
+    assert!((0.0..1.0).contains(&alpha), "Dobrushin alpha must be in [0,1)");
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+    let n = n as f64;
+    let t1 = ((4.0 * n / eps).ln() / gamma).ceil();
+    let t2 = ((2.0 * n / eps).ln() / ((1.0 - alpha) * gamma)).ceil();
+    (t1 + t2) as usize
+}
+
+/// The Luby-step scheduling probability lower bound `γ = 1/(Δ+1)`
+/// (a vertex is a local maximum of iid uniforms among its inclusive
+/// neighborhood with probability exactly `1/(deg(v)+1) ≥ 1/(Δ+1)`).
+pub fn luby_gamma(delta: usize) -> f64 {
+    1.0 / (delta as f64 + 1.0)
+}
+
+/// The one-step contraction margin of the *local* coupling, the LHS of the
+/// paper's inequality (13):
+/// `(1 − Δ/q)(1 − 3/q)^Δ − (2Δ/q)(1 − 2/q)^Δ`.
+///
+/// Positive margin ⇒ the path-coupling condition holds with δ = margin.
+pub fn local_coupling_margin(q: f64, delta: f64) -> f64 {
+    (1.0 - delta / q) * (1.0 - 3.0 / q).powf(delta)
+        - (2.0 * delta / q) * (1.0 - 2.0 / q).powf(delta)
+}
+
+/// The Δ → ∞ limit of [`local_coupling_margin`] at `q = αΔ`:
+/// `(1 − 1/α) e^{−3/α} − (2/α) e^{−2/α}`.
+pub fn local_margin_limit(alpha: f64) -> f64 {
+    (1.0 - 1.0 / alpha) * (-3.0 / alpha).exp() - (2.0 / alpha) * (-2.0 / alpha).exp()
+}
+
+/// The one-step contraction margin of the *global* coupling, the LHS of
+/// the paper's inequality (26):
+/// `(1 − Δ/q)(1 − 2/q)^Δ − Δ/(q − 2Δ + 2) · (1 − 2/q)^{Δ−1}`.
+pub fn global_coupling_margin(q: f64, delta: f64) -> f64 {
+    (1.0 - delta / q) * (1.0 - 2.0 / q).powf(delta)
+        - delta / (q - 2.0 * delta + 2.0) * (1.0 - 2.0 / q).powf(delta - 1.0)
+}
+
+/// The Δ → ∞ limit of [`global_coupling_margin`] at `q = αΔ`:
+/// `e^{−2/α} (1 − 1/α − 1/(α−2))`; zero exactly at `α = 2 + √2`.
+pub fn global_margin_limit(alpha: f64) -> f64 {
+    (-2.0 / alpha).exp() * (1.0 - 1.0 / alpha - 1.0 / (alpha - 2.0))
+}
+
+/// The §4.2.1 ideal-coupling expected number of disagreeing vertices after
+/// one step on the Δ-regular tree:
+/// `1 − (1 − Δ/q)(1 − 2/q)^Δ + Δ/(q − 2Δ) · (1 − 2/q)^{Δ−1}`.
+///
+/// Path coupling contracts when this is `< 1`.
+///
+/// # Panics
+/// Panics if `q <= 2Δ` (the geometric series diverges).
+pub fn ideal_coupling_disagreement(q: f64, delta: f64) -> f64 {
+    assert!(q > 2.0 * delta, "ideal coupling needs q > 2Δ");
+    1.0 - (1.0 - delta / q) * (1.0 - 2.0 / q).powf(delta)
+        + delta / (q - 2.0 * delta) * (1.0 - 2.0 / q).powf(delta - 1.0)
+}
+
+/// The Δ → ∞ limit of `1 −` [`ideal_coupling_disagreement`] at `q = αΔ`:
+/// `e^{−2/α} (1 − 1/α − 1/(α−2))` — the same expression as
+/// [`global_margin_limit`], vanishing at `2 + √2`.
+pub fn ideal_margin_limit(alpha: f64) -> f64 {
+    global_margin_limit(alpha)
+}
+
+/// The threshold `2 + √2 ≈ 3.414` of Theorems 1.2/4.2.
+pub fn ideal_threshold() -> f64 {
+    2.0 + std::f64::consts::SQRT_2
+}
+
+/// The threshold `α* ≈ 3.6344`, the positive root of `α = 2e^{1/α} + 1`
+/// (Lemma 4.4), computed by bisection to ~1e-12.
+pub fn alpha_star() -> f64 {
+    bisect(|a| a - 2.0 * (1.0 / a).exp() - 1.0, 3.0, 4.0, 1e-13)
+}
+
+/// Bisection root finder on `[lo, hi]`; requires a sign change.
+///
+/// # Panics
+/// Panics if `f(lo)` and `f(hi)` have the same sign.
+pub fn bisect(f: impl Fn(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    let (flo, fhi) = (f(lo), f(hi));
+    assert!(
+        flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+        "bisection requires a sign change"
+    );
+    let neg_at_lo = flo < 0.0;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if (fm < 0.0) == neg_at_lo {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Glauber dynamics mixing bound under Dobrushin's condition
+/// (`τ(ε) = O(n/(1−α) · log(n/ε))`, the sequential baseline the paper's
+/// Theorem 3.2 speeds up by Θ(n/Δ)).
+pub fn glauber_mixing_bound(n: usize, eps: f64, alpha: f64) -> usize {
+    luby_glauber_mixing_bound(n, eps, alpha, 1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_star_is_the_fixed_point() {
+        let a = alpha_star();
+        assert!((a - (2.0 * (1.0 / a).exp() + 1.0)).abs() < 1e-10);
+        assert!((a - 3.6344).abs() < 1e-3, "alpha* = {a}");
+        // And it is exactly where the local-margin limit vanishes.
+        assert!(local_margin_limit(a).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ideal_threshold_is_2_plus_sqrt2() {
+        let t = ideal_threshold();
+        assert!(global_margin_limit(t).abs() < 1e-12);
+        // Margin positive above, negative below.
+        assert!(global_margin_limit(t + 0.05) > 0.0);
+        assert!(global_margin_limit(t - 0.05) < 0.0);
+    }
+
+    #[test]
+    fn local_margin_positive_above_alpha_star() {
+        // For q = αΔ + 3 with α > α*, the margin is positive for all Δ
+        // (paper Lemma 4.4 proof). Spot-check a grid.
+        let a_star = alpha_star();
+        for delta in [1.0, 5.0, 9.0, 50.0, 500.0] {
+            let q = (a_star + 0.1) * delta + 3.0;
+            assert!(
+                local_coupling_margin(q, delta) > 0.0,
+                "margin not positive at Δ = {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_margin_positive_above_threshold_large_delta() {
+        for delta in [9.0, 20.0, 100.0, 1000.0] {
+            let q = 3.6 * delta; // between 2+√2 and 3.7
+            assert!(
+                global_coupling_margin(q, delta) > 0.0,
+                "margin not positive at Δ = {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_disagreement_crosses_one_near_threshold() {
+        // For large Δ, the one-step expected disagreement < 1 iff
+        // α > 2+√2.
+        let delta = 2000.0;
+        let above = ideal_coupling_disagreement((ideal_threshold() + 0.1) * delta, delta);
+        let below = ideal_coupling_disagreement((ideal_threshold() - 0.1) * delta, delta);
+        assert!(above < 1.0, "above = {above}");
+        assert!(below > 1.0, "below = {below}");
+    }
+
+    #[test]
+    fn mixing_bounds_scale_as_expected() {
+        // Theorem 3.2: linear in Δ via γ = 1/(Δ+1); logarithmic in n.
+        let t_d10 = luby_glauber_mixing_bound(1000, 0.01, 0.5, luby_gamma(10));
+        let t_d20 = luby_glauber_mixing_bound(1000, 0.01, 0.5, luby_gamma(20));
+        let ratio = t_d20 as f64 / t_d10 as f64;
+        assert!((ratio - 21.0 / 11.0).abs() < 0.05, "ratio = {ratio}");
+        let t_n = luby_glauber_mixing_bound(1000, 0.01, 0.5, 0.1);
+        let t_n2 = luby_glauber_mixing_bound(1_000_000, 0.01, 0.5, 0.1);
+        // log(n²)/log(n) ≈ 2 scaled toward additive constants.
+        assert!(t_n2 < 2 * t_n, "log growth violated: {t_n} -> {t_n2}");
+        // Glauber baseline is Θ(n/Δ) slower.
+        let glauber = glauber_mixing_bound(1000, 0.01, 0.5);
+        assert!(glauber > 50 * t_d10 / (10 + 1), "glauber = {glauber}");
+    }
+
+    #[test]
+    fn luby_gamma_values() {
+        assert_eq!(luby_gamma(0), 1.0);
+        assert_eq!(luby_gamma(3), 0.25);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign change")]
+    fn bisect_requires_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "q > 2Δ")]
+    fn ideal_coupling_domain() {
+        ideal_coupling_disagreement(10.0, 5.0);
+    }
+}

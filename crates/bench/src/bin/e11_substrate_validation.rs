@@ -1,0 +1,98 @@
+//! E11 — substrate cross-validation: the exact machinery agrees with
+//! itself and with the paper's closed forms.
+//!
+//! * Transfer-matrix marginals vs brute-force enumeration on paths/cycles.
+//! * The Dobrushin total influence: exhaustive matrix vs the §3.2 formula
+//!   `α = max_v d_v/(q_v − d_v)` for (list) colorings.
+//! * Condition (6) truth table for colorings vs the paper's "q ≥ Δ+1 and
+//!   q ≥ 3" criterion.
+
+use lsl_bench::{f, header, header_row, row};
+use lsl_graph::generators;
+use lsl_mrf::dobrushin::{
+    influence_matrix_exhaustive, total_influence, uniform_coloring_total_influence,
+};
+use lsl_mrf::gibbs::Enumeration;
+use lsl_mrf::models;
+use lsl_mrf::transfer::{cycle_marginal, PathDp};
+
+fn main() {
+    header(&["E11: substrate validation"]);
+    header_row("check,instance,value_a,value_b,agree");
+
+    // Transfer vs enumeration (paths).
+    for (name, mrf) in [
+        ("path5:coloring q3", models::proper_coloring(generators::path(5), 3)),
+        ("path6:hardcore λ1.3", models::hardcore(generators::path(6), 1.3)),
+        ("path5:ising β0.7", models::ising(generators::path(5), 0.7)),
+    ] {
+        let dp = PathDp::new(&mrf).unwrap();
+        let exact = Enumeration::new(&mrf).unwrap();
+        let mut worst = 0.0f64;
+        for v in mrf.graph().vertices() {
+            let a = dp.marginal(v).unwrap();
+            let b = exact.marginal(v);
+            for (x, y) in a.iter().zip(&b) {
+                worst = worst.max((x - y).abs());
+            }
+        }
+        row(&[
+            "transfer_vs_enum".into(),
+            name.into(),
+            format!("{worst:.2e}"),
+            "0".into(),
+            (worst < 1e-9).to_string(),
+        ]);
+    }
+
+    // Cycle marginals.
+    let mrf = models::hardcore(generators::cycle(7), 0.9);
+    let exact = Enumeration::new(&mrf).unwrap();
+    let mut worst = 0.0f64;
+    for v in mrf.graph().vertices() {
+        let a = cycle_marginal(&mrf, v).unwrap();
+        let b = exact.marginal(v);
+        for (x, y) in a.iter().zip(&b) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    row(&[
+        "cycle_transfer_vs_enum".into(),
+        "cycle7:hardcore λ0.9".into(),
+        format!("{worst:.2e}"),
+        "0".into(),
+        (worst < 1e-9).to_string(),
+    ]);
+
+    // Dobrushin influence: exhaustive ≤ formula, both < 1 iff q > 2Δ.
+    for q in [3usize, 4, 5, 6] {
+        let g = generators::path(4);
+        let mrf = models::proper_coloring(g.clone(), q);
+        let alpha_ex = total_influence(&influence_matrix_exhaustive(&mrf));
+        let alpha_formula = uniform_coloring_total_influence(&g, q);
+        row(&[
+            "dobrushin".into(),
+            format!("path4 coloring q={q}"),
+            f(alpha_ex),
+            f(alpha_formula),
+            (alpha_ex <= alpha_formula + 1e-12).to_string(),
+        ]);
+    }
+
+    // Condition (6) truth table.
+    for (q, delta_graph) in [(3usize, generators::path(3)), (4, generators::path(3)),
+                             (3, generators::star(3)), (4, generators::star(3)),
+                             (5, generators::star(3))] {
+        let delta = delta_graph.max_degree();
+        let mrf = models::proper_coloring(delta_graph, q);
+        let holds = mrf.condition6_holds_exhaustive();
+        let paper = q >= delta + 1 && q >= 3;
+        row(&[
+            "condition6".into(),
+            format!("Δ={delta} q={q}"),
+            holds.to_string(),
+            paper.to_string(),
+            (holds == paper).to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,101 @@
+//! E2 — Theorem 1.2 / 4.2: LocalMetropolis mixes in O(log(n/ε)) rounds
+//! *independent of Δ* once q ≥ αΔ with α > 2+√2 (Δ ≥ 9).
+//!
+//! Series A: coalescence rounds vs Δ at fixed n for q = ⌈3.5Δ⌉ — expect a
+//! flat curve for LocalMetropolis and a ~linear one for LubyGlauber on the
+//! *same* instances (the crossover that motivates Algorithm 2).
+//! Series B: rounds vs n at fixed Δ — expect logarithmic growth.
+
+use lsl_bench::{f, header, header_row, row, scaled};
+use lsl_core::local_metropolis::LocalMetropolis;
+use lsl_core::luby_glauber::LubyGlauber;
+use lsl_core::mixing::coalescence_summary;
+use lsl_core::Chain;
+use lsl_graph::generators;
+use lsl_mrf::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = scaled(5usize, 2);
+    header(&[
+        "E2: LocalMetropolis coalescence rounds (Thm 1.2 / Thm 4.2)",
+        "q = ceil(3.5 Δ) > (2+sqrt2) Δ; grand-coupling coalescence",
+        "claim: LM rounds flat in Δ and ~log in n; LubyGlauber grows ~Δ",
+    ]);
+    header_row("series,chain,delta,n,q,mean_rounds,se,timeouts");
+
+    let n_fixed = scaled(256usize, 64);
+    for delta in [4usize, 6, 9, 12, 16, 24] {
+        let q = (7 * delta).div_ceil(2);
+        let mut rng = StdRng::seed_from_u64(300 + delta as u64);
+        let g = generators::random_regular(n_fixed, delta, &mut rng);
+        let mrf = models::proper_coloring(g, q);
+        let (lm, lm_to) = {
+            let (s, t) = coalescence_summary(
+                |st| LocalMetropolis::with_state(&mrf, st.to_vec()),
+                &mrf,
+                trials,
+                500_000,
+                71 + delta as u64,
+            );
+            (s, t)
+        };
+        row(&[
+            "A:vs_delta".into(),
+            "LocalMetropolis".into(),
+            delta.to_string(),
+            n_fixed.to_string(),
+            q.to_string(),
+            f(lm.mean),
+            f(lm.std_error),
+            lm_to.to_string(),
+        ]);
+        let (lg, lg_to) = coalescence_summary(
+            |st| {
+                let mut c = LubyGlauber::new(&mrf);
+                c.set_state(st);
+                c
+            },
+            &mrf,
+            trials,
+            2_000_000,
+            72 + delta as u64,
+        );
+        row(&[
+            "A:vs_delta".into(),
+            "LubyGlauber".into(),
+            delta.to_string(),
+            n_fixed.to_string(),
+            q.to_string(),
+            f(lg.mean),
+            f(lg.std_error),
+            lg_to.to_string(),
+        ]);
+    }
+
+    let delta_fixed = 9usize;
+    let q = 32;
+    for n in scaled(vec![64usize, 128, 256, 512, 1024], vec![64, 128]) {
+        let mut rng = StdRng::seed_from_u64(400 + n as u64);
+        let g = generators::random_regular(n, delta_fixed, &mut rng);
+        let mrf = models::proper_coloring(g, q);
+        let (s, t) = coalescence_summary(
+            |st| LocalMetropolis::with_state(&mrf, st.to_vec()),
+            &mrf,
+            trials,
+            500_000,
+            73 + n as u64,
+        );
+        row(&[
+            "B:vs_n".into(),
+            "LocalMetropolis".into(),
+            delta_fixed.to_string(),
+            n.to_string(),
+            q.to_string(),
+            f(s.mean),
+            f(s.std_error),
+            t.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,69 @@
+//! E3 — Proposition 3.1 and Theorem 4.1, verified *exactly*.
+//!
+//! For each small model we construct the exact transition kernels of the
+//! Glauber, LubyGlauber (Luby-step distribution by rank enumeration), and
+//! LocalMetropolis chains, and report: the stationarity residual
+//! `|µP − µ|_∞`, the detailed-balance residual, the spectral gap on the
+//! feasible support, and the exact mixing time τ(0.01) from feasible
+//! starts. Residuals at 1e-12-scale are floating-point zero: the claims
+//! hold exactly.
+
+use lsl_bench::{f, header, header_row, row};
+use lsl_core::kernel::{glauber_kernel, local_metropolis_kernel, luby_glauber_kernel, luby_set_distribution};
+use lsl_graph::generators;
+use lsl_mrf::gibbs::Enumeration;
+use lsl_mrf::models;
+use lsl_mrf::Mrf;
+
+fn report(name: &str, mrf: &Mrf) {
+    let exact = Enumeration::new(mrf).expect("small model");
+    let pi = exact.distribution();
+    let feasible: Vec<usize> = exact.feasible().map(|(i, _)| i).collect();
+    let kernels = [
+        ("Glauber", glauber_kernel(mrf)),
+        (
+            "LubyGlauber",
+            luby_glauber_kernel(mrf, &luby_set_distribution(mrf.graph())),
+        ),
+        ("LocalMetropolis", local_metropolis_kernel(mrf, true)),
+    ];
+    for (chain, k) in kernels {
+        let stat = k.stationarity_residual(&pi);
+        let db = k.detailed_balance_residual(&pi);
+        let gap = k.spectral_gap(&pi, 3000).unwrap_or(f64::NAN);
+        let tau = k
+            .mixing_time(&pi, 0.01, 20_000, Some(&feasible))
+            .map_or("-".into(), |t| t.to_string());
+        row(&[
+            name.into(),
+            chain.into(),
+            format!("{:.2e}", stat),
+            format!("{:.2e}", db),
+            f(gap),
+            tau,
+        ]);
+    }
+}
+
+fn main() {
+    header(&[
+        "E3: exact stationarity & reversibility (Prop 3.1, Thm 4.1)",
+        "kernels constructed exactly; residuals should be ~1e-15 (float zero)",
+    ]);
+    header_row("model,chain,stationarity_residual,detailed_balance_residual,spectral_gap,tau(0.01)");
+    report("coloring:P3,q=3", &models::proper_coloring(generators::path(3), 3));
+    report("coloring:C4,q=4", &models::proper_coloring(generators::cycle(4), 4));
+    report("coloring:star3,q=4", &models::proper_coloring(generators::star(3), 4));
+    report("hardcore:P3,λ=1.5", &models::hardcore(generators::path(3), 1.5));
+    report("hardcore:C4,λ=0.8", &models::hardcore(generators::cycle(4), 0.8));
+    report("ising:P3,β=0.5", &models::ising(generators::path(3), 0.5));
+    report("potts:C3,q=3,β=0.3", &models::potts(generators::cycle(3), 3, 0.3));
+    report(
+        "listcol:P3",
+        &models::list_coloring(
+            generators::path(3),
+            4,
+            &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 2, 3]],
+        ),
+    );
+}

@@ -1,0 +1,70 @@
+//! E4 — the threshold structure of §4.2: where the couplings contract.
+//!
+//! Series A: the Δ → ∞ limits of the one-step margins as functions of α —
+//! the local-coupling margin (13) crosses 0 at α* ≈ 3.634 (root of
+//! α = 2e^{1/α} + 1) and the global/ideal margin (26) at 2+√2 ≈ 3.414.
+//! Series B: finite-Δ margins at q = ⌈αΔ⌉ + 3, showing convergence to the
+//! limits.
+//! Series C: the §4.2.1 ideal-coupling expected disagreement crossing 1.
+
+use lsl_analysis::theory;
+use lsl_bench::{f, header, header_row, row};
+
+fn main() {
+    header(&[
+        "E4: coupling-contraction thresholds (Lemma 4.4, Lemma 4.5, §4.2.1)",
+        &format!("alpha_star = {:.6} (paper: 3.634...)", theory::alpha_star()),
+        &format!("ideal threshold = {:.6} (paper: 2+sqrt2)", theory::ideal_threshold()),
+    ]);
+    header_row("series,alpha,delta,local_margin,global_margin,ideal_disagreement");
+
+    for i in 0..=20 {
+        let alpha = 3.0 + i as f64 * 0.05;
+        row(&[
+            "A:limits".into(),
+            f(alpha),
+            "inf".into(),
+            f(theory::local_margin_limit(alpha)),
+            f(theory::global_margin_limit(alpha)),
+            f(1.0 - theory::ideal_margin_limit(alpha)),
+        ]);
+    }
+
+    for delta in [9.0, 20.0, 50.0, 200.0, 1000.0] {
+        for alpha in [3.2, theory::ideal_threshold() + 0.05, 3.65, 3.8] {
+            let q = (alpha * delta).ceil() + 3.0;
+            let ideal = if q > 2.0 * delta {
+                f(theory::ideal_coupling_disagreement(q, delta))
+            } else {
+                "-".into()
+            };
+            row(&[
+                "B:finite".into(),
+                f(alpha),
+                delta.to_string(),
+                f(theory::local_coupling_margin(q, delta)),
+                f(theory::global_coupling_margin(q, delta)),
+                ideal,
+            ]);
+        }
+    }
+
+    // Series C: locate the empirical crossing of the ideal disagreement
+    // at large Δ — should approach 2+√2 from above.
+    for delta in [50.0, 500.0, 5000.0] {
+        let crossing = theory::bisect(
+            |alpha| theory::ideal_coupling_disagreement(alpha * delta, delta) - 1.0,
+            2.5,
+            5.0,
+            1e-10,
+        );
+        row(&[
+            "C:crossing".into(),
+            f(crossing),
+            delta.to_string(),
+            "-".into(),
+            "-".into(),
+            "1.0".into(),
+        ]);
+    }
+}

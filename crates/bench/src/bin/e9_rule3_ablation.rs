@@ -1,0 +1,49 @@
+//! E9 — the paper's remark on LocalMetropolis filter rule 3: "Although at
+//! first glance the third filtering rule looks redundant, it is necessary
+//! to guarantee the reversibility of the chain as well as the uniform
+//! stationary distribution."
+//!
+//! For each small model we build the exact kernel with and without the
+//! third filter factor `Ã(σ_u, X_v)` and report the detailed-balance
+//! residual w.r.t. Gibbs and the TV distance between the chain's true
+//! stationary distribution (by power iteration) and Gibbs. The ablated
+//! chain is irreversible on every instance and converges to a *wrong*
+//! distribution on all but degenerate ones.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::kernel::local_metropolis_kernel;
+use lsl_graph::generators;
+use lsl_mrf::gibbs::Enumeration;
+use lsl_mrf::models;
+use lsl_mrf::Mrf;
+
+fn report(name: &str, mrf: &Mrf) {
+    let exact = Enumeration::new(mrf).expect("small model");
+    let pi = exact.distribution();
+    for (variant, rule3) in [("full", true), ("no-rule-3", false)] {
+        let k = local_metropolis_kernel(mrf, rule3);
+        let db = k.detailed_balance_residual(&pi);
+        let stationary = k.stationary_power(300_000, 1e-15);
+        let tv = lsl_analysis::tv_distance(&stationary, &pi);
+        row(&[
+            name.into(),
+            variant.into(),
+            format!("{db:.3e}"),
+            format!("{tv:.3e}"),
+        ]);
+    }
+}
+
+fn main() {
+    header(&[
+        "E9: LocalMetropolis rule-3 ablation (§4.2 remark)",
+        "full chain: residuals ~ 0; ablated: irreversible + wrong stationary law",
+    ]);
+    header_row("model,variant,detailed_balance_residual,tv(stationary;gibbs)");
+    report("coloring:P2,q=3", &models::proper_coloring(generators::path(2), 3));
+    report("coloring:P3,q=3", &models::proper_coloring(generators::path(3), 3));
+    report("coloring:C3,q=3", &models::proper_coloring(generators::complete(3), 3));
+    report("coloring:star3,q=4", &models::proper_coloring(generators::star(3), 4));
+    report("hardcore:P3,λ=1.5", &models::hardcore(generators::path(3), 1.5));
+    report("ising:P3,β=0.5", &models::ising(generators::path(3), 0.5));
+}

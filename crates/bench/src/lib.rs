@@ -1,0 +1,57 @@
+//! Shared harness utilities for the experiment binaries (E1–E12).
+//!
+//! Each binary in `src/bin/` regenerates one experiment from the
+//! EXPERIMENTS.md index as a TSV table on stdout, prefixed by `#` comment
+//! lines describing the paper claim being exercised. Binaries accept an
+//! optional `quick` argument that shrinks the workload (used by CI-style
+//! smoke runs); the full defaults reproduce the recorded numbers.
+
+/// Whether the binary was invoked with a `quick` argument.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "quick")
+}
+
+/// Picks `full` or `quick` depending on [`quick_mode`].
+pub fn scaled<T>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Prints a `#`-prefixed header comment.
+pub fn header(lines: &[&str]) {
+    for line in lines {
+        println!("# {line}");
+    }
+}
+
+/// Prints a TSV row.
+pub fn row(cols: &[String]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_picks_full_without_flag() {
+        // Tests run without a `quick` argv entry.
+        assert_eq!(super::scaled(10, 1), 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(super::f(0.123456), "0.1235");
+    }
+}
+
+/// Prints a column-header row given a comma-separated spec.
+pub fn header_row(spec: &str) {
+    println!("{}", spec.replace(',', "\t"));
+}

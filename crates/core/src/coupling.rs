@@ -1,0 +1,300 @@
+//! Grand couplings and coalescence-time measurement.
+//!
+//! The paper's mixing upper bounds (Theorems 3.2 and 4.2) are proved by
+//! coupling: if coupled copies of a chain started from any two states
+//! coincide by time `T` with probability ≥ 1 − ε, then `τ(ε) ≤ T`. The
+//! experimental counterpart is the *grand coupling*: run several copies
+//! from different starts, feeding every copy the *same* randomness each
+//! step, and record the round at which they all coincide.
+//!
+//! Our chains consume a fresh PRNG per step, seeded from a per-step key,
+//! so the shared-randomness coupling is exact regardless of how many
+//! draws each copy makes. For LocalMetropolis this realizes the identity
+//! coupling of §4.2.2 (same proposals and coins); for heat-bath chains it
+//! is the standard inverse-CDF grand coupling.
+
+use crate::Chain;
+use lsl_local::rng::{derive_seed, Xoshiro256pp};
+use lsl_mrf::{Mrf, Spin};
+use rand::RngExt;
+
+/// Label for per-step coupling seeds.
+const STEP_LABEL: u64 = 0x4350_4c53_5445_5000; // "CPLSTEP\0"
+
+/// Result of a coalescence run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coalescence {
+    /// All copies coincided at this step (1-based count of executed steps).
+    At(usize),
+    /// Copies still disagreed after the step budget.
+    TimedOut,
+}
+
+impl Coalescence {
+    /// The coalescence step, if any.
+    pub fn step(self) -> Option<usize> {
+        match self {
+            Coalescence::At(t) => Some(t),
+            Coalescence::TimedOut => None,
+        }
+    }
+}
+
+/// Runs the grand coupling on `copies` until all states coincide or
+/// `max_steps` elapse. Every copy receives an identically seeded PRNG in
+/// every step (derived from `master_seed` and the step index).
+pub fn coalesce<C: Chain>(copies: &mut [C], master_seed: u64, max_steps: usize) -> Coalescence {
+    assert!(!copies.is_empty(), "need at least one copy");
+    if all_equal(copies) {
+        return Coalescence::At(0);
+    }
+    for t in 0..max_steps {
+        let step_seed = derive_seed(master_seed, STEP_LABEL, t as u64);
+        for chain in copies.iter_mut() {
+            let mut rng = Xoshiro256pp::seed_from(step_seed);
+            chain.step(&mut rng);
+        }
+        if all_equal(copies) {
+            return Coalescence::At(t + 1);
+        }
+    }
+    Coalescence::TimedOut
+}
+
+fn all_equal<C: Chain>(copies: &[C]) -> bool {
+    let first = copies[0].state();
+    copies[1..].iter().all(|c| c.state() == first)
+}
+
+/// Standard adversarial start set for an MRF: the deterministic default
+/// start, the "reversed" start (largest feasible spin per vertex), and
+/// `extra` random starts drawn from the vertex activities.
+pub fn adversarial_starts(mrf: &Mrf, extra: usize, seed: u64) -> Vec<Vec<Spin>> {
+    let mut starts = Vec::with_capacity(extra + 2);
+    starts.push(crate::single_site::default_start(mrf));
+    let high: Vec<Spin> = mrf
+        .graph()
+        .vertices()
+        .map(|v| {
+            let b = mrf.vertex_activity(v);
+            (0..mrf.q() as Spin)
+                .rev()
+                .find(|&c| b.get(c) > 0.0)
+                .expect("positive entry exists")
+        })
+        .collect();
+    starts.push(high);
+    let mut rng = Xoshiro256pp::seed_from(derive_seed(seed, 0x53_54_41_52_54, 0)); // "START"
+    for _ in 0..extra {
+        starts.push(crate::single_site::arbitrary_start(mrf, &mut rng));
+    }
+    starts.dedup();
+    starts
+}
+
+/// Measures coalescence times over `trials` independent grand couplings;
+/// returns the observed times (timed-out runs are omitted) and the number
+/// of timeouts.
+pub fn coalescence_times<C: Chain>(
+    mut make: impl FnMut(&[Spin]) -> C,
+    starts: &[Vec<Spin>],
+    trials: usize,
+    max_steps: usize,
+    seed: u64,
+) -> (Vec<usize>, usize) {
+    let mut times = Vec::with_capacity(trials);
+    let mut timeouts = 0;
+    for trial in 0..trials {
+        let mut copies: Vec<C> = starts.iter().map(|s| make(s)).collect();
+        match coalesce(&mut copies, derive_seed(seed, 0x545249414c, trial as u64), max_steps) {
+            Coalescence::At(t) => times.push(t),
+            Coalescence::TimedOut => timeouts += 1,
+        }
+    }
+    (times, timeouts)
+}
+
+/// One-step path-coupling contraction estimate for a chain on colorings:
+/// starting from a feasible pair `(X, Y)` differing at one uniformly
+/// random vertex, couples one step with shared randomness and reports the
+/// average change in Hamming distance. Negative drift corroborates the
+/// path-coupling contractions of Lemmas 4.4/4.5.
+pub fn one_step_drift<C: Chain>(
+    mut make: impl FnMut(&[Spin]) -> C,
+    base: &[Spin],
+    disagree_at: usize,
+    alternative: Spin,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut other = base.to_vec();
+    other[disagree_at] = alternative;
+    for trial in 0..trials {
+        let mut a = make(base);
+        let mut b = make(&other);
+        let step_seed = derive_seed(seed, STEP_LABEL ^ 0xABCD, trial as u64);
+        let mut rng_a = Xoshiro256pp::seed_from(step_seed);
+        let mut rng_b = Xoshiro256pp::seed_from(step_seed);
+        a.step(&mut rng_a);
+        b.step(&mut rng_b);
+        let after = hamming(a.state(), b.state());
+        total += after as f64 - 1.0;
+    }
+    total / trials as f64
+}
+
+/// Hamming distance between two configurations.
+pub fn hamming(a: &[Spin], b: &[Spin]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Draws a uniformly random *proper* coloring pair differing at exactly
+/// one vertex, by rejection from Glauber-equilibrated states; used to
+/// seed [`one_step_drift`]. Returns `(base, vertex, alternative_spin)`.
+pub fn random_disagreeing_pair(
+    mrf: &Mrf,
+    burn_in: usize,
+    seed: u64,
+) -> Option<(Vec<Spin>, usize, Spin)> {
+    let mut rng = Xoshiro256pp::seed_from(seed);
+    let mut chain = crate::single_site::GlauberChain::new(mrf);
+    chain.run(burn_in, &mut rng);
+    let base = chain.state().to_vec();
+    let n = base.len();
+    for _ in 0..200 {
+        let v = rng.random_range(0..n);
+        let c = rng.random_range(0..mrf.q() as Spin);
+        if c == base[v] {
+            continue;
+        }
+        let mut alt = base.clone();
+        alt[v] = c;
+        if mrf.is_feasible(&alt) {
+            return Some((base, v, c));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_metropolis::LocalMetropolis;
+    use crate::luby_glauber::LubyGlauber;
+    use crate::single_site::GlauberChain;
+    use lsl_graph::generators;
+    use lsl_mrf::models;
+
+    #[test]
+    fn coalescence_detects_equal_starts() {
+        let mrf = models::proper_coloring(generators::cycle(5), 6);
+        let mut copies = vec![
+            GlauberChain::with_state(&mrf, vec![0; 5]),
+            GlauberChain::with_state(&mrf, vec![0; 5]),
+        ];
+        assert_eq!(coalesce(&mut copies, 1, 10), Coalescence::At(0));
+    }
+
+    #[test]
+    fn glauber_grand_coupling_coalesces() {
+        // Ample colors: the grand coupling coalesces quickly on a cycle.
+        let mrf = models::proper_coloring(generators::cycle(6), 8);
+        let starts = adversarial_starts(&mrf, 2, 7);
+        let (times, timeouts) = coalescence_times(
+            |s| GlauberChain::with_state(&mrf, s.to_vec()),
+            &starts,
+            5,
+            20_000,
+            11,
+        );
+        assert_eq!(timeouts, 0, "couplings timed out");
+        assert!(!times.is_empty());
+    }
+
+    #[test]
+    fn local_metropolis_identity_coupling_coalesces_fast() {
+        let mrf = models::proper_coloring(generators::torus(4, 4), 24);
+        let starts = adversarial_starts(&mrf, 2, 3);
+        let (times, timeouts) = coalescence_times(
+            |s| LocalMetropolis::with_state(&mrf, s.to_vec()),
+            &starts,
+            5,
+            5_000,
+            13,
+        );
+        assert_eq!(timeouts, 0);
+        let max = *times.iter().max().unwrap();
+        assert!(max < 500, "coalescence too slow: {max}");
+    }
+
+    #[test]
+    fn luby_glauber_coalesces() {
+        let mrf = models::proper_coloring(generators::cycle(8), 6);
+        let starts = adversarial_starts(&mrf, 1, 3);
+        let (times, timeouts) = coalescence_times(
+            |s| {
+                let mut c = LubyGlauber::new(&mrf);
+                c.set_state(s);
+                c
+            },
+            &starts,
+            5,
+            20_000,
+            17,
+        );
+        assert_eq!(timeouts, 0);
+        assert!(!times.is_empty());
+    }
+
+    #[test]
+    fn coupled_chains_share_randomness() {
+        // Two copies from the SAME start must track each other exactly.
+        let mrf = models::proper_coloring(generators::cycle(6), 5);
+        let mut copies = vec![
+            LocalMetropolis::with_state(&mrf, vec![0, 1, 0, 1, 0, 1]),
+            LocalMetropolis::with_state(&mrf, vec![0, 1, 0, 1, 0, 1]),
+        ];
+        for t in 0..50 {
+            let seed = derive_seed(5, STEP_LABEL, t);
+            for c in copies.iter_mut() {
+                let mut rng = Xoshiro256pp::seed_from(seed);
+                c.step(&mut rng);
+            }
+            assert_eq!(copies[0].state(), copies[1].state(), "diverged at {t}");
+        }
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(&[0, 1, 2], &[0, 1, 2]), 0);
+        assert_eq!(hamming(&[0, 1, 2], &[1, 1, 0]), 2);
+    }
+
+    #[test]
+    fn adversarial_starts_shape() {
+        let mrf = models::proper_coloring(generators::path(4), 3);
+        let starts = adversarial_starts(&mrf, 3, 0);
+        assert!(starts.len() >= 2);
+        assert_eq!(starts[0], vec![0, 0, 0, 0]);
+        assert_eq!(starts[1], vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn drift_is_negative_with_ample_colors() {
+        // Path coupling contraction: for q well above 2+√2 Δ, the
+        // one-step drift of LocalMetropolis from a disagreeing pair is
+        // negative.
+        let mrf = models::proper_coloring(generators::cycle(8), 12);
+        let (base, v, c) = random_disagreeing_pair(&mrf, 400, 3).expect("pair exists");
+        let drift = one_step_drift(
+            |s| LocalMetropolis::with_state(&mrf, s.to_vec()),
+            &base,
+            v,
+            c,
+            4000,
+            21,
+        );
+        assert!(drift < 0.0, "drift = {drift}");
+    }
+}

@@ -1,0 +1,517 @@
+//! Exact transition kernels of the sampling chains on small instances.
+//!
+//! The paper's correctness claims — Proposition 3.1 (LubyGlauber is
+//! reversible with stationary distribution µ) and Theorem 4.1 (likewise
+//! for LocalMetropolis) — are statements about transition kernels. On
+//! small instances we *construct those kernels exactly*:
+//!
+//! * [`glauber_kernel`] — the single-site heat-bath kernel;
+//! * [`luby_set_distribution`] — the exact distribution of the Luby-step
+//!   independent set (by enumerating rank orderings);
+//! * [`luby_glauber_kernel`] — Algorithm 1's kernel under any explicit
+//!   scheduling distribution;
+//! * [`local_metropolis_kernel`] — Algorithm 2's kernel, by enumerating
+//!   proposal vectors and edge-coin patterns — including the rule-3
+//!   ablation, whose broken reversibility experiment E9 quantifies.
+//!
+//! States are indexed as base-`q` numbers via
+//! [`lsl_mrf::gibbs::encode_config`], aligning kernels with enumerated
+//! Gibbs vectors.
+
+use lsl_analysis::Kernel;
+use lsl_graph::Graph;
+use lsl_mrf::gibbs::{checked_pow, decode_config};
+use lsl_mrf::{Mrf, Spin};
+use std::collections::HashMap;
+
+/// Maximum number of states for kernel construction.
+pub const MAX_KERNEL_STATES: usize = 1 << 12;
+
+fn state_count(mrf: &Mrf) -> usize {
+    let total = checked_pow(mrf.q(), mrf.num_vertices())
+        .filter(|&t| t <= MAX_KERNEL_STATES)
+        .expect("state space too large for exact kernels");
+    total
+}
+
+fn rows_from_maps(maps: Vec<HashMap<usize, f64>>) -> Kernel {
+    let rows = maps
+        .into_iter()
+        .map(|m| {
+            let mut row: Vec<(usize, f64)> = m.into_iter().filter(|&(_, p)| p > 0.0).collect();
+            row.sort_by_key(|&(j, _)| j);
+            // Renormalize tiny floating drift so Kernel::new's tolerance
+            // check reflects structural correctness, not summation order.
+            let sum: f64 = row.iter().map(|&(_, p)| p).sum();
+            debug_assert!((sum - 1.0).abs() < 1e-6, "row sum {sum}");
+            for (_, p) in &mut row {
+                *p /= sum;
+            }
+            row
+        })
+        .collect();
+    Kernel::new(rows).expect("constructed kernel must be stochastic")
+}
+
+/// The exact single-site heat-bath (Glauber) kernel.
+///
+/// From state `X`: pick `v` uniformly, resample from µ_v(·|X_Γ(v)). If the
+/// marginal at `(X, v)` is ill-defined (all-zero weights) the chain holds,
+/// matching the convention that the paper's well-definedness assumption
+/// rules such states out.
+///
+/// # Panics
+/// Panics if `q^n` exceeds [`MAX_KERNEL_STATES`].
+pub fn glauber_kernel(mrf: &Mrf) -> Kernel {
+    let total = state_count(mrf);
+    let n = mrf.num_vertices();
+    let q = mrf.q();
+    let mut maps: Vec<HashMap<usize, f64>> = vec![HashMap::new(); total];
+    let mut config = vec![0 as Spin; n];
+    for x in 0..total {
+        decode_config(x, q, &mut config);
+        let row = &mut maps[x];
+        let pick_prob = 1.0 / n as f64;
+        for v in mrf.graph().vertices() {
+            let weights = mrf.marginal_weights(v, &config);
+            let sum: f64 = weights.iter().sum();
+            if sum <= 0.0 {
+                *row.entry(x).or_insert(0.0) += pick_prob;
+                continue;
+            }
+            let stride = checked_pow(q, v.index()).expect("in range");
+            let base = x - (config[v.index()] as usize) * stride;
+            for (c, &w) in weights.iter().enumerate() {
+                if w > 0.0 {
+                    let y = base + c * stride;
+                    *row.entry(y).or_insert(0.0) += pick_prob * w / sum;
+                }
+            }
+        }
+    }
+    rows_from_maps(maps)
+}
+
+/// The exact distribution of the Luby-step independent set: pairs
+/// `(bitmask, probability)` over subsets of vertices, computed by
+/// enumerating all `n!` rank orderings of the iid uniforms.
+///
+/// # Panics
+/// Panics if `n > 9` (enumeration blows up past that).
+pub fn luby_set_distribution(g: &Graph) -> Vec<(u32, f64)> {
+    let n = g.num_vertices();
+    assert!(n <= 9, "Luby-set enumeration supports n <= 9");
+    if n == 0 {
+        return vec![(0, 1.0)];
+    }
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut total = 0u64;
+    // Heap's algorithm for permutations.
+    fn heaps(
+        k: usize,
+        perm: &mut Vec<usize>,
+        g: &Graph,
+        counts: &mut HashMap<u32, u64>,
+        total: &mut u64,
+    ) {
+        if k == 1 {
+            // perm[v] is the rank of vertex at position... define rank of
+            // vertex perm[i] as i: higher i = larger β.
+            let mut rank = vec![0usize; perm.len()];
+            for (i, &v) in perm.iter().enumerate() {
+                rank[v] = i;
+            }
+            let mut mask = 0u32;
+            for v in g.vertices() {
+                if g.neighbors(v).all(|u| rank[v.index()] > rank[u.index()]) {
+                    mask |= 1 << v.index();
+                }
+            }
+            *counts.entry(mask).or_insert(0) += 1;
+            *total += 1;
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, perm, g, counts, total);
+            if k % 2 == 0 {
+                perm.swap(i, k - 1);
+            } else {
+                perm.swap(0, k - 1);
+            }
+        }
+    }
+    heaps(n, &mut perm, g, &mut counts, &mut total);
+    counts
+        .into_iter()
+        .map(|(mask, c)| (mask, c as f64 / total as f64))
+        .collect()
+}
+
+/// The scheduling distribution of the singleton scheduler (uniform single
+/// vertex), for cross-validating [`luby_glauber_kernel`] against
+/// [`glauber_kernel`].
+pub fn singleton_set_distribution(g: &Graph) -> Vec<(u32, f64)> {
+    let n = g.num_vertices();
+    (0..n).map(|v| (1u32 << v, 1.0 / n as f64)).collect()
+}
+
+/// The exact LubyGlauber kernel under an explicit scheduling distribution
+/// over independent-set bitmasks.
+///
+/// # Panics
+/// Panics if `q^n` exceeds [`MAX_KERNEL_STATES`] or a scheduled vertex has
+/// an ill-defined marginal from some state (the paper's assumption rules
+/// this out; use models with `q ≥ Δ+1` style slack).
+pub fn luby_glauber_kernel(mrf: &Mrf, sets: &[(u32, f64)]) -> Kernel {
+    let total = state_count(mrf);
+    let n = mrf.num_vertices();
+    let q = mrf.q();
+    let mut maps: Vec<HashMap<usize, f64>> = vec![HashMap::new(); total];
+    let mut config = vec![0 as Spin; n];
+    for x in 0..total {
+        decode_config(x, q, &mut config);
+        for &(mask, p_set) in sets {
+            if p_set == 0.0 {
+                continue;
+            }
+            // Per-vertex marginals for scheduled vertices (they depend
+            // only on neighbors, which are unscheduled, so the update
+            // factorizes).
+            let scheduled: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+            let marginals: Vec<Vec<f64>> = scheduled
+                .iter()
+                .map(|&v| {
+                    let mut w = mrf.marginal_weights(lsl_graph::VertexId(v as u32), &config);
+                    let sum: f64 = w.iter().sum();
+                    assert!(
+                        sum > 0.0,
+                        "ill-defined marginal at vertex {v} from state {x}"
+                    );
+                    for entry in &mut w {
+                        *entry /= sum;
+                    }
+                    w
+                })
+                .collect();
+            // Enumerate the product distribution over scheduled spins.
+            let mut outcomes: Vec<(usize, f64)> = vec![(x, p_set)];
+            for (slot, &v) in scheduled.iter().enumerate() {
+                let stride = checked_pow(q, v).expect("in range");
+                let old = (x / stride) % q;
+                let mut next = Vec::with_capacity(outcomes.len() * q);
+                for &(y, p) in &outcomes {
+                    for (c, &pc) in marginals[slot].iter().enumerate() {
+                        if pc > 0.0 {
+                            let y2 = y - old * stride + c * stride;
+                            next.push((y2, p * pc));
+                        }
+                    }
+                }
+                outcomes = next;
+            }
+            let row = &mut maps[x];
+            for (y, p) in outcomes {
+                *row.entry(y).or_insert(0.0) += p;
+            }
+        }
+    }
+    rows_from_maps(maps)
+}
+
+/// The exact LocalMetropolis kernel (Algorithm 2), by enumerating all
+/// `q^n` proposal vectors and all edge-coin patterns. Set `rule3 = false`
+/// for the ablated filter that omits the `Ã(σ_u, X_v)` factor.
+///
+/// # Panics
+/// Panics if `q^n > 729` or `m > 12` (enumeration cost guard).
+pub fn local_metropolis_kernel(mrf: &Mrf, rule3: bool) -> Kernel {
+    let n = mrf.num_vertices();
+    let q = mrf.q();
+    let total = checked_pow(q, n)
+        .filter(|&t| t <= 729)
+        .expect("state space too large for the LocalMetropolis kernel");
+    let g = mrf.graph();
+    let m = g.num_edges();
+    assert!(m <= 12, "too many edges for coin enumeration");
+    let edges: Vec<(usize, usize, lsl_graph::EdgeId)> = g
+        .edges()
+        .map(|(e, u, v)| (u.index(), v.index(), e))
+        .collect();
+    // Proposal probabilities per vertex.
+    let proposal_prob: Vec<Vec<f64>> = g
+        .vertices()
+        .map(|v| {
+            let b = mrf.vertex_activity(v);
+            (0..q as Spin).map(|c| b.get(c) / b.total()).collect()
+        })
+        .collect();
+
+    let mut maps: Vec<HashMap<usize, f64>> = vec![HashMap::new(); total];
+    let mut x_cfg = vec![0 as Spin; n];
+    let mut s_cfg = vec![0 as Spin; n];
+    for x in 0..total {
+        decode_config(x, q, &mut x_cfg);
+        let row = &mut maps[x];
+        for s in 0..total {
+            decode_config(s, q, &mut s_cfg);
+            let mut p_sigma = 1.0;
+            for v in 0..n {
+                p_sigma *= proposal_prob[v][s_cfg[v] as usize];
+            }
+            if p_sigma == 0.0 {
+                continue;
+            }
+            // Per-edge pass probabilities.
+            let pass: Vec<f64> = edges
+                .iter()
+                .map(|&(u, v, e)| {
+                    let a = mrf.edge_activity(e);
+                    let p = a.normalized(s_cfg[u], s_cfg[v]) * a.normalized(x_cfg[u], s_cfg[v]);
+                    if rule3 {
+                        p * a.normalized(s_cfg[u], x_cfg[v])
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            // Enumerate coin patterns recursively, skipping zero branches.
+            let mut stack: Vec<(usize, f64, u64)> = vec![(0, p_sigma, 0)];
+            while let Some((ei, p, fail_mask)) = stack.pop() {
+                if ei == edges.len() {
+                    // Determine acceptance.
+                    let mut y = 0usize;
+                    let mut stride = 1usize;
+                    for v in 0..n {
+                        let mut ok = true;
+                        for (idx, &(a, b, _)) in edges.iter().enumerate() {
+                            if (a == v || b == v) && (fail_mask >> idx) & 1 == 1 {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        let spin = if ok { s_cfg[v] } else { x_cfg[v] };
+                        y += spin as usize * stride;
+                        stride *= q;
+                    }
+                    *row.entry(y).or_insert(0.0) += p;
+                    continue;
+                }
+                let pp = pass[ei];
+                if pp > 0.0 {
+                    stack.push((ei + 1, p * pp, fail_mask));
+                }
+                if pp < 1.0 {
+                    stack.push((ei + 1, p * (1.0 - pp), fail_mask | (1 << ei)));
+                }
+            }
+        }
+    }
+    rows_from_maps(maps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_analysis::tv_distance;
+    use lsl_graph::generators;
+    use lsl_mrf::gibbs::Enumeration;
+    use lsl_mrf::models;
+
+    fn gibbs_vector(mrf: &Mrf) -> Vec<f64> {
+        Enumeration::new(mrf).unwrap().distribution()
+    }
+
+    fn feasible_states(mrf: &Mrf) -> Vec<usize> {
+        Enumeration::new(mrf)
+            .unwrap()
+            .feasible()
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn glauber_kernel_reversible_for_colorings() {
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let k = glauber_kernel(&mrf);
+        let pi = gibbs_vector(&mrf);
+        assert!(k.stationarity_residual(&pi) < 1e-12);
+        assert!(k.detailed_balance_residual(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn glauber_kernel_reversible_for_weighted_models() {
+        for mrf in [
+            models::hardcore(generators::cycle(4), 1.7),
+            models::ising(generators::path(3), 0.4),
+            models::potts(generators::path(3), 3, 2.0),
+        ] {
+            let k = glauber_kernel(&mrf);
+            let pi = gibbs_vector(&mrf);
+            assert!(k.stationarity_residual(&pi) < 1e-12);
+            assert!(k.detailed_balance_residual(&pi) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn luby_set_distribution_is_correct() {
+        let g = generators::path(3);
+        let sets = luby_set_distribution(&g);
+        // Masks are independent sets and probabilities sum to 1.
+        let mut sum = 0.0;
+        for &(mask, p) in &sets {
+            sum += p;
+            let members: Vec<bool> = (0..3).map(|v| mask >> v & 1 == 1).collect();
+            assert!(g.is_independent_set(&members));
+        }
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Exact inclusion probabilities: Pr[v ∈ I] = 1/(deg(v)+1).
+        for v in g.vertices() {
+            let p_v: f64 = sets
+                .iter()
+                .filter(|&&(mask, _)| mask >> v.index() & 1 == 1)
+                .map(|&(_, p)| p)
+                .sum();
+            let expect = 1.0 / (g.degree(v) as f64 + 1.0);
+            assert!(
+                (p_v - expect).abs() < 1e-12,
+                "v = {v}: {p_v} vs {expect}"
+            );
+        }
+        // The empty set has positive probability on a path? Only if no
+        // local max exists — impossible (the global max is always in I).
+        assert!(sets.iter().all(|&(mask, _)| mask != 0));
+    }
+
+    #[test]
+    fn luby_glauber_kernel_reversible() {
+        // Proposition 3.1, exactly.
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let sets = luby_set_distribution(mrf.graph());
+        let k = luby_glauber_kernel(&mrf, &sets);
+        let pi = gibbs_vector(&mrf);
+        assert!(k.stationarity_residual(&pi) < 1e-12);
+        assert!(k.detailed_balance_residual(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn luby_glauber_kernel_reversible_weighted() {
+        let mrf = models::hardcore(generators::cycle(4), 0.8);
+        let sets = luby_set_distribution(mrf.graph());
+        let k = luby_glauber_kernel(&mrf, &sets);
+        let pi = gibbs_vector(&mrf);
+        assert!(k.stationarity_residual(&pi) < 1e-12);
+        assert!(k.detailed_balance_residual(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn singleton_schedule_recovers_glauber() {
+        let mrf = models::hardcore(generators::path(3), 1.3);
+        let a = glauber_kernel(&mrf);
+        let b = luby_glauber_kernel(&mrf, &singleton_set_distribution(mrf.graph()));
+        for i in 0..a.num_states() {
+            for &(j, p) in a.row(i) {
+                assert!((p - b.prob(i, j)).abs() < 1e-12, "P({i},{j})");
+            }
+            for &(j, p) in b.row(i) {
+                assert!((p - a.prob(i, j)).abs() < 1e-12, "P({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn local_metropolis_kernel_reversible_colorings() {
+        // Theorem 4.1, exactly (hard constraints: deterministic coins).
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let k = local_metropolis_kernel(&mrf, true);
+        let pi = gibbs_vector(&mrf);
+        assert!(k.stationarity_residual(&pi) < 1e-12);
+        assert!(k.detailed_balance_residual(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn local_metropolis_kernel_reversible_soft() {
+        // Soft activities exercise the fractional-coin enumeration.
+        for mrf in [
+            models::ising(generators::path(3), 0.5),
+            models::potts(generators::cycle(3), 3, 0.3),
+            models::hardcore(generators::path(3), 2.0),
+        ] {
+            let k = local_metropolis_kernel(&mrf, true);
+            let pi = gibbs_vector(&mrf);
+            assert!(k.stationarity_residual(&pi) < 1e-10, "{mrf:?}");
+            assert!(k.detailed_balance_residual(&pi) < 1e-10, "{mrf:?}");
+        }
+    }
+
+    #[test]
+    fn local_metropolis_absorbs_to_feasible() {
+        // From any state, repeated application concentrates all mass on
+        // feasible configurations (Thm 4.1's absorption argument).
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let k = local_metropolis_kernel(&mrf, true);
+        let feasible = feasible_states(&mrf);
+        let dist = k.evolve_from(0, 120); // state 0 = all color 0, infeasible
+        let feasible_mass: f64 = feasible.iter().map(|&i| dist[i]).sum();
+        assert!(feasible_mass > 1.0 - 1e-9, "mass = {feasible_mass}");
+    }
+
+    #[test]
+    fn rule3_ablation_breaks_the_chain() {
+        // E9 in miniature: without filter rule 3 the kernel is either no
+        // longer reversible w.r.t. Gibbs or has a different stationary
+        // distribution (the paper: rule 3 "is necessary to guarantee the
+        // reversibility of the chain as well as the uniform stationary
+        // distribution").
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let pi = gibbs_vector(&mrf);
+        let good = local_metropolis_kernel(&mrf, true);
+        let bad = local_metropolis_kernel(&mrf, false);
+        assert!(good.detailed_balance_residual(&pi) < 1e-12);
+        // The ablated chain violates detailed balance w.r.t. Gibbs.
+        let db = bad.detailed_balance_residual(&pi);
+        assert!(db > 1e-4, "ablated detailed-balance residual = {db}");
+        // And its long-run distribution is measurably wrong.
+        let stationary = bad.stationary_power(200_000, 1e-15);
+        let tv = tv_distance(&stationary, &pi);
+        assert!(tv > 1e-4, "ablated stationary TV = {tv}");
+    }
+
+    #[test]
+    fn exact_mixing_curves_decrease() {
+        // More colors → faster LocalMetropolis; with q = 5 on C4 the
+        // exact worst-start TV curve decreases and mixes.
+        let mrf = models::proper_coloring(generators::cycle(4), 5);
+        let k = local_metropolis_kernel(&mrf, true);
+        let pi = gibbs_vector(&mrf);
+        let feasible = feasible_states(&mrf);
+        let mut last = f64::INFINITY;
+        for t in [0usize, 1, 2, 4, 8, 16, 32, 64] {
+            let d = k.worst_start_tv(&pi, t, Some(&feasible));
+            assert!(d <= last + 1e-9, "d({t}) increased");
+            last = d;
+        }
+        assert!(last < 0.02, "chain failed to mix: d = {last}");
+    }
+
+    #[test]
+    fn exact_mixing_time_monotone_in_q() {
+        // The Theorem 4.2 theme in miniature: LocalMetropolis mixing
+        // improves as q grows (exact mixing times on P3).
+        let times: Vec<usize> = [3usize, 4, 5]
+            .into_iter()
+            .map(|q| {
+                let mrf = models::proper_coloring(generators::path(3), q);
+                let pi = gibbs_vector(&mrf);
+                let feasible = feasible_states(&mrf);
+                let k = local_metropolis_kernel(&mrf, true);
+                k.mixing_time(&pi, 0.01, 8000, Some(&feasible)).unwrap()
+            })
+            .collect();
+        assert!(
+            times[2] <= times[1] && times[1] <= times[0],
+            "not monotone: {times:?}"
+        );
+        assert!(times[2] < times[0], "no improvement: {times:?}");
+    }
+}

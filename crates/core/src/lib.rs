@@ -1,0 +1,91 @@
+//! The paper's contribution: distributed Markov chains for sampling from
+//! Gibbs distributions in the LOCAL model.
+//!
+//! "What can be sampled locally?" (Feng, Sun, Yin, PODC 2017) gives two
+//! distributed samplers and proves matching lower bounds; this crate
+//! implements the samplers, the sequential baselines they parallelize, and
+//! the measurement machinery their theorems call for:
+//!
+//! * [`single_site`] — the classic sequential chains: heat-bath **Glauber
+//!   dynamics**, single-site **Metropolis**, and **systematic scan**;
+//! * [`schedule`] — the paper's "Luby step" and the other
+//!   independent-set schedulers its Theorem 3.2 remark allows
+//!   (chromatic classes, singletons, filtered-Bernoulli);
+//! * [`luby_glauber`] — **Algorithm 1 (LubyGlauber)**: heat-bath updates on
+//!   a scheduled independent set each round, plus the weighted-CSP variant
+//!   on strongly independent sets;
+//! * [`local_metropolis`] — **Algorithm 2 (LocalMetropolis)**: simultaneous
+//!   proposals at every vertex filtered by per-edge coins, with the
+//!   rule-three ablation the paper warns about;
+//! * [`programs`] — both algorithms as LOCAL-model vertex programs with
+//!   message-size accounting (one LOCAL round per chain step);
+//! * [`kernel`] — *exact* transition kernels of all three chains on small
+//!   instances, enabling exact verification of Proposition 3.1 and
+//!   Theorem 4.1 (reversibility, stationarity) and exact mixing curves;
+//! * [`coupling`] — grand couplings and coalescence-time measurement (the
+//!   experimental counterpart of the path-coupling theorems);
+//! * [`mixing`] — empirical total-variation estimation against exact
+//!   ground truth.
+//!
+//! # Example: sample a proper coloring with LocalMetropolis
+//!
+//! ```
+//! use lsl_core::local_metropolis::LocalMetropolis;
+//! use lsl_core::Chain;
+//! use lsl_graph::generators;
+//! use lsl_local::rng::Xoshiro256pp;
+//! use lsl_mrf::models;
+//!
+//! let mrf = models::proper_coloring(generators::torus(5, 5), 16);
+//! let mut chain = LocalMetropolis::new(&mrf);
+//! let mut rng = Xoshiro256pp::seed_from(1);
+//! for _ in 0..60 {
+//!     chain.step(&mut rng);
+//! }
+//! assert!(mrf.is_feasible(chain.state()));
+//! ```
+
+pub mod coupling;
+pub mod csp_metropolis;
+pub mod kernel;
+pub mod labeling;
+pub mod local_metropolis;
+pub mod luby_glauber;
+pub mod mixing;
+pub mod programs;
+pub mod schedule;
+pub mod single_site;
+pub mod update;
+
+use lsl_local::rng::Xoshiro256pp;
+use lsl_mrf::Spin;
+
+/// A Markov chain over spin configurations, stepped with an explicit PRNG.
+///
+/// The concrete [`Xoshiro256pp`] generator (rather than a generic `Rng`)
+/// makes *grand couplings* trivial: stepping two chains with identically
+/// seeded generators realizes the shared-randomness coupling used in all
+/// coalescence experiments.
+pub trait Chain {
+    /// The current configuration.
+    fn state(&self) -> &[Spin];
+
+    /// Overwrites the current configuration.
+    ///
+    /// # Panics
+    /// Implementations panic if the length or spin range is wrong.
+    fn set_state(&mut self, state: &[Spin]);
+
+    /// Advances the chain by one step.
+    fn step(&mut self, rng: &mut Xoshiro256pp);
+
+    /// Human-readable chain name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Advances the chain by `t` steps.
+    fn run(&mut self, t: usize, rng: &mut Xoshiro256pp) {
+        for _ in 0..t {
+            self.step(rng);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The paper's algorithms as LOCAL-model vertex programs.
+//!
+//! Both algorithms run at **one LOCAL round per Markov-chain step**:
+//!
+//! * [`LubyGlauberProgram`] — each round broadcast `(β_v, X_v)`; on
+//!   receive, local maxima resample from the conditional marginal built
+//!   from the received neighbor spins (Algorithm 1 verbatim).
+//! * [`LocalMetropolisProgram`] — each round send the proposal `σ_v`,
+//!   plus, on edges this endpoint *owns* (smaller id; ties by port), the
+//!   edge's shared coin; on receive, evaluate every incident filter and
+//!   accept iff all pass (Algorithm 2 verbatim — the "two endpoints access
+//!   the same random coin" remark is realized by shipping the owner's
+//!   coin).
+//!
+//! Messages are `(f64, u32)` / `(u32, Option<f64>)`: `O(log q + 64)` bits,
+//! matching the paper's "neither algorithm abuses the power of the LOCAL
+//! model" remark (§1.1); the simulator's [`RoundStats`] measures this in
+//! experiment E8.
+//!
+//! [`RoundStats`]: lsl_local::runtime::RoundStats
+
+use lsl_local::program::{Outbox, VertexContext, VertexProgram};
+use lsl_local::rng::VertexRng;
+use lsl_mrf::{Mrf, Spin};
+
+/// Algorithm 1 as a vertex program. One chain step per LOCAL round.
+#[derive(Clone, Debug)]
+pub struct LubyGlauberProgram {
+    spin: Spin,
+    beta: f64,
+}
+
+impl VertexProgram for LubyGlauberProgram {
+    type Message = (f64, u32);
+    type Output = Spin;
+    type Config = Mrf;
+
+    fn init(config: &Mrf, ctx: &VertexContext<'_>, rng: &mut VertexRng) -> Self {
+        let spin = config.vertex_activity(ctx.vertex()).sample(rng);
+        LubyGlauberProgram { spin, beta: 0.0 }
+    }
+
+    fn send(
+        &mut self,
+        _config: &Mrf,
+        _ctx: &VertexContext<'_>,
+        rng: &mut VertexRng,
+    ) -> Outbox<(f64, u32)> {
+        self.beta = rng.uniform_f64();
+        Outbox::broadcast((self.beta, self.spin))
+    }
+
+    fn receive(
+        &mut self,
+        config: &Mrf,
+        ctx: &VertexContext<'_>,
+        inbox: &[Option<(f64, u32)>],
+        rng: &mut VertexRng,
+    ) {
+        let me = (self.beta, ctx.vertex().0);
+        let mut weights = vec![0.0; config.q()];
+        let b = config.vertex_activity(ctx.vertex());
+        for (c, slot) in weights.iter_mut().enumerate() {
+            *slot = b.get(c as Spin);
+        }
+        let mut local_max = true;
+        for ((e, u), msg) in ctx.ports().zip(inbox.iter()) {
+            let &(beta_u, spin_u) = msg
+                .as_ref()
+                .expect("every neighbor broadcasts every round");
+            if (beta_u, u.0) > me {
+                local_max = false;
+            }
+            let a = config.edge_activity(e);
+            for (c, slot) in weights.iter_mut().enumerate() {
+                *slot *= a.get(c as Spin, spin_u);
+            }
+        }
+        if local_max {
+            let pick = lsl_mrf::model::sample_weighted(&weights, rng)
+                .expect("marginal must be well-defined (paper assumption)");
+            self.spin = pick;
+        }
+    }
+
+    fn output(&self) -> Spin {
+        self.spin
+    }
+}
+
+/// One LocalMetropolis round's message: the sender's current spin `X_u`,
+/// its proposal `σ_u`, and — on ports whose coin the sender owns — the
+/// edge's shared filter coin.
+pub type LmMessage = (u32, u32, Option<f64>);
+
+/// Algorithm 2 as a vertex program. One chain step per LOCAL round.
+#[derive(Clone, Debug)]
+pub struct LocalMetropolisProgram {
+    spin: Spin,
+    proposal: Spin,
+    /// Coins drawn this round for ports this vertex owns.
+    coins: Vec<Option<f64>>,
+}
+
+impl LocalMetropolisProgram {
+    /// Whether this endpoint owns the coin of the port to `other` (the
+    /// smaller vertex id owns; each parallel edge has its own port pair,
+    /// so ownership is per-port and consistent at both endpoints).
+    fn owns(me: u32, other: u32) -> bool {
+        me < other
+    }
+}
+
+impl VertexProgram for LocalMetropolisProgram {
+    type Message = LmMessage;
+    type Output = Spin;
+    type Config = Mrf;
+
+    fn init(config: &Mrf, ctx: &VertexContext<'_>, rng: &mut VertexRng) -> Self {
+        let spin = config.vertex_activity(ctx.vertex()).sample(rng);
+        LocalMetropolisProgram {
+            spin,
+            proposal: spin,
+            coins: vec![None; ctx.degree()],
+        }
+    }
+
+    fn send(
+        &mut self,
+        config: &Mrf,
+        ctx: &VertexContext<'_>,
+        rng: &mut VertexRng,
+    ) -> Outbox<LmMessage> {
+        self.proposal = config.vertex_activity(ctx.vertex()).sample(rng);
+        let me = ctx.vertex().0;
+        let mut out = Vec::with_capacity(ctx.degree());
+        for (p, (_, u)) in ctx.ports().enumerate() {
+            if Self::owns(me, u.0) {
+                let coin = rng.uniform_f64();
+                self.coins[p] = Some(coin);
+                out.push(Some((self.spin, self.proposal, Some(coin))));
+            } else {
+                self.coins[p] = None;
+                out.push(Some((self.spin, self.proposal, None)));
+            }
+        }
+        Outbox::PerPort(out)
+    }
+
+    fn receive(
+        &mut self,
+        config: &Mrf,
+        ctx: &VertexContext<'_>,
+        inbox: &[Option<LmMessage>],
+        _rng: &mut VertexRng,
+    ) {
+        let me = ctx.vertex().0;
+        let mut accept = true;
+        for (p, ((e, u), msg)) in ctx.ports().zip(inbox.iter()).enumerate() {
+            let &(x_u, sigma_u, coin_from_u) =
+                msg.as_ref().expect("every neighbor sends every round");
+            let coin = if Self::owns(me, u.0) {
+                self.coins[p].expect("owner drew a coin in send")
+            } else {
+                coin_from_u.expect("owner ships the coin")
+            };
+            // Pass probability Ã(σ_u, σ_v)·Ã(X_u, σ_v)·Ã(σ_u, X_v); the
+            // matrices are symmetric, so both endpoints compute the same
+            // value and (with the shared coin) the same verdict.
+            let a = config.edge_activity(e);
+            let pass_prob = a.normalized(sigma_u, self.proposal)
+                * a.normalized(x_u, self.proposal)
+                * a.normalized(sigma_u, self.spin);
+            if coin >= pass_prob {
+                accept = false;
+            }
+        }
+        if accept {
+            self.spin = self.proposal;
+        }
+    }
+
+    fn output(&self) -> Spin {
+        self.spin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_analysis::EmpiricalDistribution;
+    use lsl_graph::generators;
+    use lsl_local::runtime::Simulator;
+    use lsl_mrf::gibbs::{encode_config, Enumeration};
+    use lsl_mrf::models;
+    use std::sync::Arc;
+
+    fn program_tv<P>(mrf: &Mrf, rounds: usize, replicas: u64) -> f64
+    where
+        P: VertexProgram<Config = Mrf, Output = Spin>,
+    {
+        let exact = Enumeration::new(mrf).unwrap();
+        let graph = mrf.graph_arc();
+        let mut emp = EmpiricalDistribution::new();
+        for rep in 0..replicas {
+            let sim = Simulator::new(Arc::clone(&graph), 5000 + rep);
+            let run = sim.run_with::<P>(rounds, mrf);
+            emp.record(encode_config(&run.outputs, mrf.q()));
+        }
+        emp.tv_against_dense(&exact.distribution())
+    }
+
+    #[test]
+    fn luby_glauber_program_samples_gibbs() {
+        let mrf = models::proper_coloring(generators::cycle(4), 3);
+        let tv = program_tv::<LubyGlauberProgram>(&mrf, 120, 6000);
+        assert!(tv < 0.05, "tv = {tv}");
+    }
+
+    #[test]
+    fn luby_glauber_program_weighted_model() {
+        let mrf = models::hardcore(generators::path(3), 1.4);
+        let tv = program_tv::<LubyGlauberProgram>(&mrf, 80, 6000);
+        assert!(tv < 0.05, "tv = {tv}");
+    }
+
+    #[test]
+    fn local_metropolis_program_samples_gibbs() {
+        let mrf = models::proper_coloring(generators::cycle(4), 4);
+        let tv = program_tv::<LocalMetropolisProgram>(&mrf, 100, 12_000);
+        assert!(tv < 0.065, "tv = {tv}");
+    }
+
+    #[test]
+    fn local_metropolis_program_soft_model() {
+        let mrf = models::ising(generators::path(3), 0.5);
+        let tv = program_tv::<LocalMetropolisProgram>(&mrf, 60, 6000);
+        assert!(tv < 0.05, "tv = {tv}");
+    }
+
+    #[test]
+    fn message_sizes_are_logarithmic_in_q() {
+        // E8's claim in miniature: message bits are O(log q + 64),
+        // independent of n.
+        use lsl_local::program::MessageSize;
+        let lg: (f64, u32) = (0.5, 3);
+        assert_eq!(lg.bits(), 96);
+        let lm: LmMessage = (1, 2, Some(0.25));
+        assert_eq!(lm.bits(), 32 + 32 + 65);
+    }
+
+    #[test]
+    fn program_runs_are_reproducible() {
+        let mrf = models::proper_coloring(generators::torus(4, 4), 8);
+        let sim = Simulator::new(mrf.graph_arc(), 42);
+        let a = sim.run_with::<LocalMetropolisProgram>(30, &mrf);
+        let b = sim.run_with::<LocalMetropolisProgram>(30, &mrf);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn program_outputs_feasible_after_enough_rounds() {
+        let mrf = models::proper_coloring(generators::torus(4, 4), 10);
+        let sim = Simulator::new(mrf.graph_arc(), 7);
+        let run = sim.run_with::<LocalMetropolisProgram>(60, &mrf);
+        assert!(mrf.is_feasible(&run.outputs));
+        let run2 = sim.run_with::<LubyGlauberProgram>(120, &mrf);
+        assert!(mrf.is_feasible(&run2.outputs));
+    }
+
+    #[test]
+    fn round_stats_match_one_round_per_step() {
+        let mrf = models::proper_coloring(generators::cycle(5), 4);
+        let sim = Simulator::new(mrf.graph_arc(), 1);
+        let rounds = 17;
+        let run = sim.run_with::<LubyGlauberProgram>(rounds, &mrf);
+        assert_eq!(run.stats.rounds, rounds);
+        // Broadcast on every port every round: 2m messages per round.
+        assert_eq!(run.stats.messages, rounds * 2 * 5);
+        assert_eq!(run.stats.max_message_bits, 96);
+    }
+}

@@ -1,0 +1,315 @@
+//! Independent-set schedulers for parallel Glauber updates.
+//!
+//! The paper's generic parallelization (§3) updates, each round, a random
+//! independent set `I`. Its Remark after Theorem 3.2 notes the analysis
+//! holds for *any* subroutine that independently samples `I` with
+//! `Pr[v ∈ I] ≥ γ > 0`, with mixing rate `O(1/((1−α)γ) · log(n/ε))`.
+//! This module provides that abstraction and four instances:
+//!
+//! * [`LubyScheduler`] — the paper's "Luby step": iid `β_v ∈ [0, 1]`,
+//!   select local maxima of the inclusive neighborhood. `Pr[v ∈ I] =
+//!   1/(deg(v)+1) ≥ 1/(Δ+1)`.
+//! * [`SingletonScheduler`] — one uniform vertex (`γ = 1/n`): recovers the
+//!   sequential Glauber dynamics, used to cross-validate kernels.
+//! * [`BernoulliFilterScheduler`] — each vertex volunteers with probability
+//!   `p`, conflicts are dropped (both endpoints of a volunteering edge
+//!   withdraw): `Pr[v ∈ I] = p(1−p)^deg(v)`, an ablation knob for γ.
+//! * [`ChromaticScheduler`] — the chromatic scheduler of Gonzalez et al.
+//!   \[28\]: cycles deterministically through the classes of a proper
+//!   coloring. *Not* an independent sampler (it is a systematic scan), so
+//!   Proposition 3.1's proof does not apply round-by-round — it is here as
+//!   the baseline the paper contrasts with.
+
+use lsl_graph::coloring::ProperColoring;
+use lsl_graph::{Graph, VertexId};
+use lsl_local::rng::Xoshiro256pp;
+use rand::RngExt;
+
+/// A strategy for picking the set of vertices to update this round.
+pub trait Scheduler {
+    /// Fills `out` (length `n`) with the membership mask of this round's
+    /// update set. The set must be independent in `g`.
+    fn sample(&mut self, g: &Graph, rng: &mut Xoshiro256pp, out: &mut [bool]);
+
+    /// Scheduler name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// A lower bound on `Pr[v ∈ I]` (the γ of Theorem 3.2's remark), if
+    /// the scheduler samples independently each round.
+    fn gamma(&self, g: &Graph) -> Option<f64>;
+}
+
+/// The paper's Luby step (Algorithm 1, lines 3–4).
+///
+/// Every vertex draws an iid uniform `β_v`; `v` joins `I` iff
+/// `β_v > max{β_u : u ∈ Γ(v)}`. Ties (probability ~2⁻⁵³ per pair) are
+/// broken by vertex id, preserving independence.
+#[derive(Clone, Debug, Default)]
+pub struct LubyScheduler {
+    betas: Vec<f64>,
+}
+
+impl LubyScheduler {
+    /// Creates a Luby scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LubyScheduler {
+    fn sample(&mut self, g: &Graph, rng: &mut Xoshiro256pp, out: &mut [bool]) {
+        let n = g.num_vertices();
+        self.betas.resize(n, 0.0);
+        for slot in self.betas.iter_mut() {
+            *slot = rng.uniform_f64();
+        }
+        for v in g.vertices() {
+            let key = (self.betas[v.index()], v.0);
+            out[v.index()] = g
+                .neighbors(v)
+                .all(|u| key > (self.betas[u.index()], u.0));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Luby"
+    }
+
+    fn gamma(&self, g: &Graph) -> Option<f64> {
+        Some(1.0 / (g.max_degree() as f64 + 1.0))
+    }
+}
+
+/// One uniform vertex per round: the sequential Glauber dynamics as a
+/// degenerate scheduler (`γ = 1/n`).
+#[derive(Clone, Debug, Default)]
+pub struct SingletonScheduler;
+
+impl Scheduler for SingletonScheduler {
+    fn sample(&mut self, g: &Graph, rng: &mut Xoshiro256pp, out: &mut [bool]) {
+        out.fill(false);
+        let n = g.num_vertices();
+        if n > 0 {
+            out[rng.random_range(0..n)] = true;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Singleton"
+    }
+
+    fn gamma(&self, g: &Graph) -> Option<f64> {
+        Some(1.0 / g.num_vertices().max(1) as f64)
+    }
+}
+
+/// Bernoulli volunteering with conflict withdrawal: `v` volunteers with
+/// probability `p` and stays in `I` iff no neighbor volunteered.
+#[derive(Clone, Debug)]
+pub struct BernoulliFilterScheduler {
+    p: f64,
+    volunteered: Vec<bool>,
+}
+
+impl BernoulliFilterScheduler {
+    /// Creates the scheduler with volunteering probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "volunteering probability must be in (0, 1]");
+        BernoulliFilterScheduler {
+            p,
+            volunteered: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for BernoulliFilterScheduler {
+    fn sample(&mut self, g: &Graph, rng: &mut Xoshiro256pp, out: &mut [bool]) {
+        let n = g.num_vertices();
+        self.volunteered.resize(n, false);
+        for slot in self.volunteered.iter_mut() {
+            *slot = rng.uniform_f64() < self.p;
+        }
+        for v in g.vertices() {
+            out[v.index()] = self.volunteered[v.index()]
+                && g.neighbors(v).all(|u| !self.volunteered[u.index()]);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BernoulliFilter"
+    }
+
+    fn gamma(&self, g: &Graph) -> Option<f64> {
+        Some(self.p * (1.0 - self.p).powi(g.max_degree() as i32))
+    }
+}
+
+/// The chromatic scheduler of Gonzalez et al.: cycles through the classes
+/// of a proper coloring deterministically.
+#[derive(Clone, Debug)]
+pub struct ChromaticScheduler {
+    coloring: ProperColoring,
+    next_class: u32,
+}
+
+impl ChromaticScheduler {
+    /// Builds the scheduler from a proper coloring of the network.
+    pub fn new(coloring: ProperColoring) -> Self {
+        ChromaticScheduler {
+            coloring,
+            next_class: 0,
+        }
+    }
+
+    /// Builds the scheduler from the greedy (Δ+1)-coloring of `g`.
+    pub fn greedy(g: &Graph) -> Self {
+        Self::new(lsl_graph::coloring::greedy(g))
+    }
+
+    /// Number of classes (rounds per full sweep).
+    pub fn num_classes(&self) -> usize {
+        self.coloring.num_classes()
+    }
+}
+
+impl Scheduler for ChromaticScheduler {
+    fn sample(&mut self, _g: &Graph, _rng: &mut Xoshiro256pp, out: &mut [bool]) {
+        let class = self.next_class;
+        self.next_class = (self.next_class + 1) % self.coloring.num_classes().max(1) as u32;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.coloring.color(VertexId(i as u32)) == class;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Chromatic"
+    }
+
+    fn gamma(&self, _g: &Graph) -> Option<f64> {
+        // Deterministic schedule: not an independent per-round sampler.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_graph::generators;
+
+    fn check_independent(g: &Graph, s: &mut impl Scheduler, seeds: u64) {
+        let mut out = vec![false; g.num_vertices()];
+        for seed in 0..seeds {
+            let mut rng = Xoshiro256pp::seed_from(seed);
+            s.sample(g, &mut rng, &mut out);
+            assert!(g.is_independent_set(&out), "{} produced a dependent set", s.name());
+        }
+    }
+
+    #[test]
+    fn all_schedulers_produce_independent_sets() {
+        let g = generators::torus(4, 4);
+        check_independent(&g, &mut LubyScheduler::new(), 50);
+        check_independent(&g, &mut SingletonScheduler, 50);
+        check_independent(&g, &mut BernoulliFilterScheduler::new(0.4), 50);
+        check_independent(&g, &mut ChromaticScheduler::greedy(&g), 50);
+    }
+
+    #[test]
+    fn luby_inclusion_probability_matches_theory() {
+        // Pr[v ∈ I] = 1/(deg(v)+1) exactly: on a star, hub has 1/(n+1),
+        // leaves 1/2.
+        let g = generators::star(4);
+        let mut sched = LubyScheduler::new();
+        let mut out = vec![false; g.num_vertices()];
+        let trials = 60_000;
+        let mut hub = 0usize;
+        let mut leaf = 0usize;
+        for seed in 0..trials {
+            let mut rng = Xoshiro256pp::seed_from(seed as u64);
+            sched.sample(&g, &mut rng, &mut out);
+            hub += out[0] as usize;
+            leaf += out[1] as usize;
+        }
+        let hub_freq = hub as f64 / trials as f64;
+        let leaf_freq = leaf as f64 / trials as f64;
+        assert!((hub_freq - 0.2).abs() < 0.01, "hub = {hub_freq}");
+        assert!((leaf_freq - 0.5).abs() < 0.01, "leaf = {leaf_freq}");
+    }
+
+    #[test]
+    fn luby_gamma_lower_bound_holds() {
+        // Empirical Pr[v ∈ I] ≥ γ = 1/(Δ+1) for every vertex on an
+        // irregular graph.
+        let g = generators::caterpillar(4, 2);
+        let mut sched = LubyScheduler::new();
+        let gamma = sched.gamma(&g).unwrap();
+        let mut out = vec![false; g.num_vertices()];
+        let trials = 40_000;
+        let mut counts = vec![0usize; g.num_vertices()];
+        for seed in 0..trials {
+            let mut rng = Xoshiro256pp::seed_from(seed as u64);
+            sched.sample(&g, &mut rng, &mut out);
+            for (c, &b) in counts.iter_mut().zip(out.iter()) {
+                *c += b as usize;
+            }
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                freq >= gamma - 0.01,
+                "vertex {v}: freq {freq} < gamma {gamma}"
+            );
+        }
+    }
+
+    #[test]
+    fn chromatic_covers_everyone_per_sweep() {
+        let g = generators::cycle(6);
+        let mut sched = ChromaticScheduler::greedy(&g);
+        let classes = sched.num_classes();
+        let mut covered = vec![false; 6];
+        let mut out = vec![false; 6];
+        let mut rng = Xoshiro256pp::seed_from(0);
+        for _ in 0..classes {
+            sched.sample(&g, &mut rng, &mut out);
+            for (c, &b) in covered.iter_mut().zip(out.iter()) {
+                *c |= b;
+            }
+        }
+        assert!(covered.iter().all(|&b| b), "a sweep must cover all vertices");
+    }
+
+    #[test]
+    fn singleton_picks_exactly_one() {
+        let g = generators::complete(5);
+        let mut out = vec![false; 5];
+        let mut sched = SingletonScheduler;
+        let mut rng = Xoshiro256pp::seed_from(8);
+        for _ in 0..20 {
+            sched.sample(&g, &mut rng, &mut out);
+            assert_eq!(out.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn bernoulli_gamma_formula() {
+        let g = generators::cycle(5);
+        let s = BernoulliFilterScheduler::new(0.25);
+        let gamma = s.gamma(&g).unwrap();
+        assert!((gamma - 0.25 * 0.75 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn luby_empty_graph_selects_all() {
+        // With no neighbors everyone is a local maximum.
+        let g = lsl_graph::Graph::from_edges(3, &[]);
+        let mut out = vec![false; 3];
+        let mut sched = LubyScheduler::new();
+        let mut rng = Xoshiro256pp::seed_from(0);
+        sched.sample(&g, &mut rng, &mut out);
+        assert!(out.iter().all(|&b| b));
+    }
+}

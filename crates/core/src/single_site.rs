@@ -1,0 +1,325 @@
+//! Sequential single-site chains: the baselines the paper parallelizes.
+//!
+//! * [`GlauberChain`] — the heat-bath Glauber dynamics of §3: pick a
+//!   uniform vertex, resample it from the conditional marginal (eq. 2).
+//!   Mixes in `O(n/(1−α) · log(n/ε))` under Dobrushin's condition.
+//! * [`MetropolisChain`] — the natural single-site Metropolis chain
+//!   (footnote 2 of the paper): propose from the vertex activity, accept
+//!   with probability `Π_{u∼v} Ã(c, X_u)`. This is exactly LocalMetropolis
+//!   restricted to one updating vertex, so it shares its stationary
+//!   distribution and connectivity structure.
+//! * [`ScanChain`] — systematic scan (Dyer–Goldberg–Jerrum): heat-bath
+//!   updates in a fixed vertex order; one [`Chain::step`] = one full sweep.
+
+use crate::update::Resampler;
+use crate::Chain;
+use lsl_local::rng::Xoshiro256pp;
+use lsl_mrf::{Mrf, Spin};
+
+/// Samples an arbitrary initial configuration with positive vertex
+/// activities (the paper lets chains start from any configuration; spins
+/// with `b_v = 0` could never be proposed or kept, so avoid them).
+pub fn arbitrary_start(mrf: &Mrf, rng: &mut Xoshiro256pp) -> Vec<Spin> {
+    mrf.graph()
+        .vertices()
+        .map(|v| mrf.vertex_activity(v).sample(rng))
+        .collect()
+}
+
+/// The single-site heat-bath Glauber dynamics.
+///
+/// # Example
+/// ```
+/// use lsl_core::single_site::GlauberChain;
+/// use lsl_core::Chain;
+/// use lsl_graph::generators;
+/// use lsl_local::rng::Xoshiro256pp;
+/// use lsl_mrf::models;
+///
+/// let mrf = models::proper_coloring(generators::cycle(8), 5);
+/// let mut chain = GlauberChain::new(&mrf);
+/// let mut rng = Xoshiro256pp::seed_from(0);
+/// chain.run(200, &mut rng);
+/// assert!(mrf.is_feasible(chain.state()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GlauberChain<'a> {
+    mrf: &'a Mrf,
+    state: Vec<Spin>,
+    scratch: Vec<f64>,
+    resampler: Resampler,
+}
+
+impl<'a> GlauberChain<'a> {
+    /// Creates the chain with a deterministic arbitrary start (spin of
+    /// smallest index with positive activity at each vertex).
+    pub fn new(mrf: &'a Mrf) -> Self {
+        let state = default_start(mrf);
+        Self::with_state(mrf, state)
+    }
+
+    /// Creates the chain from an explicit start.
+    ///
+    /// # Panics
+    /// Panics if the configuration has the wrong length.
+    pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
+        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
+        GlauberChain {
+            mrf,
+            state,
+            scratch: vec![0.0; mrf.q()],
+            resampler: Resampler::new(mrf),
+        }
+    }
+
+    /// The model this chain samples from.
+    pub fn mrf(&self) -> &Mrf {
+        self.mrf
+    }
+}
+
+impl Chain for GlauberChain<'_> {
+    fn state(&self) -> &[Spin] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[Spin]) {
+        assert_eq!(state.len(), self.state.len());
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, rng: &mut Xoshiro256pp) {
+        let n = self.state.len();
+        // Fixed single-draw vertex selection keeps coupled streams aligned.
+        let v = lsl_graph::VertexId((rng.uniform_f64() * n as f64) as u32);
+        self.mrf
+            .marginal_weights_into(v, &self.state, &mut self.scratch);
+        let pick = self
+            .resampler
+            .resample(&self.scratch, rng)
+            .expect("Glauber marginal must be well-defined (paper assumption)");
+        self.state[v.index()] = pick;
+    }
+
+    fn name(&self) -> &'static str {
+        "Glauber"
+    }
+}
+
+/// The single-site Metropolis chain: propose `c ∼ b_v`, accept with
+/// probability `Π_{u ∼ v} Ã_uv(c, X_u)`.
+#[derive(Clone, Debug)]
+pub struct MetropolisChain<'a> {
+    mrf: &'a Mrf,
+    state: Vec<Spin>,
+}
+
+impl<'a> MetropolisChain<'a> {
+    /// Creates the chain with the deterministic default start.
+    pub fn new(mrf: &'a Mrf) -> Self {
+        MetropolisChain {
+            mrf,
+            state: default_start(mrf),
+        }
+    }
+
+    /// Creates the chain from an explicit start.
+    ///
+    /// # Panics
+    /// Panics if the configuration has the wrong length.
+    pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
+        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
+        MetropolisChain { mrf, state }
+    }
+}
+
+impl Chain for MetropolisChain<'_> {
+    fn state(&self) -> &[Spin] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[Spin]) {
+        assert_eq!(state.len(), self.state.len());
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, rng: &mut Xoshiro256pp) {
+        let n = self.state.len();
+        let v = lsl_graph::VertexId((rng.uniform_f64() * n as f64) as u32);
+        let proposal = self.mrf.vertex_activity(v).sample(rng);
+        let mut accept_prob = 1.0;
+        for (e, u) in self.mrf.graph().incident_edges(v) {
+            accept_prob *= self
+                .mrf
+                .edge_activity(e)
+                .normalized(proposal, self.state[u.index()]);
+        }
+        // One coin per step keeps grand couplings in sync.
+        let coin = rng.uniform_f64();
+        if coin < accept_prob {
+            self.state[v.index()] = proposal;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Metropolis"
+    }
+}
+
+/// Systematic scan: one step = one heat-bath sweep in vertex order.
+#[derive(Clone, Debug)]
+pub struct ScanChain<'a> {
+    mrf: &'a Mrf,
+    state: Vec<Spin>,
+    scratch: Vec<f64>,
+    resampler: Resampler,
+}
+
+impl<'a> ScanChain<'a> {
+    /// Creates the chain with the deterministic default start.
+    pub fn new(mrf: &'a Mrf) -> Self {
+        ScanChain {
+            mrf,
+            state: default_start(mrf),
+            scratch: vec![0.0; mrf.q()],
+            resampler: Resampler::new(mrf),
+        }
+    }
+}
+
+impl Chain for ScanChain<'_> {
+    fn state(&self) -> &[Spin] {
+        &self.state
+    }
+
+    fn set_state(&mut self, state: &[Spin]) {
+        assert_eq!(state.len(), self.state.len());
+        self.state.copy_from_slice(state);
+    }
+
+    fn step(&mut self, rng: &mut Xoshiro256pp) {
+        for v in self.mrf.graph().vertices() {
+            self.mrf
+                .marginal_weights_into(v, &self.state, &mut self.scratch);
+            let pick = self
+                .resampler
+                .resample(&self.scratch, rng)
+                .expect("scan marginal must be well-defined");
+            self.state[v.index()] = pick;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SystematicScan"
+    }
+}
+
+/// Deterministic default start: at each vertex, the smallest spin with
+/// positive activity.
+pub fn default_start(mrf: &Mrf) -> Vec<Spin> {
+    mrf.graph()
+        .vertices()
+        .map(|v| {
+            let b = mrf.vertex_activity(v);
+            (0..mrf.q() as Spin)
+                .find(|&c| b.get(c) > 0.0)
+                .expect("vertex activity has a positive entry")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_analysis::EmpiricalDistribution;
+    use lsl_graph::generators;
+    use lsl_mrf::gibbs::{encode_config, Enumeration};
+    use lsl_mrf::models;
+
+    fn empirical_tv<C: Chain>(
+        mut make: impl FnMut(u64) -> C,
+        q: usize,
+        steps: usize,
+        replicas: usize,
+        exact: &Enumeration,
+    ) -> f64 {
+        let mut emp = EmpiricalDistribution::new();
+        for rep in 0..replicas {
+            let mut chain = make(rep as u64);
+            let mut rng = Xoshiro256pp::seed_from(1000 + rep as u64);
+            chain.run(steps, &mut rng);
+            emp.record(encode_config(chain.state(), q));
+        }
+        emp.tv_against_dense(&exact.distribution())
+    }
+
+    #[test]
+    fn glauber_reaches_feasibility() {
+        let mrf = models::proper_coloring(generators::complete(4), 5);
+        let mut chain = GlauberChain::new(&mrf);
+        let mut rng = Xoshiro256pp::seed_from(3);
+        chain.run(100, &mut rng);
+        assert!(mrf.is_feasible(chain.state()));
+    }
+
+    #[test]
+    fn glauber_samples_gibbs_on_small_instance() {
+        let mrf = models::uniform_independent_set(generators::path(3));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = empirical_tv(|_| GlauberChain::new(&mrf), 2, 80, 6000, &exact);
+        assert!(tv < 0.04, "tv = {tv}");
+    }
+
+    #[test]
+    fn metropolis_samples_gibbs_on_small_instance() {
+        let mrf = models::proper_coloring(generators::cycle(3), 4);
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = empirical_tv(|_| MetropolisChain::new(&mrf), 4, 150, 6000, &exact);
+        assert!(tv < 0.06, "tv = {tv}");
+    }
+
+    #[test]
+    fn metropolis_weighted_model() {
+        // Hardcore with λ = 2 on P2: π({}) = 1/5, π({0}) = π({1}) = 2/5.
+        let mrf = models::hardcore(generators::path(2), 2.0);
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = empirical_tv(|_| MetropolisChain::new(&mrf), 2, 60, 8000, &exact);
+        assert!(tv < 0.04, "tv = {tv}");
+    }
+
+    #[test]
+    fn scan_samples_gibbs() {
+        let mrf = models::proper_coloring(generators::path(4), 3);
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = empirical_tv(|_| ScanChain::new(&mrf), 3, 25, 6000, &exact);
+        assert!(tv < 0.05, "tv = {tv}");
+    }
+
+    #[test]
+    fn default_start_respects_lists() {
+        let g = generators::path(2);
+        let mrf = models::list_coloring(g, 4, &[vec![2, 3], vec![0]]);
+        assert_eq!(default_start(&mrf), vec![2, 0]);
+    }
+
+    #[test]
+    fn set_state_roundtrip() {
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let mut chain = GlauberChain::new(&mrf);
+        chain.set_state(&[2, 1, 0]);
+        assert_eq!(chain.state(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn arbitrary_start_in_support() {
+        let g = generators::path(3);
+        let mrf = models::list_coloring(g, 5, &[vec![1], vec![2, 4], vec![0]]);
+        let mut rng = Xoshiro256pp::seed_from(9);
+        for _ in 0..20 {
+            let s = arbitrary_start(&mrf, &mut rng);
+            assert_eq!(s[0], 1);
+            assert!(s[1] == 2 || s[1] == 4);
+            assert_eq!(s[2], 0);
+        }
+    }
+}

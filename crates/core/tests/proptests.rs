@@ -1,0 +1,114 @@
+//! Property-based tests for the sampling chains: structural invariants
+//! that must hold for every model, seed, and schedule.
+
+use lsl_core::coupling::hamming;
+use lsl_core::kernel::{glauber_kernel, local_metropolis_kernel, luby_set_distribution};
+use lsl_core::local_metropolis::LocalMetropolis;
+use lsl_core::luby_glauber::LubyGlauber;
+use lsl_core::schedule::{LubyScheduler, Scheduler};
+use lsl_core::single_site::GlauberChain;
+use lsl_core::Chain;
+use lsl_graph::generators;
+use lsl_local::rng::Xoshiro256pp;
+use lsl_mrf::gibbs::Enumeration;
+use lsl_mrf::models;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn local_metropolis_preserves_feasibility(seed in 0u64..5000, q in 4usize..8) {
+        // Once proper, forever proper (absorption direction of Thm 4.1).
+        let mrf = models::proper_coloring(generators::cycle(6), q);
+        let mut chain = LocalMetropolis::with_state(&mrf, vec![0, 1, 0, 1, 0, 1]);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        for _ in 0..20 {
+            chain.step(&mut rng);
+            prop_assert!(mrf.is_feasible(chain.state()));
+        }
+    }
+
+    #[test]
+    fn luby_glauber_spins_in_range(seed in 0u64..5000) {
+        let mrf = models::proper_coloring(generators::torus(3, 3), 9);
+        let mut chain = LubyGlauber::new(&mrf);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        chain.run(10, &mut rng);
+        prop_assert!(chain.state().iter().all(|&c| c < 9));
+    }
+
+    #[test]
+    fn glauber_single_site_moves(seed in 0u64..5000) {
+        // One Glauber step changes at most one coordinate.
+        let mrf = models::proper_coloring(generators::cycle(5), 4);
+        let mut chain = GlauberChain::with_state(&mrf, vec![0, 1, 0, 1, 2]);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let before = chain.state().to_vec();
+        chain.step(&mut rng);
+        prop_assert!(hamming(&before, chain.state()) <= 1);
+    }
+
+    #[test]
+    fn luby_scheduler_respects_independence(seed in 0u64..5000, rows in 3usize..5, cols in 3usize..5) {
+        let g = generators::torus(rows, cols);
+        let mut sched = LubyScheduler::new();
+        let mut out = vec![false; g.num_vertices()];
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        sched.sample(&g, &mut rng, &mut out);
+        prop_assert!(g.is_independent_set(&out));
+        // Nonempty: the global maximum is always selected.
+        prop_assert!(out.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_trajectories(seed in 0u64..5000) {
+        let mrf = models::hardcore(generators::cycle(6), 1.3);
+        let mut a = LocalMetropolis::new(&mrf);
+        let mut b = LocalMetropolis::new(&mrf);
+        let mut ra = Xoshiro256pp::seed_from(seed);
+        let mut rb = Xoshiro256pp::seed_from(seed);
+        for _ in 0..15 {
+            a.step(&mut ra);
+            b.step(&mut rb);
+            prop_assert_eq!(a.state(), b.state());
+        }
+    }
+
+    #[test]
+    fn kernels_are_stochastic_and_gibbs_stationary(lambda in 0.3f64..3.0) {
+        let mrf = models::hardcore(generators::path(3), lambda);
+        let pi = Enumeration::new(&mrf).unwrap().distribution();
+        for k in [glauber_kernel(&mrf), local_metropolis_kernel(&mrf, true)] {
+            prop_assert!(k.stationarity_residual(&pi) < 1e-10);
+            prop_assert!(k.detailed_balance_residual(&pi) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn luby_set_distribution_inclusion_exact(n in 2usize..6) {
+        // Pr[v ∈ I] = 1/(deg(v)+1), exactly, on random trees too.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let g = generators::random_tree(n, &mut rng);
+        let sets = luby_set_distribution(&g);
+        for v in g.vertices() {
+            let p: f64 = sets
+                .iter()
+                .filter(|&&(mask, _)| mask >> v.index() & 1 == 1)
+                .map(|&(_, p)| p)
+                .sum();
+            let expect = 1.0 / (g.degree(v) as f64 + 1.0);
+            prop_assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ising_chain_spins_binary(beta in 0.2f64..3.0, seed in 0u64..1000) {
+        let mrf = models::ising(generators::grid(3, 3), beta);
+        let mut chain = LocalMetropolis::new(&mrf);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        chain.run(10, &mut rng);
+        prop_assert!(chain.state().iter().all(|&s| s < 2));
+    }
+}

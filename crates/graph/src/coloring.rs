@@ -1,0 +1,163 @@
+//! Proper colorings as *schedules*.
+//!
+//! The chromatic-scheduler parallelization of Glauber dynamics (Gonzalez,
+//! Low, Gretton, Guestrin, AISTATS 2011 — reference \[28\] of the paper)
+//! partitions the vertices into color classes of a proper coloring and
+//! updates one class per round. This module provides the greedy (Δ+1)
+//! coloring used to build those classes, plus validation helpers.
+
+use crate::{Graph, VertexId};
+
+/// A proper vertex coloring: `colors[v]` is the class of vertex `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProperColoring {
+    colors: Vec<u32>,
+    num_classes: u32,
+}
+
+impl ProperColoring {
+    /// Wraps an externally computed coloring after validating it.
+    ///
+    /// # Errors
+    /// Returns `Err` with a description if lengths mismatch or some edge is
+    /// monochromatic.
+    pub fn new(g: &Graph, colors: Vec<u32>) -> Result<Self, String> {
+        if colors.len() != g.num_vertices() {
+            return Err(format!(
+                "coloring has {} entries for {} vertices",
+                colors.len(),
+                g.num_vertices()
+            ));
+        }
+        for (e, u, v) in g.edges() {
+            if colors[u.index()] == colors[v.index()] {
+                return Err(format!("edge {e:?} = ({u}, {v}) is monochromatic"));
+            }
+        }
+        let num_classes = colors.iter().copied().max().map_or(0, |c| c + 1);
+        Ok(ProperColoring {
+            colors,
+            num_classes,
+        })
+    }
+
+    /// Class of vertex `v`.
+    #[inline]
+    pub fn color(&self, v: VertexId) -> u32 {
+        self.colors[v.index()]
+    }
+
+    /// Number of classes used (`max color + 1`).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// The members of class `c`, in vertex order.
+    pub fn class(&self, c: u32) -> Vec<VertexId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &col)| col == c)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+
+    /// Boolean mask of class `c` over all vertices.
+    pub fn class_mask(&self, c: u32) -> Vec<bool> {
+        self.colors.iter().map(|&col| col == c).collect()
+    }
+
+    /// Borrow the raw color array.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.colors
+    }
+}
+
+/// Greedy coloring in vertex order; uses at most Δ+1 classes.
+///
+/// # Example
+/// ```
+/// use lsl_graph::{coloring, generators};
+/// let g = generators::cycle(6);
+/// let col = coloring::greedy(&g);
+/// assert!(col.num_classes() <= g.max_degree() + 1);
+/// ```
+pub fn greedy(g: &Graph) -> ProperColoring {
+    let n = g.num_vertices();
+    let mut colors = vec![u32::MAX; n];
+    let mut used = vec![false; g.max_degree() + 1];
+    for v in g.vertices() {
+        for u in g.neighbors(v) {
+            let c = colors[u.index()];
+            if c != u32::MAX {
+                used[c as usize] = true;
+            }
+        }
+        let c = used.iter().position(|&b| !b).expect("Δ+1 colors suffice") as u32;
+        colors[v.index()] = c;
+        for u in g.neighbors(v) {
+            let cu = colors[u.index()];
+            if cu != u32::MAX {
+                used[cu as usize] = false;
+            }
+        }
+    }
+    ProperColoring::new(g, colors).expect("greedy always yields a proper coloring")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_on_families() {
+        for g in [
+            generators::path(10),
+            generators::cycle(9),
+            generators::complete(5),
+            generators::torus(4, 4),
+            generators::star(7),
+        ] {
+            let col = greedy(&g);
+            assert!(col.num_classes() <= g.max_degree() + 1);
+            // Each class is an independent set.
+            for c in 0..col.num_classes() as u32 {
+                assert!(g.is_independent_set(&col.class_mask(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_partition_vertices() {
+        let g = generators::grid(3, 3);
+        let col = greedy(&g);
+        let total: usize = (0..col.num_classes() as u32)
+            .map(|c| col.class(c).len())
+            .sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn validation_rejects_monochromatic_edge() {
+        let g = generators::path(3);
+        assert!(ProperColoring::new(&g, vec![0, 0, 1]).is_err());
+        assert!(ProperColoring::new(&g, vec![0, 1]).is_err());
+        assert!(ProperColoring::new(&g, vec![0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_needs_n_classes() {
+        let g = generators::complete(4);
+        let col = greedy(&g);
+        assert_eq!(col.num_classes(), 4);
+    }
+
+    #[test]
+    fn bipartite_uses_two_classes() {
+        let g = generators::cycle(8);
+        let col = greedy(&g);
+        assert_eq!(col.num_classes(), 2);
+    }
+}

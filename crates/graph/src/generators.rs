@@ -1,0 +1,414 @@
+//! Generators for the graph families used by the paper and the experiments.
+//!
+//! All random generators take an explicit `&mut impl Rng` so experiments are
+//! reproducible from a seed.
+
+use crate::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Path `P_n` on `n` vertices (`n - 1` edges).
+///
+/// The substrate of the Theorem 5.1 lower bound.
+///
+/// # Example
+/// ```
+/// let g = lsl_graph::generators::path(5);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.max_degree(), 2);
+/// ```
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    b.build()
+}
+
+/// Cycle `C_n` on `n ≥ 3` vertices.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u as u32, (a + v) as u32);
+        }
+    }
+    g.build()
+}
+
+/// Star `K_{1,n}`: vertex 0 joined to `1..=n`.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n + 1);
+    for v in 1..=n {
+        b.add_edge(0, v as u32);
+    }
+    b.build()
+}
+
+/// `rows × cols` grid graph (4-neighborhood, no wraparound).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (grid with wraparound); 4-regular when both sides ≥ 3.
+///
+/// # Panics
+/// Panics if either side is < 3 (wraparound would create parallel edges or
+/// self-loops).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus sides must be >= 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube on `2^d` vertices.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v as u32, u as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` pairs appears
+/// independently with probability `p`.
+///
+/// # Panics
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Uniform random labeled tree on `n` vertices via a Prüfer sequence.
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    if n <= 1 {
+        return Graph::from_edges(n, &[]);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]);
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Standard Prüfer decoding with a pointer + leaf variable.
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in &prufer {
+        b.add_edge(leaf as u32, x as u32);
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // The last two remaining leaves: `leaf` and vertex n-1.
+    b.add_edge(leaf as u32, (n - 1) as u32);
+    b.build()
+}
+
+/// Random `d`-regular *simple* graph on `n` vertices via the configuration
+/// model with double-edge-swap repair.
+///
+/// Half-edge stubs are paired uniformly; self-loops and parallel edges are
+/// then removed by randomized double-edge swaps, which preserve all degrees.
+/// The result is close to (though not exactly) uniform over simple
+/// `d`-regular graphs — ample for the mixing-shape experiments, which only
+/// need typical Δ-regular topologies.
+///
+/// # Panics
+/// Panics if `n * d` is odd, `d >= n`, or the repair fails to converge
+/// within an internal budget (pathological only for tiny `n` close to `d`).
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(d < n, "need d < n for a simple d-regular graph");
+    if d == 0 {
+        return Graph::from_edges(n, &[]);
+    }
+    let m = n * d / 2;
+    const RESTARTS: usize = 50;
+    'restart: for _ in 0..RESTARTS {
+        // Configuration model: pair up n*d half-edge stubs uniformly.
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|v| std::iter::repeat(v as u32).take(d))
+            .collect();
+        stubs.shuffle(rng);
+        let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let norm = |u: u32, v: u32| (u.min(v), u.max(v));
+        let mut counts: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::with_capacity(m);
+        for &(u, v) in &edges {
+            *counts.entry(norm(u, v)).or_insert(0) += 1;
+        }
+        let is_bad = |counts: &std::collections::HashMap<(u32, u32), u32>, u: u32, v: u32| {
+            u == v || counts[&norm(u, v)] > 1
+        };
+        let budget = 200 * m + 1000;
+        for _ in 0..budget {
+            let bad: Vec<usize> = (0..m)
+                .filter(|&i| is_bad(&counts, edges[i].0, edges[i].1))
+                .collect();
+            if bad.is_empty() {
+                return Graph::from_edges(n, &edges);
+            }
+            let i = bad[rng.random_range(0..bad.len())];
+            let j = rng.random_range(0..m);
+            if i == j {
+                continue;
+            }
+            let (u, v) = edges[i];
+            let (x, y) = edges[j];
+            // Swap to (u, x), (v, y) or (u, y), (v, x) at random.
+            let ((a, b), (c, e)) = if rng.random_bool(0.5) {
+                ((u, x), (v, y))
+            } else {
+                ((u, y), (v, x))
+            };
+            if a == b || c == e {
+                continue;
+            }
+            // Remove the old pair from the counts, then require both new
+            // edges to be absent (also catches the (a,b) == (c,e) case).
+            *counts.get_mut(&norm(u, v)).expect("edge present") -= 1;
+            *counts.get_mut(&norm(x, y)).expect("edge present") -= 1;
+            let fresh = counts.get(&norm(a, b)).copied().unwrap_or(0) == 0
+                && counts.get(&norm(c, e)).copied().unwrap_or(0) == 0
+                && norm(a, b) != norm(c, e);
+            if fresh {
+                *counts.entry(norm(a, b)).or_insert(0) += 1;
+                *counts.entry(norm(c, e)).or_insert(0) += 1;
+                edges[i] = (a, b);
+                edges[j] = (c, e);
+            } else {
+                *counts.get_mut(&norm(u, v)).expect("edge present") += 1;
+                *counts.get_mut(&norm(x, y)).expect("edge present") += 1;
+            }
+        }
+        continue 'restart;
+    }
+    panic!("failed to sample a simple {d}-regular graph on {n} vertices");
+}
+
+/// A "book" graph: `pages` triangles sharing the common edge `{0, 1}` —
+/// small chromatic number but unbounded degree; a handy stress case for
+/// LocalMetropolis' Δ-independence claim.
+pub fn book(pages: usize) -> Graph {
+    let mut b = GraphBuilder::new(pages + 2);
+    b.add_edge(0, 1);
+    for p in 0..pages {
+        let v = (p + 2) as u32;
+        b.add_edge(0, v);
+        b.add_edge(1, v);
+    }
+    b.build()
+}
+
+/// Caterpillar: a path of `spine` vertices with `legs` pendant vertices on
+/// each spine vertex. Maximum degree `legs + 2` with diameter `spine + 1`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(i as u32, (spine + i * legs + l) as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(traversal::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn path_trivial_sizes() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(traversal::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.max_degree(), 3);
+        // No edge inside parts.
+        assert!(!g.has_edge(crate::VertexId(0), crate::VertexId(1)));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(traversal::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn grid_and_torus() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        let t = torus(4, 5);
+        assert!(t.is_regular());
+        assert_eq!(t.max_degree(), 4);
+        assert_eq!(t.num_edges(), 2 * 20);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_vertices(), 16);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(traversal::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = gnp(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 5, 17, 64] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.num_edges(), n.saturating_sub(1));
+            assert!(traversal::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n, d) in [(10, 3), (20, 4), (16, 6), (9, 2)] {
+            let g = random_regular(n, d, &mut rng);
+            assert!(g.is_regular(), "not regular: n={n} d={d}");
+            assert_eq!(g.max_degree(), d);
+            // Simplicity: no duplicate edges.
+            let mut seen = std::collections::HashSet::new();
+            for (_, u, v) in g.edges() {
+                let key = (u.0.min(v.0), u.0.max(v.0));
+                assert!(seen.insert(key), "parallel edge in n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn book_degree_unbounded() {
+        let g = book(10);
+        assert_eq!(g.max_degree(), 11);
+        assert_eq!(g.num_vertices(), 12);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 3 + 12);
+        assert_eq!(g.max_degree(), 5);
+    }
+}

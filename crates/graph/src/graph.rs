@@ -1,0 +1,403 @@
+//! Immutable CSR undirected (multi)graph.
+//!
+//! Vertices are dense indices `0..n`; edges have stable dense ids `0..m`.
+//! Parallel edges and the distinction between *edge* incidences and
+//! *neighbor vertices* matter here: the LocalMetropolis chain of the paper
+//! flips an independent coin per **edge**, so a doubled edge filters twice.
+
+use std::fmt;
+
+/// Index of a vertex in a [`Graph`], dense in `0..n`.
+///
+/// A newtype so spins, colors, and counts cannot be confused with vertices.
+///
+/// # Example
+/// ```
+/// use lsl_graph::VertexId;
+/// let v = VertexId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex index as a `usize`, for indexing into per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(i: u32) -> Self {
+        VertexId(i)
+    }
+}
+
+/// Index of an undirected edge in a [`Graph`], dense in `0..m`.
+///
+/// # Example
+/// ```
+/// use lsl_graph::EdgeId;
+/// let e = EdgeId(0);
+/// assert_eq!(e.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge index as a `usize`, for indexing into per-edge arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable undirected (multi)graph in CSR form.
+///
+/// Self-loops are rejected at construction (an MRF edge activity between a
+/// vertex and itself is never used by the paper and would make "independent
+/// set" scheduling ill-defined). Parallel edges are allowed — the lifted
+/// graphs `H^G` of Section 5.1 are explicitly multigraphs.
+///
+/// # Example
+/// ```
+/// use lsl_graph::{Graph, VertexId};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.degree(VertexId(1)), 2);
+/// let nbrs: Vec<_> = g.neighbors(VertexId(1)).collect();
+/// assert_eq!(nbrs, vec![VertexId(0), VertexId(2)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: u32,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Flattened incidence lists: for each incidence, the neighbor vertex.
+    adj_vertex: Vec<u32>,
+    /// Flattened incidence lists: for each incidence, the edge id.
+    adj_edge: Vec<u32>,
+    /// Endpoints of each edge, `u <= v` is *not* guaranteed; stored as given.
+    edges: Vec<(u32, u32)>,
+    max_degree: u32,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_vertices)
+            .field("m", &self.edges.len())
+            .field("max_degree", &self.max_degree)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range or any edge is a self-loop.
+    ///
+    /// # Example
+    /// ```
+    /// use lsl_graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    /// assert_eq!(g.num_edges(), 4);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices as usize
+    }
+
+    /// Number of undirected edges `m = |E|` (parallel edges counted).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all vertices in index order.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        (0..self.num_vertices).map(VertexId)
+    }
+
+    /// Iterator over all edge ids in index order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Endpoints `(u, v)` of edge `e`, in insertion order.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let (u, v) = self.edges[e.index()];
+        (VertexId(u), VertexId(v))
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree as usize
+    }
+
+    /// Neighbors of `v`, one entry per incident edge (so a parallel edge
+    /// yields its endpoint twice).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        let i = v.index();
+        self.adj_vertex[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+            .iter()
+            .map(|&u| VertexId(u))
+    }
+
+    /// Incident `(EdgeId, neighbor)` pairs of `v`.
+    #[inline]
+    pub fn incident_edges(
+        &self,
+        v: VertexId,
+    ) -> impl ExactSizeIterator<Item = (EdgeId, VertexId)> + '_ {
+        let i = v.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        self.adj_edge[lo..hi]
+            .iter()
+            .zip(&self.adj_vertex[lo..hi])
+            .map(|(&e, &u)| (EdgeId(e), VertexId(u)))
+    }
+
+    /// Whether `u` and `v` are adjacent (linear in `deg(u)`).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).any(|w| w == v)
+    }
+
+    /// Iterator over `(EdgeId, u, v)` triples.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u32), VertexId(u), VertexId(v)))
+    }
+
+    /// Whether `set` (given as a boolean mask over vertices) is an
+    /// independent set: no edge has both endpoints in the set.
+    ///
+    /// # Panics
+    /// Panics if `set.len() != n`.
+    pub fn is_independent_set(&self, set: &[bool]) -> bool {
+        assert_eq!(set.len(), self.num_vertices(), "mask length must be n");
+        self.edges
+            .iter()
+            .all(|&(u, v)| !(set[u as usize] && set[v as usize]))
+    }
+
+    /// Whether the graph is Δ-regular for some Δ (true for the empty graph).
+    pub fn is_regular(&self) -> bool {
+        let n = self.num_vertices();
+        if n == 0 {
+            return true;
+        }
+        let d0 = self.degree(VertexId(0));
+        self.vertices().all(|v| self.degree(v) == d0)
+    }
+
+    /// Sum of degrees (= 2m), useful for sanity checks.
+    pub fn degree_sum(&self) -> usize {
+        self.adj_vertex.len()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+/// ```
+/// use lsl_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(2);
+/// b.add_edge(0, 1);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge `{u, v}`; parallel edges allowed.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        assert_ne!(u, v, "self-loops are not supported");
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let total = offsets[n] as usize;
+        let mut adj_vertex = vec![0u32; total];
+        let mut adj_edge = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            adj_vertex[cu] = v;
+            adj_edge[cu] = e as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adj_vertex[cv] = u;
+            adj_edge[cv] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        let max_degree = deg.iter().copied().max().unwrap_or(0);
+        Graph {
+            num_vertices: n as u32,
+            offsets,
+            adj_vertex,
+            adj_edge,
+            edges: self.edges,
+            max_degree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.is_regular());
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::from_edges(5, &[]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(VertexId(3)), 0);
+        assert!(g.is_independent_set(&[true; 5]));
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_regular());
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.is_independent_set(&[true, true, false]));
+        assert!(g.is_independent_set(&[true, false, false]));
+    }
+
+    #[test]
+    fn parallel_edges_counted_twice() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        let incident: Vec<_> = g.incident_edges(VertexId(0)).collect();
+        assert_eq!(incident.len(), 2);
+        assert_ne!(incident[0].0, incident[1].0);
+        assert_eq!(incident[0].1, VertexId(1));
+    }
+
+    #[test]
+    fn incident_edges_match_endpoints() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        for v in g.vertices() {
+            for (e, u) in g.incident_edges(v) {
+                let (a, b) = g.endpoints(e);
+                assert!((a == v && b == u) || (a == u && b == v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        Graph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(g.degree_sum(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn vertex_id_display() {
+        assert_eq!(format!("{}", VertexId(7)), "v7");
+        assert_eq!(format!("{:?}", EdgeId(2)), "e2");
+    }
+}

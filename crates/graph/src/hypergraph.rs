@@ -1,0 +1,186 @@
+//! Constraint-scope hypergraphs for weighted local CSPs.
+//!
+//! The paper's remark after Algorithm 1 extends LubyGlauber to weighted
+//! CSPs by redefining the neighborhood as
+//! `Γ(v) = { u ≠ v : ∃ constraint c with {u, v} ⊆ S_c }`, and the scheduled
+//! set must be a *strongly independent set* of the hypergraph whose
+//! hyperedges are the scopes `S_c`. This module materializes that derived
+//! neighborhood structure.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// A hypergraph over vertices `0..n` given by its hyperedges (scopes).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    n: usize,
+    scopes: Vec<Vec<u32>>,
+    /// For each vertex, the hyperedges containing it.
+    incidence: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph on `n` vertices from scopes.
+    ///
+    /// # Panics
+    /// Panics if any scope member is out of range or a scope repeats a
+    /// vertex.
+    pub fn new(n: usize, scopes: Vec<Vec<u32>>) -> Self {
+        let mut incidence = vec![Vec::new(); n];
+        for (ei, scope) in scopes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &v in scope {
+                assert!((v as usize) < n, "scope member {v} out of range");
+                assert!(seen.insert(v), "scope repeats vertex {v}");
+                incidence[v as usize].push(ei as u32);
+            }
+        }
+        Hypergraph {
+            n,
+            scopes,
+            incidence,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges (scopes).
+    pub fn num_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The members of scope `c`.
+    pub fn scope(&self, c: usize) -> &[u32] {
+        &self.scopes[c]
+    }
+
+    /// The scopes containing `v`.
+    pub fn scopes_of(&self, v: VertexId) -> &[u32] {
+        &self.incidence[v.index()]
+    }
+
+    /// The derived neighborhood `Γ(v) = { u ≠ v : share a scope with v }`,
+    /// deduplicated and sorted.
+    pub fn neighborhood(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<u32> = self
+            .scopes_of(v)
+            .iter()
+            .flat_map(|&c| self.scopes[c as usize].iter().copied())
+            .filter(|&u| u != v.0)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter().map(VertexId).collect()
+    }
+
+    /// The *primal graph* (a.k.a. the square of the factor graph restricted
+    /// to variables): an ordinary [`Graph`] with an edge `{u, v}` whenever
+    /// `u` and `v` share a scope. LubyGlauber's strongly-independent-set
+    /// scheduling is exactly independent-set scheduling on this graph.
+    pub fn primal_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        let mut seen = std::collections::HashSet::new();
+        for scope in &self.scopes {
+            for i in 0..scope.len() {
+                for j in (i + 1)..scope.len() {
+                    let (u, v) = (scope[i].min(scope[j]), scope[i].max(scope[j]));
+                    if seen.insert((u, v)) {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Whether `set` (a vertex mask) is a strongly independent set: no two
+    /// selected vertices share a scope.
+    pub fn is_strongly_independent(&self, set: &[bool]) -> bool {
+        assert_eq!(set.len(), self.n, "mask length must be n");
+        self.scopes
+            .iter()
+            .all(|scope| scope.iter().filter(|&&v| set[v as usize]).count() <= 1)
+    }
+
+    /// Builds the hypergraph whose scopes are the closed neighborhoods
+    /// `Γ⁺(v)` of a graph — the scope family of dominating-set constraints.
+    pub fn closed_neighborhoods(g: &Graph) -> Self {
+        let scopes = g
+            .vertices()
+            .map(|v| {
+                let mut s: Vec<u32> = g.neighbors(v).map(|u| u.0).collect();
+                s.push(v.0);
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        Hypergraph::new(g.num_vertices(), scopes)
+    }
+
+    /// Builds the hypergraph whose scopes are the edges of a graph; the
+    /// strongly-independent-set condition then degenerates to the ordinary
+    /// independent-set condition.
+    pub fn from_graph_edges(g: &Graph) -> Self {
+        let scopes = g.edges().map(|(_, u, v)| vec![u.0, v.0]).collect();
+        Hypergraph::new(g.num_vertices(), scopes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_hypergraph_matches_graph() {
+        let g = generators::cycle(5);
+        let h = Hypergraph::from_graph_edges(&g);
+        assert_eq!(h.num_scopes(), 5);
+        for v in g.vertices() {
+            let mut nbrs: Vec<_> = g.neighbors(v).collect();
+            nbrs.sort();
+            assert_eq!(h.neighborhood(v), nbrs);
+        }
+        // Strong independence == ordinary independence for edge scopes.
+        let mask = [true, false, true, false, false];
+        assert!(h.is_strongly_independent(&mask));
+        assert!(g.is_independent_set(&mask));
+    }
+
+    #[test]
+    fn closed_neighborhood_scopes() {
+        let g = generators::star(3);
+        let h = Hypergraph::closed_neighborhoods(&g);
+        assert_eq!(h.num_scopes(), 4);
+        // Scope of the hub contains everything.
+        assert_eq!(h.scope(0).len(), 4);
+        // Leaves all share the hub's scope, so Γ(leaf) includes all others.
+        assert_eq!(h.neighborhood(VertexId(1)).len(), 3);
+    }
+
+    #[test]
+    fn primal_graph_of_triangle_scope() {
+        let h = Hypergraph::new(4, vec![vec![0, 1, 2], vec![2, 3]]);
+        let p = h.primal_graph();
+        assert_eq!(p.num_edges(), 4); // 01 02 12 23
+        assert!(p.has_edge(VertexId(0), VertexId(2)));
+        assert!(!p.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn strong_independence_stricter_than_pairwise() {
+        let h = Hypergraph::new(3, vec![vec![0, 1, 2]]);
+        assert!(!h.is_strongly_independent(&[true, true, false]));
+        assert!(h.is_strongly_independent(&[true, false, false]));
+        assert!(h.is_strongly_independent(&[false, false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_scope() {
+        Hypergraph::new(2, vec![vec![0, 5]]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph substrate for the `lsl` workspace.
+//!
+//! The paper "What can be sampled locally?" (Feng, Sun, Yin, PODC 2017)
+//! defines every object — the communication network, the Markov random
+//! field, and the lower-bound gadgets — on an undirected graph `G(V, E)`.
+//! This crate provides that substrate:
+//!
+//! * [`Graph`]: an immutable, cache-friendly CSR representation of an
+//!   undirected (multi)graph with stable edge identities (needed because the
+//!   LocalMetropolis chain flips one shared coin *per edge*, including
+//!   parallel edges of the lifted multigraphs of Section 5.1).
+//! * [`generators`]: the graph families used throughout the paper's
+//!   statements and our experiments (paths, cycles, tori, random Δ-regular
+//!   graphs, ...).
+//! * [`traversal`]: BFS, connectivity, distances and diameters — `diam(G)`
+//!   is the yardstick of Theorem 1.3.
+//! * [`coloring`]: greedy proper coloring, the substrate of the chromatic
+//!   scheduler baseline (Gonzalez et al.).
+//! * [`matching`]: random perfect matchings, the substrate of the
+//!   Section 5.1 bipartite gadget.
+//! * [`hypergraph`]: constraint-scope neighborhoods for the weighted local
+//!   CSP extension of LubyGlauber.
+//!
+//! # Example
+//!
+//! ```
+//! use lsl_graph::{generators, traversal};
+//!
+//! let g = generators::cycle(8);
+//! assert_eq!(g.num_vertices(), 8);
+//! assert_eq!(g.max_degree(), 2);
+//! assert_eq!(traversal::diameter(&g), Some(4));
+//! ```
+
+mod graph;
+pub mod coloring;
+pub mod generators;
+pub mod hypergraph;
+pub mod matching;
+pub mod traversal;
+
+pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};

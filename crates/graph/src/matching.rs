@@ -1,0 +1,121 @@
+//! Random perfect matchings between vertex sets.
+//!
+//! The Section-5.1 gadget `G_n^k` is the union of Δ−1 uniform perfect
+//! matchings between `V⁺` and `V⁻` and one uniform perfect matching between
+//! `U⁺` and `U⁻`. This module samples such matchings as index pairings.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A perfect matching between two equal-size index sets, stored as the
+/// permutation image: `pairs[i] = j` matches left `i` to right `j`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<u32>,
+}
+
+impl Matching {
+    /// Samples a uniform perfect matching on `size` left/right items.
+    ///
+    /// # Example
+    /// ```
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    /// let m = lsl_graph::matching::Matching::sample(5, &mut rng);
+    /// assert_eq!(m.len(), 5);
+    /// ```
+    pub fn sample(size: usize, rng: &mut impl Rng) -> Self {
+        let mut pairs: Vec<u32> = (0..size as u32).collect();
+        pairs.shuffle(rng);
+        Matching { pairs }
+    }
+
+    /// The identity matching (`i ↔ i`), useful in tests.
+    pub fn identity(size: usize) -> Self {
+        Matching {
+            pairs: (0..size as u32).collect(),
+        }
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Right partner of left item `i`.
+    #[inline]
+    pub fn partner(&self, i: usize) -> usize {
+        self.pairs[i] as usize
+    }
+
+    /// Iterator over `(left, right)` index pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().enumerate().map(|(i, &j)| (i, j as usize))
+    }
+
+    /// Checks the permutation property (each right index hit exactly once).
+    pub fn is_valid(&self) -> bool {
+        let mut seen = vec![false; self.pairs.len()];
+        for &j in &self.pairs {
+            let j = j as usize;
+            if j >= seen.len() || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_matchings_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for size in [0usize, 1, 2, 7, 64] {
+            let m = Matching::sample(size, &mut rng);
+            assert_eq!(m.len(), size);
+            assert!(m.is_valid());
+        }
+    }
+
+    #[test]
+    fn identity_is_valid() {
+        let m = Matching::identity(4);
+        assert!(m.is_valid());
+        assert_eq!(m.partner(2), 2);
+        assert!(!Matching::identity(0).is_valid() || Matching::identity(0).is_empty());
+    }
+
+    #[test]
+    fn iter_covers_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Matching::sample(6, &mut rng);
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs.len(), 6);
+        for (i, j) in pairs {
+            assert_eq!(m.partner(i), j);
+        }
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        // Over many draws of a 3-matching, all 6 permutations appear.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let m = Matching::sample(3, &mut rng);
+            seen.insert((m.partner(0), m.partner(1), m.partner(2)));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,209 @@
+//! Breadth-first traversal, connectivity, distances, diameter, and balls.
+//!
+//! `diam(G)` is the yardstick of the paper's Theorem 1.3 lower bound, and
+//! the `t`-ball `B_t(v)` is exactly the information horizon of a `t`-round
+//! LOCAL protocol (property (27) of the paper).
+
+use crate::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance (in hops) used by BFS results; `u32::MAX` encodes "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` to every vertex (`UNREACHABLE` if disconnected).
+///
+/// # Example
+/// ```
+/// use lsl_graph::{generators, traversal, VertexId};
+/// let g = generators::path(4);
+/// let d = traversal::bfs_distances(&g, VertexId(0));
+/// assert_eq!(d, vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for u in g.neighbors(v) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance between two vertices, or `None` if disconnected.
+pub fn distance(g: &Graph, u: VertexId, v: VertexId) -> Option<u32> {
+    let d = bfs_distances(g, u)[v.index()];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// Whether `g` is connected (vacuously true for the empty graph).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    bfs_distances(g, VertexId(0)).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components as a vector of component ids (dense, 0-based).
+pub fn components(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next;
+        let mut queue = VecDeque::from([VertexId(s as u32)]);
+        while let Some(v) = queue.pop_front() {
+            for u in g.neighbors(v) {
+                if comp[u.index()] == u32::MAX {
+                    comp[u.index()] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Eccentricity of `v`: the greatest distance from `v` to any vertex, or
+/// `None` if the graph is disconnected.
+pub fn eccentricity(g: &Graph, v: VertexId) -> Option<u32> {
+    let d = bfs_distances(g, v);
+    let mut ecc = 0;
+    for &x in &d {
+        if x == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(x);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter via all-pairs BFS (`O(nm)`); `None` if disconnected,
+/// `Some(0)` for graphs with ≤ 1 vertex.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut diam = 0;
+    for v in g.vertices() {
+        diam = diam.max(eccentricity(g, v)?);
+    }
+    Some(diam)
+}
+
+/// Fast diameter *lower bound* via a double BFS sweep (exact on trees).
+pub fn diameter_lower_bound(g: &Graph) -> Option<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(0);
+    }
+    let d0 = bfs_distances(g, VertexId(0));
+    let (far, &dmax) = d0
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .expect("nonempty");
+    if dmax == UNREACHABLE {
+        return None;
+    }
+    eccentricity(g, VertexId(far as u32))
+}
+
+/// The radius-`r` ball `B_r(v) = { u : dist(u, v) <= r }`, in BFS order.
+///
+/// This is the set of vertices whose private randomness can influence the
+/// output of `v` under an `r`-round LOCAL protocol.
+pub fn ball(g: &Graph, v: VertexId, r: u32) -> Vec<VertexId> {
+    let d = bfs_distances(g, v);
+    let mut out: Vec<VertexId> = g
+        .vertices()
+        .filter(|u| d[u.index()] != UNREACHABLE && d[u.index()] <= r)
+        .collect();
+    out.sort_by_key(|u| (d[u.index()], u.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(distance(&g, VertexId(1), VertexId(4)), Some(3));
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert_eq!(distance(&g, VertexId(0), VertexId(3)), None);
+        let comp = components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn diameter_small_graphs() {
+        assert_eq!(diameter(&generators::path(1)), Some(0));
+        assert_eq!(diameter(&generators::path(10)), Some(9));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+        assert_eq!(diameter(&generators::star(8)), Some(2));
+        assert_eq!(diameter(&generators::cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
+        for n in [2usize, 5, 12, 33] {
+            let g = generators::random_tree(n, &mut rng);
+            assert_eq!(diameter_lower_bound(&g), diameter(&g), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ball_growth_on_path() {
+        let g = generators::path(9);
+        let b0 = ball(&g, VertexId(4), 0);
+        assert_eq!(b0, vec![VertexId(4)]);
+        let b2 = ball(&g, VertexId(4), 2);
+        assert_eq!(b2.len(), 5);
+        assert!(b2.contains(&VertexId(2)) && b2.contains(&VertexId(6)));
+        let ball_all = ball(&g, VertexId(4), 100);
+        assert_eq!(ball_all.len(), 9);
+    }
+
+    #[test]
+    fn eccentricity_matches_diameter_extremes() {
+        let g = generators::path(7);
+        assert_eq!(eccentricity(&g, VertexId(0)), Some(6));
+        assert_eq!(eccentricity(&g, VertexId(3)), Some(3));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(diameter_lower_bound(&g), Some(0));
+        assert!(components(&g).is_empty());
+    }
+}

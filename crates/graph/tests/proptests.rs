@@ -1,0 +1,130 @@
+//! Property-based tests for the graph substrate.
+
+use lsl_graph::{generators, traversal, Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph(24, 60)) {
+        let total: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric(g in arb_graph(16, 40)) {
+        for v in g.vertices() {
+            for u in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).any(|w| w == v));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in arb_graph(16, 40)) {
+        for src in g.vertices() {
+            let d = traversal::bfs_distances(&g, src);
+            for (_, u, v) in g.edges() {
+                let (du, dv) = (d[u.index()], d[v.index()]);
+                if du != traversal::UNREACHABLE && dv != traversal::UNREACHABLE {
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_refine_reachability(g in arb_graph(16, 30)) {
+        let comp = traversal::components(&g);
+        for u in g.vertices() {
+            let d = traversal::bfs_distances(&g, u);
+            for v in g.vertices() {
+                let reachable = d[v.index()] != traversal::UNREACHABLE;
+                prop_assert_eq!(reachable, comp[u.index()] == comp[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_proper_and_small(g in arb_graph(20, 50)) {
+        let col = lsl_graph::coloring::greedy(&g);
+        prop_assert!(col.num_classes() <= g.max_degree() + 1);
+        for (_, u, v) in g.edges() {
+            prop_assert_ne!(col.color(u), col.color(v));
+        }
+    }
+
+    #[test]
+    fn ball_radius_monotone(g in arb_graph(14, 30), r in 0u32..5) {
+        for v in g.vertices().take(4) {
+            let small = traversal::ball(&g, v, r);
+            let big = traversal::ball(&g, v, r + 1);
+            prop_assert!(small.len() <= big.len());
+            for x in &small {
+                prop_assert!(big.contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_has_right_degrees(seed in 0u64..50, d in 2usize..5) {
+        let n = 12;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(n, d, &mut rng);
+        for v in g.vertices() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+    }
+
+    #[test]
+    fn random_tree_connected_acyclic(seed in 0u64..60, n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        prop_assert_eq!(g.num_edges(), n - 1);
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_lower_bound_is_lower(g in arb_graph(12, 24)) {
+        if traversal::is_connected(&g) && g.num_vertices() > 0 {
+            let lb = traversal::diameter_lower_bound(&g).unwrap();
+            let exact = traversal::diameter(&g).unwrap();
+            prop_assert!(lb <= exact);
+        }
+    }
+
+    #[test]
+    fn independent_set_mask_respects_edges(g in arb_graph(14, 30), bits in proptest::collection::vec(any::<bool>(), 14)) {
+        let n = g.num_vertices();
+        let mask: Vec<bool> = (0..n).map(|i| *bits.get(i).unwrap_or(&false)).collect();
+        let claim = g.is_independent_set(&mask);
+        let truth = g.edges().all(|(_, u, v)| !(mask[u.index()] && mask[v.index()]));
+        prop_assert_eq!(claim, truth);
+    }
+}
+
+#[test]
+fn torus_vertex_transitive_distances() {
+    // On a torus every vertex has the same eccentricity.
+    let g = generators::torus(5, 4);
+    let e0 = traversal::eccentricity(&g, VertexId(0)).unwrap();
+    for v in g.vertices() {
+        assert_eq!(traversal::eccentricity(&g, v), Some(e0));
+    }
+}

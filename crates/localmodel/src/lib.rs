@@ -1,0 +1,71 @@
+//! A deterministic simulator of Linial's LOCAL model.
+//!
+//! The paper's computation model (§2.1): a network `G(V, E)` of processors,
+//! synchronized rounds, per-round exchange of messages of arbitrary size
+//! with each neighbor, unbounded local computation, and — for sampling —
+//! an independent private randomness source `Ψ_v` per vertex. Each vertex
+//! may also know upper bounds on `Δ` and `log n` (used only to set running
+//! times).
+//!
+//! This crate *is* that model, as a library:
+//!
+//! * [`rng`] — deterministic hierarchical randomness: a master seed is
+//!   split into per-vertex streams `Ψ_v` (SplitMix64-seeded
+//!   Xoshiro256++), so a protocol's output is a pure function of
+//!   `(Ψ_u)_{u ∈ B_t(v)}` — exactly the locality-of-randomness property
+//!   (27) on which the paper's lower bounds rest.
+//! * [`program`] — the [`VertexProgram`](program::VertexProgram) trait:
+//!   `init → round* → output`, with per-edge outboxes and bit-accounted
+//!   messages.
+//! * [`runtime`] — the synchronous executor with round and message-size
+//!   statistics (the paper claims its algorithms use `O(log n)`-bit
+//!   messages; [`runtime::RoundStats`] measures that).
+//!
+//! # Example
+//!
+//! ```
+//! use lsl_graph::generators;
+//! use lsl_local::program::{Outbox, VertexContext, VertexProgram};
+//! use lsl_local::rng::VertexRng;
+//! use lsl_local::runtime::Simulator;
+//!
+//! /// Each vertex computes the maximum id in its t-ball.
+//! struct MaxId(u32);
+//!
+//! impl VertexProgram for MaxId {
+//!     type Message = u32;
+//!     type Output = u32;
+//!     type Config = ();
+//!     fn init(_config: &(), ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
+//!         MaxId(ctx.vertex().0)
+//!     }
+//!     fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u32> {
+//!         Outbox::broadcast(self.0)
+//!     }
+//!     fn receive(
+//!         &mut self,
+//!         _config: &(),
+//!         _ctx: &VertexContext<'_>,
+//!         inbox: &[Option<u32>],
+//!         _rng: &mut VertexRng,
+//!     ) {
+//!         for msg in inbox.iter().flatten() {
+//!             self.0 = self.0.max(*msg);
+//!         }
+//!     }
+//!     fn output(&self) -> u32 {
+//!         self.0
+//!     }
+//! }
+//!
+//! let g = generators::path(5);
+//! let sim = Simulator::new(g.into(), 7);
+//! let run = sim.run::<MaxId>(2);
+//! // After 2 rounds, v0 has seen exactly the ids within distance 2.
+//! assert_eq!(run.outputs[0], 2);
+//! assert_eq!(run.outputs[4], 4);
+//! ```
+
+pub mod program;
+pub mod rng;
+pub mod runtime;

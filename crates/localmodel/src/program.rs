@@ -1,0 +1,217 @@
+//! The vertex-program abstraction: what one LOCAL processor runs.
+
+use crate::rng::VertexRng;
+use lsl_graph::{EdgeId, Graph, VertexId};
+
+/// Exact bit size of a message, for the simulator's accounting.
+///
+/// The paper remarks that neither of its algorithms "abuses the power of
+/// the LOCAL model": messages are `O(log n)` bits for polynomial `q`.
+/// Implementations report the number of bits a reasonable encoding of the
+/// message would use on the wire.
+pub trait MessageSize {
+    /// Number of bits in the encoded message.
+    fn bits(&self) -> usize;
+}
+
+impl MessageSize for u32 {
+    fn bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn bits(&self) -> usize {
+        64
+    }
+}
+
+impl MessageSize for f64 {
+    fn bits(&self) -> usize {
+        64
+    }
+}
+
+impl MessageSize for bool {
+    fn bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for () {
+    fn bits(&self) -> usize {
+        0
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits() + self.2.bits()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::bits)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn bits(&self) -> usize {
+        // Length prefix (practical encodings use ≤ 64 bits) + payload.
+        64 + self.iter().map(MessageSize::bits).sum::<usize>()
+    }
+}
+
+/// Read-only view a vertex has of its own position in the network.
+///
+/// Matches the paper's §2.1 knowledge model: a vertex knows its incident
+/// edges and may know upper bounds on `Δ` and `log n`; it does *not* see
+/// the rest of the topology.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexContext<'a> {
+    graph: &'a Graph,
+    vertex: VertexId,
+}
+
+impl<'a> VertexContext<'a> {
+    /// Builds the context of `vertex` (crate-internal; the runtime does
+    /// this).
+    pub(crate) fn new(graph: &'a Graph, vertex: VertexId) -> Self {
+        VertexContext { graph, vertex }
+    }
+
+    /// This vertex's id (a unique identifier, as in the LOCAL model).
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.vertex)
+    }
+
+    /// Incident `(edge, neighbor)` pairs, in a fixed order; inboxes and
+    /// outboxes are indexed by the *position* (port number) in this list.
+    pub fn ports(&self) -> impl ExactSizeIterator<Item = (EdgeId, VertexId)> + 'a {
+        self.graph.incident_edges(self.vertex)
+    }
+
+    /// Upper bound on the maximum degree Δ (global knowledge the paper
+    /// grants to set running times).
+    pub fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+
+    /// The number of vertices `n` (the paper grants knowledge of
+    /// `log n`-scale quantities; we expose `n` itself for convenience —
+    /// protocols must not use it for anything but setting parameters).
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+}
+
+/// Messages a vertex emits in one round, one optional message per port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outbox<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message on every port.
+    Broadcast(M),
+    /// Send a (possibly different, possibly absent) message per port; the
+    /// vector is indexed by port position and must have length `degree`.
+    PerPort(Vec<Option<M>>),
+}
+
+impl<M> Outbox<M> {
+    /// Convenience constructor for the common broadcast case.
+    pub fn broadcast(msg: M) -> Self {
+        Outbox::Broadcast(msg)
+    }
+
+    /// Convenience constructor for silence.
+    pub fn silent() -> Self {
+        Outbox::Silent
+    }
+}
+
+/// One processor's program in the LOCAL model.
+///
+/// The runtime drives the protocol as:
+/// 1. `init` for every vertex (round 0, no messages yet);
+/// 2. for each round `1..=T`: every vertex runs `send` (producing its
+///    outbox from its current state), all messages are delivered, then
+///    every vertex runs `receive` on the messages that just arrived;
+/// 3. `output` extracts the result.
+///
+/// With this send-then-receive structure a `T`-round protocol's output at
+/// `v` is a function of the initial states (hence private streams) in the
+/// ball `B_T(v)` — exactly the information horizon of the LOCAL model and
+/// the locality-of-randomness property (27) of the paper.
+///
+/// Determinism contract: a correct program touches randomness only through
+/// the provided [`VertexRng`].
+pub trait VertexProgram: Sized {
+    /// Message type exchanged with neighbors.
+    type Message: Clone + MessageSize;
+    /// Final per-vertex output.
+    type Output;
+    /// Shared, read-only protocol parameters (e.g. the MRF instance whose
+    /// local pieces are the "private inputs" of the paper's §2.3). Use `()`
+    /// for parameterless protocols.
+    type Config: ?Sized;
+
+    /// Creates the vertex's initial state.
+    fn init(config: &Self::Config, ctx: &VertexContext<'_>, rng: &mut VertexRng) -> Self;
+
+    /// First phase of a round: emit messages based on the current state.
+    fn send(
+        &mut self,
+        config: &Self::Config,
+        ctx: &VertexContext<'_>,
+        rng: &mut VertexRng,
+    ) -> Outbox<Self::Message>;
+
+    /// Second phase of a round: process the messages that arrived this
+    /// round. `inbox[p]` holds the message on port `p`, if any.
+    fn receive(
+        &mut self,
+        config: &Self::Config,
+        ctx: &VertexContext<'_>,
+        inbox: &[Option<Self::Message>],
+        rng: &mut VertexRng,
+    );
+
+    /// The vertex's final output.
+    fn output(&self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes() {
+        assert_eq!(5u32.bits(), 32);
+        assert_eq!((1u32, true).bits(), 33);
+        assert_eq!((1u32, 2u64, false).bits(), 97);
+        assert_eq!(Some(3u32).bits(), 33);
+        assert_eq!(None::<u32>.bits(), 1);
+        assert_eq!(vec![1u32, 2u32].bits(), 64 + 64);
+        assert_eq!(().bits(), 0);
+    }
+
+    #[test]
+    fn outbox_constructors() {
+        let b: Outbox<u32> = Outbox::broadcast(7);
+        assert_eq!(b, Outbox::Broadcast(7));
+        let s: Outbox<u32> = Outbox::silent();
+        assert_eq!(s, Outbox::Silent);
+    }
+}

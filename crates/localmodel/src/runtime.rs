@@ -1,0 +1,368 @@
+//! The synchronous executor: rounds, delivery, and accounting.
+
+use crate::program::{Outbox, VertexContext, VertexProgram};
+use crate::rng::VertexRng;
+use lsl_graph::{Graph, VertexId};
+use std::sync::Arc;
+
+/// Message-complexity statistics of a protocol run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Total bits delivered.
+    pub total_bits: usize,
+    /// Largest single message, in bits — the quantity behind the paper's
+    /// "each message is of O(log n) bits" remark.
+    pub max_message_bits: usize,
+}
+
+/// The result of running a protocol: per-vertex outputs plus statistics.
+#[derive(Clone, Debug)]
+pub struct Run<O> {
+    /// Output of each vertex, indexed by vertex id.
+    pub outputs: Vec<O>,
+    /// Communication statistics.
+    pub stats: RoundStats,
+}
+
+/// A LOCAL-model simulator bound to a network and a master seed.
+///
+/// The master seed determines every vertex's private stream `Ψ_v`
+/// deterministically, so a run is reproducible from `(graph, seed, T)`.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    graph: Arc<Graph>,
+    master_seed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for `graph` with the given master seed.
+    pub fn new(graph: Arc<Graph>, master_seed: u64) -> Self {
+        Simulator { graph, master_seed }
+    }
+
+    /// The network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Runs a parameterless program `P` for `rounds` synchronous rounds.
+    pub fn run<P: VertexProgram<Config = ()>>(&self, rounds: usize) -> Run<P::Output> {
+        self.run_with::<P>(rounds, &())
+    }
+
+    /// Runs program `P` with shared parameters `config` for `rounds`
+    /// synchronous rounds.
+    pub fn run_with<P: VertexProgram>(&self, rounds: usize, config: &P::Config) -> Run<P::Output> {
+        let g = &*self.graph;
+        let n = g.num_vertices();
+        let mut rngs: Vec<VertexRng> = (0..n)
+            .map(|v| VertexRng::for_vertex(self.master_seed, v as u32))
+            .collect();
+        let mut programs: Vec<P> = (0..n)
+            .map(|v| {
+                let ctx = VertexContext::new(g, VertexId(v as u32));
+                P::init(config, &ctx, &mut rngs[v])
+            })
+            .collect();
+
+        // inboxes[v][p]: message waiting at vertex v's port p.
+        let mut inboxes: Vec<Vec<Option<P::Message>>> =
+            g.vertices().map(|v| vec![None; g.degree(v)]).collect();
+        // Port lookup: for vertex v's port p carrying edge e to neighbor u,
+        // find u's port index for edge e (parallel edges map to distinct
+        // ports because ports are keyed by edge id).
+        let reverse_port: Vec<Vec<usize>> = g
+            .vertices()
+            .map(|v| {
+                g.incident_edges(v)
+                    .map(|(e, u)| {
+                        g.incident_edges(u)
+                            .position(|(e2, _)| e2 == e)
+                            .expect("edge is incident to both endpoints")
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut stats = RoundStats::default();
+        for _ in 0..rounds {
+            stats.rounds += 1;
+            for slot in inboxes.iter_mut().flat_map(|row| row.iter_mut()) {
+                *slot = None;
+            }
+            // Phase 1: everyone sends based on pre-round state.
+            for v in 0..n {
+                let ctx = VertexContext::new(g, VertexId(v as u32));
+                let outbox = programs[v].send(config, &ctx, &mut rngs[v]);
+                match outbox {
+                    Outbox::Silent => {}
+                    Outbox::Broadcast(msg) => {
+                        for (p, (_, u)) in g.incident_edges(VertexId(v as u32)).enumerate() {
+                            deliver(&mut inboxes, &mut stats, u, reverse_port[v][p], msg.clone());
+                        }
+                    }
+                    Outbox::PerPort(msgs) => {
+                        assert_eq!(
+                            msgs.len(),
+                            g.degree(VertexId(v as u32)),
+                            "per-port outbox must cover every port"
+                        );
+                        for (p, ((_, u), msg)) in g
+                            .incident_edges(VertexId(v as u32))
+                            .zip(msgs.into_iter())
+                            .enumerate()
+                        {
+                            if let Some(msg) = msg {
+                                deliver(&mut inboxes, &mut stats, u, reverse_port[v][p], msg);
+                            }
+                        }
+                    }
+                }
+            }
+            // Phase 2: everyone processes this round's mail.
+            for v in 0..n {
+                let ctx = VertexContext::new(g, VertexId(v as u32));
+                // Temporarily take the inbox to satisfy the borrow checker.
+                let inbox = std::mem::take(&mut inboxes[v]);
+                programs[v].receive(config, &ctx, &inbox, &mut rngs[v]);
+                inboxes[v] = inbox;
+            }
+        }
+
+        Run {
+            outputs: programs.iter().map(P::output).collect(),
+            stats,
+        }
+    }
+}
+
+fn deliver<M: crate::program::MessageSize>(
+    inboxes: &mut [Vec<Option<M>>],
+    stats: &mut RoundStats,
+    to: VertexId,
+    port: usize,
+    msg: M,
+) {
+    stats.messages += 1;
+    let bits = msg.bits();
+    stats.total_bits += bits;
+    stats.max_message_bits = stats.max_message_bits.max(bits);
+    debug_assert!(
+        inboxes[to.index()][port].is_none(),
+        "two messages delivered to one port in one round"
+    );
+    inboxes[to.index()][port] = Some(msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::MessageSize;
+    use lsl_graph::generators;
+
+    /// Flood the maximum vertex id.
+    struct MaxId(u32);
+
+    impl VertexProgram for MaxId {
+        type Message = u32;
+        type Output = u32;
+        type Config = ();
+
+        fn init(_config: &(), ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
+            MaxId(ctx.vertex().0)
+        }
+
+        fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u32> {
+            Outbox::broadcast(self.0)
+        }
+
+        fn receive(
+            &mut self,
+            _config: &(),
+            _ctx: &VertexContext<'_>,
+            inbox: &[Option<u32>],
+            _rng: &mut VertexRng,
+        ) {
+            for msg in inbox.iter().flatten() {
+                self.0 = self.0.max(*msg);
+            }
+        }
+
+        fn output(&self) -> u32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn information_spreads_at_speed_one() {
+        let g = generators::path(7);
+        let sim = Simulator::new(g.into(), 0);
+        let run = sim.run::<MaxId>(3);
+        // v0: B_3(v0) = {0..3} so it sees exactly max id 3.
+        assert_eq!(run.outputs[0], 3);
+        // v5 is adjacent to 6: sees it after one round already.
+        assert_eq!(run.outputs[5], 6);
+        // Zero rounds: outputs are the initial states.
+        let run0 = sim.run::<MaxId>(0);
+        assert_eq!(run0.outputs, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(run0.stats.messages, 0);
+    }
+
+    #[test]
+    fn exact_locality_horizon() {
+        // A t-round protocol's output at v is a function of B_t(v): on a
+        // path the flooded maximum is exactly the id at distance t.
+        let g = generators::path(12);
+        let sim = Simulator::new(g.into(), 0);
+        for t in 0..6 {
+            let run = sim.run::<MaxId>(t);
+            let expect = t.min(11) as u32;
+            assert_eq!(run.outputs[0], expect, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let g = generators::cycle(5);
+        let sim = Simulator::new(g.into(), 0);
+        let run = sim.run::<MaxId>(2);
+        // Every vertex broadcasts on both ports each round: 10 messages
+        // per round.
+        assert_eq!(run.stats.rounds, 2);
+        assert_eq!(run.stats.messages, 20);
+        assert_eq!(run.stats.max_message_bits, 32);
+        assert_eq!(run.stats.total_bits, 20 * 32);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        /// A program that outputs a random number influenced by neighbors.
+        struct Noisy(u64);
+        impl VertexProgram for Noisy {
+            type Message = u64;
+            type Output = u64;
+            type Config = ();
+            fn init(_config: &(), _ctx: &VertexContext<'_>, rng: &mut VertexRng) -> Self {
+                use rand::RngExt;
+                Noisy(rng.random())
+            }
+            fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u64> {
+                Outbox::broadcast(self.0)
+            }
+            fn receive(
+                &mut self,
+                _config: &(),
+                _ctx: &VertexContext<'_>,
+                inbox: &[Option<u64>],
+                rng: &mut VertexRng,
+            ) {
+                use rand::RngExt;
+                for m in inbox.iter().flatten() {
+                    self.0 ^= m.rotate_left(13);
+                }
+                self.0 ^= rng.random::<u64>();
+            }
+            fn output(&self) -> u64 {
+                self.0
+            }
+        }
+
+        let g = std::sync::Arc::new(generators::torus(4, 4));
+        let a = Simulator::new(Arc::clone(&g), 42).run::<Noisy>(5);
+        let b = Simulator::new(Arc::clone(&g), 42).run::<Noisy>(5);
+        assert_eq!(a.outputs, b.outputs);
+        let c = Simulator::new(g, 43).run::<Noisy>(5);
+        assert_ne!(a.outputs, c.outputs);
+    }
+
+    #[test]
+    fn per_port_delivery() {
+        /// The hub sends distinct messages per port; leaves record them.
+        struct Sender(Vec<u32>);
+        impl VertexProgram for Sender {
+            type Message = u32;
+            type Output = Vec<u32>;
+            type Config = ();
+            fn init(_config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
+                Sender(Vec::new())
+            }
+            fn send(&mut self, _config: &(), ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u32> {
+                if ctx.vertex().0 == 0 {
+                    Outbox::PerPort((0..ctx.degree()).map(|p| Some(100 + p as u32)).collect())
+                } else {
+                    Outbox::silent()
+                }
+            }
+            fn receive(
+                &mut self,
+                _config: &(),
+                _ctx: &VertexContext<'_>,
+                inbox: &[Option<u32>],
+                _rng: &mut VertexRng,
+            ) {
+                self.0.extend(inbox.iter().flatten().copied());
+            }
+            fn output(&self) -> Vec<u32> {
+                self.0.clone()
+            }
+        }
+
+        // Star: hub 0 with 3 leaves; 1 round sends 3 distinct messages.
+        let g = generators::star(3);
+        let sim = Simulator::new(g.into(), 1);
+        let run = sim.run::<Sender>(1);
+        assert_eq!(run.stats.messages, 3);
+        assert_eq!(run.stats.total_bits, 96);
+        // Each leaf received its port-specific payload.
+        let mut all: Vec<u32> = run.outputs[1..].iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn parallel_edges_have_distinct_ports() {
+        // Multigraph: two parallel edges; a broadcast sends 2 messages
+        // and both arrive on distinct ports.
+        struct CountIn(usize);
+        impl VertexProgram for CountIn {
+            type Message = bool;
+            type Output = usize;
+            type Config = ();
+            fn init(_config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
+                CountIn(0)
+            }
+            fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<bool> {
+                Outbox::broadcast(true)
+            }
+            fn receive(
+                &mut self,
+                _config: &(),
+                _ctx: &VertexContext<'_>,
+                inbox: &[Option<bool>],
+                _rng: &mut VertexRng,
+            ) {
+                self.0 += inbox.iter().flatten().count();
+            }
+            fn output(&self) -> usize {
+                self.0
+            }
+        }
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        let sim = Simulator::new(g.into(), 0);
+        let run = sim.run::<CountIn>(1);
+        // One round delivers both parallel-edge copies to each endpoint.
+        assert_eq!(run.outputs, vec![2, 2]);
+    }
+
+    #[test]
+    fn message_size_trait_object_safety() {
+        // MessageSize composes through the Option/tuple impls used by the
+        // sampling programs.
+        let msg: (u32, Option<f64>) = (3, Some(0.5));
+        assert_eq!(msg.bits(), 32 + 65);
+    }
+}

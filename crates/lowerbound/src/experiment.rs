@@ -1,0 +1,241 @@
+//! The Ω(diam) experiment (Theorems 5.2/5.4): Gibbs sampling on the
+//! lifted cycle concentrates on the two maximum cuts; truncated local
+//! samplers cannot reproduce the long-range phase correlation.
+
+use crate::gadget::Phase;
+use crate::lifted::LiftedCycle;
+use lsl_core::single_site::GlauberChain;
+use lsl_core::Chain;
+use lsl_local::rng::{derive_seed, Xoshiro256pp};
+use lsl_mrf::{models, Mrf, Spin};
+
+/// Statistics of phase vectors gathered from repeated sampling runs.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Samples whose phase vector attains the maximum cut.
+    pub max_cut: usize,
+    /// Of the max-cut samples, how many start with `Y_0 = +` (balance
+    /// between the two max cuts).
+    pub max_cut_plus_at_0: usize,
+    /// Samples with at least one tied gadget.
+    pub ties: usize,
+    /// Joint counts of the antipodal pair `(Y_x, Y_y)` over the four
+    /// non-tie combinations: `[++, +-, -+, --]`.
+    pub antipodal: [usize; 4],
+    /// Total samples.
+    pub total: usize,
+}
+
+impl PhaseStats {
+    /// Records one phase vector.
+    pub fn record(&mut self, lifted: &LiftedCycle, phases: &[Phase]) {
+        self.total += 1;
+        if phases.contains(&Phase::Tie) {
+            self.ties += 1;
+        }
+        if LiftedCycle::is_max_cut(phases) {
+            self.max_cut += 1;
+            if phases[0] == Phase::Plus {
+                self.max_cut_plus_at_0 += 1;
+            }
+        }
+        let (x, y) = lifted.antipodal_pair();
+        match (phases[x], phases[y]) {
+            (Phase::Plus, Phase::Plus) => self.antipodal[0] += 1,
+            (Phase::Plus, Phase::Minus) => self.antipodal[1] += 1,
+            (Phase::Minus, Phase::Plus) => self.antipodal[2] += 1,
+            (Phase::Minus, Phase::Minus) => self.antipodal[3] += 1,
+            _ => {}
+        }
+    }
+
+    /// Fraction of samples attaining a maximum cut.
+    pub fn max_cut_fraction(&self) -> f64 {
+        self.max_cut as f64 / self.total.max(1) as f64
+    }
+
+    /// The antipodal phase *correlation defect*:
+    /// `|Pr[agree] − Pr[disagree]|` among non-tie antipodal samples.
+    pub fn antipodal_defect(&self) -> f64 {
+        let agree = self.antipodal[0] + self.antipodal[3];
+        let disagree = self.antipodal[1] + self.antipodal[2];
+        let total = agree + disagree;
+        if total == 0 {
+            return 0.0;
+        }
+        (agree as f64 - disagree as f64).abs() / total as f64
+    }
+
+    /// The paper's eq. (37) statistic:
+    /// `|Pr[Y_x = + | Y_y = +] − Pr[Y_x = + | Y_y = −]|` over the
+    /// antipodal pair. Exactly 0 in expectation for ANY `t`-round
+    /// protocol with `2t < dist(G_x, G_y)` — independence makes the two
+    /// conditionals equal regardless of marginal bias — while the Gibbs
+    /// law keeps it near 1 (anti-correlated max-cut mixture). `None` when
+    /// a conditioning event was never observed.
+    pub fn conditional_gap(&self) -> Option<f64> {
+        let y_plus = self.antipodal[0] + self.antipodal[2];
+        let y_minus = self.antipodal[1] + self.antipodal[3];
+        if y_plus == 0 || y_minus == 0 {
+            return None;
+        }
+        let p_given_plus = self.antipodal[0] as f64 / y_plus as f64;
+        let p_given_minus = self.antipodal[1] as f64 / y_minus as f64;
+        Some((p_given_plus - p_given_minus).abs())
+    }
+}
+
+/// Builds the hardcore model on the lifted cycle.
+pub fn hardcore_on(lifted: &LiftedCycle, lambda: f64) -> Mrf {
+    models::hardcore(lifted.graph().clone(), lambda)
+}
+
+/// Gathers phase statistics from `runs` independent *long* Glauber runs
+/// of `sweeps` full sweeps each (the "global sampler" reference: given
+/// enough sweeps this approximates Gibbs; the experiment's point is the
+/// *shape* — concentration on the two max cuts and antipodal
+/// anti-correlation).
+pub fn gibbs_phase_stats(
+    lifted: &LiftedCycle,
+    lambda: f64,
+    runs: usize,
+    sweeps: usize,
+    seed: u64,
+) -> PhaseStats {
+    let mrf = hardcore_on(lifted, lambda);
+    let n = mrf.num_vertices();
+    let mut stats = PhaseStats::default();
+    for run in 0..runs {
+        let mut rng = Xoshiro256pp::seed_from(derive_seed(seed, 0x474942, run as u64)); // "GIB"
+        let mut chain = GlauberChain::with_state(
+            &mrf,
+            // Random start: occupation by fair coins, thinned to an
+            // independent set by dropping conflicts in index order.
+            random_independent_start(&mrf, &mut rng),
+        );
+        chain.run(sweeps * n, &mut rng);
+        let phases = lifted.phases(chain.state());
+        stats.record(lifted, &phases);
+    }
+    stats
+}
+
+/// Gathers phase statistics from `runs` independent *t-round truncated*
+/// LocalMetropolis samplers — stand-ins for an arbitrary `t`-round LOCAL
+/// protocol (their outputs at distance `> 2t` are independent, which is
+/// the only property the lower bound uses).
+pub fn local_protocol_phase_stats(
+    lifted: &LiftedCycle,
+    lambda: f64,
+    rounds: usize,
+    runs: usize,
+    seed: u64,
+) -> PhaseStats {
+    let mrf = hardcore_on(lifted, lambda);
+    let mut stats = PhaseStats::default();
+    for run in 0..runs {
+        let mut rng = Xoshiro256pp::seed_from(derive_seed(seed, 0x4c4f43, run as u64)); // "LOC"
+        let start = random_independent_start(&mrf, &mut rng);
+        let mut chain = lsl_core::local_metropolis::LocalMetropolis::with_state(&mrf, start);
+        chain.run(rounds, &mut rng);
+        let phases = lifted.phases(chain.state());
+        stats.record(lifted, &phases);
+    }
+    stats
+}
+
+/// A random independent set (as a spin vector) built by coin-flipping
+/// occupation and dropping conflicts in index order.
+pub fn random_independent_start(mrf: &Mrf, rng: &mut Xoshiro256pp) -> Vec<Spin> {
+    let g = mrf.graph();
+    let mut state = vec![0 as Spin; g.num_vertices()];
+    for v in g.vertices() {
+        let want = rng.uniform_f64() < 0.5;
+        if want && g.neighbors(v).all(|u| state[u.index()] == 0) {
+            state[v.index()] = 1;
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::GadgetParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_lifted() -> LiftedCycle {
+        let mut rng = StdRng::seed_from_u64(3);
+        LiftedCycle::build_selected(
+            6,
+            GadgetParams {
+                side: 8,
+                terminals: 4,
+                delta: 4,
+            },
+            10.0,
+            4,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn gibbs_vs_truncated_protocol_conditional_gap() {
+        // The Ω(diam) separation in one picture, using the paper's
+        // eq. (37) statistic: under the exact Gibbs phase law
+        // Pr[Y_x = + | Y_y = ±] differ by ≈ 1 (anti-correlated max
+        // cuts), while for a 1-round local protocol the antipodal phases
+        // are independent, so the two conditionals agree.
+        let lifted = tiny_lifted();
+        let exact = crate::exact_phases::ExactPhaseDistribution::compute(&lifted, 10.0);
+        let gibbs_gap = exact.conditional_gap().expect("both phases occur");
+        assert!(gibbs_gap > 0.85, "Gibbs gap = {gibbs_gap}");
+
+        let stats = local_protocol_phase_stats(&lifted, 10.0, 1, 3000, 7);
+        assert_eq!(stats.total, 3000);
+        let protocol_gap = stats.conditional_gap().expect("both phases occur");
+        assert!(
+            protocol_gap < 0.15,
+            "protocol gap = {protocol_gap} (should be near 0; counts {:?})",
+            stats.antipodal
+        );
+    }
+
+    #[test]
+    fn glauber_runs_respect_feasibility_and_record_phases() {
+        // The MCMC surrogate is not equilibrated on torpid instances (the
+        // theorem's point) but must run cleanly and produce legal stats.
+        let lifted = tiny_lifted();
+        let stats = gibbs_phase_stats(&lifted, 2.0, 4, 50, 42);
+        assert_eq!(stats.total, 4);
+        assert!(stats.max_cut + stats.ties <= 4);
+    }
+
+    #[test]
+    fn random_independent_start_is_independent() {
+        let lifted = tiny_lifted();
+        let mrf = hardcore_on(&lifted, 2.0);
+        let mut rng = Xoshiro256pp::seed_from(1);
+        for _ in 0..10 {
+            let s = random_independent_start(&mrf, &mut rng);
+            assert!(mrf.is_feasible(&s));
+        }
+    }
+
+    #[test]
+    fn phase_stats_bookkeeping() {
+        let lifted = tiny_lifted();
+        let mut stats = PhaseStats::default();
+        let alternating: Vec<Phase> = (0..6)
+            .map(|i| if i % 2 == 0 { Phase::Plus } else { Phase::Minus })
+            .collect();
+        stats.record(&lifted, &alternating);
+        assert_eq!(stats.max_cut, 1);
+        assert_eq!(stats.antipodal[1], 1); // (+ at 0, - at 3)
+        let tied = vec![Phase::Tie; 6];
+        stats.record(&lifted, &tied);
+        assert_eq!(stats.ties, 1);
+        assert_eq!(stats.total, 2);
+    }
+}

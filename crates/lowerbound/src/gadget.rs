@@ -1,0 +1,227 @@
+//! The random bipartite gadget `G_n^k` of §5.1.1.
+//!
+//! Two sides `V⁺, V⁻` of `n` vertices each, `k` *terminals* `W±` per side.
+//! The graph is the union of `Δ−1` uniform perfect matchings between `V⁺`
+//! and `V⁻` plus one uniform perfect matching between the non-terminals
+//! `U⁺` and `U⁻`; terminals end up with degree `Δ−1`, non-terminals with
+//! degree `Δ`. In the non-uniqueness regime of the hardcore model the
+//! gadget behaves like a two-state system indexed by its *phase* — which
+//! side holds more occupied vertices (Proposition 5.3).
+
+use lsl_graph::matching::Matching;
+use lsl_graph::{traversal, Graph, GraphBuilder, VertexId};
+use lsl_mrf::Spin;
+use rand::Rng;
+
+/// Which side of the gadget dominates a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// `Σ_{V⁺} σ > Σ_{V⁻} σ`.
+    Plus,
+    /// `Σ_{V⁺} σ < Σ_{V⁻} σ`.
+    Minus,
+    /// Equal sums (measure-zero-ish boundary; the paper's phase is defined
+    /// on the strict cases).
+    Tie,
+}
+
+/// Parameters of a gadget draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GadgetParams {
+    /// Vertices per side.
+    pub side: usize,
+    /// Terminals per side (`k`; the lifted construction uses `2k`).
+    pub terminals: usize,
+    /// Target degree Δ (non-terminals get Δ, terminals Δ−1).
+    pub delta: usize,
+}
+
+/// A sampled bipartite gadget.
+///
+/// Vertex layout: `0..side` is `V⁺` (terminals first: `W⁺ = 0..terminals`),
+/// `side..2·side` is `V⁻` (terminals first: `W⁻ = side..side+terminals`).
+#[derive(Clone, Debug)]
+pub struct Gadget {
+    params: GadgetParams,
+    graph: Graph,
+}
+
+impl Gadget {
+    /// Samples a gadget; retries until connected (Proposition 5.3's
+    /// expander property holds with positive probability, so retries are
+    /// cheap).
+    ///
+    /// # Panics
+    /// Panics if `terminals >= side`, `delta < 2`, or 200 draws all come
+    /// out disconnected (practically impossible for sensible parameters).
+    pub fn sample(params: GadgetParams, rng: &mut impl Rng) -> Self {
+        assert!(params.terminals < params.side, "need terminals < side");
+        assert!(params.delta >= 2, "need Δ >= 2");
+        for _ in 0..200 {
+            let graph = Self::draw(params, rng);
+            if traversal::is_connected(&graph) {
+                return Gadget { params, graph };
+            }
+        }
+        panic!("failed to draw a connected gadget in 200 attempts");
+    }
+
+    fn draw(params: GadgetParams, rng: &mut impl Rng) -> Graph {
+        let n = params.side;
+        let k = params.terminals;
+        let mut b = GraphBuilder::new(2 * n);
+        // Δ−1 perfect matchings V⁺ ↔ V⁻.
+        for _ in 0..params.delta - 1 {
+            let m = Matching::sample(n, rng);
+            for (i, j) in m.iter() {
+                b.add_edge(i as u32, (n + j) as u32);
+            }
+        }
+        // One perfect matching U⁺ ↔ U⁻ (non-terminals: indices k..n).
+        let m = Matching::sample(n - k, rng);
+        for (i, j) in m.iter() {
+            b.add_edge((k + i) as u32, (n + k + j) as u32);
+        }
+        b.build()
+    }
+
+    /// The parameters this gadget was drawn with.
+    pub fn params(&self) -> GadgetParams {
+        self.params
+    }
+
+    /// The underlying (multi)graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices (`2 · side`).
+    pub fn num_vertices(&self) -> usize {
+        2 * self.params.side
+    }
+
+    /// The terminals `W⁺` in index order.
+    pub fn terminals_plus(&self) -> Vec<VertexId> {
+        (0..self.params.terminals as u32).map(VertexId).collect()
+    }
+
+    /// The terminals `W⁻` in index order.
+    pub fn terminals_minus(&self) -> Vec<VertexId> {
+        let n = self.params.side as u32;
+        (n..n + self.params.terminals as u32).map(VertexId).collect()
+    }
+
+    /// The phase `Y(σ)` of a configuration restricted to this gadget.
+    ///
+    /// # Panics
+    /// Panics if `config.len()` differs from the gadget size.
+    pub fn phase(&self, config: &[Spin]) -> Phase {
+        assert_eq!(config.len(), self.num_vertices());
+        phase_of_sides(config, self.params.side)
+    }
+}
+
+/// Phase of a configuration whose first `side` entries are `V⁺` and next
+/// `side` entries are `V⁻` (shared by gadget and lifted-graph views).
+pub fn phase_of_sides(config: &[Spin], side: usize) -> Phase {
+    let plus: u64 = config[..side].iter().map(|&s| s as u64).sum();
+    let minus: u64 = config[side..2 * side].iter().map(|&s| s as u64).sum();
+    match plus.cmp(&minus) {
+        std::cmp::Ordering::Greater => Phase::Plus,
+        std::cmp::Ordering::Less => Phase::Minus,
+        std::cmp::Ordering::Equal => Phase::Tie,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> GadgetParams {
+        GadgetParams {
+            side: 12,
+            terminals: 3,
+            delta: 4,
+        }
+    }
+
+    #[test]
+    fn degrees_match_the_construction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Gadget::sample(params(), &mut rng);
+        let graph = g.graph();
+        for v in graph.vertices() {
+            let is_terminal = (v.index() % 12) < 3 && (v.index() < 3 || (12..15).contains(&v.index()));
+            let expect = if is_terminal { 3 } else { 4 };
+            assert_eq!(graph.degree(v), expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn gadget_is_bipartite_between_sides() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Gadget::sample(params(), &mut rng);
+        for (_, u, v) in g.graph().edges() {
+            let side_u = u.index() / 12;
+            let side_v = v.index() / 12;
+            assert_ne!(side_u, side_v, "edge inside one side");
+        }
+    }
+
+    #[test]
+    fn connected_and_small_diameter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gadget::sample(params(), &mut rng);
+        assert!(traversal::is_connected(g.graph()));
+        let diam = traversal::diameter(g.graph()).unwrap();
+        // Prop 5.3: diam = O(log n); for 24 vertices anything tiny works.
+        assert!(diam <= 8, "diam = {diam}");
+    }
+
+    #[test]
+    fn terminal_lists() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = Gadget::sample(params(), &mut rng);
+        assert_eq!(g.terminals_plus(), vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            g.terminals_minus(),
+            vec![VertexId(12), VertexId(13), VertexId(14)]
+        );
+    }
+
+    #[test]
+    fn phase_function() {
+        let mut config = vec![0 as Spin; 24];
+        assert_eq!(phase_of_sides(&config, 12), Phase::Tie);
+        config[0] = 1;
+        assert_eq!(phase_of_sides(&config, 12), Phase::Plus);
+        config[12] = 1;
+        config[13] = 1;
+        assert_eq!(phase_of_sides(&config, 12), Phase::Minus);
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Gadget::sample(params(), &mut rng);
+        assert_eq!(g.phase(&config), Phase::Minus);
+    }
+
+    #[test]
+    fn multigraph_parallel_edges_allowed() {
+        // With Δ−1 = 3 matchings, parallel edges occur occasionally and
+        // must be preserved (degree counts stay exact).
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..5 {
+            let g = Gadget::sample(
+                GadgetParams {
+                    side: 4,
+                    terminals: 1,
+                    delta: 4,
+                },
+                &mut rng,
+            );
+            let total: usize = g.graph().vertices().map(|v| g.graph().degree(v)).sum();
+            // 2m = ΣΔ(v): terminals 3 each (2 of them), rest 4.
+            assert_eq!(total, 2 * 3 + 6 * 4);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Section-5 lower-bound constructions of "What can be sampled locally?".
+//!
+//! The paper proves two lower bounds, both resting on a single structural
+//! fact about `t`-round LOCAL protocols (property (27)): outputs of
+//! vertices at distance `> 2t` are *independent*, because they are
+//! functions of disjoint private-randomness balls. Sampling, unlike
+//! labeling, is therefore obstructed by the *locality of randomness*:
+//!
+//! * **Theorem 5.1 (Ω(log n), path colorings)** — Gibbs distributions on
+//!   paths have exponentially decaying but *nonzero* correlations; a
+//!   protocol with `t = o(log n)` produces too many independent
+//!   far-apart pairs and accumulates constant total-variation error.
+//!   [`path_lb`] computes the exact correlation curves (via transfer
+//!   matrices) and the pair statistics.
+//! * **Theorem 5.2/1.3 (Ω(diam), hardcore in non-uniqueness)** — lifting
+//!   an even cycle `H` by the random bipartite gadget `G_n^{2k}` makes the
+//!   Gibbs distribution of the hardcore model concentrate, almost
+//!   uniformly, on the *two maximum cuts* of `H` — a global, long-range
+//!   correlated signal no `o(diam)` protocol can emit. [`gadget`] builds
+//!   `G_n^{2k}`, [`lifted`] builds `H^G`, and [`experiment`] measures both
+//!   the Gibbs behaviour and the failure of truncated local samplers.
+
+pub mod exact_phases;
+pub mod experiment;
+pub mod gadget;
+pub mod lifted;
+pub mod path_lb;

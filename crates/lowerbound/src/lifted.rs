@@ -1,0 +1,288 @@
+//! The lifted cycle `H^G` of §5.1.2: an even cycle whose vertices are
+//! blown up into gadget copies, wired terminal-to-terminal.
+//!
+//! For each cycle vertex `x` take a copy `G_x` of a gadget `G ∈ G_n^{2k}`;
+//! for each cycle edge `(x, y)` add `k` edges between `W⁺_x` and `W⁺_y`
+//! and `k` edges between `W⁻_x` and `W⁻_y`. Every terminal (degree `Δ−1`
+//! inside its gadget) gains exactly one external edge, so `H^G` is
+//! Δ-regular. Sampling hardcore configurations on `H^G` with `λ > λ_c(Δ)`
+//! effectively samples a maximum cut of `H` (Theorem 5.4).
+
+use crate::gadget::{Gadget, GadgetParams, Phase};
+use lsl_graph::{Graph, GraphBuilder};
+#[cfg(test)]
+use lsl_graph::{traversal, VertexId};
+use lsl_mrf::Spin;
+use rand::Rng;
+
+/// The lifted graph `H^G` for `H` an even cycle.
+#[derive(Clone, Debug)]
+pub struct LiftedCycle {
+    cycle_len: usize,
+    gadget: Gadget,
+    graph: Graph,
+}
+
+impl LiftedCycle {
+    /// Builds `H^G` from a freshly sampled gadget.
+    ///
+    /// `params.terminals` is the paper's `2k` (terminals per gadget side);
+    /// it must be even so `k` edges can go to each cycle neighbor.
+    ///
+    /// # Panics
+    /// Panics if `cycle_len` is odd or `< 4`, or `params.terminals` is odd.
+    pub fn build(cycle_len: usize, params: GadgetParams, rng: &mut impl Rng) -> Self {
+        assert!(cycle_len >= 4 && cycle_len % 2 == 0, "need an even cycle ≥ 4");
+        assert!(params.terminals % 2 == 0, "terminals per side must be even (2k)");
+        let gadget = Gadget::sample(params, rng);
+        Self::with_gadget(cycle_len, gadget)
+    }
+
+    /// Builds `H^G` around an already-sampled gadget.
+    ///
+    /// # Panics
+    /// Same constraints as [`LiftedCycle::build`].
+    pub fn with_gadget(cycle_len: usize, gadget: Gadget) -> Self {
+        assert!(cycle_len >= 4 && cycle_len % 2 == 0, "need an even cycle ≥ 4");
+        assert!(
+            gadget.params().terminals % 2 == 0,
+            "terminals per side must be even (2k)"
+        );
+        let graph = Self::wire(cycle_len, &gadget);
+        LiftedCycle {
+            cycle_len,
+            gadget,
+            graph,
+        }
+    }
+
+    /// Builds `H^G` from the most *polarized* of `candidates` gadget
+    /// draws — the operational form of the paper's probabilistic-method
+    /// step ("there exists a G satisfying the conditions [of Prop 5.3]").
+    /// Candidates are scored by the exact max-cut phase mass of a short
+    /// probe lift (`m = 4`) at fugacity `lambda`.
+    ///
+    /// # Panics
+    /// As [`LiftedCycle::build`], plus the gadget must be small enough for
+    /// exact phase analysis (`side ≤ 15`, `terminals ≤ 8`) and
+    /// `candidates ≥ 1`.
+    pub fn build_selected(
+        cycle_len: usize,
+        params: GadgetParams,
+        lambda: f64,
+        candidates: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(candidates >= 1, "need at least one candidate");
+        let mut best: Option<(f64, Gadget)> = None;
+        for _ in 0..candidates {
+            let gadget = Gadget::sample(params, rng);
+            let probe = Self::with_gadget(4, gadget.clone());
+            let mass =
+                crate::exact_phases::ExactPhaseDistribution::compute(&probe, lambda).max_cut_mass();
+            if best.as_ref().is_none_or(|(m, _)| mass > *m) {
+                best = Some((mass, gadget));
+            }
+        }
+        let (_, gadget) = best.expect("candidates >= 1");
+        Self::with_gadget(cycle_len, gadget)
+    }
+
+    fn wire(m: usize, gadget: &Gadget) -> Graph {
+        let per = gadget.num_vertices();
+        let side = gadget.params().side;
+        let k2 = gadget.params().terminals; // = 2k
+        let k = k2 / 2;
+        let mut b = GraphBuilder::new(m * per);
+        // Internal gadget copies.
+        for x in 0..m {
+            let base = (x * per) as u32;
+            for (_, u, v) in gadget.graph().edges() {
+                b.add_edge(base + u.0, base + v.0);
+            }
+        }
+        // Terminal wiring along the cycle: terminals 0..k of W± go to the
+        // *next* gadget's terminals k..2k, on both sides.
+        for x in 0..m {
+            let y = (x + 1) % m;
+            let bx = (x * per) as u32;
+            let by = (y * per) as u32;
+            for i in 0..k as u32 {
+                // W⁺ indices: 0..2k. W⁻ indices: side..side+2k.
+                b.add_edge(bx + i, by + k as u32 + i);
+                b.add_edge(bx + side as u32 + i, by + (side + k) as u32 + i);
+            }
+        }
+        b.build()
+    }
+
+    /// The cycle length `m`.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len
+    }
+
+    /// The shared gadget all copies replicate.
+    pub fn gadget(&self) -> &Gadget {
+        &self.gadget
+    }
+
+    /// The full lifted (multi)graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The vertex range of gadget copy `x`.
+    ///
+    /// # Panics
+    /// Panics if `x >= cycle_len`.
+    pub fn gadget_range(&self, x: usize) -> std::ops::Range<usize> {
+        assert!(x < self.cycle_len);
+        let per = self.gadget.num_vertices();
+        x * per..(x + 1) * per
+    }
+
+    /// The phase vector `Y(σ) = (Y_x)` of a configuration on `H^G`.
+    ///
+    /// # Panics
+    /// Panics if `config.len()` is wrong.
+    pub fn phases(&self, config: &[Spin]) -> Vec<Phase> {
+        assert_eq!(config.len(), self.graph.num_vertices());
+        let side = self.gadget.params().side;
+        (0..self.cycle_len)
+            .map(|x| crate::gadget::phase_of_sides(&config[self.gadget_range(x)], side))
+            .collect()
+    }
+
+    /// `Cut(Y)`: the number of cycle edges whose endpoints' phases differ
+    /// (ties count as agreement with nothing — i.e. a tie never
+    /// contributes a cut edge).
+    pub fn cut_value(phases: &[Phase]) -> usize {
+        let m = phases.len();
+        (0..m)
+            .filter(|&x| {
+                let y = (x + 1) % m;
+                matches!(
+                    (phases[x], phases[y]),
+                    (Phase::Plus, Phase::Minus) | (Phase::Minus, Phase::Plus)
+                )
+            })
+            .count()
+    }
+
+    /// Whether a phase vector attains the maximum cut of the even cycle
+    /// (fully alternating, no ties): `Cut(Y) = m`.
+    pub fn is_max_cut(phases: &[Phase]) -> bool {
+        Self::cut_value(phases) == phases.len()
+    }
+
+    /// Representative vertices of two *antipodal* gadgets `(x, y)` with
+    /// `dist_H(x, y) = m/2` — the pair whose phase correlation drives the
+    /// Ω(diam) argument.
+    pub fn antipodal_pair(&self) -> (usize, usize) {
+        (0, self.cycle_len / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> LiftedCycle {
+        let mut rng = StdRng::seed_from_u64(77);
+        LiftedCycle::build(
+            6,
+            GadgetParams {
+                side: 8,
+                terminals: 2,
+                delta: 3,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn lifted_graph_is_delta_regular() {
+        let l = small();
+        let g = l.graph();
+        assert!(g.is_regular(), "lifted graph must be Δ-regular");
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.num_vertices(), 6 * 16);
+    }
+
+    #[test]
+    fn lifted_graph_connected_with_large_diameter() {
+        let l = small();
+        assert!(traversal::is_connected(l.graph()));
+        let diam = traversal::diameter(l.graph()).unwrap() as usize;
+        // diam(H^G) ≥ m/2: the cycle structure survives the lift.
+        assert!(diam >= l.cycle_len() / 2, "diam = {diam}");
+    }
+
+    #[test]
+    fn phases_and_cuts() {
+        let l = small();
+        let n = l.graph().num_vertices();
+        // All-empty: every gadget ties.
+        let phases = l.phases(&vec![0; n]);
+        assert!(phases.iter().all(|&p| p == Phase::Tie));
+        assert_eq!(LiftedCycle::cut_value(&phases), 0);
+        // Alternating occupation: fill V⁺ of even gadgets, V⁻ of odd.
+        let mut config = vec![0 as Spin; n];
+        let side = l.gadget().params().side;
+        for x in 0..l.cycle_len() {
+            let r = l.gadget_range(x);
+            let offset = if x % 2 == 0 { 0 } else { side };
+            for i in 0..side {
+                config[r.start + offset + i] = 1;
+            }
+        }
+        let phases = l.phases(&config);
+        assert!(LiftedCycle::is_max_cut(&phases));
+        assert_eq!(LiftedCycle::cut_value(&phases), 6);
+        // Breaking one gadget's phase loses exactly two cut edges.
+        let r0 = l.gadget_range(0);
+        for i in r0.clone() {
+            config[i] = 0;
+        }
+        let phases = l.phases(&config);
+        assert_eq!(LiftedCycle::cut_value(&phases), 4);
+        assert!(!LiftedCycle::is_max_cut(&phases));
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_cycle() {
+        let l = small();
+        let (x, y) = l.antipodal_pair();
+        assert_eq!(y - x, 3);
+        // Graph distance between representatives of the two gadgets is at
+        // least m/2 terminal hops... at least 3.
+        let u = VertexId(l.gadget_range(x).start as u32);
+        let v = VertexId(l.gadget_range(y).start as u32);
+        let d = traversal::distance(l.graph(), u, v).unwrap();
+        assert!(d >= 3, "d = {d}");
+    }
+
+    #[test]
+    fn terminal_wiring_gives_each_terminal_one_external_edge() {
+        let l = small();
+        let per = l.gadget().num_vertices();
+        for x in 0..l.cycle_len() {
+            let r = l.gadget_range(x);
+            for v in r.clone() {
+                let external = l
+                    .graph()
+                    .neighbors(VertexId(v as u32))
+                    .filter(|u| !r.contains(&u.index()))
+                    .count();
+                let local = v - r.start;
+                let side = l.gadget().params().side;
+                let t = l.gadget().params().terminals;
+                let is_terminal = local < t || (side..side + t).contains(&local);
+                assert_eq!(external, usize::from(is_terminal), "vertex {v} in copy {x}");
+            }
+        }
+        let _ = per;
+    }
+}

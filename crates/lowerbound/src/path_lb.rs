@@ -1,0 +1,196 @@
+//! Theorem 5.1 machinery: exponential correlations on paths and the
+//! independence defect of local protocols.
+
+use lsl_graph::VertexId;
+use lsl_mrf::transfer::{conditional_influence, PathDp};
+use lsl_mrf::{Mrf, Spin};
+
+/// One point of the correlation-decay curve of eq. (28).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecayPoint {
+    /// Distance `dist(u, v)` along the path.
+    pub distance: u32,
+    /// `max_{σ_u, σ'_u} dTV(µ_v(·|σ_u), µ_v(·|σ'_u))` (exact).
+    pub influence: f64,
+}
+
+/// Computes the exact correlation-decay curve from `u = order[0]` to the
+/// vertices at the given distances, using transfer matrices.
+///
+/// `min_mass` is the paper's δ: conditioning spins must carry at least
+/// that much marginal mass at `u`.
+///
+/// # Panics
+/// Panics if the MRF's graph is not a simple path or a distance exceeds
+/// the path length.
+pub fn decay_curve(mrf: &Mrf, distances: &[u32], min_mass: f64) -> Vec<DecayPoint> {
+    let dp = PathDp::new(mrf).expect("decay_curve needs a path MRF");
+    let order = dp.order().to_vec();
+    let u = order[0];
+    distances
+        .iter()
+        .map(|&d| {
+            let v = order[d as usize];
+            let influence = conditional_influence(&dp, u, v, min_mass)
+                .expect("influence defined for feasible models");
+            DecayPoint {
+                distance: d,
+                influence,
+            }
+        })
+        .collect()
+}
+
+/// Fits the decay rate `η` of eq. (28) by regressing `ln influence` on
+/// distance over the curve; `None` if fewer than two valid points.
+pub fn fit_eta(curve: &[DecayPoint]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .filter(|p| p.influence > 0.0)
+        .map(|p| (p.distance as f64, p.influence.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    lsl_analysis::stats::regression_slope(&xs, &ys).map(f64::exp)
+}
+
+/// The exact joint distribution of `(σ_u, σ_v)` on a path MRF, as a
+/// row-major `q × q` matrix.
+///
+/// # Panics
+/// Panics if the graph is not a simple path or the model is infeasible.
+pub fn pair_joint(mrf: &Mrf, u: VertexId, v: VertexId) -> Vec<f64> {
+    let dp = PathDp::new(mrf).expect("pair_joint needs a path MRF");
+    let q = mrf.q();
+    let mu_u = dp.marginal(u).expect("feasible model");
+    let mut joint = vec![0.0; q * q];
+    for a in 0..q {
+        if mu_u[a] == 0.0 {
+            continue;
+        }
+        let cond = dp
+            .conditional_marginal(v, &[(u, a as Spin)])
+            .expect("conditioning on positive-mass spin");
+        for b in 0..q {
+            joint[a * q + b] = mu_u[a] * cond[b];
+        }
+    }
+    joint
+}
+
+/// The *independence defect* of a joint pair law: the total-variation
+/// distance between the joint and the product of its own marginals.
+///
+/// Any `t`-round protocol output has defect exactly 0 for pairs at
+/// distance `> 2t` (property (27)); the Gibbs law keeps a positive defect
+/// at every distance on paths — the engine of Theorem 5.1.
+pub fn independence_defect(joint: &[f64], q: usize) -> f64 {
+    assert_eq!(joint.len(), q * q, "joint must be q × q");
+    let mut mu = vec![0.0; q];
+    let mut nu = vec![0.0; q];
+    for a in 0..q {
+        for b in 0..q {
+            mu[a] += joint[a * q + b];
+            nu[b] += joint[a * q + b];
+        }
+    }
+    let mut tv = 0.0;
+    for a in 0..q {
+        for b in 0..q {
+            tv += (joint[a * q + b] - mu[a] * nu[b]).abs();
+        }
+    }
+    0.5 * tv
+}
+
+/// The smallest `t` for which a `t`-round protocol is *not* structurally
+/// ruled out by the pair `(u, v)`: `dist(u, v) ≤ 2t`, i.e.
+/// `t ≥ ⌈dist/2⌉`. With the Theorem 5.1 center layout (pairs at distance
+/// `2t+1` packed along the path) this is where the Ω(log n) bound bites.
+pub fn minimum_rounds_for_dependence(distance: u32) -> u32 {
+    distance.div_ceil(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsl_graph::generators;
+    use lsl_mrf::gibbs::Enumeration;
+    use lsl_mrf::models;
+
+    #[test]
+    fn decay_curve_decreases_and_stays_positive() {
+        let mrf = models::proper_coloring(generators::path(40), 3);
+        let curve = decay_curve(&mrf, &[1, 2, 4, 8, 16], 0.05);
+        for w in curve.windows(2) {
+            assert!(w[1].influence < w[0].influence);
+            assert!(w[1].influence > 0.0);
+        }
+    }
+
+    #[test]
+    fn eta_fits_between_zero_and_one() {
+        let mrf = models::proper_coloring(generators::path(40), 3);
+        let curve = decay_curve(&mrf, &[2, 4, 6, 8, 10, 12], 0.05);
+        let eta = fit_eta(&curve).unwrap();
+        assert!(eta > 0.0 && eta < 1.0, "eta = {eta}");
+        // q = 3 colorings on a path: decay rate is 1/2 exactly (the
+        // conditional marginal recursion halves the bias per hop).
+        assert!((eta - 0.5).abs() < 0.05, "eta = {eta}");
+    }
+
+    #[test]
+    fn more_colors_decay_faster() {
+        let c3 = decay_curve(&models::proper_coloring(generators::path(30), 3), &[6], 0.01);
+        let c5 = decay_curve(&models::proper_coloring(generators::path(30), 5), &[6], 0.01);
+        assert!(c5[0].influence < c3[0].influence);
+    }
+
+    #[test]
+    fn pair_joint_matches_enumeration() {
+        let mrf = models::proper_coloring(generators::path(5), 3);
+        let exact = Enumeration::new(&mrf).unwrap();
+        let joint = pair_joint(&mrf, VertexId(0), VertexId(3));
+        let reference = exact.pair_marginal(VertexId(0), VertexId(3));
+        for (a, b) in joint.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-10, "{joint:?} vs {reference:?}");
+        }
+    }
+
+    #[test]
+    fn gibbs_defect_positive_product_defect_zero() {
+        let mrf = models::proper_coloring(generators::path(12), 3);
+        let joint = pair_joint(&mrf, VertexId(0), VertexId(7));
+        let defect = independence_defect(&joint, 3);
+        assert!(defect > 1e-4, "Gibbs defect vanished: {defect}");
+        // A genuinely product law has defect 0.
+        let mut product = vec![0.0; 9];
+        for a in 0..3 {
+            for b in 0..3 {
+                product[a * 3 + b] = (1.0 / 3.0) * (1.0 / 3.0);
+            }
+        }
+        assert!(independence_defect(&product, 3) < 1e-12);
+    }
+
+    #[test]
+    fn defect_decays_with_distance() {
+        let mrf = models::proper_coloring(generators::path(30), 3);
+        let d2 = independence_defect(&pair_joint(&mrf, VertexId(0), VertexId(2)), 3);
+        let d6 = independence_defect(&pair_joint(&mrf, VertexId(0), VertexId(6)), 3);
+        let d12 = independence_defect(&pair_joint(&mrf, VertexId(0), VertexId(12)), 3);
+        assert!(d2 > d6 && d6 > d12, "{d2} {d6} {d12}");
+        assert!(d12 > 0.0);
+    }
+
+    #[test]
+    fn rounds_threshold() {
+        assert_eq!(minimum_rounds_for_dependence(1), 1);
+        assert_eq!(minimum_rounds_for_dependence(2), 1);
+        assert_eq!(minimum_rounds_for_dependence(3), 2);
+        assert_eq!(minimum_rounds_for_dependence(7), 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dobrushin influence: Definition 3.1 and Definition 3.2 of the paper.
+//!
+//! The influence `ρ_{i,j}` of `j` on `i` is the worst-case total-variation
+//! change of the conditional marginal `µ_i^σ = µ_i(·|σ_Γ(i))` over pairs of
+//! feasible configurations differing only at `j`. Dobrushin's condition —
+//! total influence `α = max_i Σ_j ρ_{i,j} < 1` — is the mixing hypothesis
+//! of Theorem 3.2 (LubyGlauber).
+
+use crate::gibbs::{checked_pow, decode_config};
+use crate::model::{Mrf, Spin};
+use lsl_graph::Graph;
+
+/// The exact influence matrix `ρ` by exhaustive enumeration over feasible
+/// configuration pairs (exponential in `n`; for small ground-truth
+/// instances only).
+///
+/// Entry `[i][j]` is `ρ_{i,j} = max_{(σ,τ) ∈ S_j} dTV(µ_i^σ, µ_i^τ)`.
+///
+/// # Panics
+/// Panics if `q^n > 2^20`.
+pub fn influence_matrix_exhaustive(mrf: &Mrf) -> Vec<Vec<f64>> {
+    let n = mrf.num_vertices();
+    let q = mrf.q();
+    let total = checked_pow(q, n).expect("q^n overflow");
+    assert!(total <= 1 << 20, "state space too large for exhaustive influence");
+    let mut rho = vec![vec![0.0; n]; n];
+    let mut sigma = vec![0 as Spin; n];
+    for idx in 0..total {
+        decode_config(idx, q, &mut sigma);
+        if !mrf.is_feasible(&sigma) {
+            continue;
+        }
+        // For each disagreeing vertex j and alternative spin s.
+        for j in 0..n {
+            let original = sigma[j];
+            for s in 0..q as Spin {
+                if s == original {
+                    continue;
+                }
+                let mut tau = sigma.clone();
+                tau[j] = s;
+                if !mrf.is_feasible(&tau) {
+                    continue;
+                }
+                for i in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let v = lsl_graph::VertexId(i as u32);
+                    let wi_sigma = mrf.marginal_weights(v, &sigma);
+                    let wi_tau = mrf.marginal_weights(v, &tau);
+                    if let Some(tv) = tv_of_weights(&wi_sigma, &wi_tau) {
+                        if tv > rho[i][j] {
+                            rho[i][j] = tv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rho
+}
+
+/// Total variation distance between two *unnormalized* weight vectors;
+/// `None` if either normalizes to zero.
+fn tv_of_weights(a: &[f64], b: &[f64]) -> Option<f64> {
+    let (sa, sb) = (a.iter().sum::<f64>(), b.iter().sum::<f64>());
+    if !(sa > 0.0 && sb > 0.0) {
+        return None;
+    }
+    Some(
+        0.5 * a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x / sa - y / sb).abs())
+            .sum::<f64>(),
+    )
+}
+
+/// Total influence `α = max_i Σ_j ρ_{i,j}` (Definition 3.2).
+pub fn total_influence(rho: &[Vec<f64>]) -> f64 {
+    rho.iter()
+        .map(|row| row.iter().sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// The closed-form total influence bound for (list) colorings (paper
+/// §3.2): `α = max_v d_v / (q_v − d_v)`, where `q_v` is the list size.
+///
+/// Dobrushin's condition `α < 1` therefore holds when `q_v > 2 d_v` for
+/// every `v` — e.g. uniform `q`-colorings with `q ≥ 2Δ + 1`.
+///
+/// # Panics
+/// Panics if some `q_v <= d_v` (the marginal can be ill-defined there).
+pub fn coloring_total_influence(graph: &Graph, list_sizes: &[usize]) -> f64 {
+    assert_eq!(list_sizes.len(), graph.num_vertices());
+    graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v);
+            let qv = list_sizes[v.index()];
+            assert!(qv > d, "vertex {v} has list size {qv} <= degree {d}");
+            d as f64 / (qv - d) as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Uniform-coloring shorthand for [`coloring_total_influence`] with all
+/// lists of size `q`.
+pub fn uniform_coloring_total_influence(graph: &Graph, q: usize) -> f64 {
+    coloring_total_influence(graph, &vec![q; graph.num_vertices()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use lsl_graph::generators;
+
+    #[test]
+    fn influence_zero_for_distant_vertices() {
+        // On a path the influence matrix of an MRF is supported on
+        // adjacency: ρ_{i,j} = 0 unless i ~ j (conditional marginal depends
+        // only on neighbors).
+        let mrf = models::proper_coloring(generators::path(4), 4);
+        let rho = influence_matrix_exhaustive(&mrf);
+        for i in 0..4 {
+            for j in 0..4 {
+                let adjacent = (i as i32 - j as i32).abs() == 1;
+                if !adjacent {
+                    assert_eq!(rho[i][j], 0.0, "ρ[{i}][{j}] should vanish");
+                } else {
+                    assert!(rho[i][j] > 0.0, "ρ[{i}][{j}] should be positive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_influence_bounded_by_formula() {
+        // The analytic d/(q-d) bound dominates the exhaustive value.
+        for q in [3usize, 4, 5] {
+            let g = generators::path(4);
+            let mrf = models::proper_coloring(g.clone(), q);
+            let rho = influence_matrix_exhaustive(&mrf);
+            let alpha = total_influence(&rho);
+            let bound = uniform_coloring_total_influence(&g, q);
+            assert!(
+                alpha <= bound + 1e-12,
+                "q = {q}: exhaustive {alpha} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_influence_formula() {
+        // Cycle: all degrees 2, so α = 2/(q-2).
+        let g = generators::cycle(6);
+        assert!((uniform_coloring_total_influence(&g, 5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((uniform_coloring_total_influence(&g, 6) - 0.5).abs() < 1e-12);
+        // Dobrushin satisfied iff q >= 2Δ+1 = 5.
+        assert!(uniform_coloring_total_influence(&g, 5) < 1.0);
+    }
+
+    #[test]
+    fn list_coloring_influence_uses_list_sizes() {
+        let g = generators::star(3); // hub degree 3, leaves degree 1
+        let alpha = coloring_total_influence(&g, &[7, 2, 2, 2]);
+        // hub: 3/(7-3) = 0.75; leaves: 1/(2-1) = 1.
+        assert!((alpha - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "list size")]
+    fn influence_formula_rejects_tiny_lists() {
+        let g = generators::star(3);
+        coloring_total_influence(&g, &[3, 2, 2, 2]);
+    }
+
+    #[test]
+    fn hardcore_influence_small_lambda_mixes() {
+        // For λ small the hardcore influence is small: α < 1 on a path.
+        let mrf = models::hardcore(generators::path(4), 0.2);
+        let rho = influence_matrix_exhaustive(&mrf);
+        assert!(total_influence(&rho) < 1.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Exact enumeration of Gibbs distributions on small instances.
+//!
+//! Every correctness experiment in this workspace is anchored on exact
+//! ground truth: the full Gibbs vector over `[q]^V`, computed by brute
+//! force. Configurations are indexed by the base-`q` number
+//! `idx = Σ_v σ_v · q^v`, so distribution vectors align with transition
+//! kernels built elsewhere.
+
+use crate::model::{Mrf, Spin};
+use lsl_graph::VertexId;
+use rand::{Rng, RngExt};
+
+/// `q^n` with overflow checking; `None` if it does not fit in `usize`.
+pub fn checked_pow(q: usize, n: usize) -> Option<usize> {
+    let mut acc: usize = 1;
+    for _ in 0..n {
+        acc = acc.checked_mul(q)?;
+    }
+    Some(acc)
+}
+
+/// Decodes configuration index `idx` into `out` (base-`q` digits,
+/// vertex 0 = least significant digit).
+///
+/// # Panics
+/// Panics in debug builds if a digit overflows `out`.
+#[inline]
+pub fn decode_config(idx: usize, q: usize, out: &mut [Spin]) {
+    let mut rest = idx;
+    for slot in out.iter_mut() {
+        *slot = (rest % q) as Spin;
+        rest /= q;
+    }
+    debug_assert_eq!(rest, 0, "index out of range for configuration space");
+}
+
+/// Encodes a configuration into its index (inverse of [`decode_config`]).
+#[inline]
+pub fn encode_config(config: &[Spin], q: usize) -> usize {
+    let mut idx = 0usize;
+    for &c in config.iter().rev() {
+        idx = idx * q + c as usize;
+    }
+    idx
+}
+
+/// Exact enumeration of an MRF's Gibbs distribution.
+///
+/// # Example
+/// ```
+/// use lsl_graph::generators;
+/// use lsl_mrf::{models, gibbs::Enumeration};
+///
+/// let mrf = models::uniform_independent_set(generators::path(3));
+/// let exact = Enumeration::new(&mrf).unwrap();
+/// assert_eq!(exact.num_feasible(), 5); // {}, {0}, {1}, {2}, {0,2}
+/// ```
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    q: usize,
+    n: usize,
+    /// Unnormalized weights per configuration index.
+    weights: Vec<f64>,
+    z: f64,
+}
+
+/// Maximum number of configurations [`Enumeration::new`] will materialize.
+pub const MAX_STATES: usize = 1 << 24;
+
+impl Enumeration {
+    /// Enumerates all `q^n` configurations of `mrf`.
+    ///
+    /// # Errors
+    /// Returns an error if `q^n` exceeds [`MAX_STATES`] (or overflows), or
+    /// if the model has no feasible configuration (Z = 0).
+    pub fn new(mrf: &Mrf) -> Result<Self, String> {
+        let q = mrf.q();
+        let n = mrf.num_vertices();
+        let total = checked_pow(q, n)
+            .filter(|&t| t <= MAX_STATES)
+            .ok_or_else(|| format!("state space q^n = {q}^{n} too large to enumerate"))?;
+        let mut weights = vec![0.0; total];
+        let mut config = vec![0 as Spin; n];
+        let mut z = 0.0;
+        for (idx, w) in weights.iter_mut().enumerate() {
+            decode_config(idx, q, &mut config);
+            *w = mrf.weight(&config);
+            z += *w;
+        }
+        if z <= 0.0 {
+            return Err("model has no feasible configuration (Z = 0)".into());
+        }
+        Ok(Enumeration { q, n, weights, z })
+    }
+
+    /// Domain size `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of configurations `q^n`.
+    pub fn num_states(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The partition function `Z = Σ_σ w(σ)`.
+    pub fn partition_function(&self) -> f64 {
+        self.z
+    }
+
+    /// Number of feasible configurations (`w(σ) > 0`). For uniform models
+    /// this is the count of CSP solutions (e.g. proper colorings).
+    pub fn num_feasible(&self) -> usize {
+        self.weights.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    /// Gibbs probability of the configuration with index `idx`.
+    #[inline]
+    pub fn probability_of_index(&self, idx: usize) -> f64 {
+        self.weights[idx] / self.z
+    }
+
+    /// Gibbs probability of a configuration.
+    pub fn probability(&self, config: &[Spin]) -> f64 {
+        self.probability_of_index(encode_config(config, self.q))
+    }
+
+    /// The full Gibbs distribution as a dense vector over configuration
+    /// indices (sums to 1).
+    pub fn distribution(&self) -> Vec<f64> {
+        self.weights.iter().map(|&w| w / self.z).collect()
+    }
+
+    /// Exact marginal distribution of vertex `v` (length-`q` vector).
+    pub fn marginal(&self, v: VertexId) -> Vec<f64> {
+        let mut out = vec![0.0; self.q];
+        let stride = checked_pow(self.q, v.index()).expect("within bounds");
+        for (idx, &w) in self.weights.iter().enumerate() {
+            out[(idx / stride) % self.q] += w;
+        }
+        for x in &mut out {
+            *x /= self.z;
+        }
+        out
+    }
+
+    /// Exact joint marginal of a pair `(u, v)` as a row-major `q × q`
+    /// matrix: `out[a * q + b] = Pr[σ_u = a, σ_v = b]`.
+    ///
+    /// # Panics
+    /// Panics if `u == v`.
+    pub fn pair_marginal(&self, u: VertexId, v: VertexId) -> Vec<f64> {
+        assert_ne!(u, v, "pair marginal needs distinct vertices");
+        let mut out = vec![0.0; self.q * self.q];
+        let su = checked_pow(self.q, u.index()).expect("within bounds");
+        let sv = checked_pow(self.q, v.index()).expect("within bounds");
+        for (idx, &w) in self.weights.iter().enumerate() {
+            let a = (idx / su) % self.q;
+            let b = (idx / sv) % self.q;
+            out[a * self.q + b] += w;
+        }
+        for x in &mut out {
+            *x /= self.z;
+        }
+        out
+    }
+
+    /// Exact conditional marginal of `v` given pinned spins
+    /// `pins = [(vertex, spin), ...]`; `None` if the conditioning event has
+    /// zero probability.
+    pub fn conditional_marginal(&self, v: VertexId, pins: &[(VertexId, Spin)]) -> Option<Vec<f64>> {
+        let mut out = vec![0.0; self.q];
+        let sv = checked_pow(self.q, v.index()).expect("within bounds");
+        let mut mass = 0.0;
+        'outer: for (idx, &w) in self.weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            for &(u, s) in pins {
+                let su = checked_pow(self.q, u.index()).expect("within bounds");
+                if (idx / su) % self.q != s as usize {
+                    continue 'outer;
+                }
+            }
+            out[(idx / sv) % self.q] += w;
+            mass += w;
+        }
+        if mass <= 0.0 {
+            return None;
+        }
+        for x in &mut out {
+            *x /= mass;
+        }
+        Some(out)
+    }
+
+    /// Draws an exact Gibbs sample (by inverse CDF over the enumeration).
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<Spin> {
+        let mut target = rng.random::<f64>() * self.z;
+        let mut pick = self.weights.len() - 1;
+        for (idx, &w) in self.weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 && w > 0.0 {
+                pick = idx;
+                break;
+            }
+        }
+        let mut config = vec![0 as Spin; self.n];
+        decode_config(pick, self.q, &mut config);
+        config
+    }
+
+    /// Iterator over `(index, probability)` of feasible configurations.
+    pub fn feasible(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(i, &w)| (i, w / self.z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use lsl_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let q = 3;
+        let mut buf = vec![0; 4];
+        for idx in 0..checked_pow(q, 4).unwrap() {
+            decode_config(idx, q, &mut buf);
+            assert_eq!(encode_config(&buf, q), idx);
+        }
+    }
+
+    #[test]
+    fn checked_pow_overflow() {
+        assert_eq!(checked_pow(10, 2), Some(100));
+        assert_eq!(checked_pow(2, 0), Some(1));
+        assert_eq!(checked_pow(usize::MAX, 2), None);
+    }
+
+    #[test]
+    fn counts_proper_colorings() {
+        // Chromatic polynomial checks.
+        // Path P_n: q (q-1)^(n-1).
+        let p4 = Enumeration::new(&models::proper_coloring(generators::path(4), 3)).unwrap();
+        assert_eq!(p4.num_feasible(), 3 * 2 * 2 * 2);
+        // Cycle C_n: (q-1)^n + (-1)^n (q-1).
+        let c5 = Enumeration::new(&models::proper_coloring(generators::cycle(5), 3)).unwrap();
+        assert_eq!(c5.num_feasible(), 32 - 2);
+        // Triangle with q = 3: 3! = 6.
+        let k3 = Enumeration::new(&models::proper_coloring(generators::complete(3), 3)).unwrap();
+        assert_eq!(k3.num_feasible(), 6);
+    }
+
+    #[test]
+    fn counts_independent_sets() {
+        // Independent sets of P_n follow Fibonacci: |IS(P_n)| = F(n+2).
+        for (n, expect) in [(1usize, 2usize), (2, 3), (3, 5), (4, 8), (5, 13)] {
+            let mrf = models::uniform_independent_set(generators::path(n));
+            let e = Enumeration::new(&mrf).unwrap();
+            assert_eq!(e.num_feasible(), expect, "P_{n}");
+        }
+    }
+
+    #[test]
+    fn hardcore_partition_function() {
+        // P_2: Z = 1 + λ + λ = 1 + 2λ.
+        let mrf = models::hardcore(generators::path(2), 3.0);
+        let e = Enumeration::new(&mrf).unwrap();
+        assert!((e.partition_function() - 7.0).abs() < 1e-12);
+        assert!((e.probability(&[0, 0]) - 1.0 / 7.0).abs() < 1e-12);
+        assert!((e.probability(&[1, 0]) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_sum_to_one_and_match_pairs() {
+        let mrf = models::proper_coloring(generators::cycle(4), 3);
+        let e = Enumeration::new(&mrf).unwrap();
+        for v in mrf.graph().vertices() {
+            let m = e.marginal(v);
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // Symmetry: every color equally likely.
+            for &p in &m {
+                assert!((p - 1.0 / 3.0).abs() < 1e-12);
+            }
+        }
+        let pair = e.pair_marginal(VertexId(0), VertexId(1));
+        assert!((pair.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Adjacent vertices never share a color.
+        for a in 0..3 {
+            assert_eq!(pair[a * 3 + a], 0.0);
+        }
+    }
+
+    #[test]
+    fn conditional_marginal_consistency() {
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let e = Enumeration::new(&mrf).unwrap();
+        // Pin the middle vertex: ends become independent uniform over
+        // the remaining 2 colors.
+        let cond = e
+            .conditional_marginal(VertexId(0), &[(VertexId(1), 2)])
+            .unwrap();
+        assert!((cond[0] - 0.5).abs() < 1e-12);
+        assert!((cond[1] - 0.5).abs() < 1e-12);
+        assert_eq!(cond[2], 0.0);
+        // Impossible pin.
+        let mrf2 = models::uniform_independent_set(generators::path(2));
+        let e2 = Enumeration::new(&mrf2).unwrap();
+        assert!(e2
+            .conditional_marginal(VertexId(0), &[(VertexId(0), 1), (VertexId(1), 1)])
+            .is_none()
+            || e2
+                .conditional_marginal(VertexId(1), &[(VertexId(0), 1)])
+                .unwrap()[1]
+                == 0.0);
+    }
+
+    #[test]
+    fn exact_sampler_matches_distribution() {
+        let mrf = models::uniform_independent_set(generators::path(3));
+        let e = Enumeration::new(&mrf).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 50_000;
+        let mut counts = vec![0usize; e.num_states()];
+        for _ in 0..trials {
+            let s = e.sample(&mut rng);
+            counts[encode_config(&s, 2)] += 1;
+        }
+        for (idx, p) in e.feasible() {
+            let emp = counts[idx] as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.01, "idx {idx}: emp {emp} vs {p}");
+        }
+        // Infeasible states never sampled.
+        for (idx, &c) in counts.iter().enumerate() {
+            if e.probability_of_index(idx) == 0.0 {
+                assert_eq!(c, 0, "sampled infeasible state {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_spaces() {
+        let g = generators::path(40);
+        let mrf = models::proper_coloring(g, 5);
+        assert!(Enumeration::new(&mrf).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Markov random fields and weighted local CSPs — the distributional
+//! substrate of "What can be sampled locally?" (Feng, Sun, Yin, PODC 2017).
+//!
+//! The paper's Section 2.2 defines a Markov random field (spin system) on a
+//! network `G(V, E)`: a domain `[q]`, a symmetric non-negative *edge
+//! activity* `A_e ∈ R^{q×q}` per edge, and a non-negative *vertex activity*
+//! `b_v ∈ R^q` per vertex. Every configuration `σ ∈ [q]^V` carries weight
+//!
+//! ```text
+//! w(σ) = Π_{e=uv∈E} A_e(σ_u, σ_v) · Π_{v∈V} b_v(σ_v)           (paper eq. 1)
+//! ```
+//!
+//! and the Gibbs distribution is `µ(σ) = w(σ) / Z`. This crate provides:
+//!
+//! * [`Mrf`] — the model itself, with the conditional marginal of eq. (2),
+//!   the LocalMetropolis pass probabilities, and feasibility checks;
+//! * [`models`] — the named models the paper uses as running examples
+//!   (proper/list colorings, hardcore/independent sets, vertex covers,
+//!   Ising, Potts);
+//! * [`csp`] — the weighted *local CSP* generalization (factors with
+//!   arbitrary scopes), including MIS and dominating-set constraints;
+//! * [`gibbs`] — exact enumeration of the Gibbs distribution on small
+//!   instances (the ground truth for every correctness experiment);
+//! * [`transfer`] — transfer-matrix computations on paths and cycles
+//!   (exact marginals at any size; the engine of the Theorem 5.1
+//!   experiments);
+//! * [`dobrushin`] — the influence matrix of Definition 3.1 and the total
+//!   influence `α` of Dobrushin's condition.
+//!
+//! # Example
+//!
+//! ```
+//! use lsl_graph::generators;
+//! use lsl_mrf::{models, gibbs::Enumeration};
+//!
+//! let g = generators::cycle(4);
+//! let mrf = models::proper_coloring(g, 3);
+//! let exact = Enumeration::new(&mrf).unwrap();
+//! // C_4 has 3-color chromatic polynomial (3-1)^4 + (3-1) = 18.
+//! assert_eq!(exact.num_feasible(), 18);
+//! ```
+
+pub mod activity;
+pub mod csp;
+pub mod dobrushin;
+pub mod gibbs;
+pub mod model;
+pub mod models;
+pub mod transfer;
+
+pub use activity::{EdgeActivity, VertexActivity};
+pub use model::{Mrf, Spin};

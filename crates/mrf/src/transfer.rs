@@ -1,0 +1,492 @@
+//! Transfer-matrix (dynamic-programming) computations on paths and cycles.
+//!
+//! The Theorem 5.1 lower bound rests on the *exponential correlation*
+//! property of Gibbs distributions on paths (paper eq. 28/29):
+//! `dTV(µ_v(·|σ_u), µ_v(·|σ'_u)) ≥ η^dist(u,v)`. This module computes those
+//! conditional marginals *exactly* at any path length by the standard
+//! forward/backward DP, with per-layer rescaling for numerical stability.
+
+use crate::model::{Mrf, Spin};
+use lsl_graph::{EdgeId, Graph, VertexId};
+
+/// Exact marginal machinery for an MRF whose graph is a simple path.
+///
+/// # Example
+/// ```
+/// use lsl_graph::generators;
+/// use lsl_mrf::{models, transfer::PathDp};
+///
+/// let mrf = models::proper_coloring(generators::path(10), 3);
+/// let dp = PathDp::new(&mrf).unwrap();
+/// let m = dp.marginal(lsl_graph::VertexId(5)).unwrap();
+/// assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathDp<'a> {
+    mrf: &'a Mrf,
+    /// Vertices in path order.
+    order: Vec<VertexId>,
+    /// `edge[i]` joins `order[i]` to `order[i+1]`.
+    edges: Vec<EdgeId>,
+    /// Position of each vertex in `order`.
+    position: Vec<usize>,
+}
+
+/// Detects whether `g` is a simple path and returns its vertices in path
+/// order (either orientation), or `None`.
+pub fn path_order(g: &Graph) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n == 1 {
+        return Some(vec![VertexId(0)]);
+    }
+    if g.num_edges() != n - 1 {
+        return None;
+    }
+    let mut ends = Vec::new();
+    for v in g.vertices() {
+        match g.degree(v) {
+            1 => ends.push(v),
+            2 => {}
+            _ => return None,
+        }
+    }
+    if ends.len() != 2 {
+        return None;
+    }
+    walk_from(g, ends[0], n)
+}
+
+/// Detects whether `g` is a simple cycle and returns its vertices in cyclic
+/// order, or `None`.
+pub fn cycle_order(g: &Graph) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    if n < 3 || g.num_edges() != n {
+        return None;
+    }
+    if g.vertices().any(|v| g.degree(v) != 2) {
+        return None;
+    }
+    walk_from(g, VertexId(0), n)
+}
+
+/// Walks a degree-≤2 graph from `start`, returning the visit order if it
+/// covers all `n` vertices.
+fn walk_from(g: &Graph, start: VertexId, n: usize) -> Option<Vec<VertexId>> {
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut current = start;
+    visited[current.index()] = true;
+    order.push(current);
+    loop {
+        let next = g.neighbors(current).find(|u| !visited[u.index()]);
+        match next {
+            Some(u) => {
+                visited[u.index()] = true;
+                order.push(u);
+                current = u;
+            }
+            None => break,
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+impl<'a> PathDp<'a> {
+    /// Builds the DP over an MRF whose graph must be a simple path.
+    ///
+    /// # Errors
+    /// Returns an error if the graph is not a simple path.
+    pub fn new(mrf: &'a Mrf) -> Result<Self, String> {
+        let g = mrf.graph();
+        let order = path_order(g).ok_or("graph is not a simple path")?;
+        let mut edges = Vec::with_capacity(order.len().saturating_sub(1));
+        for w in order.windows(2) {
+            let (v, u) = (w[0], w[1]);
+            let e = g
+                .incident_edges(v)
+                .find(|&(_, x)| x == u)
+                .map(|(e, _)| e)
+                .ok_or("path order inconsistent")?;
+            edges.push(e);
+        }
+        let mut position = vec![0usize; g.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        Ok(PathDp {
+            mrf,
+            order,
+            edges,
+            position,
+        })
+    }
+
+    /// The path order used by the DP.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// The vertex activity at position `i`, respecting `pins`.
+    fn pinned_activity(&self, i: usize, c: Spin, pins: &[(VertexId, Spin)]) -> f64 {
+        let v = self.order[i];
+        for &(u, s) in pins {
+            if u == v && s != c {
+                return 0.0;
+            }
+        }
+        self.mrf.vertex_activity(v).get(c)
+    }
+
+    /// Forward messages with per-layer rescaling. Returns `(layers,
+    /// log_scale)` where the true layer values are `layers[i] *
+    /// exp(log_scale[i])` cumulatively.
+    fn forward(&self, pins: &[(VertexId, Spin)]) -> (Vec<Vec<f64>>, f64) {
+        let q = self.mrf.q();
+        let n = self.order.len();
+        let mut layers = Vec::with_capacity(n);
+        let mut log_scale = 0.0;
+        let mut cur: Vec<f64> = (0..q)
+            .map(|c| self.pinned_activity(0, c as Spin, pins))
+            .collect();
+        log_scale += rescale(&mut cur);
+        layers.push(cur.clone());
+        for i in 1..n {
+            let a = self.mrf.edge_activity(self.edges[i - 1]);
+            let mut next = vec![0.0; q];
+            for (c, slot) in next.iter_mut().enumerate() {
+                let b = self.pinned_activity(i, c as Spin, pins);
+                if b == 0.0 {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for (cp, &f) in cur.iter().enumerate() {
+                    acc += f * a.get(cp as Spin, c as Spin);
+                }
+                *slot = b * acc;
+            }
+            log_scale += rescale(&mut next);
+            layers.push(next.clone());
+            cur = next;
+        }
+        (layers, log_scale)
+    }
+
+    /// Backward messages (same rescaling convention).
+    fn backward(&self, pins: &[(VertexId, Spin)]) -> Vec<Vec<f64>> {
+        let q = self.mrf.q();
+        let n = self.order.len();
+        let mut layers = vec![vec![0.0; q]; n];
+        let mut cur = vec![1.0; q];
+        rescale(&mut cur);
+        layers[n - 1] = cur.clone();
+        for i in (0..n - 1).rev() {
+            let a = self.mrf.edge_activity(self.edges[i]);
+            let mut prev = vec![0.0; q];
+            for (c, slot) in prev.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (cn, &bk) in cur.iter().enumerate() {
+                    let b = self.pinned_activity(i + 1, cn as Spin, pins);
+                    acc += a.get(c as Spin, cn as Spin) * b * bk;
+                }
+                *slot = acc;
+            }
+            rescale(&mut prev);
+            layers[i] = prev.clone();
+            cur = prev;
+        }
+        layers
+    }
+
+    /// Natural log of the partition function `ln Z`.
+    pub fn log_partition_function(&self) -> f64 {
+        let (layers, log_scale) = self.forward(&[]);
+        let last: f64 = layers.last().expect("nonempty path").iter().sum();
+        last.ln() + log_scale
+    }
+
+    /// Exact marginal `µ_v` (length-`q`, sums to 1); `None` if the model on
+    /// this path is infeasible.
+    pub fn marginal(&self, v: VertexId) -> Option<Vec<f64>> {
+        self.conditional_marginal(v, &[])
+    }
+
+    /// Exact conditional marginal `µ_v(· | pins)`; `None` if the pinned
+    /// event has zero probability.
+    pub fn conditional_marginal(
+        &self,
+        v: VertexId,
+        pins: &[(VertexId, Spin)],
+    ) -> Option<Vec<f64>> {
+        let (fwd, _) = self.forward(pins);
+        let bwd = self.backward(pins);
+        let i = self.position[v.index()];
+        let q = self.mrf.q();
+        let mut out = vec![0.0; q];
+        let mut mass = 0.0;
+        for c in 0..q {
+            let p = fwd[i][c] * bwd[i][c];
+            out[c] = p;
+            mass += p;
+        }
+        if !(mass > 0.0) {
+            return None;
+        }
+        for x in &mut out {
+            *x /= mass;
+        }
+        Some(out)
+    }
+}
+
+/// Rescales `layer` to sum 1 (if positive) and returns `ln(scale)`.
+fn rescale(layer: &mut [f64]) -> f64 {
+    let sum: f64 = layer.iter().sum();
+    if sum > 0.0 {
+        for x in layer.iter_mut() {
+            *x /= sum;
+        }
+        sum.ln()
+    } else {
+        0.0
+    }
+}
+
+/// Exact marginal of a vertex for an MRF on a simple *cycle*, by pinning
+/// the vertex and reducing to path DPs.
+///
+/// Returns `None` if the graph is not a simple cycle or the model is
+/// infeasible.
+pub fn cycle_marginal(mrf: &Mrf, v: VertexId) -> Option<Vec<f64>> {
+    let g = mrf.graph();
+    let order = cycle_order(g)?;
+    let n = order.len();
+    let q = mrf.q();
+    // Rotate order so v is first.
+    let pos = order.iter().position(|&u| u == v)?;
+    let rot: Vec<VertexId> = (0..n).map(|i| order[(pos + i) % n]).collect();
+    // Edge between rot[i] and rot[i+1], plus the closing edge rot[n-1]-rot[0].
+    let edge_between = |a: VertexId, b: VertexId| -> Option<EdgeId> {
+        g.incident_edges(a).find(|&(_, x)| x == b).map(|(e, _)| e)
+    };
+    let closing = edge_between(rot[n - 1], rot[0])?;
+    let mut log_weights = vec![f64::NEG_INFINITY; q];
+    for c in 0..q as Spin {
+        // Forward DP along the open path rot[0..n] with rot[0] pinned to c.
+        let b0 = mrf.vertex_activity(rot[0]).get(c);
+        if b0 == 0.0 {
+            continue;
+        }
+        let mut cur = vec![0.0; q];
+        cur[c as usize] = b0;
+        let mut log_scale = rescale(&mut cur);
+        for i in 1..n {
+            let e = edge_between(rot[i - 1], rot[i])?;
+            let a = mrf.edge_activity(e);
+            let mut next = vec![0.0; q];
+            for (cn, slot) in next.iter_mut().enumerate() {
+                let b = mrf.vertex_activity(rot[i]).get(cn as Spin);
+                if b == 0.0 {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for (cp, &f) in cur.iter().enumerate() {
+                    acc += f * a.get(cp as Spin, cn as Spin);
+                }
+                *slot = b * acc;
+            }
+            log_scale += rescale(&mut next);
+            cur = next;
+        }
+        // Close the cycle.
+        let a = mrf.edge_activity(closing);
+        let mut acc = 0.0;
+        for (cl, &f) in cur.iter().enumerate() {
+            acc += f * a.get(cl as Spin, c);
+        }
+        if acc > 0.0 {
+            log_weights[c as usize] = acc.ln() + log_scale;
+        }
+    }
+    // Normalize in log space to avoid overflow on long cycles.
+    let max_log = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max_log.is_finite() {
+        return None;
+    }
+    let mut weights: Vec<f64> = log_weights.iter().map(|&lw| (lw - max_log).exp()).collect();
+    let mass: f64 = weights.iter().sum();
+    for x in &mut weights {
+        *x /= mass;
+    }
+    Some(weights)
+}
+
+/// The worst-pair conditional total-variation influence of `u` on `v`
+/// along a path: `max dTV(µ_v(·|σ_u = a), µ_v(·|σ_u = b))` over spin pairs
+/// `(a, b)` whose marginal probability at `u` is at least `min_mass`.
+///
+/// This is the quantity whose exponential decay (paper eq. 28) drives the
+/// Ω(log n) lower bound; `min_mass` plays the role of the paper's δ.
+pub fn conditional_influence(
+    dp: &PathDp<'_>,
+    u: VertexId,
+    v: VertexId,
+    min_mass: f64,
+) -> Option<f64> {
+    let mu_u = dp.marginal(u)?;
+    let q = mu_u.len();
+    let conds: Vec<Option<Vec<f64>>> = (0..q as Spin)
+        .map(|a| {
+            if mu_u[a as usize] >= min_mass {
+                dp.conditional_marginal(v, &[(u, a)])
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut best: Option<f64> = None;
+    for a in 0..q {
+        for b in (a + 1)..q {
+            if let (Some(pa), Some(pb)) = (&conds[a], &conds[b]) {
+                let tv = 0.5
+                    * pa.iter()
+                        .zip(pb)
+                        .map(|(x, y)| (x - y).abs())
+                        .sum::<f64>();
+                best = Some(best.map_or(tv, |cur: f64| cur.max(tv)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::Enumeration;
+    use crate::models;
+    use lsl_graph::generators;
+
+    #[test]
+    fn path_order_detection() {
+        assert!(path_order(&generators::path(5)).is_some());
+        assert!(path_order(&generators::cycle(5)).is_none());
+        assert!(path_order(&generators::star(3)).is_none());
+        assert_eq!(path_order(&generators::path(1)).unwrap().len(), 1);
+        let order = path_order(&generators::path(4)).unwrap();
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn cycle_order_detection() {
+        assert!(cycle_order(&generators::cycle(6)).is_some());
+        assert!(cycle_order(&generators::path(6)).is_none());
+        // Two disjoint triangles: 2-regular but disconnected.
+        let g = lsl_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert!(cycle_order(&g).is_none());
+    }
+
+    #[test]
+    fn log_z_matches_enumeration() {
+        for q in [2usize, 3, 4] {
+            let mrf = models::proper_coloring(generators::path(5), q.max(2));
+            let dp = PathDp::new(&mrf).unwrap();
+            let exact = Enumeration::new(&mrf).unwrap();
+            let diff = (dp.log_partition_function() - exact.partition_function().ln()).abs();
+            assert!(diff < 1e-9, "q = {q}: diff = {diff}");
+        }
+        // Weighted model too.
+        let mrf = models::hardcore(generators::path(6), 0.7);
+        let dp = PathDp::new(&mrf).unwrap();
+        let exact = Enumeration::new(&mrf).unwrap();
+        assert!((dp.log_partition_function() - exact.partition_function().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_match_enumeration() {
+        let mrf = models::hardcore(generators::path(5), 1.3);
+        let dp = PathDp::new(&mrf).unwrap();
+        let exact = Enumeration::new(&mrf).unwrap();
+        for v in mrf.graph().vertices() {
+            let a = dp.marginal(v).unwrap();
+            let b = exact.marginal(v);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-10, "{v}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_marginals_match_enumeration() {
+        let mrf = models::proper_coloring(generators::path(6), 3);
+        let dp = PathDp::new(&mrf).unwrap();
+        let exact = Enumeration::new(&mrf).unwrap();
+        let pins = [(VertexId(1), 0 as Spin), (VertexId(4), 2 as Spin)];
+        for v in [VertexId(0), VertexId(2), VertexId(3), VertexId(5)] {
+            let a = dp.conditional_marginal(v, &pins).unwrap();
+            let b = exact.conditional_marginal(v, &pins).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_pin_returns_none() {
+        let mrf = models::proper_coloring(generators::path(3), 3);
+        let dp = PathDp::new(&mrf).unwrap();
+        // Adjacent vertices pinned to the same color: impossible.
+        let pins = [(VertexId(0), 1 as Spin), (VertexId(1), 1 as Spin)];
+        assert!(dp.conditional_marginal(VertexId(2), &pins).is_none());
+    }
+
+    #[test]
+    fn long_paths_are_stable() {
+        let mrf = models::proper_coloring(generators::path(2000), 3);
+        let dp = PathDp::new(&mrf).unwrap();
+        let m = dp.marginal(VertexId(1000)).unwrap();
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m.iter().all(|&p| p.is_finite() && p >= 0.0));
+        // ln Z = ln(3 * 2^1999).
+        let expect = 3.0f64.ln() + 1999.0 * 2.0f64.ln();
+        assert!((dp.log_partition_function() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_marginal_matches_enumeration() {
+        let mrf = models::hardcore(generators::cycle(6), 0.9);
+        let exact = Enumeration::new(&mrf).unwrap();
+        for v in mrf.graph().vertices() {
+            let a = cycle_marginal(&mrf, v).unwrap();
+            let b = exact.marginal(v);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-10, "{v}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_decays_exponentially_for_colorings() {
+        // Paper eq. (28): on a path with q = 3 the influence of σ_u on µ_v
+        // decays exponentially in dist(u, v) — and is nonzero at every
+        // distance.
+        let mrf = models::proper_coloring(generators::path(30), 3);
+        let dp = PathDp::new(&mrf).unwrap();
+        let u = VertexId(0);
+        let mut last = f64::INFINITY;
+        for d in [1u32, 3, 5, 8, 12] {
+            let v = VertexId(d);
+            let inf = conditional_influence(&dp, u, v, 0.05).unwrap();
+            assert!(inf > 0.0, "influence vanished at distance {d}");
+            assert!(inf < last, "influence not decreasing at distance {d}");
+            last = inf;
+        }
+        // Rate check: ratio between distances 5 and 8 ≈ η³ for some η < 1.
+        let i5 = conditional_influence(&dp, u, VertexId(5), 0.05).unwrap();
+        let i8 = conditional_influence(&dp, u, VertexId(8), 0.05).unwrap();
+        let eta = (i8 / i5).powf(1.0 / 3.0);
+        assert!(eta > 0.0 && eta < 1.0, "eta = {eta}");
+    }
+}

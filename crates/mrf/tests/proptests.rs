@@ -1,0 +1,161 @@
+//! Property-based tests for the MRF substrate.
+
+use lsl_graph::{generators, GraphBuilder, VertexId};
+use lsl_mrf::gibbs::{checked_pow, decode_config, encode_config, Enumeration};
+use lsl_mrf::transfer::PathDp;
+use lsl_mrf::{models, EdgeActivity, Mrf, Spin, VertexActivity};
+use proptest::prelude::*;
+
+/// Strategy: a small random simple graph.
+fn arb_graph() -> impl Strategy<Value = lsl_graph::Graph> {
+    (2usize..=5, proptest::collection::vec((0u32..5, 0u32..5), 0..8)).prop_map(|(n, pairs)| {
+        let mut b = GraphBuilder::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in pairs {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    })
+}
+
+/// Strategy: a small weighted MRF (soft Potts-like activities).
+fn arb_mrf() -> impl Strategy<Value = Mrf> {
+    (arb_graph(), 2usize..=3, 0.1f64..3.0, proptest::collection::vec(0.1f64..2.0, 3)).prop_map(
+        |(g, q, beta, bvals)| {
+            let b = VertexActivity::new(bvals[..q].to_vec()).expect("positive entries");
+            Mrf::homogeneous(g, EdgeActivity::potts(q, beta), b)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weight_consistent_with_log_weight(mrf in arb_mrf(), idx in 0usize..100) {
+        let n = mrf.num_vertices();
+        let q = mrf.q();
+        let total = checked_pow(q, n).unwrap();
+        let mut cfg = vec![0 as Spin; n];
+        decode_config(idx % total, q, &mut cfg);
+        let w = mrf.weight(&cfg);
+        let lw = mrf.log_weight(&cfg);
+        if w > 0.0 {
+            prop_assert!((w.ln() - lw).abs() < 1e-9);
+        } else {
+            prop_assert!(lw.is_infinite() && lw < 0.0);
+        }
+    }
+
+    #[test]
+    fn marginal_weights_match_weight_ratios(mrf in arb_mrf(), idx in 0usize..100) {
+        // Eq. (2): the conditional marginal weights are proportional to
+        // full configuration weights with only σ_v varying.
+        let n = mrf.num_vertices();
+        let q = mrf.q();
+        let total = checked_pow(q, n).unwrap();
+        let mut cfg = vec![0 as Spin; n];
+        decode_config(idx % total, q, &mut cfg);
+        for v in mrf.graph().vertices() {
+            let weights = mrf.marginal_weights(v, &cfg);
+            // Compare ratios against brute-force weights.
+            let mut brute = vec![0.0; q];
+            let mut scratch = cfg.clone();
+            for (c, slot) in brute.iter_mut().enumerate() {
+                scratch[v.index()] = c as Spin;
+                *slot = mrf.weight(&scratch);
+            }
+            // weights[c] * K == brute[c] for a positive constant K:
+            // cross-multiply pairs.
+            for a in 0..q {
+                for b in 0..q {
+                    let lhs = weights[a] * brute[b];
+                    let rhs = weights[b] * brute[a];
+                    let scale = lhs.abs().max(rhs.abs()).max(1e-300);
+                    prop_assert!((lhs - rhs).abs() / scale < 1e-9,
+                        "ratio mismatch at {v} colors {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_marginals_are_distributions(mrf in arb_mrf()) {
+        let e = Enumeration::new(&mrf).unwrap();
+        for v in mrf.graph().vertices() {
+            let m = e.marginal(v);
+            prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(m.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn pair_marginal_consistent_with_singles(mrf in arb_mrf()) {
+        let e = Enumeration::new(&mrf).unwrap();
+        let n = mrf.num_vertices();
+        if n >= 2 {
+            let (u, v) = (VertexId(0), VertexId(1));
+            let pair = e.pair_marginal(u, v);
+            let q = mrf.q();
+            // Row sums = marginal of u.
+            let mu = e.marginal(u);
+            for a in 0..q {
+                let row: f64 = (0..q).map(|b| pair[a * q + b]).sum();
+                prop_assert!((row - mu[a]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(n in 1usize..6, q in 2usize..4, idx in 0usize..500) {
+        let total = checked_pow(q, n).unwrap();
+        let mut cfg = vec![0 as Spin; n];
+        decode_config(idx % total, q, &mut cfg);
+        prop_assert_eq!(encode_config(&cfg, q), idx % total);
+    }
+
+    #[test]
+    fn transfer_matches_enumeration_on_random_path_models(
+        len in 3usize..7, q in 2usize..4, beta in 0.1f64..3.0
+    ) {
+        let mrf = models::potts(generators::path(len), q, beta);
+        let dp = PathDp::new(&mrf).unwrap();
+        let e = Enumeration::new(&mrf).unwrap();
+        for v in mrf.graph().vertices() {
+            let a = dp.marginal(v).unwrap();
+            let b = e.marginal(v);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hardcore_feasibility_is_independence(edges in proptest::collection::vec((0u32..5, 0u32..5), 0..8), bits in 0u32..32) {
+        let mut b = GraphBuilder::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in edges {
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let mrf = models::uniform_independent_set(g.clone());
+        let cfg: Vec<Spin> = (0..5).map(|i| (bits >> i) & 1).collect();
+        let mask: Vec<bool> = cfg.iter().map(|&s| s == 1).collect();
+        prop_assert_eq!(mrf.is_feasible(&cfg), g.is_independent_set(&mask));
+    }
+
+    #[test]
+    fn condition6_implies_well_defined_marginals(q in 3usize..5) {
+        // Condition (6) is strictly stronger than marginal
+        // well-definedness (paper §4.1).
+        let mrf = models::proper_coloring(generators::path(3), q);
+        if mrf.condition6_holds_exhaustive() {
+            prop_assert!(mrf.marginals_well_defined_exhaustive());
+        }
+    }
+}

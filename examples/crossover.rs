@@ -1,0 +1,52 @@
+//! The paper's headline crossover: LubyGlauber needs Θ(Δ log n) rounds
+//! while LocalMetropolis needs O(log n) — independent of Δ.
+//!
+//! This example measures grand-coupling coalescence rounds for both
+//! chains on random Δ-regular graphs with q = 4Δ colors, sweeping Δ.
+//!
+//! Run with: `cargo run --release --example crossover`
+
+use lsl::core::local_metropolis::LocalMetropolis;
+use lsl::core::luby_glauber::LubyGlauber;
+use lsl::core::mixing::coalescence_summary;
+use lsl::core::Chain;
+use lsl::graph::generators;
+use lsl::mrf::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 128;
+    let trials = 3;
+    println!("n = {n}, q = 4Δ, {trials} coupling trials per point");
+    println!("{:>4} {:>6} {:>22} {:>22}", "Δ", "q", "LubyGlauber rounds", "LocalMetropolis rounds");
+    for delta in [4usize, 8, 12, 16] {
+        let q = 4 * delta;
+        let mut rng = StdRng::seed_from_u64(delta as u64);
+        let g = generators::random_regular(n, delta, &mut rng);
+        let mrf = models::proper_coloring(g, q);
+        let (lg, _) = coalescence_summary(
+            |s| {
+                let mut c = LubyGlauber::new(&mrf);
+                c.set_state(s);
+                c
+            },
+            &mrf,
+            trials,
+            1_000_000,
+            11,
+        );
+        let (lm, _) = coalescence_summary(
+            |s| LocalMetropolis::with_state(&mrf, s.to_vec()),
+            &mrf,
+            trials,
+            1_000_000,
+            12,
+        );
+        println!(
+            "{delta:>4} {q:>6} {:>18.1} ±{:<6.1} {:>15.1} ±{:<6.1}",
+            lg.mean, lg.std_error, lm.mean, lm.std_error
+        );
+    }
+    println!("\nLubyGlauber grows with Δ; LocalMetropolis stays flat (Thm 1.1 vs Thm 1.2).");
+}

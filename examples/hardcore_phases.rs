@@ -1,0 +1,58 @@
+//! The Ω(diam) lower bound, end to end (paper §5.1).
+//!
+//! Builds the gadget-lifted even cycle H^G, computes the **exact** law of
+//! its hardcore phase vector by block transfer matrices, and contrasts it
+//! with what a truncated local sampler produces: the Gibbs law encodes a
+//! maximum cut of the cycle (a global signal), the local sampler cannot.
+//!
+//! Run with: `cargo run --release --example hardcore_phases`
+
+use lsl::lowerbound::exact_phases::ExactPhaseDistribution;
+use lsl::lowerbound::experiment::local_protocol_phase_stats;
+use lsl::lowerbound::gadget::GadgetParams;
+use lsl::lowerbound::lifted::LiftedCycle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = GadgetParams {
+        side: 10,
+        terminals: 4,
+        delta: 4,
+    };
+    let m = 6;
+    let lambda = 10.0; // λ_c(4) = 27/16 ≈ 1.69: deep in non-uniqueness
+    let mut rng = StdRng::seed_from_u64(1);
+    let lifted = LiftedCycle::build_selected(m, params, lambda, 4, &mut rng);
+    println!(
+        "lifted cycle: m = {m} gadgets x {} vertices = {} total, Δ-regular with Δ = {}",
+        lifted.gadget().num_vertices(),
+        lifted.graph().num_vertices(),
+        lifted.graph().max_degree()
+    );
+
+    let exact = ExactPhaseDistribution::compute(&lifted, lambda);
+    let (p_plus, p_minus) = exact.max_cut_probabilities();
+    println!("\nexact Gibbs phase law at λ = {lambda}:");
+    println!("  total max-cut mass      = {:.4}", exact.max_cut_mass());
+    println!("  the two max cuts        = {p_plus:.4} / {p_minus:.4} (equal by symmetry)");
+    println!("  any-tie mass            = {:.4}", exact.tie_mass());
+    println!(
+        "  antipodal conditional gap |P(+|+) - P(+|-)| = {:.4}  <- the global signal",
+        exact.conditional_gap().unwrap()
+    );
+
+    println!("\ntruncated local samplers (t rounds << diam):");
+    for t in [0usize, 1, 2] {
+        let stats = local_protocol_phase_stats(&lifted, lambda, t, 2000, 5);
+        println!(
+            "  t = {t}: max-cut fraction = {:.4}, conditional gap = {}",
+            stats.max_cut_fraction(),
+            stats
+                .conditional_gap()
+                .map_or("n/a".to_string(), |g| format!("{g:.4}"))
+        );
+    }
+    println!("\nThe local sampler's antipodal phases stay independent (gap ≈ 0):");
+    println!("sampling this distribution requires Ω(diam) rounds (Theorem 1.3).");
+}

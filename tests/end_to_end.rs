@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full pipeline from graph
+//! generation through LOCAL-model protocol execution to distributional
+//! validation against exact ground truth.
+
+use lsl::analysis::EmpiricalDistribution;
+use lsl::core::local_metropolis::LocalMetropolis;
+use lsl::core::luby_glauber::LubyGlauber;
+use lsl::core::programs::{LocalMetropolisProgram, LubyGlauberProgram};
+use lsl::core::single_site::GlauberChain;
+use lsl::core::Chain;
+use lsl::graph::{generators, traversal};
+use lsl::local::rng::Xoshiro256pp;
+use lsl::local::runtime::Simulator;
+use lsl::mrf::gibbs::{encode_config, Enumeration};
+use lsl::mrf::models;
+use std::sync::Arc;
+
+/// End-to-end: LOCAL protocol on a cycle samples the exact Gibbs law.
+#[test]
+fn local_protocol_matches_exact_gibbs() {
+    let mrf = models::proper_coloring(generators::cycle(4), 3);
+    let exact = Enumeration::new(&mrf).unwrap();
+    let graph = mrf.graph_arc();
+    let mut emp = EmpiricalDistribution::new();
+    for rep in 0..6000u64 {
+        let sim = Simulator::new(Arc::clone(&graph), 40_000 + rep);
+        let run = sim.run_with::<LubyGlauberProgram>(150, &mrf);
+        emp.record(encode_config(&run.outputs, 3));
+    }
+    let tv = emp.tv_against_dense(&exact.distribution());
+    assert!(tv < 0.05, "LOCAL LubyGlauber tv = {tv}");
+}
+
+/// The two execution surfaces (direct chain vs LOCAL program) target the
+/// same distribution.
+#[test]
+fn direct_and_local_surfaces_agree() {
+    let mrf = models::hardcore(generators::path(3), 1.2);
+    let q = 2;
+    let steps = 60;
+    let reps = 8000u64;
+
+    let mut emp_direct = EmpiricalDistribution::new();
+    for rep in 0..reps {
+        let mut chain = LocalMetropolis::new(&mrf);
+        let mut rng = Xoshiro256pp::seed_from(rep);
+        chain.run(steps, &mut rng);
+        emp_direct.record(encode_config(chain.state(), q));
+    }
+
+    let graph = mrf.graph_arc();
+    let mut emp_local = EmpiricalDistribution::new();
+    for rep in 0..reps {
+        let sim = Simulator::new(Arc::clone(&graph), 70_000 + rep);
+        let run = sim.run_with::<LocalMetropolisProgram>(steps, &mrf);
+        emp_local.record(encode_config(&run.outputs, q));
+    }
+
+    let tv = emp_direct.tv_against(&emp_local);
+    assert!(tv < 0.03, "surfaces disagree: tv = {tv}");
+}
+
+/// Sampling on a multigraph (parallel edges from the §5.1 lift): every
+/// chain respects the doubled constraints.
+#[test]
+fn chains_handle_multigraphs() {
+    let g = lsl::graph::Graph::from_edges(4, &[(0, 1), (0, 1), (1, 2), (2, 3), (3, 0)]);
+    let mrf = models::proper_coloring(g, 5);
+    let mut rng = Xoshiro256pp::seed_from(3);
+    let mut lm = LocalMetropolis::new(&mrf);
+    lm.run(100, &mut rng);
+    assert!(mrf.is_feasible(lm.state()));
+    let mut lg = LubyGlauber::new(&mrf);
+    lg.run(100, &mut rng);
+    assert!(mrf.is_feasible(lg.state()));
+}
+
+/// The full lower-bound pipeline: build gadget + lift, check structure,
+/// compute the exact phase law, and confirm the global/local separation.
+#[test]
+fn lower_bound_pipeline() {
+    use lsl::lowerbound::exact_phases::ExactPhaseDistribution;
+    use lsl::lowerbound::gadget::GadgetParams;
+    use lsl::lowerbound::lifted::LiftedCycle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let lifted = LiftedCycle::build_selected(
+        6,
+        GadgetParams {
+            side: 8,
+            terminals: 4,
+            delta: 4,
+        },
+        10.0,
+        3,
+        &mut rng,
+    );
+    // Structure: Δ-regular, connected, diameter at least m/2.
+    assert!(lifted.graph().is_regular());
+    assert_eq!(lifted.graph().max_degree(), 4);
+    assert!(traversal::is_connected(lifted.graph()));
+    assert!(traversal::diameter(lifted.graph()).unwrap() >= 3);
+    // Exact law: max cuts dominate and balance.
+    let d = ExactPhaseDistribution::compute(&lifted, 10.0);
+    let (p1, p2) = d.max_cut_probabilities();
+    assert!(d.max_cut_mass() > 0.8, "mass = {}", d.max_cut_mass());
+    assert!((p1 - p2).abs() / (p1 + p2) < 1e-9);
+}
+
+/// Glauber on the lifted graph stays within independent sets — the MCMC
+/// surrogate runs cleanly even where it cannot equilibrate.
+#[test]
+fn glauber_on_lifted_graph_is_sound() {
+    use lsl::lowerbound::gadget::GadgetParams;
+    use lsl::lowerbound::lifted::LiftedCycle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let lifted = LiftedCycle::build(
+        4,
+        GadgetParams {
+            side: 6,
+            terminals: 2,
+            delta: 3,
+        },
+        &mut rng,
+    );
+    let mrf = models::hardcore(lifted.graph().clone(), 4.0);
+    let mut chain = GlauberChain::new(&mrf);
+    let mut x = Xoshiro256pp::seed_from(8);
+    chain.run(20_000, &mut x);
+    assert!(mrf.is_feasible(chain.state()));
+    let phases = lifted.phases(chain.state());
+    assert_eq!(phases.len(), 4);
+}
+
+/// Determinism across the whole stack: same seed, same everything.
+#[test]
+fn whole_stack_determinism() {
+    let mrf = models::proper_coloring(generators::torus(5, 5), 12);
+    let sim = Simulator::new(mrf.graph_arc(), 123);
+    let a = sim.run_with::<LocalMetropolisProgram>(40, &mrf);
+    let b = sim.run_with::<LocalMetropolisProgram>(40, &mrf);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.stats, b.stats);
+
+    let mut c1 = LubyGlauber::new(&mrf);
+    let mut c2 = LubyGlauber::new(&mrf);
+    let mut r1 = Xoshiro256pp::seed_from(55);
+    let mut r2 = Xoshiro256pp::seed_from(55);
+    c1.run(50, &mut r1);
+    c2.run(50, &mut r2);
+    assert_eq!(c1.state(), c2.state());
+}
+
+/// The theory module's thresholds govern the measured chains: at q above
+/// the Dobrushin bound the LubyGlauber coupling coalesces within the
+/// Theorem 3.2 budget (with slack for the surrogate's constants).
+#[test]
+fn theory_budget_covers_measured_coalescence() {
+    use lsl::analysis::theory;
+    use lsl::core::mixing::coalescence_summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 64;
+    let delta = 4;
+    let q = 12; // α = 4/8 = 0.5
+    let mut rng = StdRng::seed_from_u64(77);
+    let g = generators::random_regular(n, delta, &mut rng);
+    let mrf = models::proper_coloring(g, q);
+    let (summary, timeouts) = coalescence_summary(
+        |s| {
+            let mut c = LubyGlauber::new(&mrf);
+            c.set_state(s);
+            c
+        },
+        &mrf,
+        3,
+        1_000_000,
+        5,
+    );
+    assert_eq!(timeouts, 0);
+    let alpha = delta as f64 / (q - delta) as f64;
+    let budget = theory::luby_glauber_mixing_bound(n, 0.01, alpha, theory::luby_gamma(delta));
+    assert!(
+        summary.mean < 4.0 * budget as f64,
+        "measured {} vs budget {budget}",
+        summary.mean
+    );
+}
