@@ -154,7 +154,13 @@ impl Kernel {
     /// Exact mixing time `τ(ε) = min { t : d(t) ≤ ε }` by stepping the
     /// worst-start TV curve, up to `max_t`. Returns `None` if not mixed
     /// within the horizon.
-    pub fn mixing_time(&self, pi: &[f64], eps: f64, max_t: usize, starts: Option<&[usize]>) -> Option<usize> {
+    pub fn mixing_time(
+        &self,
+        pi: &[f64],
+        eps: f64,
+        max_t: usize,
+        starts: Option<&[usize]>,
+    ) -> Option<usize> {
         let all: Vec<usize>;
         let starts_slice = match starts {
             Some(s) => s,
@@ -173,10 +179,7 @@ impl Kernel {
             })
             .collect();
         for t in 0..=max_t {
-            let worst = dists
-                .iter()
-                .map(|d| tv_distance(d, pi))
-                .fold(0.0, f64::max);
+            let worst = dists.iter().map(|d| tv_distance(d, pi)).fold(0.0, f64::max);
             if worst <= eps {
                 return Some(t);
             }
@@ -264,11 +267,7 @@ mod tests {
     use super::*;
 
     fn two_state(p: f64, q: f64) -> Kernel {
-        Kernel::new(vec![
-            vec![(0, 1.0 - p), (1, p)],
-            vec![(0, q), (1, 1.0 - q)],
-        ])
-        .unwrap()
+        Kernel::new(vec![vec![(0, 1.0 - p), (1, p)], vec![(0, q), (1, 1.0 - q)]]).unwrap()
     }
 
     #[test]

@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn autocorrelation_signs() {
         // Alternating series: strong negative lag-1 autocorrelation.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&alt, 1) < -0.9);
         // Constant series: defined as 0.
         assert_eq!(autocorrelation(&[2.0; 50], 1), 0.0);

@@ -21,7 +21,10 @@
 /// Panics unless `0 < gamma <= 1`, `0 <= alpha < 1`, `eps > 0`, `n >= 1`.
 pub fn luby_glauber_mixing_bound(n: usize, eps: f64, alpha: f64, gamma: f64) -> usize {
     assert!(n >= 1 && eps > 0.0, "need n >= 1 and eps > 0");
-    assert!((0.0..1.0).contains(&alpha), "Dobrushin alpha must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "Dobrushin alpha must be in [0,1)"
+    );
     assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
     let n = n as f64;
     let t1 = ((4.0 * n / eps).ln() / gamma).ceil();

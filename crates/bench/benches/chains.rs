@@ -68,14 +68,18 @@ fn bench_degree_scaling(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(delta as u64);
         let g = generators::random_regular(256, delta, &mut rng);
         let mrf = models::proper_coloring(g, 4 * delta);
-        group.bench_with_input(BenchmarkId::new("local_metropolis", delta), &delta, |b, _| {
-            let mut chain = LocalMetropolis::new(&mrf);
-            let mut x = Xoshiro256pp::seed_from(9);
-            b.iter(|| {
-                chain.step(&mut x);
-                black_box(chain.state()[0])
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("local_metropolis", delta),
+            &delta,
+            |b, _| {
+                let mut chain = LocalMetropolis::new(&mrf);
+                let mut x = Xoshiro256pp::seed_from(9);
+                b.iter(|| {
+                    chain.step(&mut x);
+                    black_box(chain.state()[0])
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("luby_glauber", delta), &delta, |b, _| {
             let mut chain = LubyGlauber::new(&mrf);
             let mut x = Xoshiro256pp::seed_from(10);

@@ -1,0 +1,152 @@
+//! Throughput bench: step-engine backends on a 256×256 torus coloring.
+//!
+//! Measures steps·vertices/sec for one LocalMetropolis chain under the
+//! Sequential and Parallel backends, and per-replica throughput for the
+//! batched Replicas backend in both modes:
+//!
+//! * **iid** — independent masters (the TV-estimation workload);
+//! * **coupled** — one shared master (the grand-coupling workload), where
+//!   the batch computes each round's proposal randomness once for all
+//!   copies instead of once per copy.
+//!
+//! Results are printed as TSV and recorded to `BENCH_step_engine.json`
+//! at the workspace root. `quick` as an argument (or `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs.
+
+use lsl_core::coupling::adversarial_starts;
+use lsl_core::engine::replicas::ReplicaSet;
+use lsl_core::engine::rules::LocalMetropolisRule;
+use lsl_core::engine::{Backend, SyncChain};
+use lsl_mrf::models;
+use std::time::Instant;
+
+struct Row {
+    backend: &'static str,
+    mode: &'static str,
+    replicas: usize,
+    rounds: usize,
+    secs: f64,
+    steps_vertices_per_sec: f64,
+}
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, replicas, repeats) = if quick {
+        (64, 4, 4, 2)
+    } else {
+        (256, 12, 8, 3)
+    };
+    let mrf = models::proper_coloring(lsl_graph::generators::torus(side, side), 16);
+    let n = mrf.num_vertices();
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // One chain, Sequential backend.
+    {
+        let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 1);
+        chain.run(2); // warm up
+        let secs = best_secs(repeats, || chain.run(rounds));
+        rows.push(Row {
+            backend: "sequential",
+            mode: "single-chain",
+            replicas: 1,
+            rounds,
+            secs,
+            steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+        });
+    }
+
+    // One chain, Parallel backend (bit-identical trajectory).
+    {
+        let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 1);
+        chain.set_backend(Backend::Parallel { threads: 0 });
+        chain.run(2);
+        let secs = best_secs(repeats, || chain.run(rounds));
+        rows.push(Row {
+            backend: "parallel",
+            mode: "single-chain",
+            replicas: 1,
+            rounds,
+            secs,
+            steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+        });
+    }
+
+    // Batched replicas, independent masters (per-replica throughput).
+    {
+        let mut set = ReplicaSet::independent(&mrf, LocalMetropolisRule::new(), replicas, 2);
+        set.run(1);
+        let secs = best_secs(repeats, || set.run(rounds));
+        rows.push(Row {
+            backend: "replicas",
+            mode: "iid",
+            replicas,
+            rounds,
+            secs,
+            steps_vertices_per_sec: rounds as f64 * n as f64 * replicas as f64 / secs,
+        });
+    }
+
+    // Batched replicas, one shared master: the grand coupling, where the
+    // propose phase is computed once per round for the whole batch.
+    {
+        let starts = adversarial_starts(&mrf, replicas.saturating_sub(2), 5);
+        let mut set = ReplicaSet::coupled(&mrf, LocalMetropolisRule::new(), &starts, 3);
+        set.run(1);
+        let b = starts.len();
+        let secs = best_secs(repeats, || set.run(rounds));
+        rows.push(Row {
+            backend: "replicas",
+            mode: "coupled",
+            replicas: b,
+            rounds,
+            secs,
+            steps_vertices_per_sec: rounds as f64 * n as f64 * b as f64 / secs,
+        });
+    }
+
+    println!("# step-engine throughput, {side}x{side} torus, q=16, {threads} thread(s)");
+    println!("backend\tmode\treplicas\trounds\tsecs\tsteps_vertices_per_sec");
+    for r in &rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{:.4}\t{:.3e}",
+            r.backend, r.mode, r.replicas, r.rounds, r.secs, r.steps_vertices_per_sec
+        );
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"replicas\": {}, \"rounds\": {}, \"secs\": {:.6}, \"steps_vertices_per_sec\": {:.1}}}",
+                r.backend, r.mode, r.replicas, r.rounds, r.secs, r.steps_vertices_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"step_engine_throughput\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_engine.json");
+    if quick {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# quick run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

@@ -22,8 +22,14 @@ fn main() {
 
     // Transfer vs enumeration (paths).
     for (name, mrf) in [
-        ("path5:coloring q3", models::proper_coloring(generators::path(5), 3)),
-        ("path6:hardcore λ1.3", models::hardcore(generators::path(6), 1.3)),
+        (
+            "path5:coloring q3",
+            models::proper_coloring(generators::path(5), 3),
+        ),
+        (
+            "path6:hardcore λ1.3",
+            models::hardcore(generators::path(6), 1.3),
+        ),
         ("path5:ising β0.7", models::ising(generators::path(5), 0.7)),
     ] {
         let dp = PathDp::new(&mrf).unwrap();
@@ -80,13 +86,17 @@ fn main() {
     }
 
     // Condition (6) truth table.
-    for (q, delta_graph) in [(3usize, generators::path(3)), (4, generators::path(3)),
-                             (3, generators::star(3)), (4, generators::star(3)),
-                             (5, generators::star(3))] {
+    for (q, delta_graph) in [
+        (3usize, generators::path(3)),
+        (4, generators::path(3)),
+        (3, generators::star(3)),
+        (4, generators::star(3)),
+        (5, generators::star(3)),
+    ] {
         let delta = delta_graph.max_degree();
         let mrf = models::proper_coloring(delta_graph, q);
         let holds = mrf.condition6_holds_exhaustive();
-        let paper = q >= delta + 1 && q >= 3;
+        let paper = q > delta && q >= 3;
         row(&[
             "condition6".into(),
             format!("Δ={delta} q={q}"),

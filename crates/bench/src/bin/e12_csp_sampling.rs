@@ -70,7 +70,10 @@ fn main() {
     }
 
     // MIS invariance: exact-uniform start stays uniform.
-    for (name, graph) in [("cycle5", generators::cycle(5)), ("path5", generators::path(5))] {
+    for (name, graph) in [
+        ("cycle5", generators::cycle(5)),
+        ("path5", generators::path(5)),
+    ] {
         let csp = Csp::maximal_independent_set(Arc::new(graph));
         let sols = csp.enumerate();
         let steps = 30;

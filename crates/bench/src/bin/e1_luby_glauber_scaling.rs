@@ -10,9 +10,8 @@
 
 use lsl_analysis::theory;
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::luby_glauber::LubyGlauber;
-use lsl_core::mixing::coalescence_summary;
-use lsl_core::Chain;
+use lsl_core::engine::rules::LubyGlauberRule;
+use lsl_core::mixing::coalescence_summary_batched;
 use lsl_graph::generators;
 use lsl_mrf::models;
 use rand::rngs::StdRng;
@@ -22,17 +21,10 @@ fn measure(n: usize, delta: usize, q: usize, trials: usize, seed: u64) -> (f64, 
     let mut rng = StdRng::seed_from_u64(seed);
     let g = generators::random_regular(n, delta, &mut rng);
     let mrf = models::proper_coloring(g, q);
-    let (summary, timeouts) = coalescence_summary(
-        |s| {
-            let mut c = LubyGlauber::new(&mrf);
-            c.set_state(s);
-            c
-        },
-        &mrf,
-        trials,
-        2_000_000,
-        seed,
-    );
+    // Grand couplings run as coupled replica sets on the step engine:
+    // each round's shared randomness is computed once for all copies.
+    let (summary, timeouts) =
+        coalescence_summary_batched(&mrf, &LubyGlauberRule::luby(), trials, 2_000_000, seed);
     (summary.mean, summary.std_error, timeouts)
 }
 
@@ -49,7 +41,8 @@ fn main() {
     for delta in [4usize, 6, 8, 12, 16] {
         let q = (5 * delta).div_ceil(2);
         let alpha = delta as f64 / (q - delta) as f64;
-        let bound = theory::luby_glauber_mixing_bound(n_fixed, 0.01, alpha, theory::luby_gamma(delta));
+        let bound =
+            theory::luby_glauber_mixing_bound(n_fixed, 0.01, alpha, theory::luby_gamma(delta));
         let (mean, se, timeouts) = measure(n_fixed, delta, q, trials, 100 + delta as u64);
         row(&[
             "A:vs_delta".into(),
@@ -67,7 +60,8 @@ fn main() {
     let q = 15;
     for n in scaled(vec![64usize, 128, 256, 512, 1024], vec![64, 128]) {
         let alpha = delta_fixed as f64 / (q - delta_fixed) as f64;
-        let bound = theory::luby_glauber_mixing_bound(n, 0.01, alpha, theory::luby_gamma(delta_fixed));
+        let bound =
+            theory::luby_glauber_mixing_bound(n, 0.01, alpha, theory::luby_gamma(delta_fixed));
         let (mean, se, timeouts) = measure(n, delta_fixed, q, trials, 200 + n as u64);
         row(&[
             "B:vs_n".into(),

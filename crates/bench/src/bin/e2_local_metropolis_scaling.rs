@@ -7,10 +7,8 @@
 //! Series B: rounds vs n at fixed Δ — expect logarithmic growth.
 
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::local_metropolis::LocalMetropolis;
-use lsl_core::luby_glauber::LubyGlauber;
-use lsl_core::mixing::coalescence_summary;
-use lsl_core::Chain;
+use lsl_core::engine::rules::{LocalMetropolisRule, LubyGlauberRule};
+use lsl_core::mixing::coalescence_summary_batched;
 use lsl_graph::generators;
 use lsl_mrf::models;
 use rand::rngs::StdRng;
@@ -31,16 +29,13 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(300 + delta as u64);
         let g = generators::random_regular(n_fixed, delta, &mut rng);
         let mrf = models::proper_coloring(g, q);
-        let (lm, lm_to) = {
-            let (s, t) = coalescence_summary(
-                |st| LocalMetropolis::with_state(&mrf, st.to_vec()),
-                &mrf,
-                trials,
-                500_000,
-                71 + delta as u64,
-            );
-            (s, t)
-        };
+        let (lm, lm_to) = coalescence_summary_batched(
+            &mrf,
+            &LocalMetropolisRule::new(),
+            trials,
+            500_000,
+            71 + delta as u64,
+        );
         row(&[
             "A:vs_delta".into(),
             "LocalMetropolis".into(),
@@ -51,13 +46,9 @@ fn main() {
             f(lm.std_error),
             lm_to.to_string(),
         ]);
-        let (lg, lg_to) = coalescence_summary(
-            |st| {
-                let mut c = LubyGlauber::new(&mrf);
-                c.set_state(st);
-                c
-            },
+        let (lg, lg_to) = coalescence_summary_batched(
             &mrf,
+            &LubyGlauberRule::luby(),
             trials,
             2_000_000,
             72 + delta as u64,
@@ -80,9 +71,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(400 + n as u64);
         let g = generators::random_regular(n, delta_fixed, &mut rng);
         let mrf = models::proper_coloring(g, q);
-        let (s, t) = coalescence_summary(
-            |st| LocalMetropolis::with_state(&mrf, st.to_vec()),
+        let (s, t) = coalescence_summary_batched(
             &mrf,
+            &LocalMetropolisRule::new(),
             trials,
             500_000,
             73 + n as u64,

@@ -9,7 +9,9 @@
 //! hold exactly.
 
 use lsl_bench::{f, header, header_row, row};
-use lsl_core::kernel::{glauber_kernel, local_metropolis_kernel, luby_glauber_kernel, luby_set_distribution};
+use lsl_core::kernel::{
+    glauber_kernel, local_metropolis_kernel, luby_glauber_kernel, luby_set_distribution,
+};
 use lsl_graph::generators;
 use lsl_mrf::gibbs::Enumeration;
 use lsl_mrf::models;
@@ -50,14 +52,34 @@ fn main() {
         "E3: exact stationarity & reversibility (Prop 3.1, Thm 4.1)",
         "kernels constructed exactly; residuals should be ~1e-15 (float zero)",
     ]);
-    header_row("model,chain,stationarity_residual,detailed_balance_residual,spectral_gap,tau(0.01)");
-    report("coloring:P3,q=3", &models::proper_coloring(generators::path(3), 3));
-    report("coloring:C4,q=4", &models::proper_coloring(generators::cycle(4), 4));
-    report("coloring:star3,q=4", &models::proper_coloring(generators::star(3), 4));
-    report("hardcore:P3,λ=1.5", &models::hardcore(generators::path(3), 1.5));
-    report("hardcore:C4,λ=0.8", &models::hardcore(generators::cycle(4), 0.8));
+    header_row(
+        "model,chain,stationarity_residual,detailed_balance_residual,spectral_gap,tau(0.01)",
+    );
+    report(
+        "coloring:P3,q=3",
+        &models::proper_coloring(generators::path(3), 3),
+    );
+    report(
+        "coloring:C4,q=4",
+        &models::proper_coloring(generators::cycle(4), 4),
+    );
+    report(
+        "coloring:star3,q=4",
+        &models::proper_coloring(generators::star(3), 4),
+    );
+    report(
+        "hardcore:P3,λ=1.5",
+        &models::hardcore(generators::path(3), 1.5),
+    );
+    report(
+        "hardcore:C4,λ=0.8",
+        &models::hardcore(generators::cycle(4), 0.8),
+    );
     report("ising:P3,β=0.5", &models::ising(generators::path(3), 0.5));
-    report("potts:C3,q=3,β=0.3", &models::potts(generators::cycle(3), 3, 0.3));
+    report(
+        "potts:C3,q=3,β=0.3",
+        &models::potts(generators::cycle(3), 3, 0.3),
+    );
     report(
         "listcol:P3",
         &models::list_coloring(

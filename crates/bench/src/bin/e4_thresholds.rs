@@ -14,7 +14,10 @@ fn main() {
     header(&[
         "E4: coupling-contraction thresholds (Lemma 4.4, Lemma 4.5, §4.2.1)",
         &format!("alpha_star = {:.6} (paper: 3.634...)", theory::alpha_star()),
-        &format!("ideal threshold = {:.6} (paper: 2+sqrt2)", theory::ideal_threshold()),
+        &format!(
+            "ideal threshold = {:.6} (paper: 2+sqrt2)",
+            theory::ideal_threshold()
+        ),
     ]);
     header_row("series,alpha,delta,local_margin,global_margin,ideal_disagreement");
 

@@ -37,7 +37,12 @@ fn main() {
         ]);
     }
     let eta = fit_eta(&curve).unwrap_or(f64::NAN);
-    row(&["A:eta_fit".into(), "-".into(), f(eta), "paper: η = 1/2".into()]);
+    row(&[
+        "A:eta_fit".into(),
+        "-".into(),
+        f(eta),
+        "paper: η = 1/2".into(),
+    ]);
 
     for &d in &distances {
         let joint = pair_joint(&mrf, VertexId(0), VertexId(d));
@@ -59,7 +64,7 @@ fn main() {
         let exact_pair = pair_joint(&mrf, VertexId(0), VertexId(d));
         let defect = independence_defect(&exact_pair, 3);
         for t in [0usize, 1, 2, 3, 4, 6, 8, 12, 16] {
-            let mut counts = vec![0usize; 9];
+            let mut counts = [0usize; 9];
             for rep in 0..runs {
                 let sim = Simulator::new(mrf.graph_arc(), 9000 + 31 * d as u64 + rep);
                 let run = sim.run_with::<lsl_core::programs::LubyGlauberProgram>(t, &mrf);
@@ -77,7 +82,10 @@ fn main() {
                 format!("C:pair_tv_d{d}"),
                 t.to_string(),
                 f(tv),
-                format!("defect_floor={:.4}; dependence possible once 2t>={d}", defect),
+                format!(
+                    "defect_floor={:.4}; dependence possible once 2t>={d}",
+                    defect
+                ),
             ]);
         }
     }

@@ -91,7 +91,9 @@ fn analyze(gadget: &Gadget, lambda: f64) -> (f64, [PhaseReport; 2]) {
             max_cov,
         });
     }
-    let [a, b] = <[PhaseReport; 2]>::try_from(reports).ok().expect("two phases");
+    let [a, b] = <[PhaseReport; 2]>::try_from(reports)
+        .ok()
+        .expect("two phases");
     (z[2] / total, [a, b])
 }
 

@@ -73,9 +73,7 @@ fn main() {
             f(stats.max_cut_fraction()),
             "-".into(),
             f(stats.ties as f64 / stats.total as f64),
-            stats
-                .conditional_gap()
-                .map_or("-".into(), |g| f(g)),
+            stats.conditional_gap().map_or("-".into(), f),
         ]);
     }
 }

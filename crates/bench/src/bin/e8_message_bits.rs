@@ -36,7 +36,10 @@ fn main() {
             "LubyGlauber".into(),
             rounds.to_string(),
             a.stats.max_message_bits.to_string(),
-            format!("{:.1}", a.stats.total_bits as f64 / a.stats.messages.max(1) as f64),
+            format!(
+                "{:.1}",
+                a.stats.total_bits as f64 / a.stats.messages.max(1) as f64
+            ),
             format!("{:.1}", (n as f64).log2()),
         ]);
         let b = sim.run_with::<LocalMetropolisProgram>(rounds, &mrf);
@@ -47,7 +50,10 @@ fn main() {
             "LocalMetropolis".into(),
             rounds.to_string(),
             b.stats.max_message_bits.to_string(),
-            format!("{:.1}", b.stats.total_bits as f64 / b.stats.messages.max(1) as f64),
+            format!(
+                "{:.1}",
+                b.stats.total_bits as f64 / b.stats.messages.max(1) as f64
+            ),
             format!("{:.1}", (n as f64).log2()),
         ]);
     }

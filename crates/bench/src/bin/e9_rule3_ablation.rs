@@ -40,10 +40,25 @@ fn main() {
         "full chain: residuals ~ 0; ablated: irreversible + wrong stationary law",
     ]);
     header_row("model,variant,detailed_balance_residual,tv(stationary;gibbs)");
-    report("coloring:P2,q=3", &models::proper_coloring(generators::path(2), 3));
-    report("coloring:P3,q=3", &models::proper_coloring(generators::path(3), 3));
-    report("coloring:C3,q=3", &models::proper_coloring(generators::complete(3), 3));
-    report("coloring:star3,q=4", &models::proper_coloring(generators::star(3), 4));
-    report("hardcore:P3,λ=1.5", &models::hardcore(generators::path(3), 1.5));
+    report(
+        "coloring:P2,q=3",
+        &models::proper_coloring(generators::path(2), 3),
+    );
+    report(
+        "coloring:P3,q=3",
+        &models::proper_coloring(generators::path(3), 3),
+    );
+    report(
+        "coloring:C3,q=3",
+        &models::proper_coloring(generators::complete(3), 3),
+    );
+    report(
+        "coloring:star3,q=4",
+        &models::proper_coloring(generators::star(3), 4),
+    );
+    report(
+        "hardcore:P3,λ=1.5",
+        &models::hardcore(generators::path(3), 1.5),
+    );
     report("ising:P3,β=0.5", &models::ising(generators::path(3), 0.5));
 }

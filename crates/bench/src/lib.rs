@@ -37,6 +37,11 @@ pub fn f(x: f64) -> String {
     format!("{x:.4}")
 }
 
+/// Prints a column-header row given a comma-separated spec.
+pub fn header_row(spec: &str) {
+    println!("{}", spec.replace(',', "\t"));
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -49,9 +54,4 @@ mod tests {
     fn formatting() {
         assert_eq!(super::f(0.123456), "0.1235");
     }
-}
-
-/// Prints a column-header row given a comma-separated spec.
-pub fn header_row(spec: &str) {
-    println!("{}", spec.replace(',', "\t"));
 }

@@ -13,6 +13,8 @@
 //! coupling of §4.2.2 (same proposals and coins); for heat-bath chains it
 //! is the standard inverse-CDF grand coupling.
 
+use crate::engine::replicas::ReplicaSet;
+use crate::engine::SyncRule;
 use crate::Chain;
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::{Mrf, Spin};
@@ -92,6 +94,54 @@ pub fn adversarial_starts(mrf: &Mrf, extra: usize, seed: u64) -> Vec<Vec<Spin>> 
     starts
 }
 
+/// Runs the grand coupling of an engine rule as a coupled
+/// [`ReplicaSet`] — all copies share one master seed, and the batch
+/// computes each round's shared randomness once — until all states
+/// coincide or `max_steps` elapse.
+pub fn coalesce_batched<R: SyncRule>(
+    mrf: &Mrf,
+    rule: R,
+    starts: &[Vec<Spin>],
+    master_seed: u64,
+    max_steps: usize,
+) -> Coalescence {
+    let mut set = ReplicaSet::coupled(mrf, rule, starts, master_seed);
+    // Copies shard over all cores; the coupling is execution-independent.
+    set.set_backend(crate::engine::Backend::Parallel { threads: 0 });
+    if set.coalesced() {
+        return Coalescence::At(0);
+    }
+    for t in 0..max_steps {
+        set.step_all();
+        if set.coalesced() {
+            return Coalescence::At(t + 1);
+        }
+    }
+    Coalescence::TimedOut
+}
+
+/// Batched counterpart of [`coalescence_times`]: `trials` independent
+/// grand couplings of an engine rule, each a coupled replica set.
+pub fn coalescence_times_batched<R: SyncRule + Clone>(
+    mrf: &Mrf,
+    rule: &R,
+    starts: &[Vec<Spin>],
+    trials: usize,
+    max_steps: usize,
+    seed: u64,
+) -> (Vec<usize>, usize) {
+    let mut times = Vec::with_capacity(trials);
+    let mut timeouts = 0;
+    for trial in 0..trials {
+        let master = derive_seed(seed, 0x545249414c, trial as u64); // "TRIAL"
+        match coalesce_batched(mrf, rule.clone(), starts, master, max_steps) {
+            Coalescence::At(t) => times.push(t),
+            Coalescence::TimedOut => timeouts += 1,
+        }
+    }
+    (times, timeouts)
+}
+
 /// Measures coalescence times over `trials` independent grand couplings;
 /// returns the observed times (timed-out runs are omitted) and the number
 /// of timeouts.
@@ -106,7 +156,11 @@ pub fn coalescence_times<C: Chain>(
     let mut timeouts = 0;
     for trial in 0..trials {
         let mut copies: Vec<C> = starts.iter().map(|s| make(s)).collect();
-        match coalesce(&mut copies, derive_seed(seed, 0x545249414c, trial as u64), max_steps) {
+        match coalesce(
+            &mut copies,
+            derive_seed(seed, 0x545249414c, trial as u64),
+            max_steps,
+        ) {
             Coalescence::At(t) => times.push(t),
             Coalescence::TimedOut => timeouts += 1,
         }
@@ -251,7 +305,7 @@ mod tests {
     fn coupled_chains_share_randomness() {
         // Two copies from the SAME start must track each other exactly.
         let mrf = models::proper_coloring(generators::cycle(6), 5);
-        let mut copies = vec![
+        let mut copies = [
             LocalMetropolis::with_state(&mrf, vec![0, 1, 0, 1, 0, 1]),
             LocalMetropolis::with_state(&mrf, vec![0, 1, 0, 1, 0, 1]),
         ];
@@ -263,6 +317,40 @@ mod tests {
             }
             assert_eq!(copies[0].state(), copies[1].state(), "diverged at {t}");
         }
+    }
+
+    #[test]
+    fn batched_grand_coupling_coalesces() {
+        use crate::engine::rules::LocalMetropolisRule;
+        let mrf = models::proper_coloring(generators::torus(4, 4), 24);
+        let starts = adversarial_starts(&mrf, 2, 3);
+        let (times, timeouts) =
+            coalescence_times_batched(&mrf, &LocalMetropolisRule::new(), &starts, 5, 5_000, 13);
+        assert_eq!(timeouts, 0);
+        let max = *times.iter().max().unwrap();
+        assert!(max < 500, "coalescence too slow: {max}");
+    }
+
+    #[test]
+    fn batched_coalesce_detects_equal_starts() {
+        use crate::engine::rules::GlauberRule;
+        let mrf = models::proper_coloring(generators::cycle(5), 6);
+        let starts = vec![vec![0; 5], vec![0; 5]];
+        assert_eq!(
+            coalesce_batched(&mrf, GlauberRule, &starts, 1, 10),
+            Coalescence::At(0)
+        );
+    }
+
+    #[test]
+    fn batched_luby_glauber_coalesces() {
+        use crate::engine::rules::LubyGlauberRule;
+        let mrf = models::proper_coloring(generators::cycle(8), 6);
+        let starts = adversarial_starts(&mrf, 1, 3);
+        let (times, timeouts) =
+            coalescence_times_batched(&mrf, &LubyGlauberRule::luby(), &starts, 5, 20_000, 17);
+        assert_eq!(timeouts, 0);
+        assert!(!times.is_empty());
     }
 
     #[test]

@@ -173,13 +173,9 @@ pub fn csp_local_metropolis_kernel(csp: &Csp) -> Kernel {
                     let mut y = 0usize;
                     let mut stride = 1usize;
                     for v in 0..n {
-                        let rejected = csp
-                            .constraints()
-                            .iter()
-                            .enumerate()
-                            .any(|(idx, c)| {
-                                (fail_mask >> idx) & 1 == 1 && c.scope().contains(&(v as u32))
-                            });
+                        let rejected = csp.constraints().iter().enumerate().any(|(idx, c)| {
+                            (fail_mask >> idx) & 1 == 1 && c.scope().contains(&(v as u32))
+                        });
                         let spin = if rejected { x_cfg[v] } else { s_cfg[v] };
                         y += spin as usize * stride;
                         stride *= q;
@@ -338,19 +334,10 @@ mod tests {
         let q = 4;
         let c = Constraint::from_predicate(q, vec![0, 1], |l| l[0] != l[1]).unwrap();
         // current (0, 1), proposals (2, 3): all mixtures proper → pass.
-        assert_eq!(
-            constraint_pass_probability(&c, q, &[0, 1], &[2, 3]),
-            1.0
-        );
+        assert_eq!(constraint_pass_probability(&c, q, &[0, 1], &[2, 3]), 1.0);
         // proposals (1, 3): mixture (σ_u, X_v) = (1, 1) improper → fail.
-        assert_eq!(
-            constraint_pass_probability(&c, q, &[0, 1], &[1, 3]),
-            0.0
-        );
+        assert_eq!(constraint_pass_probability(&c, q, &[0, 1], &[1, 3]), 0.0);
         // proposals (2, 2): σσ mixture improper → fail.
-        assert_eq!(
-            constraint_pass_probability(&c, q, &[0, 1], &[2, 2]),
-            0.0
-        );
+        assert_eq!(constraint_pass_probability(&c, q, &[0, 1], &[2, 2]), 0.0);
     }
 }

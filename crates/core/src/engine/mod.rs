@@ -1,0 +1,530 @@
+//! The step engine: *what a chain does at a vertex* separated from *how a
+//! sweep executes*.
+//!
+//! The paper's samplers are synchronous distributed chains — every vertex
+//! acts simultaneously each round — but an implementation must pick an
+//! execution order. This module makes that choice a swappable backend:
+//!
+//! * a [`SyncRule`] describes one chain round as two per-vertex phases
+//!   over CSR neighborhoods — **propose** (draw per-vertex randomness,
+//!   publish a `Local` value) and **resolve** (combine the old state, the
+//!   neighborhood's locals, and per-edge coins into the vertex's next
+//!   spin);
+//! * a [`Backend`] says how the sweep runs: [`Backend::Sequential`] or
+//!   [`Backend::Parallel`] (a scoped-thread fork-join over vertex
+//!   ranges);
+//! * [`SyncChain`] owns the buffers and advances one chain;
+//!   [`replicas::ReplicaSet`] advances a whole batch of chains in one
+//!   cache-friendly pass (the workhorse for TV estimation and grand
+//!   couplings).
+//!
+//! # The determinism contract
+//!
+//! Every random draw of round `r` is a pure function of
+//! `(master_seed, r, vertex-or-edge id)`, via the counter-style streams
+//! of [`lsl_local::rng::round_key`]: vertex streams for the two phases,
+//! one shared coin stream per edge, and one round-shared stream (used
+//! e.g. for single-site vertex selection). No generator is ever shared
+//! between two vertices, two edges, or two rounds, so **execution order
+//! cannot affect the trajectory**: sequential and parallel sweeps are
+//! bit-identical, and replicas coupled on the same master seed realize
+//! the paper's grand coupling by construction.
+
+pub mod replicas;
+pub mod rules;
+
+use lsl_graph::{EdgeId, VertexId};
+use lsl_local::rng::{derive_seed, round_key, VertexRng, Xoshiro256pp};
+use lsl_mrf::{Mrf, Spin};
+
+/// Phase labels under which round-local streams are derived.
+const PROPOSE_LABEL: u64 = 0x5052_4f50_4f53_4500; // "PROPOSE\0"
+const RESOLVE_LABEL: u64 = 0x5245_534f_4c56_4500; // "RESOLVE\0"
+const EDGE_LABEL: u64 = 0x4544_4745_434f_494e; // "EDGECOIN"
+const SHARED_LABEL: u64 = 0x5348_4152_4544_5244; // "SHAREDRD"
+
+/// The randomness context of one synchronous round.
+///
+/// Derived once per round from `(master, round)`; hands out the
+/// counter-style streams of the determinism contract.
+pub struct RoundCtx<'a> {
+    mrf: &'a Mrf,
+    round: u64,
+    propose_master: u64,
+    resolve_master: u64,
+    edge_master: u64,
+    shared_seed: u64,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// The context of round `round` of the chain seeded by `master`.
+    pub fn new(mrf: &'a Mrf, master: u64, round: u64) -> Self {
+        let key = round_key(master, round);
+        RoundCtx {
+            mrf,
+            round,
+            propose_master: derive_seed(key, PROPOSE_LABEL, 0),
+            resolve_master: derive_seed(key, RESOLVE_LABEL, 0),
+            edge_master: derive_seed(key, EDGE_LABEL, 0),
+            shared_seed: derive_seed(key, SHARED_LABEL, 0),
+        }
+    }
+
+    /// The model being sampled.
+    #[inline]
+    pub fn mrf(&self) -> &'a Mrf {
+        self.mrf
+    }
+
+    /// The round index (drives deterministic schedules, e.g. chromatic
+    /// classes).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Vertex `v`'s private stream for the propose phase.
+    #[inline]
+    pub fn propose_rng(&self, v: VertexId) -> VertexRng {
+        VertexRng::for_vertex(self.propose_master, v.0)
+    }
+
+    /// Vertex `v`'s private stream for the resolve phase (independent of
+    /// the propose stream).
+    #[inline]
+    pub fn resolve_rng(&self, v: VertexId) -> VertexRng {
+        VertexRng::for_vertex(self.resolve_master, v.0)
+    }
+
+    /// The shared coin of edge `e`: uniform in `[0, 1)`, identical for
+    /// both endpoints (each evaluates it independently).
+    #[inline]
+    pub fn edge_coin(&self, e: EdgeId) -> f64 {
+        Xoshiro256pp::seed_from(derive_seed(self.edge_master, EDGE_LABEL, e.0 as u64)).uniform_f64()
+    }
+
+    /// The round-shared stream: every vertex that evaluates it sees the
+    /// same draws (e.g. the single-site chains' vertex selection).
+    #[inline]
+    pub fn shared_rng(&self) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from(self.shared_seed)
+    }
+
+    /// The round's shared uniformly-picked vertex (one truncation-mapped
+    /// draw from the shared stream) — the single selection used by both
+    /// the single-site rules and the singleton scheduler, kept in one
+    /// place so their trajectories correspond under one master seed.
+    #[inline]
+    pub fn shared_vertex(&self) -> VertexId {
+        let n = self.mrf.num_vertices();
+        let i = (self.shared_rng().uniform_f64() * n as f64) as usize;
+        VertexId(i.min(n.saturating_sub(1)) as u32)
+    }
+}
+
+/// What a chain does at one vertex in one synchronous round.
+///
+/// Implementations must be pure per-vertex functions of the inputs they
+/// are handed — the engine exploits this to run phases in any order (or
+/// in parallel) without changing the trajectory.
+pub trait SyncRule: Sync {
+    /// The per-vertex value published by the propose phase (a proposal
+    /// spin, a Luby `β_v`, ...).
+    type Local: Copy + Send + Sync + Default;
+
+    /// Reusable per-worker scratch (marginal buffers, resamplers, ...).
+    type Scratch: Send;
+
+    /// Whether the propose phase runs at all (single-site rules skip it).
+    const HAS_PROPOSE: bool = true;
+
+    /// Whether `propose` reads only its stream — never the state. State-
+    /// free proposals are identical across replicas coupled on one master
+    /// seed, so the batched backend computes them once per round.
+    const STATE_FREE_PROPOSE: bool = false;
+
+    /// Chain name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Builds one worker's scratch.
+    fn make_scratch(&self, mrf: &Mrf) -> Self::Scratch;
+
+    /// For single-site chains: the unique vertex that can change this
+    /// round (a pure function of the round's shared stream). Engines
+    /// then touch only that vertex. `None` for synchronous chains.
+    fn active_vertex(&self, ctx: &RoundCtx) -> Option<VertexId> {
+        let _ = ctx;
+        None
+    }
+
+    /// Propose phase at `v`: draw from `rng` (and, unless
+    /// [`SyncRule::STATE_FREE_PROPOSE`], read the state) and publish a
+    /// local value.
+    fn propose(
+        &self,
+        ctx: &RoundCtx,
+        v: VertexId,
+        state: &[Spin],
+        rng: &mut Xoshiro256pp,
+        scratch: &mut Self::Scratch,
+    ) -> Self::Local;
+
+    /// Resolve phase at `v`: combine the old state, the locals of `v`'s
+    /// inclusive neighborhood, the edge coins of incident edges, and the
+    /// resolve stream into `v`'s next spin.
+    fn resolve(
+        &self,
+        ctx: &RoundCtx,
+        v: VertexId,
+        state: &[Spin],
+        locals: &[Self::Local],
+        rng: &mut Xoshiro256pp,
+        scratch: &mut Self::Scratch,
+    ) -> Spin;
+}
+
+/// How a sweep executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One vertex after another on the calling thread.
+    Sequential,
+    /// Fork-join over contiguous vertex ranges with scoped threads;
+    /// `threads == 0` means "all available cores". Bit-identical to
+    /// [`Backend::Sequential`] by the determinism contract.
+    Parallel {
+        /// Worker count (0 = auto-detect).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// The number of workers this backend will use.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Backend::Sequential => 1,
+            Backend::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Backend::Parallel { threads } => threads,
+        }
+    }
+}
+
+/// Fills `out[i] = f(offset + i, scratch)` using `workers` threads over
+/// contiguous chunks. `f` must be a pure function of the index (plus
+/// its captured shared references) — the chunking is then unobservable.
+fn fill_indexed<T: Send, S: Send>(
+    workers: usize,
+    out: &mut [T],
+    scratches: &mut [S],
+    f: impl Fn(usize, &mut T, &mut S) + Sync,
+) {
+    if workers <= 1 || out.len() < 2 * workers {
+        let s = &mut scratches[0];
+        for (i, slot) in out.iter_mut().enumerate() {
+            f(i, slot, s);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, (chunk_out, scratch)) in
+            out.chunks_mut(chunk).zip(scratches.iter_mut()).enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (i, slot) in chunk_out.iter_mut().enumerate() {
+                    f(base + i, slot, scratch);
+                }
+            });
+        }
+    });
+}
+
+/// Runs the propose phase of `ctx` into `locals`.
+fn propose_phase<R: SyncRule>(
+    rule: &R,
+    ctx: &RoundCtx,
+    state: &[Spin],
+    locals: &mut [R::Local],
+    scratches: &mut [R::Scratch],
+    workers: usize,
+) {
+    fill_indexed(workers, locals, scratches, |i, slot, scratch| {
+        let v = VertexId(i as u32);
+        let mut rng = ctx.propose_rng(v);
+        *slot = rule.propose(ctx, v, state, rng.raw(), scratch);
+    });
+}
+
+/// Runs the resolve phase of `ctx` into `next`.
+fn resolve_phase<R: SyncRule>(
+    rule: &R,
+    ctx: &RoundCtx,
+    state: &[Spin],
+    locals: &[R::Local],
+    next: &mut [Spin],
+    scratches: &mut [R::Scratch],
+    workers: usize,
+) {
+    fill_indexed(workers, next, scratches, |i, slot, scratch| {
+        let v = VertexId(i as u32);
+        let mut rng = ctx.resolve_rng(v);
+        *slot = rule.resolve(ctx, v, state, locals, rng.raw(), scratch);
+    });
+}
+
+/// One full round of `rule` on `state` under `ctx`, with the single-site
+/// fast path (only the active vertex is touched). `state` and `next` are
+/// swapped on synchronous rounds.
+#[allow(clippy::too_many_arguments)]
+fn run_round<R: SyncRule>(
+    rule: &R,
+    ctx: &RoundCtx,
+    state: &mut Vec<Spin>,
+    next: &mut Vec<Spin>,
+    locals: &mut [R::Local],
+    scratches: &mut [R::Scratch],
+    workers: usize,
+) {
+    if let Some(v) = rule.active_vertex(ctx) {
+        let mut rng = ctx.resolve_rng(v);
+        let spin = rule.resolve(ctx, v, state, locals, rng.raw(), &mut scratches[0]);
+        state[v.index()] = spin;
+        return;
+    }
+    if R::HAS_PROPOSE {
+        propose_phase(rule, ctx, state, locals, scratches, workers);
+    }
+    resolve_phase(rule, ctx, state, locals, next, scratches, workers);
+    std::mem::swap(state, next);
+}
+
+/// One chain advanced by the step engine.
+///
+/// # Example
+/// ```
+/// use lsl_core::engine::rules::LocalMetropolisRule;
+/// use lsl_core::engine::{Backend, SyncChain};
+/// use lsl_graph::generators;
+/// use lsl_mrf::models;
+///
+/// let mrf = models::proper_coloring(generators::torus(6, 6), 12);
+/// let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 7);
+/// chain.set_backend(Backend::Parallel { threads: 0 });
+/// chain.run(40);
+/// assert!(mrf.is_feasible(chain.state()));
+/// ```
+pub struct SyncChain<'a, R: SyncRule> {
+    mrf: &'a Mrf,
+    rule: R,
+    backend: Backend,
+    state: Vec<Spin>,
+    next: Vec<Spin>,
+    locals: Vec<R::Local>,
+    scratches: Vec<R::Scratch>,
+    /// Resolved worker count (cached at `set_backend`; probing
+    /// available parallelism per round is not free).
+    workers: usize,
+    master: u64,
+    round: u64,
+    last_key: Option<(u64, u64)>,
+}
+
+impl<'a, R: SyncRule> SyncChain<'a, R> {
+    /// Builds the chain on the deterministic default start with the
+    /// sequential backend.
+    pub fn new(mrf: &'a Mrf, rule: R, master: u64) -> Self {
+        let start = crate::single_site::default_start(mrf);
+        Self::with_state(mrf, rule, master, start)
+    }
+
+    /// Builds the chain from an explicit start.
+    ///
+    /// # Panics
+    /// Panics if the configuration has the wrong length.
+    pub fn with_state(mrf: &'a Mrf, rule: R, master: u64, state: Vec<Spin>) -> Self {
+        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
+        let n = state.len();
+        let scratches = vec![rule.make_scratch(mrf)];
+        SyncChain {
+            mrf,
+            rule,
+            backend: Backend::Sequential,
+            state,
+            next: vec![0; n],
+            locals: vec![R::Local::default(); n],
+            scratches,
+            workers: 1,
+            master,
+            round: 0,
+            last_key: None,
+        }
+    }
+
+    /// Switches the execution backend (trajectories are unaffected).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        let want = backend.worker_count();
+        while self.scratches.len() < want {
+            self.scratches.push(self.rule.make_scratch(self.mrf));
+        }
+        self.workers = want;
+    }
+
+    /// The execution backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The model being sampled.
+    pub fn mrf(&self) -> &Mrf {
+        self.mrf
+    }
+
+    /// The vertex-step rule.
+    pub fn rule(&self) -> &R {
+        &self.rule
+    }
+
+    /// The current configuration.
+    pub fn state(&self) -> &[Spin] {
+        &self.state
+    }
+
+    /// Overwrites the current configuration.
+    ///
+    /// # Panics
+    /// Panics if the length is wrong.
+    pub fn set_state(&mut self, state: &[Spin]) {
+        assert_eq!(state.len(), self.state.len());
+        self.state.copy_from_slice(state);
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The locals published by the most recent synchronous round (for
+    /// instrumentation, e.g. recovering the scheduled set).
+    pub fn locals(&self) -> &[R::Local] {
+        &self.locals
+    }
+
+    /// The `(master, round)` pair of the most recent round, if any.
+    pub fn last_round_key(&self) -> Option<(u64, u64)> {
+        self.last_key
+    }
+
+    /// Advances one round using this chain's own master seed.
+    pub fn step(&mut self) {
+        self.step_keyed(self.master);
+    }
+
+    /// Advances one round whose randomness is keyed by an externally
+    /// supplied master seed (used by the [`crate::Chain`] adapters, which
+    /// derive per-step masters from the caller's generator so that grand
+    /// couplings keep working through the legacy interface).
+    pub fn step_keyed(&mut self, master: u64) {
+        let ctx = RoundCtx::new(self.mrf, master, self.round);
+        let workers = self.workers.min(self.scratches.len());
+        run_round(
+            &self.rule,
+            &ctx,
+            &mut self.state,
+            &mut self.next,
+            &mut self.locals,
+            &mut self.scratches,
+            workers,
+        );
+        self.last_key = Some((master, self.round));
+        self.round += 1;
+    }
+
+    /// Advances `t` rounds.
+    pub fn run(&mut self, t: usize) {
+        for _ in 0..t {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule};
+    use super::*;
+    use lsl_graph::generators;
+    use lsl_mrf::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trajectories_match<R: SyncRule + Clone>(mrf: &Mrf, rule: R, rounds: usize) {
+        let mut seq = SyncChain::new(mrf, rule.clone(), 99);
+        let mut par = SyncChain::new(mrf, rule, 99);
+        par.set_backend(Backend::Parallel { threads: 3 });
+        for r in 0..rounds {
+            seq.step();
+            par.step();
+            assert_eq!(seq.state(), par.state(), "diverged at round {r}");
+        }
+    }
+
+    #[test]
+    fn local_metropolis_parallel_matches_sequential() {
+        let mrf = models::proper_coloring(generators::torus(5, 5), 10);
+        trajectories_match(&mrf, LocalMetropolisRule::new(), 30);
+    }
+
+    #[test]
+    fn local_metropolis_soft_model_parallel_matches_sequential() {
+        // Ising exercises the fractional-coin path (coins actually drawn).
+        let mrf = models::ising(generators::torus(4, 4), 0.4);
+        trajectories_match(&mrf, LocalMetropolisRule::new(), 30);
+    }
+
+    #[test]
+    fn luby_glauber_parallel_matches_sequential() {
+        let mrf = models::proper_coloring(generators::cycle(17), 5);
+        trajectories_match(&mrf, LubyGlauberRule::luby(), 30);
+    }
+
+    #[test]
+    fn single_site_runs_through_engine() {
+        let mrf = models::proper_coloring(generators::cycle(8), 5);
+        let mut chain = SyncChain::new(&mrf, GlauberRule, 3);
+        chain.run(200);
+        assert!(mrf.is_feasible(chain.state()));
+        // Single-site fast path touches one vertex per round.
+        let before = chain.state().to_vec();
+        chain.step();
+        let diff = before
+            .iter()
+            .zip(chain.state())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diff <= 1);
+    }
+
+    #[test]
+    fn step_keyed_is_deterministic_in_the_key() {
+        let mrf = models::proper_coloring(generators::torus(4, 4), 9);
+        let mut a = SyncChain::new(&mrf, LocalMetropolisRule::new(), 0);
+        let mut b = SyncChain::new(&mrf, LocalMetropolisRule::new(), 0);
+        let mut keys = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let k = rand::RngExt::random::<u64>(&mut keys);
+            a.step_keyed(k);
+            b.step_keyed(k);
+            assert_eq!(a.state(), b.state());
+        }
+    }
+
+    #[test]
+    fn worker_count_resolves() {
+        assert_eq!(Backend::Sequential.worker_count(), 1);
+        assert_eq!(Backend::Parallel { threads: 4 }.worker_count(), 4);
+        assert!(Backend::Parallel { threads: 0 }.worker_count() >= 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! The batched-replica backend: advance `B` chains in one pass.
+//!
+//! Every empirical claim in the paper needs many independent replicas
+//! (TV estimation) or many coupled copies (coalescence measurement).
+//! Running them as separate chains costs a per-replica setup (buffers,
+//! generators) per chain and, for grand couplings, re-derives identical
+//! randomness once per copy. [`ReplicaSet`] stores all configurations in
+//! one replica-major arena and advances every replica per round with
+//! shared buffers:
+//!
+//! * **independent mode** — replica `b` runs under its own master seed
+//!   `derive_seed(seed, REPLICA, b)`: iid chains for TV estimation;
+//! * **coupled mode** — every replica shares one master seed: the grand
+//!   coupling of the coupling lemma, by the determinism contract. For
+//!   rules with state-free proposals (both synchronous chains), the
+//!   propose phase is computed **once per round** and shared across all
+//!   `B` copies — the batch does `1/B` of the proposal randomness work.
+//!
+//! Replicas are embarrassingly parallel, so the set also accepts a
+//! [`Backend`] that shards replicas over scoped threads.
+
+use super::{RoundCtx, SyncRule};
+use crate::engine::Backend;
+use lsl_local::rng::derive_seed;
+use lsl_mrf::{Mrf, Spin};
+
+/// Label under which per-replica master seeds are derived.
+const REPLICA_LABEL: u64 = 0x5245_504c_4943_4100; // "REPLICA\0"
+
+/// A batch of `B` chains of one rule advanced together.
+///
+/// # Example
+/// ```
+/// use lsl_core::engine::replicas::ReplicaSet;
+/// use lsl_core::engine::rules::LocalMetropolisRule;
+/// use lsl_graph::generators;
+/// use lsl_mrf::models;
+///
+/// let mrf = models::proper_coloring(generators::torus(4, 4), 8);
+/// let mut set = ReplicaSet::independent(&mrf, LocalMetropolisRule::new(), 16, 7);
+/// set.run(50);
+/// for state in set.states() {
+///     assert!(mrf.is_feasible(state));
+/// }
+/// ```
+pub struct ReplicaSet<'a, R: SyncRule> {
+    mrf: &'a Mrf,
+    rule: R,
+    backend: Backend,
+    n: usize,
+    count: usize,
+    /// Replica-major arena: replica `b` lives in `b*n..(b+1)*n`.
+    states: Vec<Spin>,
+    next: Vec<Spin>,
+    masters: Vec<u64>,
+    coupled: bool,
+    /// Shared locals for coupled state-free proposals.
+    shared_locals: Vec<R::Local>,
+    /// Per-worker (locals, scratch) pairs.
+    worker_locals: Vec<Vec<R::Local>>,
+    scratches: Vec<R::Scratch>,
+    /// Resolved worker count (cached at `set_backend`; probing
+    /// available parallelism per round is not free).
+    workers: usize,
+    round: u64,
+}
+
+impl<'a, R: SyncRule> ReplicaSet<'a, R> {
+    fn build(mrf: &'a Mrf, rule: R, states: Vec<Spin>, masters: Vec<u64>, coupled: bool) -> Self {
+        let n = mrf.num_vertices();
+        assert!(n > 0, "replica sets need a non-empty model");
+        let count = masters.len();
+        assert_eq!(states.len(), n * count);
+        let scratches = vec![rule.make_scratch(mrf)];
+        ReplicaSet {
+            mrf,
+            rule,
+            backend: Backend::Sequential,
+            n,
+            count,
+            next: vec![0; states.len()],
+            states,
+            masters,
+            coupled,
+            shared_locals: vec![R::Local::default(); n],
+            worker_locals: vec![vec![R::Local::default(); n]],
+            scratches,
+            workers: 1,
+            round: 0,
+        }
+    }
+
+    /// `count` iid replicas from the deterministic default start, each
+    /// under its own master seed derived from `seed`.
+    pub fn independent(mrf: &'a Mrf, rule: R, count: usize, seed: u64) -> Self {
+        assert!(count > 0, "need at least one replica");
+        let start = crate::single_site::default_start(mrf);
+        let starts: Vec<&[Spin]> = (0..count).map(|_| &start[..]).collect();
+        Self::independent_from(mrf, rule, &starts, seed)
+    }
+
+    /// `starts.len()` iid replicas from explicit starts.
+    ///
+    /// # Panics
+    /// Panics if `starts` is empty or any start has the wrong length.
+    pub fn independent_from(mrf: &'a Mrf, rule: R, starts: &[&[Spin]], seed: u64) -> Self {
+        assert!(!starts.is_empty(), "need at least one replica");
+        let n = mrf.num_vertices();
+        let mut states = Vec::with_capacity(n * starts.len());
+        for s in starts {
+            assert_eq!(s.len(), n, "start length must be n");
+            states.extend_from_slice(s);
+        }
+        let masters = (0..starts.len() as u64)
+            .map(|b| derive_seed(seed, REPLICA_LABEL, b))
+            .collect();
+        Self::build(mrf, rule, states, masters, false)
+    }
+
+    /// A grand coupling: one copy per start, all sharing the single
+    /// master seed `master` (identical randomness every round).
+    ///
+    /// # Panics
+    /// Panics if `starts` is empty or any start has the wrong length.
+    pub fn coupled(mrf: &'a Mrf, rule: R, starts: &[Vec<Spin>], master: u64) -> Self {
+        assert!(!starts.is_empty(), "need at least one copy");
+        let n = mrf.num_vertices();
+        let mut states = Vec::with_capacity(n * starts.len());
+        for s in starts {
+            assert_eq!(s.len(), n, "start length must be n");
+            states.extend_from_slice(s);
+        }
+        let masters = vec![master; starts.len()];
+        Self::build(mrf, rule, states, masters, true)
+    }
+
+    /// Shards replicas over `backend`'s workers (trajectories are
+    /// unaffected).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        let want = backend.worker_count();
+        while self.scratches.len() < want {
+            self.scratches.push(self.rule.make_scratch(self.mrf));
+            self.worker_locals.push(vec![R::Local::default(); self.n]);
+        }
+        self.workers = want;
+    }
+
+    /// Number of replicas `B`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Replica `b`'s configuration.
+    pub fn state(&self, b: usize) -> &[Spin] {
+        &self.states[b * self.n..(b + 1) * self.n]
+    }
+
+    /// All configurations, in replica order.
+    pub fn states(&self) -> impl ExactSizeIterator<Item = &[Spin]> {
+        self.states.chunks(self.n)
+    }
+
+    /// Whether all replicas coincide (the grand coupling has coalesced).
+    pub fn coalesced(&self) -> bool {
+        let first = self.state(0);
+        (1..self.count).all(|b| self.state(b) == first)
+    }
+
+    /// Advances every replica by one round.
+    pub fn step_all(&mut self) {
+        let round = self.round;
+        // Single-site rules update one vertex in place; synchronous rules
+        // double-buffer. The branch is rule-constant (checked below).
+        let probe = RoundCtx::new(self.mrf, self.masters[0], round);
+        let single_site = self.rule.active_vertex(&probe).is_some();
+
+        // Coupled + state-free proposals: one propose phase serves every
+        // replica (they share all randomness, and proposals ignore the
+        // state) — the batch's 1/B randomness amortization.
+        let share_propose = !single_site && self.coupled && R::HAS_PROPOSE && R::STATE_FREE_PROPOSE;
+        if share_propose {
+            let ctx = RoundCtx::new(self.mrf, self.masters[0], round);
+            super::propose_phase(
+                &self.rule,
+                &ctx,
+                &self.states[..self.n],
+                &mut self.shared_locals,
+                &mut self.scratches[..1],
+                1,
+            );
+        }
+
+        // Below this much per-round work (spins actually touched: one per
+        // replica for single-site rules, the whole arena otherwise),
+        // fork-join overhead rivals the work itself — run on the calling
+        // thread.
+        const MIN_PARALLEL_SPINS: usize = 1 << 14;
+        let touched = if single_site {
+            self.count
+        } else {
+            self.count * self.n
+        };
+        let workers = if touched < MIN_PARALLEL_SPINS {
+            1
+        } else {
+            self.workers.min(self.count).max(1)
+        };
+        let per_worker = self.count.div_ceil(workers);
+        let n = self.n;
+        let mrf = self.mrf;
+        let rule = &self.rule;
+        let masters = &self.masters;
+        let shared_locals = &self.shared_locals;
+
+        if single_site {
+            // In-place: only the active vertex of each replica changes.
+            // Per-worker body over a contiguous run of replicas starting
+            // at replica index `base`.
+            let work = |base: usize, chunk: &mut [Spin], scratch: &mut R::Scratch| {
+                for (bi, state) in chunk.chunks_mut(n).enumerate() {
+                    let ctx = RoundCtx::new(mrf, masters[base + bi], round);
+                    let v = rule
+                        .active_vertex(&ctx)
+                        .expect("active_vertex must be rule-constant");
+                    let mut rng = ctx.resolve_rng(v);
+                    // Single-site rules skip the propose phase, so the
+                    // (default-valued) shared buffer stands in for locals
+                    // — same as SyncChain's fast path, and safely
+                    // indexable by any rule.
+                    state[v.index()] =
+                        rule.resolve(&ctx, v, state, shared_locals, rng.raw(), scratch);
+                }
+            };
+            if workers <= 1 {
+                work(0, &mut self.states, &mut self.scratches[0]);
+            } else {
+                let state_chunks = self.states.chunks_mut(per_worker * n);
+                let scratch_iter = self.scratches.iter_mut();
+                std::thread::scope(|scope| {
+                    for (wi, (chunk, scratch)) in state_chunks.zip(scratch_iter).enumerate() {
+                        let work = &work;
+                        scope.spawn(move || work(wi * per_worker, chunk, scratch));
+                    }
+                });
+            }
+        } else {
+            let work = |base: usize,
+                        states: &[Spin],
+                        next: &mut [Spin],
+                        scratch: &mut R::Scratch,
+                        locals: &mut Vec<R::Local>| {
+                for (bi, (state, next)) in states.chunks(n).zip(next.chunks_mut(n)).enumerate() {
+                    let ctx = RoundCtx::new(mrf, masters[base + bi], round);
+                    let locals_for_replica: &[R::Local] = if share_propose {
+                        shared_locals
+                    } else {
+                        if R::HAS_PROPOSE {
+                            super::propose_phase(
+                                rule,
+                                &ctx,
+                                state,
+                                locals,
+                                std::slice::from_mut(scratch),
+                                1,
+                            );
+                        }
+                        locals
+                    };
+                    super::resolve_phase(
+                        rule,
+                        &ctx,
+                        state,
+                        locals_for_replica,
+                        next,
+                        std::slice::from_mut(scratch),
+                        1,
+                    );
+                }
+            };
+            if workers <= 1 {
+                work(
+                    0,
+                    &self.states,
+                    &mut self.next,
+                    &mut self.scratches[0],
+                    &mut self.worker_locals[0],
+                );
+            } else {
+                let state_chunks = self.states.chunks(per_worker * n);
+                let next_chunks = self.next.chunks_mut(per_worker * n);
+                let scratch_iter = self.scratches.iter_mut();
+                let locals_iter = self.worker_locals.iter_mut();
+                std::thread::scope(|scope| {
+                    for (wi, (((states, next), scratch), locals)) in state_chunks
+                        .zip(next_chunks)
+                        .zip(scratch_iter)
+                        .zip(locals_iter)
+                        .enumerate()
+                    {
+                        let work = &work;
+                        scope.spawn(move || work(wi * per_worker, states, next, scratch, locals));
+                    }
+                });
+            }
+            std::mem::swap(&mut self.states, &mut self.next);
+        }
+        self.round += 1;
+    }
+
+    /// Advances every replica by `t` rounds.
+    pub fn run(&mut self, t: usize) {
+        for _ in 0..t {
+            self.step_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule};
+    use crate::engine::SyncChain;
+    use lsl_graph::generators;
+    use lsl_mrf::models;
+
+    #[test]
+    fn independent_replicas_match_individual_chains() {
+        // Replica b of an independent set must reproduce a SyncChain run
+        // under the replica's derived master seed — batching is purely an
+        // execution strategy.
+        let mrf = models::proper_coloring(generators::torus(4, 4), 9);
+        let mut set = ReplicaSet::independent(&mrf, LocalMetropolisRule::new(), 5, 123);
+        set.run(20);
+        for b in 0..5 {
+            let master = derive_seed(123, REPLICA_LABEL, b as u64);
+            let mut single = SyncChain::new(&mrf, LocalMetropolisRule::new(), master);
+            single.run(20);
+            assert_eq!(set.state(b), single.state(), "replica {b} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_replicas_match_sequential_replicas() {
+        let mrf = models::proper_coloring(generators::cycle(9), 4);
+        let mut a = ReplicaSet::independent(&mrf, LubyGlauberRule::luby(), 7, 3);
+        let mut b = ReplicaSet::independent(&mrf, LubyGlauberRule::luby(), 7, 3);
+        b.set_backend(Backend::Parallel { threads: 3 });
+        for _ in 0..15 {
+            a.step_all();
+            b.step_all();
+        }
+        for i in 0..7 {
+            assert_eq!(a.state(i), b.state(i));
+        }
+    }
+
+    #[test]
+    fn coupled_replicas_share_randomness_exactly() {
+        // Copies started equal stay equal; the shared-propose fast path
+        // must not break the coupling.
+        let mrf = models::proper_coloring(generators::torus(4, 4), 9);
+        let same = vec![crate::single_site::default_start(&mrf); 3];
+        let mut set = ReplicaSet::coupled(&mrf, LocalMetropolisRule::new(), &same, 17);
+        for _ in 0..25 {
+            set.step_all();
+            assert!(set.coalesced());
+        }
+    }
+
+    #[test]
+    fn coupled_matches_per_chain_grand_coupling() {
+        // A coupled set must be bit-identical to stepping SyncChains that
+        // share one master seed.
+        let mrf = models::proper_coloring(generators::torus(4, 4), 16);
+        let starts = crate::coupling::adversarial_starts(&mrf, 2, 5);
+        let mut set = ReplicaSet::coupled(&mrf, LocalMetropolisRule::new(), &starts, 77);
+        let mut singles: Vec<SyncChain<'_, LocalMetropolisRule>> = starts
+            .iter()
+            .map(|s| SyncChain::with_state(&mrf, LocalMetropolisRule::new(), 77, s.clone()))
+            .collect();
+        for _ in 0..15 {
+            set.step_all();
+            for c in singles.iter_mut() {
+                c.step();
+            }
+        }
+        for (b, c) in singles.iter().enumerate() {
+            assert_eq!(set.state(b), c.state(), "copy {b} diverged");
+        }
+    }
+
+    #[test]
+    fn coupled_copies_coalesce_on_easy_instance() {
+        let mrf = models::proper_coloring(generators::torus(4, 4), 24);
+        let starts = crate::coupling::adversarial_starts(&mrf, 2, 3);
+        let mut set = ReplicaSet::coupled(&mrf, LocalMetropolisRule::new(), &starts, 13);
+        let mut coalesced_at = None;
+        for t in 0..3000 {
+            if set.coalesced() {
+                coalesced_at = Some(t);
+                break;
+            }
+            set.step_all();
+        }
+        assert!(coalesced_at.is_some(), "grand coupling never coalesced");
+    }
+
+    #[test]
+    fn single_site_replicas_batch() {
+        let mrf = models::proper_coloring(generators::cycle(8), 5);
+        let mut set = ReplicaSet::independent(&mrf, GlauberRule, 6, 2);
+        set.run(300);
+        for s in set.states() {
+            assert!(mrf.is_feasible(s));
+        }
+        // And they genuinely differ (independent randomness).
+        assert!(!set.coalesced() || mrf.num_vertices() == 0);
+    }
+}

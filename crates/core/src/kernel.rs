@@ -28,10 +28,9 @@ use std::collections::HashMap;
 pub const MAX_KERNEL_STATES: usize = 1 << 12;
 
 fn state_count(mrf: &Mrf) -> usize {
-    let total = checked_pow(mrf.q(), mrf.num_vertices())
+    checked_pow(mrf.q(), mrf.num_vertices())
         .filter(|&t| t <= MAX_KERNEL_STATES)
-        .expect("state space too large for exact kernels");
-    total
+        .expect("state space too large for exact kernels")
 }
 
 fn rows_from_maps(maps: Vec<HashMap<usize, f64>>) -> Kernel {
@@ -68,12 +67,13 @@ pub fn glauber_kernel(mrf: &Mrf) -> Kernel {
     let q = mrf.q();
     let mut maps: Vec<HashMap<usize, f64>> = vec![HashMap::new(); total];
     let mut config = vec![0 as Spin; n];
+    let mut weights = vec![0.0; q];
     for x in 0..total {
         decode_config(x, q, &mut config);
         let row = &mut maps[x];
         let pick_prob = 1.0 / n as f64;
         for v in mrf.graph().vertices() {
-            let weights = mrf.marginal_weights(v, &config);
+            mrf.marginal_weights_into(v, &config, &mut weights);
             let sum: f64 = weights.iter().sum();
             if sum <= 0.0 {
                 *row.entry(x).or_insert(0.0) += pick_prob;
@@ -134,7 +134,7 @@ pub fn luby_set_distribution(g: &Graph) -> Vec<(u32, f64)> {
         }
         for i in 0..k {
             heaps(k - 1, perm, g, counts, total);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(i, k - 1);
             } else {
                 perm.swap(0, k - 1);
@@ -373,10 +373,7 @@ mod tests {
                 .map(|&(_, p)| p)
                 .sum();
             let expect = 1.0 / (g.degree(v) as f64 + 1.0);
-            assert!(
-                (p_v - expect).abs() < 1e-12,
-                "v = {v}: {p_v} vs {expect}"
-            );
+            assert!((p_v - expect).abs() < 1e-12, "v = {v}: {p_v} vs {expect}");
         }
         // The empty set has positive probability on a path? Only if no
         // local max exists — impossible (the global max is always in I).

@@ -50,7 +50,12 @@ impl VertexProgram for LubyMisProgram {
         }
     }
 
-    fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, rng: &mut VertexRng) -> Outbox<MisMessage> {
+    fn send(
+        &mut self,
+        _config: &(),
+        _ctx: &VertexContext<'_>,
+        rng: &mut VertexRng,
+    ) -> Outbox<MisMessage> {
         self.beta = rng.uniform_f64();
         let code = match self.status {
             MisStatus::Undecided => 0,
@@ -77,10 +82,8 @@ impl VertexProgram for LubyMisProgram {
             let &(beta_u, code_u) = msg.as_ref().expect("everyone broadcasts");
             match code_u {
                 1 => neighbor_in = true,
-                0 => {
-                    if (beta_u, u.0) > me {
-                        local_max = false;
-                    }
+                0 if (beta_u, u.0) > me => {
+                    local_max = false;
                 }
                 _ => {}
             }
@@ -131,9 +134,8 @@ mod tests {
             return false;
         }
         // Maximality: every non-member has a member neighbor.
-        g.vertices().all(|v| {
-            mask[v.index()] || g.neighbors(v).any(|u| mask[u.index()])
-        })
+        g.vertices()
+            .all(|v| mask[v.index()] || g.neighbors(v).any(|u| mask[u.index()]))
     }
 
     #[test]
@@ -146,8 +148,7 @@ mod tests {
         ] {
             let g = Arc::new(g);
             for seed in 0..5 {
-                let (mask, _) =
-                    run_luby_mis(Arc::clone(&g), seed, 200).expect("should terminate");
+                let (mask, _) = run_luby_mis(Arc::clone(&g), seed, 200).expect("should terminate");
                 assert!(is_maximal_independent(&g, &mask), "{name} seed {seed}");
             }
         }

@@ -6,6 +6,11 @@
 //! implements the samplers, the sequential baselines they parallelize, and
 //! the measurement machinery their theorems call for:
 //!
+//! * [`engine`] — the **step engine**: chain logic as per-vertex rules
+//!   over counter-style randomness streams, executed by swappable
+//!   backends (sequential, parallel, batched replicas) with bit-identical
+//!   trajectories — see `DESIGN.md` for the layering and the determinism
+//!   contract;
 //! * [`single_site`] — the classic sequential chains: heat-bath **Glauber
 //!   dynamics**, single-site **Metropolis**, and **systematic scan**;
 //! * [`schedule`] — the paper's "Luby step" and the other
@@ -47,6 +52,7 @@
 
 pub mod coupling;
 pub mod csp_metropolis;
+pub mod engine;
 pub mod kernel;
 pub mod labeling;
 pub mod local_metropolis;

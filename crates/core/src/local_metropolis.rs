@@ -19,11 +19,18 @@
 //! Theorem 4.2: for proper `q`-colorings with `q ≥ α∆`, `α > 2+√2`,
 //! `∆ ≥ 9`, the chain mixes in `O(log(n/ε))` rounds — independent of Δ.
 
+use crate::engine::rules::LocalMetropolisRule;
+use crate::engine::{Backend, SyncChain, SyncRule};
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::{Mrf, Spin};
 
-/// The LocalMetropolis chain (Algorithm 2).
+/// The LocalMetropolis chain (Algorithm 2), running on the step engine:
+/// the chain logic lives in
+/// [`LocalMetropolisRule`](crate::engine::rules::LocalMetropolisRule),
+/// and this wrapper adapts it to the [`Chain`] interface (each step's
+/// randomness is keyed by one draw from the caller's generator, so
+/// identically seeded generators still realize the grand coupling).
 ///
 /// # Example
 /// ```
@@ -39,13 +46,8 @@ use lsl_mrf::{Mrf, Spin};
 /// chain.run(50, &mut rng);
 /// assert!(mrf.is_feasible(chain.state()));
 /// ```
-#[derive(Clone, Debug)]
 pub struct LocalMetropolis<'a> {
-    mrf: &'a Mrf,
-    state: Vec<Spin>,
-    proposals: Vec<Spin>,
-    accept: Vec<bool>,
-    rule3: bool,
+    inner: SyncChain<'a, LocalMetropolisRule>,
 }
 
 impl<'a> LocalMetropolis<'a> {
@@ -59,14 +61,8 @@ impl<'a> LocalMetropolis<'a> {
     /// # Panics
     /// Panics if the configuration has the wrong length.
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
-        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
-        let n = state.len();
         LocalMetropolis {
-            mrf,
-            state,
-            proposals: vec![0; n],
-            accept: vec![false; n],
-            rule3: true,
+            inner: SyncChain::with_state(mrf, LocalMetropolisRule::new(), 0, state),
         }
     }
 
@@ -77,19 +73,26 @@ impl<'a> LocalMetropolis<'a> {
     /// reversibility of the chain as well as the uniform stationary
     /// distribution"; experiment E9 verifies the failure exactly.
     pub fn without_rule3(mrf: &'a Mrf) -> Self {
-        let mut chain = Self::new(mrf);
-        chain.rule3 = false;
-        chain
+        let start = crate::single_site::default_start(mrf);
+        LocalMetropolis {
+            inner: SyncChain::with_state(mrf, LocalMetropolisRule::without_rule3(), 0, start),
+        }
     }
 
     /// Whether the full (correct) filter is active.
     pub fn rule3_enabled(&self) -> bool {
-        self.rule3
+        self.inner.rule().rule3_enabled()
     }
 
     /// The model this chain samples from.
     pub fn mrf(&self) -> &Mrf {
-        self.mrf
+        self.inner.mrf()
+    }
+
+    /// Switches the execution backend (trajectories are unaffected — see
+    /// the engine's determinism contract).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.inner.set_backend(backend);
     }
 
     /// The pass probability of edge `e` for current spins `(xu, xv)` and
@@ -103,9 +106,9 @@ impl<'a> LocalMetropolis<'a> {
         su: Spin,
         sv: Spin,
     ) -> f64 {
-        let a = self.mrf.edge_activity(e);
+        let a = self.inner.mrf().edge_activity(e);
         let p = a.normalized(su, sv) * a.normalized(xu, sv);
-        if self.rule3 {
+        if self.rule3_enabled() {
             p * a.normalized(su, xv)
         } else {
             p
@@ -115,50 +118,21 @@ impl<'a> LocalMetropolis<'a> {
 
 impl Chain for LocalMetropolis<'_> {
     fn state(&self) -> &[Spin] {
-        &self.state
+        self.inner.state()
     }
 
     fn set_state(&mut self, state: &[Spin]) {
-        assert_eq!(state.len(), self.state.len());
-        self.state.copy_from_slice(state);
+        self.inner.set_state(state);
     }
 
     fn step(&mut self, rng: &mut Xoshiro256pp) {
-        let g = self.mrf.graph();
-        // Propose: one draw per vertex (fixed draw count keeps grand
-        // couplings aligned).
-        for v in g.vertices() {
-            self.proposals[v.index()] = self.mrf.vertex_activity(v).sample(rng);
-        }
-        self.accept.fill(true);
-        // Local filter: one shared coin per edge, always drawn.
-        for (e, u, v) in g.edges() {
-            let p = self.pass_probability(
-                e,
-                self.state[u.index()],
-                self.state[v.index()],
-                self.proposals[u.index()],
-                self.proposals[v.index()],
-            );
-            let coin = rng.uniform_f64();
-            if coin >= p {
-                self.accept[u.index()] = false;
-                self.accept[v.index()] = false;
-            }
-        }
-        for v in 0..self.state.len() {
-            if self.accept[v] {
-                self.state[v] = self.proposals[v];
-            }
-        }
+        // One draw keys the whole round; coupled callers hand identical
+        // generators and thus identical round keys.
+        self.inner.step_keyed(rng.next());
     }
 
     fn name(&self) -> &'static str {
-        if self.rule3 {
-            "LocalMetropolis"
-        } else {
-            "LocalMetropolis(no rule 3)"
-        }
+        self.inner.rule().name()
     }
 }
 

@@ -11,15 +11,20 @@
 //! chain mixes in `O(Δ/(1−α) · log(n/ε))` rounds — and more generally
 //! `O(1/((1−α)γ) · log(n/ε))` for any scheduler with `Pr[v ∈ I] ≥ γ`.
 
-use crate::schedule::{LubyScheduler, Scheduler};
-use crate::update::Resampler;
+use crate::engine::rules::{scheduled_mask, LubyGlauberRule};
+use crate::engine::{Backend, RoundCtx, SyncChain};
+use crate::schedule::{LubyScheduler, Scheduler, VertexScheduler};
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::csp::Csp;
 use lsl_mrf::{Mrf, Spin};
 
 /// The LubyGlauber chain (Algorithm 1), generic over the independent-set
-/// scheduler.
+/// scheduler and running on the step engine: the chain logic lives in
+/// [`LubyGlauberRule`](crate::engine::rules::LubyGlauberRule), and this
+/// wrapper adapts it to the [`Chain`] interface (each step's randomness
+/// is keyed by one draw from the caller's generator, preserving grand
+/// couplings through the legacy interface).
 ///
 /// # Example
 /// ```
@@ -35,14 +40,9 @@ use lsl_mrf::{Mrf, Spin};
 /// chain.run(80, &mut rng);
 /// assert!(mrf.is_feasible(chain.state()));
 /// ```
-#[derive(Clone, Debug)]
-pub struct LubyGlauber<'a, S: Scheduler = LubyScheduler> {
-    mrf: &'a Mrf,
-    scheduler: S,
-    state: Vec<Spin>,
+pub struct LubyGlauber<'a, S: VertexScheduler = LubyScheduler> {
+    inner: SyncChain<'a, LubyGlauberRule<S>>,
     mask: Vec<bool>,
-    scratch: Vec<f64>,
-    resampler: Resampler,
 }
 
 impl<'a> LubyGlauber<'a, LubyScheduler> {
@@ -53,61 +53,67 @@ impl<'a> LubyGlauber<'a, LubyScheduler> {
     }
 }
 
-impl<'a, S: Scheduler> LubyGlauber<'a, S> {
+impl<'a, S: VertexScheduler> LubyGlauber<'a, S> {
     /// Creates the chain with a custom scheduler.
     pub fn with_scheduler(mrf: &'a Mrf, scheduler: S) -> Self {
         let n = mrf.num_vertices();
         LubyGlauber {
-            mrf,
-            scheduler,
-            state: crate::single_site::default_start(mrf),
+            inner: SyncChain::new(mrf, LubyGlauberRule::with_scheduler(scheduler), 0),
             mask: vec![false; n],
-            scratch: vec![0.0; mrf.q()],
-            resampler: Resampler::new(mrf),
         }
     }
 
     /// The model this chain samples from.
     pub fn mrf(&self) -> &Mrf {
-        self.mrf
+        self.inner.mrf()
     }
 
     /// The scheduler in use.
     pub fn scheduler(&self) -> &S {
-        &self.scheduler
+        self.inner.rule().scheduler()
     }
 
-    /// The update mask of the most recent step (for instrumentation).
-    pub fn last_mask(&self) -> &[bool] {
+    /// Switches the execution backend (trajectories are unaffected — see
+    /// the engine's determinism contract).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.inner.set_backend(backend);
+    }
+
+    /// The update mask of the most recent step (for instrumentation),
+    /// recovered lazily from the round's published marks — steps that
+    /// nobody inspects don't pay for a second selection pass.
+    pub fn last_mask(&mut self) -> &[bool] {
+        if let Some((master, round)) = self.inner.last_round_key() {
+            let ctx = RoundCtx::new(self.inner.mrf(), master, round);
+            scheduled_mask(
+                self.inner.rule().scheduler(),
+                &ctx,
+                self.inner.locals(),
+                &mut self.mask,
+            );
+        }
         &self.mask
     }
 }
 
-impl<S: Scheduler> Chain for LubyGlauber<'_, S> {
+impl<S: VertexScheduler> Chain for LubyGlauber<'_, S> {
     fn state(&self) -> &[Spin] {
-        &self.state
+        self.inner.state()
     }
 
     fn set_state(&mut self, state: &[Spin]) {
-        assert_eq!(state.len(), self.state.len());
-        self.state.copy_from_slice(state);
+        self.inner.set_state(state);
     }
 
     fn step(&mut self, rng: &mut Xoshiro256pp) {
-        let g = self.mrf.graph();
-        self.scheduler.sample(g, rng, &mut self.mask);
-        debug_assert!(g.is_independent_set(&self.mask), "scheduler violated independence");
-        for v in g.vertices() {
-            if !self.mask[v.index()] {
-                continue;
-            }
-            self.mrf
-                .marginal_weights_into(v, &self.state, &mut self.scratch);
-            let pick = self
-                .resampler
-                .resample(&self.scratch, rng)
-                .expect("LubyGlauber marginal must be well-defined (paper assumption)");
-            self.state[v.index()] = pick;
+        self.inner.step_keyed(rng.next());
+        #[cfg(debug_assertions)]
+        {
+            let mask = self.last_mask().to_vec();
+            debug_assert!(
+                self.mrf().graph().is_independent_set(&mask),
+                "scheduler violated independence"
+            );
         }
     }
 
@@ -127,6 +133,7 @@ pub struct CspLubyGlauber<'a, S: Scheduler = LubyScheduler> {
     scheduler: S,
     state: Vec<Spin>,
     mask: Vec<bool>,
+    scratch: lsl_mrf::csp::MarginalScratch,
 }
 
 impl<'a> CspLubyGlauber<'a, LubyScheduler> {
@@ -157,6 +164,7 @@ impl<'a, S: Scheduler> CspLubyGlauber<'a, S> {
             scheduler,
             state: start,
             mask: vec![false; n],
+            scratch: lsl_mrf::csp::MarginalScratch::new(csp),
         }
     }
 
@@ -184,7 +192,10 @@ impl<S: Scheduler> Chain for CspLubyGlauber<'_, S> {
             if !self.mask[v.index()] {
                 continue;
             }
-            if let Some(pick) = self.csp.sample_marginal(v, &self.state, rng) {
+            if let Some(pick) =
+                self.csp
+                    .sample_marginal_with(v, &self.state, rng, &mut self.scratch)
+            {
                 self.state[v.index()] = pick;
             }
             // An ill-defined marginal (all-zero weights) can only occur

@@ -65,9 +65,7 @@ impl VertexProgram for LubyGlauberProgram {
         }
         let mut local_max = true;
         for ((e, u), msg) in ctx.ports().zip(inbox.iter()) {
-            let &(beta_u, spin_u) = msg
-                .as_ref()
-                .expect("every neighbor broadcasts every round");
+            let &(beta_u, spin_u) = msg.as_ref().expect("every neighbor broadcasts every round");
             if (beta_u, u.0) > me {
                 local_max = false;
             }

@@ -20,12 +20,15 @@
 //!   Proposition 3.1's proof does not apply round-by-round — it is here as
 //!   the baseline the paper contrasts with.
 
+use crate::engine::RoundCtx;
 use lsl_graph::coloring::ProperColoring;
 use lsl_graph::{Graph, VertexId};
 use lsl_local::rng::Xoshiro256pp;
 use rand::RngExt;
 
-/// A strategy for picking the set of vertices to update this round.
+/// A strategy for picking the set of vertices to update this round,
+/// expressed as one sequential draw (the legacy formulation; the CSP
+/// chains and the exact-kernel machinery still consume it).
 pub trait Scheduler {
     /// Fills `out` (length `n`) with the membership mask of this round's
     /// update set. The set must be independent in `g`.
@@ -37,6 +40,33 @@ pub trait Scheduler {
     /// A lower bound on `Pr[v ∈ I]` (the γ of Theorem 3.2's remark), if
     /// the scheduler samples independently each round.
     fn gamma(&self, g: &Graph) -> Option<f64>;
+}
+
+/// The same selection logic in the step engine's per-vertex form: a
+/// **mark** drawn from each vertex's private round stream, then a pure
+/// **selection** predicate over the neighborhood's marks (plus the
+/// round-shared stream for global draws). This is what lets LubyGlauber
+/// rounds execute in parallel — or batched across replicas — without
+/// changing the scheduled set's distribution.
+pub trait VertexScheduler: Sync {
+    /// The per-vertex mark published by the propose phase.
+    type Mark: Copy + Send + Sync + Default;
+
+    /// Draws vertex `v`'s mark from its private stream.
+    fn mark(&self, v: VertexId, rng: &mut Xoshiro256pp) -> Self::Mark;
+
+    /// Whether `v` is in this round's update set, as a pure function of
+    /// the marks and the round context. Must yield an independent set.
+    fn selected(&self, ctx: &RoundCtx, v: VertexId, marks: &[Self::Mark]) -> bool;
+
+    /// For schedulers that select exactly one, mark-independent vertex
+    /// per round: the engine then takes its single-site fast path (no
+    /// propose sweep, no double-buffering) instead of resolving every
+    /// vertex. Must agree with [`VertexScheduler::selected`].
+    fn single_vertex(&self, ctx: &RoundCtx) -> Option<VertexId> {
+        let _ = ctx;
+        None
+    }
 }
 
 /// The paper's Luby step (Algorithm 1, lines 3–4).
@@ -65,9 +95,7 @@ impl Scheduler for LubyScheduler {
         }
         for v in g.vertices() {
             let key = (self.betas[v.index()], v.0);
-            out[v.index()] = g
-                .neighbors(v)
-                .all(|u| key > (self.betas[u.index()], u.0));
+            out[v.index()] = g.neighbors(v).all(|u| key > (self.betas[u.index()], u.0));
         }
     }
 
@@ -77,6 +105,20 @@ impl Scheduler for LubyScheduler {
 
     fn gamma(&self, g: &Graph) -> Option<f64> {
         Some(1.0 / (g.max_degree() as f64 + 1.0))
+    }
+}
+
+impl VertexScheduler for LubyScheduler {
+    type Mark = f64;
+
+    fn mark(&self, _v: VertexId, rng: &mut Xoshiro256pp) -> f64 {
+        rng.uniform_f64()
+    }
+
+    fn selected(&self, ctx: &RoundCtx, v: VertexId, marks: &[f64]) -> bool {
+        let g = ctx.mrf().graph();
+        let key = (marks[v.index()], v.0);
+        g.neighbors(v).all(|u| key > (marks[u.index()], u.0))
     }
 }
 
@@ -103,6 +145,25 @@ impl Scheduler for SingletonScheduler {
     }
 }
 
+impl VertexScheduler for SingletonScheduler {
+    type Mark = ();
+
+    fn mark(&self, _v: VertexId, _rng: &mut Xoshiro256pp) {}
+
+    fn selected(&self, ctx: &RoundCtx, v: VertexId, _marks: &[()]) -> bool {
+        // Every vertex evaluates the same shared draw, so exactly one is
+        // selected per round.
+        ctx.mrf().num_vertices() > 0 && v == ctx.shared_vertex()
+    }
+
+    fn single_vertex(&self, ctx: &RoundCtx) -> Option<VertexId> {
+        if ctx.mrf().num_vertices() == 0 {
+            return None;
+        }
+        Some(ctx.shared_vertex())
+    }
+}
+
 /// Bernoulli volunteering with conflict withdrawal: `v` volunteers with
 /// probability `p` and stays in `I` iff no neighbor volunteered.
 #[derive(Clone, Debug)]
@@ -117,7 +178,10 @@ impl BernoulliFilterScheduler {
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "volunteering probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "volunteering probability must be in (0, 1]"
+        );
         BernoulliFilterScheduler {
             p,
             volunteered: Vec::new(),
@@ -133,8 +197,8 @@ impl Scheduler for BernoulliFilterScheduler {
             *slot = rng.uniform_f64() < self.p;
         }
         for v in g.vertices() {
-            out[v.index()] = self.volunteered[v.index()]
-                && g.neighbors(v).all(|u| !self.volunteered[u.index()]);
+            out[v.index()] =
+                self.volunteered[v.index()] && g.neighbors(v).all(|u| !self.volunteered[u.index()]);
         }
     }
 
@@ -144,6 +208,18 @@ impl Scheduler for BernoulliFilterScheduler {
 
     fn gamma(&self, g: &Graph) -> Option<f64> {
         Some(self.p * (1.0 - self.p).powi(g.max_degree() as i32))
+    }
+}
+
+impl VertexScheduler for BernoulliFilterScheduler {
+    type Mark = bool;
+
+    fn mark(&self, _v: VertexId, rng: &mut Xoshiro256pp) -> bool {
+        rng.uniform_f64() < self.p
+    }
+
+    fn selected(&self, ctx: &RoundCtx, v: VertexId, marks: &[bool]) -> bool {
+        marks[v.index()] && ctx.mrf().graph().neighbors(v).all(|u| !marks[u.index()])
     }
 }
 
@@ -194,6 +270,19 @@ impl Scheduler for ChromaticScheduler {
     }
 }
 
+impl VertexScheduler for ChromaticScheduler {
+    type Mark = ();
+
+    fn mark(&self, _v: VertexId, _rng: &mut Xoshiro256pp) {}
+
+    fn selected(&self, ctx: &RoundCtx, v: VertexId, _marks: &[()]) -> bool {
+        // Engine form: the class is a function of the round index (the
+        // legacy form keeps a cursor instead).
+        let classes = self.coloring.num_classes().max(1) as u64;
+        self.coloring.color(v) == (ctx.round() % classes) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +293,11 @@ mod tests {
         for seed in 0..seeds {
             let mut rng = Xoshiro256pp::seed_from(seed);
             s.sample(g, &mut rng, &mut out);
-            assert!(g.is_independent_set(&out), "{} produced a dependent set", s.name());
+            assert!(
+                g.is_independent_set(&out),
+                "{} produced a dependent set",
+                s.name()
+            );
         }
     }
 
@@ -270,7 +363,7 @@ mod tests {
         let g = generators::cycle(6);
         let mut sched = ChromaticScheduler::greedy(&g);
         let classes = sched.num_classes();
-        let mut covered = vec![false; 6];
+        let mut covered = [false; 6];
         let mut out = vec![false; 6];
         let mut rng = Xoshiro256pp::seed_from(0);
         for _ in 0..classes {
@@ -279,7 +372,10 @@ mod tests {
                 *c |= b;
             }
         }
-        assert!(covered.iter().all(|&b| b), "a sweep must cover all vertices");
+        assert!(
+            covered.iter().all(|&b| b),
+            "a sweep must cover all vertices"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`ScanChain`] — systematic scan (Dyer–Goldberg–Jerrum): heat-bath
 //!   updates in a fixed vertex order; one [`Chain::step`] = one full sweep.
 
+use crate::engine::rules::{GlauberRule, MetropolisRule};
+use crate::engine::SyncChain;
 use crate::update::Resampler;
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
@@ -42,12 +44,8 @@ pub fn arbitrary_start(mrf: &Mrf, rng: &mut Xoshiro256pp) -> Vec<Spin> {
 /// chain.run(200, &mut rng);
 /// assert!(mrf.is_feasible(chain.state()));
 /// ```
-#[derive(Clone, Debug)]
 pub struct GlauberChain<'a> {
-    mrf: &'a Mrf,
-    state: Vec<Spin>,
-    scratch: Vec<f64>,
-    resampler: Resampler,
+    inner: SyncChain<'a, GlauberRule>,
 }
 
 impl<'a> GlauberChain<'a> {
@@ -63,42 +61,31 @@ impl<'a> GlauberChain<'a> {
     /// # Panics
     /// Panics if the configuration has the wrong length.
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
-        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
         GlauberChain {
-            mrf,
-            state,
-            scratch: vec![0.0; mrf.q()],
-            resampler: Resampler::new(mrf),
+            inner: SyncChain::with_state(mrf, GlauberRule, 0, state),
         }
     }
 
     /// The model this chain samples from.
     pub fn mrf(&self) -> &Mrf {
-        self.mrf
+        self.inner.mrf()
     }
 }
 
 impl Chain for GlauberChain<'_> {
     fn state(&self) -> &[Spin] {
-        &self.state
+        self.inner.state()
     }
 
     fn set_state(&mut self, state: &[Spin]) {
-        assert_eq!(state.len(), self.state.len());
-        self.state.copy_from_slice(state);
+        self.inner.set_state(state);
     }
 
     fn step(&mut self, rng: &mut Xoshiro256pp) {
-        let n = self.state.len();
-        // Fixed single-draw vertex selection keeps coupled streams aligned.
-        let v = lsl_graph::VertexId((rng.uniform_f64() * n as f64) as u32);
-        self.mrf
-            .marginal_weights_into(v, &self.state, &mut self.scratch);
-        let pick = self
-            .resampler
-            .resample(&self.scratch, rng)
-            .expect("Glauber marginal must be well-defined (paper assumption)");
-        self.state[v.index()] = pick;
+        // One draw keys the round: the engine's shared stream picks the
+        // vertex and the resolve stream drives the resample, so coupled
+        // callers stay aligned by construction.
+        self.inner.step_keyed(rng.next());
     }
 
     fn name(&self) -> &'static str {
@@ -108,19 +95,14 @@ impl Chain for GlauberChain<'_> {
 
 /// The single-site Metropolis chain: propose `c ∼ b_v`, accept with
 /// probability `Π_{u ∼ v} Ã_uv(c, X_u)`.
-#[derive(Clone, Debug)]
 pub struct MetropolisChain<'a> {
-    mrf: &'a Mrf,
-    state: Vec<Spin>,
+    inner: SyncChain<'a, MetropolisRule>,
 }
 
 impl<'a> MetropolisChain<'a> {
     /// Creates the chain with the deterministic default start.
     pub fn new(mrf: &'a Mrf) -> Self {
-        MetropolisChain {
-            mrf,
-            state: default_start(mrf),
-        }
+        Self::with_state(mrf, default_start(mrf))
     }
 
     /// Creates the chain from an explicit start.
@@ -128,37 +110,23 @@ impl<'a> MetropolisChain<'a> {
     /// # Panics
     /// Panics if the configuration has the wrong length.
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
-        assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
-        MetropolisChain { mrf, state }
+        MetropolisChain {
+            inner: SyncChain::with_state(mrf, MetropolisRule, 0, state),
+        }
     }
 }
 
 impl Chain for MetropolisChain<'_> {
     fn state(&self) -> &[Spin] {
-        &self.state
+        self.inner.state()
     }
 
     fn set_state(&mut self, state: &[Spin]) {
-        assert_eq!(state.len(), self.state.len());
-        self.state.copy_from_slice(state);
+        self.inner.set_state(state);
     }
 
     fn step(&mut self, rng: &mut Xoshiro256pp) {
-        let n = self.state.len();
-        let v = lsl_graph::VertexId((rng.uniform_f64() * n as f64) as u32);
-        let proposal = self.mrf.vertex_activity(v).sample(rng);
-        let mut accept_prob = 1.0;
-        for (e, u) in self.mrf.graph().incident_edges(v) {
-            accept_prob *= self
-                .mrf
-                .edge_activity(e)
-                .normalized(proposal, self.state[u.index()]);
-        }
-        // One coin per step keeps grand couplings in sync.
-        let coin = rng.uniform_f64();
-        if coin < accept_prob {
-            self.state[v.index()] = proposal;
-        }
+        self.inner.step_keyed(rng.next());
     }
 
     fn name(&self) -> &'static str {

@@ -117,7 +117,10 @@ mod tests {
             generators::path(3)
         )));
         // Soft activities: never.
-        assert!(!has_uniform_marginals(&models::ising(generators::path(2), 0.5)));
+        assert!(!has_uniform_marginals(&models::ising(
+            generators::path(2),
+            0.5
+        )));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! that must hold for every model, seed, and schedule.
 
 use lsl_core::coupling::hamming;
+use lsl_core::engine::replicas::ReplicaSet;
+use lsl_core::engine::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule};
+use lsl_core::engine::{Backend, SyncChain, SyncRule};
 use lsl_core::kernel::{glauber_kernel, local_metropolis_kernel, luby_set_distribution};
 use lsl_core::local_metropolis::LocalMetropolis;
 use lsl_core::luby_glauber::LubyGlauber;
@@ -110,5 +113,90 @@ proptest! {
         let mut rng = Xoshiro256pp::seed_from(seed);
         chain.run(10, &mut rng);
         prop_assert!(chain.state().iter().all(|&s| s < 2));
+    }
+}
+
+/// The engine's determinism contract: for a fixed master seed, the
+/// parallel backend must produce the state sequence of the sequential
+/// backend bit-for-bit, on every graph family and for both synchronous
+/// chains.
+fn assert_backends_agree<R: SyncRule + Clone>(
+    mrf: &lsl_mrf::Mrf,
+    rule: R,
+    master: u64,
+    threads: usize,
+    rounds: usize,
+) {
+    let mut seq = SyncChain::new(mrf, rule.clone(), master);
+    let mut par = SyncChain::new(mrf, rule, master);
+    par.set_backend(Backend::Parallel { threads });
+    for r in 0..rounds {
+        seq.step();
+        par.step();
+        assert_eq!(
+            seq.state(),
+            par.state(),
+            "backends diverged at round {r} with {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_backends_bit_identical_on_torus(
+        master in 0u64..10_000, rows in 3usize..6, cols in 3usize..6, threads in 2usize..5
+    ) {
+        let mrf = models::proper_coloring(generators::torus(rows, cols), 9);
+        assert_backends_agree(&mrf, LocalMetropolisRule::new(), master, threads, 12);
+        assert_backends_agree(&mrf, LubyGlauberRule::luby(), master, threads, 12);
+    }
+
+    #[test]
+    fn engine_backends_bit_identical_on_cycle(
+        master in 0u64..10_000, len in 4usize..24, threads in 2usize..7
+    ) {
+        let mrf = models::proper_coloring(generators::cycle(len), 5);
+        assert_backends_agree(&mrf, LocalMetropolisRule::new(), master, threads, 12);
+        assert_backends_agree(&mrf, LubyGlauberRule::luby(), master, threads, 12);
+    }
+
+    #[test]
+    fn engine_backends_bit_identical_on_random_graphs(
+        master in 0u64..10_000, seed in 0u64..500, threads in 2usize..5
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::gnp(14, 0.3, &mut rng);
+        let q = 2 * g.max_degree() + 2;
+        let mrf = models::proper_coloring(g, q.max(3));
+        assert_backends_agree(&mrf, LocalMetropolisRule::new(), master, threads, 12);
+        assert_backends_agree(&mrf, LubyGlauberRule::luby(), master, threads, 12);
+    }
+
+    #[test]
+    fn engine_backends_bit_identical_on_soft_models(
+        master in 0u64..10_000, beta in 0.2f64..2.0
+    ) {
+        // Soft constraints exercise the fractional edge coins.
+        let mrf = models::ising(generators::torus(4, 4), beta);
+        assert_backends_agree(&mrf, LocalMetropolisRule::new(), master, 3, 12);
+    }
+
+    #[test]
+    fn replica_sharding_is_pure_execution_strategy(
+        seed in 0u64..10_000, count in 2usize..7, threads in 2usize..5
+    ) {
+        // Sharding replicas over threads must not change any trajectory.
+        let mrf = models::proper_coloring(generators::torus(3, 3), 8);
+        let mut a = ReplicaSet::independent(&mrf, GlauberRule, count, seed);
+        let mut b = ReplicaSet::independent(&mrf, GlauberRule, count, seed);
+        b.set_backend(Backend::Parallel { threads });
+        a.run(30);
+        b.run(30);
+        for i in 0..count {
+            prop_assert_eq!(a.state(i), b.state(i));
+        }
     }
 }

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crate registry, so this crate provides
+//! the small slice of the criterion API the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a fixed measurement window; the mean ns/iter is
+//! printed in a criterion-like one-line format. Set `LSL_BENCH_WINDOW_MS`
+//! to change the per-benchmark measurement window (default 300 ms).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement window per benchmark.
+fn window() -> Duration {
+    let ms = std::env::var("LSL_BENCH_WINDOW_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates and measures `f`, recording mean time per call.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up and calibration: run until ~10% of the window elapses
+        // to estimate per-iteration cost.
+        let win = window();
+        let calib_budget = win / 10;
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < calib_budget || calib_iters == 0 {
+            std::hint::black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target_iters =
+            ((win.as_secs_f64() * 0.9 / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{label:<48} {:>14.1} ns/iter ({} iterations)",
+        b.ns_per_iter, b.iters
+    );
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// Re-export for `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("LSL_BENCH_WINDOW_MS", "10");
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -188,7 +188,10 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
 /// Panics if `n * d` is odd, `d >= n`, or the repair fails to converge
 /// within an internal budget (pathological only for tiny `n` close to `d`).
 pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     assert!(d < n, "need d < n for a simple d-regular graph");
     if d == 0 {
         return Graph::from_edges(n, &[]);
@@ -198,7 +201,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
     'restart: for _ in 0..RESTARTS {
         // Configuration model: pair up n*d half-edge stubs uniformly.
         let mut stubs: Vec<u32> = (0..n)
-            .flat_map(|v| std::iter::repeat(v as u32).take(d))
+            .flat_map(|v| std::iter::repeat_n(v as u32, d))
             .collect();
         stubs.shuffle(rng);
         let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();

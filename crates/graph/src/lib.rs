@@ -32,9 +32,9 @@
 //! assert_eq!(traversal::diameter(&g), Some(4));
 //! ```
 
-mod graph;
 pub mod coloring;
 pub mod generators;
+mod graph;
 pub mod hypergraph;
 pub mod matching;
 pub mod traversal;

@@ -48,7 +48,9 @@ pub fn is_connected(g: &Graph) -> bool {
     if n == 0 {
         return true;
     }
-    bfs_distances(g, VertexId(0)).iter().all(|&d| d != UNREACHABLE)
+    bfs_distances(g, VertexId(0))
+        .iter()
+        .all(|&d| d != UNREACHABLE)
 }
 
 /// Connected components as a vector of component ids (dense, 0-based).

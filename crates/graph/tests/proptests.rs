@@ -3,6 +3,9 @@
 use lsl_graph::{generators, traversal, Graph, GraphBuilder, VertexId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+// Redundant under the offline proptest stand-in (its macro injects the
+// trait), but required if the stand-ins are swapped for the real crates.
+#[allow(unused_imports)]
 use rand::SeedableRng;
 
 /// Strategy: a random edge list over `n` vertices.

@@ -111,10 +111,8 @@ impl Simulator {
                             g.degree(VertexId(v as u32)),
                             "per-port outbox must cover every port"
                         );
-                        for (p, ((_, u), msg)) in g
-                            .incident_edges(VertexId(v as u32))
-                            .zip(msgs.into_iter())
-                            .enumerate()
+                        for (p, ((_, u), msg)) in
+                            g.incident_edges(VertexId(v as u32)).zip(msgs).enumerate()
                         {
                             if let Some(msg) = msg {
                                 deliver(&mut inboxes, &mut stats, u, reverse_port[v][p], msg);
@@ -176,7 +174,12 @@ mod tests {
             MaxId(ctx.vertex().0)
         }
 
-        fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u32> {
+        fn send(
+            &mut self,
+            _config: &(),
+            _ctx: &VertexContext<'_>,
+            _rng: &mut VertexRng,
+        ) -> Outbox<u32> {
             Outbox::broadcast(self.0)
         }
 
@@ -250,7 +253,12 @@ mod tests {
                 use rand::RngExt;
                 Noisy(rng.random())
             }
-            fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u64> {
+            fn send(
+                &mut self,
+                _config: &(),
+                _ctx: &VertexContext<'_>,
+                _rng: &mut VertexRng,
+            ) -> Outbox<u64> {
                 Outbox::broadcast(self.0)
             }
             fn receive(
@@ -290,7 +298,12 @@ mod tests {
             fn init(_config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
                 Sender(Vec::new())
             }
-            fn send(&mut self, _config: &(), ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<u32> {
+            fn send(
+                &mut self,
+                _config: &(),
+                ctx: &VertexContext<'_>,
+                _rng: &mut VertexRng,
+            ) -> Outbox<u32> {
                 if ctx.vertex().0 == 0 {
                     Outbox::PerPort((0..ctx.degree()).map(|p| Some(100 + p as u32)).collect())
                 } else {
@@ -335,7 +348,12 @@ mod tests {
             fn init(_config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Self {
                 CountIn(0)
             }
-            fn send(&mut self, _config: &(), _ctx: &VertexContext<'_>, _rng: &mut VertexRng) -> Outbox<bool> {
+            fn send(
+                &mut self,
+                _config: &(),
+                _ctx: &VertexContext<'_>,
+                _rng: &mut VertexRng,
+            ) -> Outbox<bool> {
                 Outbox::broadcast(true)
             }
             fn receive(

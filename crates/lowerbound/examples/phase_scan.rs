@@ -12,12 +12,25 @@ fn main() {
     for seed in 0..10u64 {
         for &lambda in &[10.0, 16.0] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let l = LiftedCycle::build(6, GadgetParams { side: 8, terminals: 4, delta: 4 }, &mut rng);
+            let l = LiftedCycle::build(
+                6,
+                GadgetParams {
+                    side: 8,
+                    terminals: 4,
+                    delta: 4,
+                },
+                &mut rng,
+            );
             let d = ExactPhaseDistribution::compute(&l, lambda);
             let j = d.antipodal_joint();
             let p_pp = j[0] / (j[0] + j[2]);
             let p_pm = j[1] / (j[1] + j[3]);
-            println!("{seed}\t{lambda}\t{:.4}\t{:.4}\t{:.4}", d.max_cut_mass(), d.tie_mass(), (p_pp - p_pm).abs());
+            println!(
+                "{seed}\t{lambda}\t{:.4}\t{:.4}\t{:.4}",
+                d.max_cut_mass(),
+                d.tie_mass(),
+                (p_pp - p_pm).abs()
+            );
         }
     }
 }

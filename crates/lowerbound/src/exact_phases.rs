@@ -200,11 +200,23 @@ impl ExactPhaseDistribution {
     /// their exact probabilities, `(starting-with-Plus, starting-with-Minus)`.
     pub fn max_cut_probabilities(&self) -> (f64, f64) {
         let alt_plus: Vec<Phase> = (0..self.m)
-            .map(|i| if i % 2 == 0 { Phase::Plus } else { Phase::Minus })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Phase::Plus
+                } else {
+                    Phase::Minus
+                }
+            })
             .collect();
         let alt_minus: Vec<Phase> = alt_plus
             .iter()
-            .map(|&p| if p == Phase::Plus { Phase::Minus } else { Phase::Plus })
+            .map(|&p| {
+                if p == Phase::Plus {
+                    Phase::Minus
+                } else {
+                    Phase::Plus
+                }
+            })
             .collect();
         (self.probability(&alt_plus), self.probability(&alt_minus))
     }
@@ -316,7 +328,11 @@ mod tests {
             (p_plus - p_minus).abs() < 1e-9 * (p_plus + p_minus),
             "{p_plus} vs {p_minus}"
         );
-        assert!(d.max_cut_mass() > 0.9, "max-cut mass = {}", d.max_cut_mass());
+        assert!(
+            d.max_cut_mass() > 0.9,
+            "max-cut mass = {}",
+            d.max_cut_mass()
+        );
     }
 
     #[test]
@@ -340,7 +356,11 @@ mod tests {
         // and often tied).
         let l = lifted(4, 4);
         let d = ExactPhaseDistribution::compute(&l, 0.5);
-        assert!(d.max_cut_mass() < 0.5, "max-cut mass = {}", d.max_cut_mass());
+        assert!(
+            d.max_cut_mass() < 0.5,
+            "max-cut mass = {}",
+            d.max_cut_mass()
+        );
     }
 
     #[test]

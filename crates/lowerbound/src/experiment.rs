@@ -228,7 +228,13 @@ mod tests {
         let lifted = tiny_lifted();
         let mut stats = PhaseStats::default();
         let alternating: Vec<Phase> = (0..6)
-            .map(|i| if i % 2 == 0 { Phase::Plus } else { Phase::Minus })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Phase::Plus
+                } else {
+                    Phase::Minus
+                }
+            })
             .collect();
         stats.record(&lifted, &alternating);
         assert_eq!(stats.max_cut, 1);

@@ -108,7 +108,9 @@ impl Gadget {
     /// The terminals `W⁻` in index order.
     pub fn terminals_minus(&self) -> Vec<VertexId> {
         let n = self.params.side as u32;
-        (n..n + self.params.terminals as u32).map(VertexId).collect()
+        (n..n + self.params.terminals as u32)
+            .map(VertexId)
+            .collect()
     }
 
     /// The phase `Y(σ)` of a configuration restricted to this gadget.
@@ -153,7 +155,8 @@ mod tests {
         let g = Gadget::sample(params(), &mut rng);
         let graph = g.graph();
         for v in graph.vertices() {
-            let is_terminal = (v.index() % 12) < 3 && (v.index() < 3 || (12..15).contains(&v.index()));
+            let is_terminal =
+                (v.index() % 12) < 3 && (v.index() < 3 || (12..15).contains(&v.index()));
             let expect = if is_terminal { 3 } else { 4 };
             assert_eq!(graph.degree(v), expect, "vertex {v}");
         }
@@ -184,7 +187,10 @@ mod tests {
     fn terminal_lists() {
         let mut rng = StdRng::seed_from_u64(8);
         let g = Gadget::sample(params(), &mut rng);
-        assert_eq!(g.terminals_plus(), vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            g.terminals_plus(),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(
             g.terminals_minus(),
             vec![VertexId(12), VertexId(13), VertexId(14)]

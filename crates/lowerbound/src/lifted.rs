@@ -9,9 +9,9 @@
 //! effectively samples a maximum cut of `H` (Theorem 5.4).
 
 use crate::gadget::{Gadget, GadgetParams, Phase};
-use lsl_graph::{Graph, GraphBuilder};
 #[cfg(test)]
 use lsl_graph::{traversal, VertexId};
+use lsl_graph::{Graph, GraphBuilder};
 use lsl_mrf::Spin;
 use rand::Rng;
 
@@ -32,8 +32,14 @@ impl LiftedCycle {
     /// # Panics
     /// Panics if `cycle_len` is odd or `< 4`, or `params.terminals` is odd.
     pub fn build(cycle_len: usize, params: GadgetParams, rng: &mut impl Rng) -> Self {
-        assert!(cycle_len >= 4 && cycle_len % 2 == 0, "need an even cycle ≥ 4");
-        assert!(params.terminals % 2 == 0, "terminals per side must be even (2k)");
+        assert!(
+            cycle_len >= 4 && cycle_len % 2 == 0,
+            "need an even cycle ≥ 4"
+        );
+        assert!(
+            params.terminals % 2 == 0,
+            "terminals per side must be even (2k)"
+        );
         let gadget = Gadget::sample(params, rng);
         Self::with_gadget(cycle_len, gadget)
     }
@@ -43,7 +49,10 @@ impl LiftedCycle {
     /// # Panics
     /// Same constraints as [`LiftedCycle::build`].
     pub fn with_gadget(cycle_len: usize, gadget: Gadget) -> Self {
-        assert!(cycle_len >= 4 && cycle_len % 2 == 0, "need an even cycle ≥ 4");
+        assert!(
+            cycle_len >= 4 && cycle_len % 2 == 0,
+            "need an even cycle ≥ 4"
+        );
         assert!(
             gadget.params().terminals % 2 == 0,
             "terminals per side must be even (2k)"

@@ -144,8 +144,16 @@ mod tests {
 
     #[test]
     fn more_colors_decay_faster() {
-        let c3 = decay_curve(&models::proper_coloring(generators::path(30), 3), &[6], 0.01);
-        let c5 = decay_curve(&models::proper_coloring(generators::path(30), 5), &[6], 0.01);
+        let c3 = decay_curve(
+            &models::proper_coloring(generators::path(30), 3),
+            &[6],
+            0.01,
+        );
+        let c5 = decay_curve(
+            &models::proper_coloring(generators::path(30), 5),
+            &[6],
+            0.01,
+        );
         assert!(c5[0].influence < c3[0].influence);
     }
 

@@ -36,7 +36,9 @@ impl EdgeActivity {
         let mut max = 0.0f64;
         for (idx, &x) in data.iter().enumerate() {
             if !x.is_finite() || x < 0.0 {
-                return Err(format!("entry {idx} = {x} is not a finite non-negative value"));
+                return Err(format!(
+                    "entry {idx} = {x} is not a finite non-negative value"
+                ));
             }
             max = max.max(x);
         }
@@ -89,7 +91,10 @@ impl EdgeActivity {
     /// # Panics
     /// Panics if `beta` is negative or not finite.
     pub fn potts(q: usize, beta: f64) -> Self {
-        assert!(beta.is_finite() && beta >= 0.0, "beta must be finite and >= 0");
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be finite and >= 0"
+        );
         let mut data = vec![1.0; q * q];
         for i in 0..q {
             data[i * q + i] = beta;
@@ -162,7 +167,9 @@ impl VertexActivity {
         let mut total = 0.0;
         for (idx, &x) in data.iter().enumerate() {
             if !x.is_finite() || x < 0.0 {
-                return Err(format!("entry {idx} = {x} is not a finite non-negative value"));
+                return Err(format!(
+                    "entry {idx} = {x} is not a finite non-negative value"
+                ));
             }
             total += x;
         }

@@ -161,7 +161,7 @@ impl Csp {
                 scope.push(v.0);
                 scope.sort_unstable();
                 scope.dedup();
-                Constraint::from_predicate(2, scope, |local| local.iter().any(|&s| s == 1))
+                Constraint::from_predicate(2, scope, |local| local.contains(&1))
                     .expect("dominating-set constraint is valid")
             })
             .collect();
@@ -187,7 +187,7 @@ impl Csp {
             scope.sort_unstable();
             scope.dedup();
             constraints.push(
-                Constraint::from_predicate(2, scope, |local| local.iter().any(|&s| s == 1))
+                Constraint::from_predicate(2, scope, |local| local.contains(&1))
                     .expect("domination constraint is valid"),
             );
         }
@@ -230,20 +230,33 @@ impl Csp {
     /// Unnormalized conditional marginal of `v` given the rest of `config`:
     /// `weights[s] = Π_{c ∋ v} f_c(config with σ_v = s)`.
     pub fn marginal_weights(&self, v: VertexId, config: &[Spin]) -> Vec<f64> {
-        let mut scratch = config.to_vec();
-        let mut out = vec![0.0; self.q];
-        for (s, slot) in out.iter_mut().enumerate() {
-            scratch[v.index()] = s as Spin;
+        let mut scratch = MarginalScratch::new(self);
+        self.marginal_weights_into(v, config, &mut scratch);
+        scratch.weights
+    }
+
+    /// In-place variant of [`Csp::marginal_weights`] for hot loops: the
+    /// trial configuration and the weight vector both live in `scratch`.
+    pub fn marginal_weights_into(
+        &self,
+        v: VertexId,
+        config: &[Spin],
+        scratch: &mut MarginalScratch,
+    ) {
+        scratch.config.clear();
+        scratch.config.extend_from_slice(config);
+        scratch.weights.resize(self.q, 0.0);
+        for (s, slot) in scratch.weights.iter_mut().enumerate() {
+            scratch.config[v.index()] = s as Spin;
             let mut w = 1.0;
             for &ci in &self.incident[v.index()] {
-                w *= self.constraints[ci as usize].evaluate(self.q, &scratch);
+                w *= self.constraints[ci as usize].evaluate(self.q, &scratch.config);
                 if w == 0.0 {
                     break;
                 }
             }
             *slot = w;
         }
-        out
     }
 
     /// Heat-bath resample of `σ_v` from the conditional marginal; `None` if
@@ -254,8 +267,20 @@ impl Csp {
         config: &[Spin],
         rng: &mut impl Rng,
     ) -> Option<Spin> {
-        let w = self.marginal_weights(v, config);
-        sample_weighted(&w, rng)
+        let mut scratch = MarginalScratch::new(self);
+        self.sample_marginal_with(v, config, rng, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`Csp::sample_marginal`] for hot loops.
+    pub fn sample_marginal_with(
+        &self,
+        v: VertexId,
+        config: &[Spin],
+        rng: &mut impl Rng,
+        scratch: &mut MarginalScratch,
+    ) -> Option<Spin> {
+        self.marginal_weights_into(v, config, scratch);
+        sample_weighted(&scratch.weights, rng)
     }
 
     /// The hypergraph of constraint scopes — LubyGlauber's strongly
@@ -286,6 +311,30 @@ impl Csp {
             }
         }
         out
+    }
+}
+
+/// Reusable buffers for allocation-free CSP marginals: the trial
+/// configuration written per candidate spin and the resulting weights.
+#[derive(Clone, Debug)]
+pub struct MarginalScratch {
+    config: Vec<Spin>,
+    weights: Vec<f64>,
+}
+
+impl MarginalScratch {
+    /// Builds scratch sized for `csp`.
+    pub fn new(csp: &Csp) -> Self {
+        MarginalScratch {
+            config: Vec::with_capacity(csp.graph.num_vertices()),
+            weights: vec![0.0; csp.q],
+        }
+    }
+
+    /// The marginal weights of the most recent
+    /// [`Csp::marginal_weights_into`] call.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 }
 

@@ -22,9 +22,17 @@ pub fn influence_matrix_exhaustive(mrf: &Mrf) -> Vec<Vec<f64>> {
     let n = mrf.num_vertices();
     let q = mrf.q();
     let total = checked_pow(q, n).expect("q^n overflow");
-    assert!(total <= 1 << 20, "state space too large for exhaustive influence");
+    assert!(
+        total <= 1 << 20,
+        "state space too large for exhaustive influence"
+    );
     let mut rho = vec![vec![0.0; n]; n];
     let mut sigma = vec![0 as Spin; n];
+    let mut tau = vec![0 as Spin; n];
+    // Reused marginal buffers keep the q^n-sized enumeration loop
+    // allocation-free.
+    let mut wi_sigma = vec![0.0; q];
+    let mut wi_tau = vec![0.0; q];
     for idx in 0..total {
         decode_config(idx, q, &mut sigma);
         if !mrf.is_feasible(&sigma) {
@@ -37,7 +45,7 @@ pub fn influence_matrix_exhaustive(mrf: &Mrf) -> Vec<Vec<f64>> {
                 if s == original {
                     continue;
                 }
-                let mut tau = sigma.clone();
+                tau.copy_from_slice(&sigma);
                 tau[j] = s;
                 if !mrf.is_feasible(&tau) {
                     continue;
@@ -47,8 +55,8 @@ pub fn influence_matrix_exhaustive(mrf: &Mrf) -> Vec<Vec<f64>> {
                         continue;
                     }
                     let v = lsl_graph::VertexId(i as u32);
-                    let wi_sigma = mrf.marginal_weights(v, &sigma);
-                    let wi_tau = mrf.marginal_weights(v, &tau);
+                    mrf.marginal_weights_into(v, &sigma, &mut wi_sigma);
+                    mrf.marginal_weights_into(v, &tau, &mut wi_tau);
                     if let Some(tv) = tv_of_weights(&wi_sigma, &wi_tau) {
                         if tv > rho[i][j] {
                             rho[i][j] = tv;

@@ -319,13 +319,14 @@ mod tests {
         // Impossible pin.
         let mrf2 = models::uniform_independent_set(generators::path(2));
         let e2 = Enumeration::new(&mrf2).unwrap();
-        assert!(e2
-            .conditional_marginal(VertexId(0), &[(VertexId(0), 1), (VertexId(1), 1)])
-            .is_none()
-            || e2
-                .conditional_marginal(VertexId(1), &[(VertexId(0), 1)])
-                .unwrap()[1]
-                == 0.0);
+        assert!(
+            e2.conditional_marginal(VertexId(0), &[(VertexId(0), 1), (VertexId(1), 1)])
+                .is_none()
+                || e2
+                    .conditional_marginal(VertexId(1), &[(VertexId(0), 1)])
+                    .unwrap()[1]
+                    == 0.0
+        );
     }
 
     #[test]

@@ -163,7 +163,9 @@ impl Mrf {
         self.check_config(config);
         let mut w = 1.0;
         for (e, u, v) in self.graph.edges() {
-            w *= self.edge_activity(e).get(config[u.index()], config[v.index()]);
+            w *= self
+                .edge_activity(e)
+                .get(config[u.index()], config[v.index()]);
             if w == 0.0 {
                 return 0.0;
             }
@@ -182,7 +184,9 @@ impl Mrf {
         self.check_config(config);
         let mut lw = 0.0;
         for (e, u, v) in self.graph.edges() {
-            let a = self.edge_activity(e).get(config[u.index()], config[v.index()]);
+            let a = self
+                .edge_activity(e)
+                .get(config[u.index()], config[v.index()]);
             if a == 0.0 {
                 return f64::NEG_INFINITY;
             }
@@ -399,7 +403,10 @@ mod tests {
         let w = mrf.marginal_weights(VertexId(1), &[0, 0, 2]);
         assert_eq!(w, vec![0.0, 1.0, 0.0]);
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(mrf.sample_marginal(VertexId(1), &[0, 0, 2], &mut rng), Some(1));
+        assert_eq!(
+            mrf.sample_marginal(VertexId(1), &[0, 0, 2], &mut rng),
+            Some(1)
+        );
     }
 
     #[test]
@@ -409,7 +416,10 @@ mod tests {
         let w = mrf.marginal_weights(VertexId(0), &[0, 0, 1, 2]);
         assert_eq!(w.iter().sum::<f64>(), 0.0);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(mrf.sample_marginal(VertexId(0), &[0, 0, 1, 2], &mut rng), None);
+        assert_eq!(
+            mrf.sample_marginal(VertexId(0), &[0, 0, 1, 2], &mut rng),
+            None
+        );
     }
 
     #[test]

@@ -17,11 +17,7 @@ use std::sync::Arc;
 /// assert!(mrf.is_feasible(&[0, 1, 0, 1]));
 /// ```
 pub fn proper_coloring(graph: impl Into<Arc<Graph>>, q: usize) -> Mrf {
-    Mrf::homogeneous(
-        graph,
-        EdgeActivity::coloring(q),
-        VertexActivity::uniform(q),
-    )
+    Mrf::homogeneous(graph, EdgeActivity::coloring(q), VertexActivity::uniform(q))
 }
 
 /// Uniform proper *list* colorings: vertex `v` may only use colors in

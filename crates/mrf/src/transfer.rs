@@ -215,11 +215,7 @@ impl<'a> PathDp<'a> {
 
     /// Exact conditional marginal `µ_v(· | pins)`; `None` if the pinned
     /// event has zero probability.
-    pub fn conditional_marginal(
-        &self,
-        v: VertexId,
-        pins: &[(VertexId, Spin)],
-    ) -> Option<Vec<f64>> {
+    pub fn conditional_marginal(&self, v: VertexId, pins: &[(VertexId, Spin)]) -> Option<Vec<f64>> {
         let (fwd, _) = self.forward(pins);
         let bwd = self.backward(pins);
         let i = self.position[v.index()];
@@ -311,7 +307,10 @@ pub fn cycle_marginal(mrf: &Mrf, v: VertexId) -> Option<Vec<f64>> {
         }
     }
     // Normalize in log space to avoid overflow on long cycles.
-    let max_log = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_log = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     if !max_log.is_finite() {
         return None;
     }
@@ -350,11 +349,7 @@ pub fn conditional_influence(
     for a in 0..q {
         for b in (a + 1)..q {
             if let (Some(pa), Some(pb)) = (&conds[a], &conds[b]) {
-                let tv = 0.5
-                    * pa.iter()
-                        .zip(pb)
-                        .map(|(x, y)| (x - y).abs())
-                        .sum::<f64>();
+                let tv = 0.5 * pa.iter().zip(pb).map(|(x, y)| (x - y).abs()).sum::<f64>();
                 best = Some(best.map_or(tv, |cur: f64| cur.max(tv)));
             }
         }

@@ -8,27 +8,35 @@ use proptest::prelude::*;
 
 /// Strategy: a small random simple graph.
 fn arb_graph() -> impl Strategy<Value = lsl_graph::Graph> {
-    (2usize..=5, proptest::collection::vec((0u32..5, 0u32..5), 0..8)).prop_map(|(n, pairs)| {
-        let mut b = GraphBuilder::new(n);
-        let mut seen = std::collections::HashSet::new();
-        for (u, v) in pairs {
-            let (u, v) = (u % n as u32, v % n as u32);
-            if u != v && seen.insert((u.min(v), u.max(v))) {
-                b.add_edge(u, v);
+    (
+        2usize..=5,
+        proptest::collection::vec((0u32..5, 0u32..5), 0..8),
+    )
+        .prop_map(|(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            let mut seen = std::collections::HashSet::new();
+            for (u, v) in pairs {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v && seen.insert((u.min(v), u.max(v))) {
+                    b.add_edge(u, v);
+                }
             }
-        }
-        b.build()
-    })
+            b.build()
+        })
 }
 
 /// Strategy: a small weighted MRF (soft Potts-like activities).
 fn arb_mrf() -> impl Strategy<Value = Mrf> {
-    (arb_graph(), 2usize..=3, 0.1f64..3.0, proptest::collection::vec(0.1f64..2.0, 3)).prop_map(
-        |(g, q, beta, bvals)| {
+    (
+        arb_graph(),
+        2usize..=3,
+        0.1f64..3.0,
+        proptest::collection::vec(0.1f64..2.0, 3),
+    )
+        .prop_map(|(g, q, beta, bvals)| {
             let b = VertexActivity::new(bvals[..q].to_vec()).expect("positive entries");
             Mrf::homogeneous(g, EdgeActivity::potts(q, beta), b)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,503 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the workspace ships this minimal implementation of the slice of the
+//! `rand` API the codebase uses: the [`TryRng`]/[`Rng`] traits, the
+//! [`RngExt`] convenience methods (`random`, `random_range`,
+//! `random_bool`), [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! Every generator here is deterministic given its seed; `StdRng` is a
+//! SplitMix64-seeded xoshiro256++ rather than the upstream ChaCha12 (we
+//! only promise *a* high-quality deterministic stream, not upstream's
+//! exact one).
+
+use std::convert::Infallible;
+use std::ops::{Range, RangeInclusive};
+
+/// A fallible random number generator (mirror of `rand_core`'s
+/// `TryRngCore`).
+pub trait TryRng {
+    /// The error type returned by the generator.
+    type Error: std::fmt::Debug;
+
+    /// The next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// The next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+impl<T: TryRng + ?Sized> TryRng for &mut T {
+    type Error = T::Error;
+
+    #[inline]
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        (**self).try_next_u32()
+    }
+
+    #[inline]
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        (**self).try_next_u64()
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        (**self).try_fill_bytes(dst)
+    }
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is
+/// [`Infallible`], so implementing the fallible trait is enough.
+pub trait Rng {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let Ok(x) = self.try_next_u32();
+        x
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let Ok(x) = self.try_next_u64();
+        x
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let Ok(()) = self.try_fill_bytes(dst);
+    }
+}
+
+/// Types that can be sampled uniformly "at large" from a generator (the
+/// analogue of sampling from rand's `StandardUniform` distribution):
+/// integers over their full range, floats uniform in `[0, 1)`, fair
+/// booleans.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Top 53 bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types that support uniform range sampling (64-bit wide and
+/// narrower; spans are counted in `u64`).
+pub trait UniformInt: Copy {
+    /// The value reinterpreted as a 64-bit unsigned offset
+    /// (sign-extended two's complement for signed types, so subtracting
+    /// widened endpoints yields the span of any non-empty range).
+    fn widen(self) -> u64;
+
+    /// The value `off` steps above `lo` (wrapping, truncating — exact
+    /// for any `off` within a valid range's span).
+    fn from_offset(lo: Self, off: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn widen(self) -> u64 {
+                self as u64
+            }
+
+            #[inline]
+            fn from_offset(lo: Self, off: u64) -> Self {
+                (lo as u64).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Debiased multiply-shift (Lemire) draw of one of `span` values
+/// starting at `lo`; rejection keeps the draw exactly uniform.
+/// `span == 0` means the full 2⁶⁴-wide window (only reachable for
+/// 64-bit types' full ranges).
+#[inline]
+fn uniform_span<T: UniformInt, R: Rng + ?Sized>(lo: T, span: u64, rng: &mut R) -> T {
+    if span == 0 {
+        return T::from_offset(lo, rng.next_u64());
+    }
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * span as u128) >> 64) as u64;
+        let lo64 = (x as u128 * span as u128) as u64;
+        if lo64 >= span || lo64 >= (u64::MAX - span + 1) % span {
+            return T::from_offset(lo, hi);
+        }
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.widen().wrapping_sub(self.start.widen());
+        uniform_span(self.start, span, rng)
+    }
+}
+
+impl<T: UniformInt + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        // Wrapping to 0 marks the full 2⁶⁴-wide window (e.g. 0..=u64::MAX);
+        // `lo..=MAX` with lo > MIN stays a valid nonzero span.
+        let span = hi.widen().wrapping_sub(lo.widen()).wrapping_add(1);
+        uniform_span(lo, span, rng)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let u: f64 = Standard::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`]
+/// (mirror of rand 0.9's `Rng` extension methods).
+pub trait RngExt: Rng {
+    /// A value sampled uniformly "at large" (integers over their full
+    /// range, floats in `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A value sampled uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let u: f64 = Standard::from_rng(self);
+        u < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{SeedableRng, TryRng};
+    use std::convert::Infallible;
+
+    /// The workspace's standard seeded generator: SplitMix64-expanded
+    /// xoshiro256++ (upstream uses ChaCha12; any deterministic
+    /// high-quality stream serves the same role here).
+    ///
+    /// Deliberately *not* shared with `lsl_local::rng::Xoshiro256pp`
+    /// despite implementing the same algorithm: the chain trajectories
+    /// of the determinism contract are pinned to lsl-local's streams,
+    /// which must survive this stand-in being swapped for the real
+    /// `rand` crate (whose `StdRng` is a different generator entirely).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            if s == [0, 0, 0, 0] {
+                StdRng { s: [1, 2, 3, 4] }
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+
+        #[inline]
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        #[inline]
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            Ok(self.next())
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Random slice operations.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Shuffle and choose on slices (mirror of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=5u32);
+            assert!(y <= 5);
+            let z = rng.random_range(-4..5i64);
+            assert!((-4..5).contains(&z));
+            let f = rng.random_range(2.0..3.0f64);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_at_type_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            // Used to overflow in `hi + 1`; must stay in range.
+            let a = rng.random_range(u64::MAX - 3..=u64::MAX);
+            assert!(a >= u64::MAX - 3);
+            let b = rng.random_range(1u64..=u64::MAX);
+            assert!(b >= 1);
+            let _full: u64 = rng.random_range(0..=u64::MAX);
+            let c = rng.random_range(i64::MIN..=i64::MIN + 3);
+            assert!(c <= i64::MIN + 3);
+            let d = rng.random_range(250u8..=255);
+            assert!(d >= 250);
+            let _full8: u8 = rng.random_range(0..=255u8);
+            let e = rng.random_range(7u32..=7);
+            assert_eq!(e, 7);
+        }
+    }
+
+    #[test]
+    fn range_sampling_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.01, "bucket frequency {f}");
+        }
+    }
+
+    #[test]
+    fn random_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn random_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*v.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -19,7 +19,10 @@ fn main() {
     let n = 128;
     let trials = 3;
     println!("n = {n}, q = 4Δ, {trials} coupling trials per point");
-    println!("{:>4} {:>6} {:>22} {:>22}", "Δ", "q", "LubyGlauber rounds", "LocalMetropolis rounds");
+    println!(
+        "{:>4} {:>6} {:>22} {:>22}",
+        "Δ", "q", "LubyGlauber rounds", "LocalMetropolis rounds"
+    );
     for delta in [4usize, 8, 12, 16] {
         let q = 4 * delta;
         let mut rng = StdRng::seed_from_u64(delta as u64);

@@ -46,9 +46,15 @@ fn main() {
     println!("LubyGlauber, {steps} rounds x {replicas} replicas:");
     println!("  total variation distance to exact Gibbs = {tv:.4}");
 
-    println!("\nper-solution frequencies (expected {:.4} each):", 1.0 / exact.num_feasible() as f64);
+    println!(
+        "\nper-solution frequencies (expected {:.4} each):",
+        1.0 / exact.num_feasible() as f64
+    );
     for (idx, p) in exact.feasible().take(8) {
-        println!("  config #{idx}: exact {p:.4}, empirical {:.4}", emp.frequency(idx));
+        println!(
+            "  config #{idx}: exact {p:.4}, empirical {:.4}",
+            emp.frequency(idx)
+        );
     }
     println!("  ... ({} solutions total)", exact.num_feasible());
 }

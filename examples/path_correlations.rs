@@ -27,7 +27,10 @@ fn main() {
             0.5f64.powi(p.distance as i32)
         );
     }
-    println!("fitted decay rate η = {:.4} (theory: 0.5)", fit_eta(&curve).unwrap());
+    println!(
+        "fitted decay rate η = {:.4} (theory: 0.5)",
+        fit_eta(&curve).unwrap()
+    );
 
     println!("\nindependence defect of the Gibbs pair (σ_0, σ_d):");
     println!("{:>4} {:>14}", "d", "defect");
