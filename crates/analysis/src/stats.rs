@@ -32,6 +32,7 @@ pub fn std_error(xs: &[f64]) -> f64 {
 
 /// A compact summary of a sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use = "a measurement summary is only useful if inspected"]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -3,12 +3,12 @@
 //! Wall-clock per chain step across graph families and degrees — the
 //! systems-side context for the round-complexity experiments E1/E2 (a
 //! LocalMetropolis round touches every edge; a LubyGlauber round every
-//! vertex plus scheduled marginals; Glauber one vertex).
+//! vertex plus scheduled marginals; Glauber one vertex). All chains are
+//! constructed through the sampler facade and stepped self-keyed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsl_core::local_metropolis::LocalMetropolis;
-use lsl_core::luby_glauber::LubyGlauber;
-use lsl_core::single_site::{GlauberChain, ScanChain};
+use lsl_core::sampler::{Algorithm, Sampler};
+use lsl_core::single_site::ScanChain;
 use lsl_core::Chain;
 use lsl_graph::generators;
 use lsl_local::rng::Xoshiro256pp;
@@ -20,15 +20,19 @@ use std::hint::black_box;
 fn bench_chain_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_step/torus32x32_q20");
     let mrf = models::proper_coloring(generators::torus(32, 32), 20);
+    let build = |alg, seed| {
+        Sampler::for_mrf(&mrf)
+            .algorithm(alg)
+            .seed(seed)
+            .build()
+            .expect("valid configuration")
+    };
 
     group.bench_function("glauber_sweep", |b| {
-        let mut chain = GlauberChain::new(&mrf);
-        let mut rng = Xoshiro256pp::seed_from(1);
+        let mut chain = build(Algorithm::Glauber, 1);
         let n = mrf.num_vertices();
         b.iter(|| {
-            for _ in 0..n {
-                chain.step(&mut rng);
-            }
+            chain.run(n);
             black_box(chain.state()[0])
         });
     });
@@ -43,19 +47,17 @@ fn bench_chain_steps(c: &mut Criterion) {
     });
 
     group.bench_function("luby_glauber_round", |b| {
-        let mut chain = LubyGlauber::new(&mrf);
-        let mut rng = Xoshiro256pp::seed_from(3);
+        let mut chain = build(Algorithm::LubyGlauber, 3);
         b.iter(|| {
-            chain.step(&mut rng);
+            chain.step();
             black_box(chain.state()[0])
         });
     });
 
     group.bench_function("local_metropolis_round", |b| {
-        let mut chain = LocalMetropolis::new(&mrf);
-        let mut rng = Xoshiro256pp::seed_from(4);
+        let mut chain = build(Algorithm::LocalMetropolis, 4);
         b.iter(|| {
-            chain.step(&mut rng);
+            chain.step();
             black_box(chain.state()[0])
         });
     });
@@ -72,19 +74,25 @@ fn bench_degree_scaling(c: &mut Criterion) {
             BenchmarkId::new("local_metropolis", delta),
             &delta,
             |b, _| {
-                let mut chain = LocalMetropolis::new(&mrf);
-                let mut x = Xoshiro256pp::seed_from(9);
+                let mut chain = Sampler::for_mrf(&mrf)
+                    .algorithm(Algorithm::LocalMetropolis)
+                    .seed(9)
+                    .build()
+                    .expect("valid configuration");
                 b.iter(|| {
-                    chain.step(&mut x);
+                    chain.step();
                     black_box(chain.state()[0])
                 });
             },
         );
         group.bench_with_input(BenchmarkId::new("luby_glauber", delta), &delta, |b, _| {
-            let mut chain = LubyGlauber::new(&mrf);
-            let mut x = Xoshiro256pp::seed_from(10);
+            let mut chain = Sampler::for_mrf(&mrf)
+                .algorithm(Algorithm::LubyGlauber)
+                .seed(10)
+                .build()
+                .expect("valid configuration");
             b.iter(|| {
-                chain.step(&mut x);
+                chain.step();
                 black_box(chain.state()[0])
             });
         });

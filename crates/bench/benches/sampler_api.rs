@@ -1,0 +1,131 @@
+//! Facade-overhead bench: the sampler builder vs direct engine use.
+//!
+//! The facade type-erases the rule behind one virtual call per *round*
+//! (each round does O(n) per-vertex work), so the design claim is that
+//! the front door costs nothing measurable. This bench runs the same
+//! 256×256 torus LocalMetropolis workload both ways on the sequential
+//! and parallel backends and records the relative overhead to
+//! `BENCH_sampler_api.json` at the workspace root.
+//!
+//! `quick` as an argument (or `LSL_BENCH_QUICK=1`) shrinks the workload
+//! for smoke runs (and skips the JSON write).
+
+use lsl_core::engine::rules::LocalMetropolisRule;
+use lsl_core::engine::{Backend, SyncChain};
+use lsl_core::sampler::{Algorithm, Sampler};
+use lsl_mrf::models;
+use std::time::Instant;
+
+struct Row {
+    surface: &'static str,
+    backend: &'static str,
+    rounds: usize,
+    secs: f64,
+    steps_vertices_per_sec: f64,
+}
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, repeats) = if quick { (64, 4, 2) } else { (256, 12, 3) };
+    let mrf = models::proper_coloring(lsl_graph::generators::torus(side, side), 16);
+    let n = mrf.num_vertices();
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let mut rows: Vec<Row> = Vec::new();
+
+    let backends: [(&'static str, Backend); 2] = [
+        ("sequential", Backend::Sequential),
+        ("parallel", Backend::Parallel { threads: 0 }),
+    ];
+    for (name, backend) in backends {
+        // Direct engine use: the monomorphized SyncChain.
+        {
+            let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 1);
+            chain.set_backend(backend);
+            chain.run(2); // warm up
+            let secs = best_secs(repeats, || chain.run(rounds));
+            rows.push(Row {
+                surface: "engine",
+                backend: name,
+                rounds,
+                secs,
+                steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+            });
+        }
+        // The same workload through the type-erased facade.
+        {
+            let mut sampler = Sampler::for_mrf(&mrf)
+                .algorithm(Algorithm::LocalMetropolis)
+                .backend(backend)
+                .seed(1)
+                .build()
+                .expect("valid configuration");
+            sampler.run(2);
+            let secs = best_secs(repeats, || sampler.run(rounds));
+            rows.push(Row {
+                surface: "facade",
+                backend: name,
+                rounds,
+                secs,
+                steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+            });
+        }
+    }
+
+    println!("# sampler facade vs direct engine, {side}x{side} torus, q=16, {threads} thread(s)");
+    println!("surface\tbackend\trounds\tsecs\tsteps_vertices_per_sec\toverhead_vs_engine");
+    let mut json_rows: Vec<String> = Vec::new();
+    for pair in rows.chunks(2) {
+        let (engine, facade) = (&pair[0], &pair[1]);
+        for r in pair {
+            let overhead = facade.secs / engine.secs - 1.0;
+            println!(
+                "{}\t{}\t{}\t{:.4}\t{:.3e}\t{}",
+                r.surface,
+                r.backend,
+                r.rounds,
+                r.secs,
+                r.steps_vertices_per_sec,
+                if r.surface == "facade" {
+                    format!("{:+.2}%", overhead * 100.0)
+                } else {
+                    "-".into()
+                }
+            );
+            json_rows.push(format!(
+                "    {{\"surface\": \"{}\", \"backend\": \"{}\", \"rounds\": {}, \"secs\": {:.6}, \"steps_vertices_per_sec\": {:.1}, \"overhead_vs_engine\": {:.4}}}",
+                r.surface,
+                r.backend,
+                r.rounds,
+                r.secs,
+                r.steps_vertices_per_sec,
+                if r.surface == "facade" { overhead } else { 0.0 }
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sampler_api_overhead\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampler_api.json");
+    if quick {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# quick run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

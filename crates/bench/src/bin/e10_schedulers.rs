@@ -9,16 +9,25 @@
 //! contrast.
 
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::luby_glauber::LubyGlauber;
-use lsl_core::mixing::coalescence_summary;
+use lsl_core::sampler::{Algorithm, Sampler, Sched};
 use lsl_core::schedule::{
     BernoulliFilterScheduler, ChromaticScheduler, LubyScheduler, Scheduler, SingletonScheduler,
 };
-use lsl_core::Chain;
 use lsl_graph::generators;
 use lsl_mrf::models;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The γ of Theorem 3.2's remark for a [`Sched`] choice on this network
+/// (None for the deterministic chromatic scan).
+fn gamma(sched: Sched, g: &lsl_graph::Graph) -> Option<f64> {
+    match sched {
+        Sched::Luby => LubyScheduler::new().gamma(g),
+        Sched::Singleton => SingletonScheduler.gamma(g),
+        Sched::Bernoulli(p) => BernoulliFilterScheduler::new(p).gamma(g),
+        Sched::Chromatic => ChromaticScheduler::greedy(g).gamma(g),
+    }
+}
 
 fn main() {
     header(&[
@@ -35,36 +44,29 @@ fn main() {
     let g = generators::random_regular(n, delta, &mut rng);
     let mrf = models::proper_coloring(g, q);
 
-    macro_rules! measure {
-        ($name:expr, $make_sched:expr) => {{
-            let gamma = $make_sched.gamma(mrf.graph());
-            let (s, t) = coalescence_summary(
-                |st| {
-                    let mut c = LubyGlauber::with_scheduler(&mrf, $make_sched);
-                    c.set_state(st);
-                    c
-                },
-                &mrf,
-                trials,
-                5_000_000,
-                99,
-            );
-            let gstr = gamma.map_or("-".to_string(), f);
-            let prod = gamma.map_or("-".to_string(), |gm| f(s.mean * gm));
-            row(&[
-                $name.into(),
-                gstr,
-                f(s.mean),
-                f(s.std_error),
-                t.to_string(),
-                prod,
-            ]);
-        }};
+    for (name, sched) in [
+        ("Luby", Sched::Luby),
+        ("Bernoulli(0.1)", Sched::Bernoulli(0.1)),
+        ("Bernoulli(0.25)", Sched::Bernoulli(0.25)),
+        ("Singleton", Sched::Singleton),
+        ("Chromatic", Sched::Chromatic),
+    ] {
+        let gm = gamma(sched, mrf.graph());
+        let report = Sampler::for_mrf(&mrf)
+            .algorithm(Algorithm::LubyGlauber)
+            .scheduler(sched)
+            .seed(99)
+            .coalescence(trials, 5_000_000)
+            .expect("LubyGlauber accepts every scheduler");
+        let gstr = gm.map_or("-".to_string(), f);
+        let prod = gm.map_or("-".to_string(), |g| f(report.summary.mean * g));
+        row(&[
+            name.into(),
+            gstr,
+            f(report.summary.mean),
+            f(report.summary.std_error),
+            report.timeouts.to_string(),
+            prod,
+        ]);
     }
-
-    measure!("Luby", LubyScheduler::new());
-    measure!("Bernoulli(0.1)", BernoulliFilterScheduler::new(0.1));
-    measure!("Bernoulli(0.25)", BernoulliFilterScheduler::new(0.25));
-    measure!("Singleton", SingletonScheduler);
-    measure!("Chromatic", ChromaticScheduler::greedy(mrf.graph()));
 }

@@ -8,8 +8,7 @@
 
 use lsl_analysis::EmpiricalDistribution;
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::luby_glauber::CspLubyGlauber;
-use lsl_core::Chain;
+use lsl_core::sampler::Sampler;
 use lsl_graph::generators;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::csp::Csp;
@@ -52,9 +51,12 @@ fn main() {
         let mut emp = EmpiricalDistribution::new();
         let mut feasible = true;
         for rep in 0..reps {
-            let mut rng = Xoshiro256pp::seed_from(17_000 + rep);
-            let mut chain = CspLubyGlauber::new(&csp, vec![1; csp.graph().num_vertices()]);
-            chain.run(steps, &mut rng);
+            let mut chain = Sampler::for_csp(&csp)
+                .start(vec![1; csp.graph().num_vertices()])
+                .seed(17_000 + rep)
+                .build()
+                .expect("feasible dominating-set start");
+            chain.run(steps);
             feasible &= csp.is_feasible(chain.state());
             emp.record(encode_config(chain.state(), 2));
         }
@@ -82,8 +84,12 @@ fn main() {
         for rep in 0..reps {
             let mut rng = Xoshiro256pp::seed_from(18_000 + rep);
             let pick = rng.random_range(0..sols.len());
-            let mut chain = CspLubyGlauber::new(&csp, sols[pick].0.clone());
-            chain.run(steps, &mut rng);
+            let mut chain = Sampler::for_csp(&csp)
+                .start(sols[pick].0.clone())
+                .seed(18_000 + rep)
+                .build()
+                .expect("exact solutions are feasible starts");
+            chain.run(steps);
             feasible &= csp.is_feasible(chain.state());
             emp.record(encode_config(chain.state(), 2));
         }

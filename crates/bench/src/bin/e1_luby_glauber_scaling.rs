@@ -10,8 +10,7 @@
 
 use lsl_analysis::theory;
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::engine::rules::LubyGlauberRule;
-use lsl_core::mixing::coalescence_summary_batched;
+use lsl_core::sampler::{Algorithm, Sampler};
 use lsl_graph::generators;
 use lsl_mrf::models;
 use rand::rngs::StdRng;
@@ -21,11 +20,19 @@ fn measure(n: usize, delta: usize, q: usize, trials: usize, seed: u64) -> (f64, 
     let mut rng = StdRng::seed_from_u64(seed);
     let g = generators::random_regular(n, delta, &mut rng);
     let mrf = models::proper_coloring(g, q);
-    // Grand couplings run as coupled replica sets on the step engine:
-    // each round's shared randomness is computed once for all copies.
-    let (summary, timeouts) =
-        coalescence_summary_batched(&mrf, &LubyGlauberRule::luby(), trials, 2_000_000, seed);
-    (summary.mean, summary.std_error, timeouts)
+    // The coalescence job runs grand couplings as coupled replica sets
+    // on the step engine: each round's shared randomness is computed
+    // once for all copies.
+    let report = Sampler::for_mrf(&mrf)
+        .algorithm(Algorithm::LubyGlauber)
+        .seed(seed)
+        .coalescence(trials, 2_000_000)
+        .expect("valid LubyGlauber configuration");
+    (
+        report.summary.mean,
+        report.summary.std_error,
+        report.timeouts,
+    )
 }
 
 fn main() {

@@ -7,12 +7,27 @@
 //! Series B: rounds vs n at fixed Δ — expect logarithmic growth.
 
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::engine::rules::{LocalMetropolisRule, LubyGlauberRule};
-use lsl_core::mixing::coalescence_summary_batched;
+use lsl_core::sampler::{Algorithm, CoalescenceReport, Sampler};
 use lsl_graph::generators;
 use lsl_mrf::models;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Grand-coupling coalescence of `algorithm` on `mrf` via the facade's
+/// job verb (coupled replica batches on the step engine).
+fn coalesce(
+    mrf: &lsl_mrf::Mrf,
+    algorithm: Algorithm,
+    trials: usize,
+    max_steps: usize,
+    seed: u64,
+) -> CoalescenceReport {
+    Sampler::for_mrf(mrf)
+        .algorithm(algorithm)
+        .seed(seed)
+        .coalescence(trials, max_steps)
+        .expect("valid chain configuration")
+}
 
 fn main() {
     let trials = scaled(5usize, 2);
@@ -29,9 +44,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(300 + delta as u64);
         let g = generators::random_regular(n_fixed, delta, &mut rng);
         let mrf = models::proper_coloring(g, q);
-        let (lm, lm_to) = coalescence_summary_batched(
+        let lm = coalesce(
             &mrf,
-            &LocalMetropolisRule::new(),
+            Algorithm::LocalMetropolis,
             trials,
             500_000,
             71 + delta as u64,
@@ -42,13 +57,13 @@ fn main() {
             delta.to_string(),
             n_fixed.to_string(),
             q.to_string(),
-            f(lm.mean),
-            f(lm.std_error),
-            lm_to.to_string(),
+            f(lm.summary.mean),
+            f(lm.summary.std_error),
+            lm.timeouts.to_string(),
         ]);
-        let (lg, lg_to) = coalescence_summary_batched(
+        let lg = coalesce(
             &mrf,
-            &LubyGlauberRule::luby(),
+            Algorithm::LubyGlauber,
             trials,
             2_000_000,
             72 + delta as u64,
@@ -59,9 +74,9 @@ fn main() {
             delta.to_string(),
             n_fixed.to_string(),
             q.to_string(),
-            f(lg.mean),
-            f(lg.std_error),
-            lg_to.to_string(),
+            f(lg.summary.mean),
+            f(lg.summary.std_error),
+            lg.timeouts.to_string(),
         ]);
     }
 
@@ -71,9 +86,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(400 + n as u64);
         let g = generators::random_regular(n, delta_fixed, &mut rng);
         let mrf = models::proper_coloring(g, q);
-        let (s, t) = coalescence_summary_batched(
+        let s = coalesce(
             &mrf,
-            &LocalMetropolisRule::new(),
+            Algorithm::LocalMetropolis,
             trials,
             500_000,
             73 + n as u64,
@@ -84,9 +99,9 @@ fn main() {
             delta_fixed.to_string(),
             n.to_string(),
             q.to_string(),
-            f(s.mean),
-            f(s.std_error),
-            t.to_string(),
+            f(s.summary.mean),
+            f(s.summary.std_error),
+            s.timeouts.to_string(),
         ]);
     }
 }

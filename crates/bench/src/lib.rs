@@ -1,10 +1,12 @@
-//! Shared harness utilities for the experiment binaries (E1–E12).
+//! Shared harness utilities for the experiment binaries (E1–E13).
 //!
 //! Each binary in `src/bin/` regenerates one experiment from the
-//! EXPERIMENTS.md index as a TSV table on stdout, prefixed by `#` comment
-//! lines describing the paper claim being exercised. Binaries accept an
-//! optional `quick` argument that shrinks the workload (used by CI-style
-//! smoke runs); the full defaults reproduce the recorded numbers.
+//! `EXPERIMENTS.md` index at the workspace root as a TSV table on
+//! stdout, prefixed by `#` comment lines describing the paper claim
+//! being exercised. Binaries accept an optional `quick` argument that
+//! shrinks the workload (used by CI-style smoke runs); the full
+//! defaults reproduce the recorded numbers. Chains are constructed
+//! through the sampler facade (`lsl_core::sampler`).
 
 /// Whether the binary was invoked with a `quick` argument.
 pub fn quick_mode() -> bool {

@@ -58,20 +58,22 @@ pub fn constraint_pass_probability(
 
 /// LocalMetropolis over a weighted local CSP.
 ///
-/// # Example
+/// # Example (preferred construction: the sampler facade)
 /// ```
-/// use lsl_core::csp_metropolis::CspLocalMetropolis;
-/// use lsl_core::Chain;
+/// use lsl_core::prelude::*;
 /// use lsl_graph::generators;
-/// use lsl_local::rng::Xoshiro256pp;
 /// use lsl_mrf::csp::Csp;
 /// use std::sync::Arc;
 ///
 /// let csp = Csp::dominating_set(Arc::new(generators::cycle(6)));
-/// let mut chain = CspLocalMetropolis::new(&csp, vec![1; 6]);
-/// let mut rng = Xoshiro256pp::seed_from(4);
-/// chain.run(50, &mut rng);
-/// assert!(csp.is_feasible(chain.state()));
+/// let mut sampler = Sampler::for_csp(&csp)
+///     .algorithm(Algorithm::LocalMetropolis)
+///     .start(vec![1; 6])
+///     .seed(4)
+///     .build()
+///     .unwrap();
+/// sampler.run(50);
+/// assert!(csp.is_feasible(sampler.state()));
 /// ```
 #[derive(Clone, Debug)]
 pub struct CspLocalMetropolis<'a> {
@@ -86,6 +88,8 @@ impl<'a> CspLocalMetropolis<'a> {
     ///
     /// # Panics
     /// Panics if the start has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_csp(&csp).algorithm(Algorithm::LocalMetropolis).start(start).build()`")]
     pub fn new(csp: &'a Csp, start: Vec<Spin>) -> Self {
         assert_eq!(start.len(), csp.graph().num_vertices());
         let n = start.len();
@@ -210,6 +214,9 @@ pub fn csp_local_metropolis_kernel(csp: &Csp) -> Kernel {
 
 #[cfg(test)]
 mod tests {
+    // The legacy constructor is the surface under test here.
+    #![allow(deprecated)]
+
     use super::*;
     use lsl_graph::generators;
     use lsl_mrf::models;

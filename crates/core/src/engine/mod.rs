@@ -332,6 +332,17 @@ pub struct SyncChain<'a, R: SyncRule> {
     last_key: Option<(u64, u64)>,
 }
 
+impl<R: SyncRule> std::fmt::Debug for SyncChain<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncChain")
+            .field("rule", &self.rule.name())
+            .field("backend", &self.backend)
+            .field("n", &self.state.len())
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
 impl<'a, R: SyncRule> SyncChain<'a, R> {
     /// Builds the chain on the deterministic default start with the
     /// sequential backend.

@@ -65,6 +65,18 @@ pub struct ReplicaSet<'a, R: SyncRule> {
     round: u64,
 }
 
+impl<R: SyncRule> std::fmt::Debug for ReplicaSet<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("rule", &self.rule.name())
+            .field("backend", &self.backend)
+            .field("replicas", &self.count)
+            .field("coupled", &self.coupled)
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
 impl<'a, R: SyncRule> ReplicaSet<'a, R> {
     fn build(mrf: &'a Mrf, rule: R, states: Vec<Spin>, masters: Vec<u64>, coupled: bool) -> Self {
         let n = mrf.num_vertices();

@@ -6,6 +6,10 @@
 //! implements the samplers, the sequential baselines they parallelize, and
 //! the measurement machinery their theorems call for:
 //!
+//! * [`sampler`] — the **facade**: one typed builder over models ×
+//!   algorithms × schedulers × backends, with measurement jobs
+//!   (TV curves, coalescence) and a read-only observer pipeline — start
+//!   here;
 //! * [`engine`] — the **step engine**: chain logic as per-vertex rules
 //!   over counter-style randomness streams, executed by swappable
 //!   backends (sequential, parallel, batched replicas) with bit-identical
@@ -34,20 +38,22 @@
 //!
 //! # Example: sample a proper coloring with LocalMetropolis
 //!
+//! The [`sampler`] facade is the one front door — pick a model, an
+//! algorithm, a scheduler, and a backend, and build:
+//!
 //! ```
-//! use lsl_core::local_metropolis::LocalMetropolis;
-//! use lsl_core::Chain;
+//! use lsl_core::prelude::*;
 //! use lsl_graph::generators;
-//! use lsl_local::rng::Xoshiro256pp;
 //! use lsl_mrf::models;
 //!
 //! let mrf = models::proper_coloring(generators::torus(5, 5), 16);
-//! let mut chain = LocalMetropolis::new(&mrf);
-//! let mut rng = Xoshiro256pp::seed_from(1);
-//! for _ in 0..60 {
-//!     chain.step(&mut rng);
-//! }
-//! assert!(mrf.is_feasible(chain.state()));
+//! let mut sampler = Sampler::for_mrf(&mrf)
+//!     .algorithm(Algorithm::LocalMetropolis)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
+//! sampler.run(60);
+//! assert!(mrf.is_feasible(sampler.state()));
 //! ```
 
 pub mod coupling;
@@ -59,9 +65,23 @@ pub mod local_metropolis;
 pub mod luby_glauber;
 pub mod mixing;
 pub mod programs;
+pub mod sampler;
 pub mod schedule;
 pub mod single_site;
 pub mod update;
+
+/// The facade in one `use`: the [`sampler`] builder types, the legacy
+/// [`Chain`] trait, the engine [`Backend`](engine::Backend), and the
+/// workspace PRNG.
+pub mod prelude {
+    pub use crate::engine::Backend;
+    pub use crate::sampler::{
+        AcceptanceObserver, Algorithm, BuildError, CoalescenceReport, EnergyObserver,
+        HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler, SamplerBuilder, Sched,
+    };
+    pub use crate::Chain;
+    pub use lsl_local::rng::Xoshiro256pp;
+}
 
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::Spin;

@@ -27,42 +27,62 @@ use lsl_mrf::{Mrf, Spin};
 
 /// The LocalMetropolis chain (Algorithm 2), running on the step engine:
 /// the chain logic lives in
-/// [`LocalMetropolisRule`](crate::engine::rules::LocalMetropolisRule),
+/// [`LocalMetropolisRule`],
 /// and this wrapper adapts it to the [`Chain`] interface (each step's
 /// randomness is keyed by one draw from the caller's generator, so
 /// identically seeded generators still realize the grand coupling).
 ///
-/// # Example
+/// # Example (preferred construction: the sampler facade)
 /// ```
-/// use lsl_core::local_metropolis::LocalMetropolis;
-/// use lsl_core::Chain;
+/// use lsl_core::prelude::*;
 /// use lsl_graph::generators;
-/// use lsl_local::rng::Xoshiro256pp;
 /// use lsl_mrf::models;
 ///
 /// let mrf = models::proper_coloring(generators::complete_bipartite(6, 6), 24);
-/// let mut chain = LocalMetropolis::new(&mrf);
-/// let mut rng = Xoshiro256pp::seed_from(2);
-/// chain.run(50, &mut rng);
-/// assert!(mrf.is_feasible(chain.state()));
+/// let mut sampler = Sampler::for_mrf(&mrf)
+///     .algorithm(Algorithm::LocalMetropolis)
+///     .seed(2)
+///     .build()
+///     .unwrap();
+/// sampler.run(50);
+/// assert!(mrf.is_feasible(sampler.state()));
 /// ```
+#[derive(Debug)]
 pub struct LocalMetropolis<'a> {
     inner: SyncChain<'a, LocalMetropolisRule>,
 }
 
 impl<'a> LocalMetropolis<'a> {
     /// Creates the chain with the deterministic default start.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolis).build()`")]
     pub fn new(mrf: &'a Mrf) -> Self {
-        Self::with_state(mrf, crate::single_site::default_start(mrf))
+        LocalMetropolis {
+            inner: crate::sampler::wire(
+                mrf,
+                LocalMetropolisRule::new(),
+                0,
+                None,
+                Backend::Sequential,
+            ),
+        }
     }
 
     /// Creates the chain from an explicit start.
     ///
     /// # Panics
     /// Panics if the configuration has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolis).start(state).build()`")]
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
         LocalMetropolis {
-            inner: SyncChain::with_state(mrf, LocalMetropolisRule::new(), 0, state),
+            inner: crate::sampler::wire(
+                mrf,
+                LocalMetropolisRule::new(),
+                0,
+                Some(state),
+                Backend::Sequential,
+            ),
         }
     }
 
@@ -72,10 +92,17 @@ impl<'a> LocalMetropolis<'a> {
     /// The paper warns this rule is "necessary to guarantee the
     /// reversibility of the chain as well as the uniform stationary
     /// distribution"; experiment E9 verifies the failure exactly.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolisNoRule3).build()`")]
     pub fn without_rule3(mrf: &'a Mrf) -> Self {
-        let start = crate::single_site::default_start(mrf);
         LocalMetropolis {
-            inner: SyncChain::with_state(mrf, LocalMetropolisRule::without_rule3(), 0, start),
+            inner: crate::sampler::wire(
+                mrf,
+                LocalMetropolisRule::without_rule3(),
+                0,
+                None,
+                Backend::Sequential,
+            ),
         }
     }
 
@@ -138,6 +165,9 @@ impl Chain for LocalMetropolis<'_> {
 
 #[cfg(test)]
 mod tests {
+    // The legacy constructors are the surface under test here.
+    #![allow(deprecated)]
+
     use super::*;
     use lsl_analysis::EmpiricalDistribution;
     use lsl_graph::generators;

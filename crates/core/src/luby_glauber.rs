@@ -21,25 +21,28 @@ use lsl_mrf::{Mrf, Spin};
 
 /// The LubyGlauber chain (Algorithm 1), generic over the independent-set
 /// scheduler and running on the step engine: the chain logic lives in
-/// [`LubyGlauberRule`](crate::engine::rules::LubyGlauberRule), and this
+/// [`LubyGlauberRule`], and this
 /// wrapper adapts it to the [`Chain`] interface (each step's randomness
 /// is keyed by one draw from the caller's generator, preserving grand
 /// couplings through the legacy interface).
 ///
-/// # Example
+/// # Example (preferred construction: the sampler facade)
 /// ```
-/// use lsl_core::luby_glauber::LubyGlauber;
-/// use lsl_core::Chain;
+/// use lsl_core::prelude::*;
 /// use lsl_graph::generators;
-/// use lsl_local::rng::Xoshiro256pp;
 /// use lsl_mrf::models;
 ///
 /// let mrf = models::proper_coloring(generators::torus(4, 4), 10);
-/// let mut chain = LubyGlauber::new(&mrf);
-/// let mut rng = Xoshiro256pp::seed_from(5);
-/// chain.run(80, &mut rng);
-/// assert!(mrf.is_feasible(chain.state()));
+/// let mut sampler = Sampler::for_mrf(&mrf)
+///     .algorithm(Algorithm::LubyGlauber)
+///     .scheduler(Sched::Luby)
+///     .seed(5)
+///     .build()
+///     .unwrap();
+/// sampler.run(80);
+/// assert!(mrf.is_feasible(sampler.state()));
 /// ```
+#[derive(Debug)]
 pub struct LubyGlauber<'a, S: VertexScheduler = LubyScheduler> {
     inner: SyncChain<'a, LubyGlauberRule<S>>,
     mask: Vec<bool>,
@@ -48,17 +51,32 @@ pub struct LubyGlauber<'a, S: VertexScheduler = LubyScheduler> {
 impl<'a> LubyGlauber<'a, LubyScheduler> {
     /// Creates the chain with the paper's Luby-step scheduler and the
     /// deterministic default start.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).build()`")]
     pub fn new(mrf: &'a Mrf) -> Self {
-        Self::with_scheduler(mrf, LubyScheduler::new())
+        Self::wire(mrf, LubyScheduler::new())
     }
 }
 
 impl<'a, S: VertexScheduler> LubyGlauber<'a, S> {
     /// Creates the chain with a custom scheduler.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).scheduler(..).build()`")]
     pub fn with_scheduler(mrf: &'a Mrf, scheduler: S) -> Self {
+        Self::wire(mrf, scheduler)
+    }
+
+    /// The shared wiring behind both deprecated constructors.
+    fn wire(mrf: &'a Mrf, scheduler: S) -> Self {
         let n = mrf.num_vertices();
         LubyGlauber {
-            inner: SyncChain::new(mrf, LubyGlauberRule::with_scheduler(scheduler), 0),
+            inner: crate::sampler::wire(
+                mrf,
+                LubyGlauberRule::with_scheduler(scheduler),
+                0,
+                None,
+                Backend::Sequential,
+            ),
             mask: vec![false; n],
         }
     }
@@ -144,7 +162,10 @@ impl<'a> CspLubyGlauber<'a, LubyScheduler> {
     ///
     /// # Panics
     /// Panics if the start has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_csp(&csp).start(start).build()`")]
     pub fn new(csp: &'a Csp, start: Vec<Spin>) -> Self {
+        #[allow(deprecated)] // one shim delegating to the other
         Self::with_scheduler(csp, start, LubyScheduler::new())
     }
 }
@@ -154,6 +175,8 @@ impl<'a, S: Scheduler> CspLubyGlauber<'a, S> {
     ///
     /// # Panics
     /// Panics if the start has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_csp(&csp).scheduler(..).start(start).build()`")]
     pub fn with_scheduler(csp: &'a Csp, start: Vec<Spin>, scheduler: S) -> Self {
         assert_eq!(start.len(), csp.graph().num_vertices());
         let primal = csp.scope_hypergraph().primal_graph();
@@ -211,6 +234,9 @@ impl<S: Scheduler> Chain for CspLubyGlauber<'_, S> {
 
 #[cfg(test)]
 mod tests {
+    // The legacy constructors are the surface under test here.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::schedule::{BernoulliFilterScheduler, ChromaticScheduler, SingletonScheduler};
     use lsl_analysis::EmpiricalDistribution;

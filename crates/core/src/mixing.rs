@@ -3,10 +3,13 @@
 //!
 //! The batched entry points (`*_batched`) are the production path: they
 //! advance all replicas through the step engine's
-//! [`ReplicaSet`](crate::engine::replicas::ReplicaSet) in one
-//! cache-friendly pass instead of constructing one chain per replica.
-//! The closure-based entry points remain for chains that are not yet
-//! expressed as engine rules.
+//! [`ReplicaSet`] in one
+//! cache-friendly pass instead of constructing one chain per replica,
+//! and they are what the sampler facade's job verbs
+//! ([`SamplerBuilder::tv_curve`](crate::sampler::SamplerBuilder::tv_curve),
+//! [`SamplerBuilder::coalescence`](crate::sampler::SamplerBuilder::coalescence))
+//! run. The deprecated closure-based entry points remain for chains that
+//! are not expressed as engine rules.
 
 use crate::coupling::{adversarial_starts, coalescence_times};
 use crate::engine::replicas::ReplicaSet;
@@ -24,10 +27,31 @@ const BATCH_SPIN_BUDGET: usize = 1 << 22;
 
 /// Runs `replicas` iid copies of an engine rule for `steps` rounds each
 /// (in memory-bounded batches) and returns the empirical distribution of
-/// final configurations.
+/// final configurations. All replicas start from the deterministic
+/// default start; see [`empirical_distribution_batched_from`] for models
+/// whose default start is unsafe (e.g. list colorings, where a conflicted
+/// start can empty a heat-bath marginal).
+#[must_use]
 pub fn empirical_distribution_batched<R: SyncRule + Clone>(
     mrf: &Mrf,
     rule: &R,
+    steps: usize,
+    replicas: usize,
+    seed: u64,
+) -> EmpiricalDistribution {
+    let start = crate::single_site::default_start(mrf);
+    empirical_distribution_batched_from(mrf, rule, &start, steps, replicas, seed)
+}
+
+/// [`empirical_distribution_batched`] from an explicit common start.
+///
+/// # Panics
+/// Panics if the start has the wrong length.
+#[must_use]
+pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
+    mrf: &Mrf,
+    rule: &R,
+    start: &[Spin],
     steps: usize,
     replicas: usize,
     seed: u64,
@@ -39,10 +63,11 @@ pub fn empirical_distribution_batched<R: SyncRule + Clone>(
     let mut batch = 0u64;
     while done < replicas {
         let count = chunk.min(replicas - done);
-        let mut set = ReplicaSet::independent(
+        let starts: Vec<&[Spin]> = (0..count).map(|_| start).collect();
+        let mut set = ReplicaSet::independent_from(
             mrf,
             rule.clone(),
-            count,
+            &starts,
             derive_seed(seed, 0x4241_5443_48, batch), // "BATCH"
         );
         // Replicas shard over all cores; trajectories are unaffected
@@ -60,6 +85,7 @@ pub fn empirical_distribution_batched<R: SyncRule + Clone>(
 
 /// Batched empirical total variation distance between a rule's
 /// time-`steps` distribution and the exact Gibbs distribution.
+#[must_use]
 pub fn empirical_tv_batched<R: SyncRule + Clone>(
     mrf: &Mrf,
     rule: &R,
@@ -74,6 +100,7 @@ pub fn empirical_tv_batched<R: SyncRule + Clone>(
 
 /// Batched empirical TV curve at a ladder of step counts (fresh replicas
 /// per rung, so points are independent).
+#[must_use]
 pub fn empirical_tv_curve_batched<R: SyncRule + Clone>(
     mrf: &Mrf,
     rule: &R,
@@ -91,11 +118,11 @@ pub fn empirical_tv_curve_batched<R: SyncRule + Clone>(
         .collect()
 }
 
-/// Runs `replicas` independent copies of a chain for `steps` steps each
-/// and returns the empirical distribution of final configurations
-/// (encoded as base-`q` indices).
-pub fn empirical_distribution<C: Chain>(
-    mut make: impl FnMut() -> C,
+/// Closure-based implementation shared by the deprecated entry points
+/// (they must not call each other, or the deprecation lint fires inside
+/// this crate).
+fn empirical_distribution_impl<C: Chain>(
+    make: &mut impl FnMut() -> C,
     q: usize,
     steps: usize,
     replicas: usize,
@@ -111,21 +138,40 @@ pub fn empirical_distribution<C: Chain>(
     emp
 }
 
+/// Runs `replicas` independent copies of a chain for `steps` steps each
+/// and returns the empirical distribution of final configurations
+/// (encoded as base-`q` indices).
+#[deprecated(note = "use the sampler facade's job verb: \
+            `Sampler::for_mrf(&mrf)...distribution(steps, replicas)`")]
+pub fn empirical_distribution<C: Chain>(
+    mut make: impl FnMut() -> C,
+    q: usize,
+    steps: usize,
+    replicas: usize,
+    seed: u64,
+) -> EmpiricalDistribution {
+    empirical_distribution_impl(&mut make, q, steps, replicas, seed)
+}
+
 /// Empirical total variation distance between a chain's time-`steps`
 /// distribution and the exact Gibbs distribution.
+#[deprecated(note = "use the sampler facade's job verb: \
+            `Sampler::for_mrf(&mrf)...tv(&exact, steps, replicas)`")]
 pub fn empirical_tv<C: Chain>(
-    make: impl FnMut() -> C,
+    mut make: impl FnMut() -> C,
     exact: &Enumeration,
     steps: usize,
     replicas: usize,
     seed: u64,
 ) -> f64 {
-    let emp = empirical_distribution(make, exact.q(), steps, replicas, seed);
+    let emp = empirical_distribution_impl(&mut make, exact.q(), steps, replicas, seed);
     emp.tv_against_dense(&exact.distribution())
 }
 
 /// The empirical TV curve at a ladder of step counts (fresh replicas per
 /// rung, so points are independent).
+#[deprecated(note = "use the sampler facade's job verb: \
+            `Sampler::for_mrf(&mrf)...tv_curve(&exact, ladder, replicas)`")]
 pub fn empirical_tv_curve<C: Chain>(
     mut make: impl FnMut() -> C,
     exact: &Enumeration,
@@ -136,8 +182,14 @@ pub fn empirical_tv_curve<C: Chain>(
     step_ladder
         .iter()
         .map(|&steps| {
-            let tv = empirical_tv(&mut make, exact, steps, replicas, seed ^ steps as u64);
-            (steps, tv)
+            let emp = empirical_distribution_impl(
+                &mut make,
+                exact.q(),
+                steps,
+                replicas,
+                seed ^ steps as u64,
+            );
+            (steps, emp.tv_against_dense(&exact.distribution()))
         })
         .collect()
 }
@@ -145,6 +197,8 @@ pub fn empirical_tv_curve<C: Chain>(
 /// Coalescence-round summary for a chain on an MRF from adversarial
 /// starts: the experimental surrogate for τ(ε) in the scaling experiments
 /// (by the coupling lemma, `Pr[not coalesced by t] ≥ d(t)` bounds mixing).
+#[deprecated(note = "use the sampler facade's job verb: \
+            `Sampler::for_mrf(&mrf)...coalescence(trials, max_steps)`")]
 pub fn coalescence_summary<C: Chain>(
     make: impl FnMut(&[Spin]) -> C,
     mrf: &Mrf,
@@ -176,6 +230,9 @@ pub fn coalescence_summary_batched<R: SyncRule + Clone>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated closure-based entry points are kept covered here.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::engine::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule};
     use crate::local_metropolis::LocalMetropolis;

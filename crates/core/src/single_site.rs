@@ -12,7 +12,7 @@
 //!   updates in a fixed vertex order; one [`Chain::step`] = one full sweep.
 
 use crate::engine::rules::{GlauberRule, MetropolisRule};
-use crate::engine::SyncChain;
+use crate::engine::{Backend, SyncChain};
 use crate::update::Resampler;
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
@@ -30,20 +30,21 @@ pub fn arbitrary_start(mrf: &Mrf, rng: &mut Xoshiro256pp) -> Vec<Spin> {
 
 /// The single-site heat-bath Glauber dynamics.
 ///
-/// # Example
+/// # Example (preferred construction: the sampler facade)
 /// ```
-/// use lsl_core::single_site::GlauberChain;
-/// use lsl_core::Chain;
+/// use lsl_core::prelude::*;
 /// use lsl_graph::generators;
-/// use lsl_local::rng::Xoshiro256pp;
 /// use lsl_mrf::models;
 ///
 /// let mrf = models::proper_coloring(generators::cycle(8), 5);
-/// let mut chain = GlauberChain::new(&mrf);
-/// let mut rng = Xoshiro256pp::seed_from(0);
-/// chain.run(200, &mut rng);
-/// assert!(mrf.is_feasible(chain.state()));
+/// let mut sampler = Sampler::for_mrf(&mrf)
+///     .algorithm(Algorithm::Glauber)
+///     .build()
+///     .unwrap();
+/// sampler.run(200);
+/// assert!(mrf.is_feasible(sampler.state()));
 /// ```
+#[derive(Debug)]
 pub struct GlauberChain<'a> {
     inner: SyncChain<'a, GlauberRule>,
 }
@@ -51,18 +52,23 @@ pub struct GlauberChain<'a> {
 impl<'a> GlauberChain<'a> {
     /// Creates the chain with a deterministic arbitrary start (spin of
     /// smallest index with positive activity at each vertex).
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::Glauber).build()`")]
     pub fn new(mrf: &'a Mrf) -> Self {
-        let state = default_start(mrf);
-        Self::with_state(mrf, state)
+        GlauberChain {
+            inner: crate::sampler::wire(mrf, GlauberRule, 0, None, Backend::Sequential),
+        }
     }
 
     /// Creates the chain from an explicit start.
     ///
     /// # Panics
     /// Panics if the configuration has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::Glauber).start(state).build()`")]
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
         GlauberChain {
-            inner: SyncChain::with_state(mrf, GlauberRule, 0, state),
+            inner: crate::sampler::wire(mrf, GlauberRule, 0, Some(state), Backend::Sequential),
         }
     }
 
@@ -95,23 +101,30 @@ impl Chain for GlauberChain<'_> {
 
 /// The single-site Metropolis chain: propose `c ∼ b_v`, accept with
 /// probability `Π_{u ∼ v} Ã_uv(c, X_u)`.
+#[derive(Debug)]
 pub struct MetropolisChain<'a> {
     inner: SyncChain<'a, MetropolisRule>,
 }
 
 impl<'a> MetropolisChain<'a> {
     /// Creates the chain with the deterministic default start.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::Metropolis).build()`")]
     pub fn new(mrf: &'a Mrf) -> Self {
-        Self::with_state(mrf, default_start(mrf))
+        MetropolisChain {
+            inner: crate::sampler::wire(mrf, MetropolisRule, 0, None, Backend::Sequential),
+        }
     }
 
     /// Creates the chain from an explicit start.
     ///
     /// # Panics
     /// Panics if the configuration has the wrong length.
+    #[deprecated(note = "construct through the sampler facade: \
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::Metropolis).start(state).build()`")]
     pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
         MetropolisChain {
-            inner: SyncChain::with_state(mrf, MetropolisRule, 0, state),
+            inner: crate::sampler::wire(mrf, MetropolisRule, 0, Some(state), Backend::Sequential),
         }
     }
 }
@@ -198,6 +211,9 @@ pub fn default_start(mrf: &Mrf) -> Vec<Spin> {
 
 #[cfg(test)]
 mod tests {
+    // The legacy constructors are the surface under test here.
+    #![allow(deprecated)]
+
     use super::*;
     use lsl_analysis::EmpiricalDistribution;
     use lsl_graph::generators;

@@ -1,5 +1,10 @@
 //! Property-based tests for the sampling chains: structural invariants
 //! that must hold for every model, seed, and schedule.
+//!
+//! The deprecated legacy constructors are exercised on purpose — they
+//! are shims over the same wiring as the sampler facade, and
+//! `tests/sampler_facade.rs` pins the two surfaces bit-identical.
+#![allow(deprecated)]
 
 use lsl_core::coupling::hamming;
 use lsl_core::engine::replicas::ReplicaSet;

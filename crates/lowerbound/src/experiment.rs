@@ -4,8 +4,7 @@
 
 use crate::gadget::Phase;
 use crate::lifted::LiftedCycle;
-use lsl_core::single_site::GlauberChain;
-use lsl_core::Chain;
+use lsl_core::sampler::{Algorithm, Sampler};
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::{models, Mrf, Spin};
 
@@ -106,15 +105,18 @@ pub fn gibbs_phase_stats(
     let n = mrf.num_vertices();
     let mut stats = PhaseStats::default();
     for run in 0..runs {
-        let mut rng = Xoshiro256pp::seed_from(derive_seed(seed, 0x474942, run as u64)); // "GIB"
-        let mut chain = GlauberChain::with_state(
-            &mrf,
+        let run_seed = derive_seed(seed, 0x474942, run as u64); // "GIB"
+        let mut rng = Xoshiro256pp::seed_from(run_seed);
+        let mut sampler = Sampler::for_mrf(&mrf)
+            .algorithm(Algorithm::Glauber)
             // Random start: occupation by fair coins, thinned to an
             // independent set by dropping conflicts in index order.
-            random_independent_start(&mrf, &mut rng),
-        );
-        chain.run(sweeps * n, &mut rng);
-        let phases = lifted.phases(chain.state());
+            .start(random_independent_start(&mrf, &mut rng))
+            .seed(run_seed)
+            .build()
+            .expect("valid Glauber configuration");
+        sampler.run(sweeps * n);
+        let phases = lifted.phases(sampler.state());
         stats.record(lifted, &phases);
     }
     stats
@@ -134,11 +136,17 @@ pub fn local_protocol_phase_stats(
     let mrf = hardcore_on(lifted, lambda);
     let mut stats = PhaseStats::default();
     for run in 0..runs {
-        let mut rng = Xoshiro256pp::seed_from(derive_seed(seed, 0x4c4f43, run as u64)); // "LOC"
+        let run_seed = derive_seed(seed, 0x4c4f43, run as u64); // "LOC"
+        let mut rng = Xoshiro256pp::seed_from(run_seed);
         let start = random_independent_start(&mrf, &mut rng);
-        let mut chain = lsl_core::local_metropolis::LocalMetropolis::with_state(&mrf, start);
-        chain.run(rounds, &mut rng);
-        let phases = lifted.phases(chain.state());
+        let mut sampler = Sampler::for_mrf(&mrf)
+            .algorithm(Algorithm::LocalMetropolis)
+            .start(start)
+            .seed(run_seed)
+            .build()
+            .expect("valid LocalMetropolis configuration");
+        sampler.run(rounds);
+        let phases = lifted.phases(sampler.state());
         stats.record(lifted, &phases);
     }
     stats

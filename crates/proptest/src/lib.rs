@@ -190,7 +190,7 @@ pub mod collection {
     use rand::RngExt;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: a fixed size or a range.
+    /// A length specification for [`vec()`]: a fixed size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -222,7 +222,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

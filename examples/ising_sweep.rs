@@ -9,11 +9,7 @@
 //!
 //! Run with: `cargo run --release --example ising_sweep`
 
-use lsl::core::local_metropolis::LocalMetropolis;
-use lsl::core::Chain;
-use lsl::graph::generators;
-use lsl::local::rng::Xoshiro256pp;
-use lsl::mrf::models;
+use lsl::prelude::*;
 
 fn main() {
     let g = generators::torus(16, 16);
@@ -24,10 +20,14 @@ fn main() {
         let mut agreement_sum = 0.0;
         let replicas = 8;
         for rep in 0..replicas {
-            let mut chain = LocalMetropolis::new(&mrf);
-            let mut rng = Xoshiro256pp::seed_from(100 + rep);
-            chain.run(2000, &mut rng);
-            let state = chain.state();
+            let mut sampler = Sampler::for_mrf(&mrf)
+                .algorithm(Algorithm::LocalMetropolis)
+                .backend(Backend::Parallel { threads: 0 })
+                .seed(100 + rep)
+                .build()
+                .expect("valid configuration");
+            sampler.run(2000);
+            let state = sampler.state();
             let agree = mrf
                 .graph()
                 .edges()

@@ -1,19 +1,15 @@
 //! List colorings: per-vertex color lists, validated against exact
 //! enumeration.
 //!
-//! Builds a small list-coloring instance, samples it with LubyGlauber
-//! many times, and compares empirical configuration frequencies with the
+//! Builds a small list-coloring instance, runs the sampler facade's
+//! `distribution` job (LubyGlauber, batched iid replicas on the step
+//! engine), and compares empirical configuration frequencies with the
 //! exact Gibbs (uniform-over-proper-list-colorings) distribution.
 //!
 //! Run with: `cargo run --release --example list_coloring_frequencies`
 
-use lsl::analysis::EmpiricalDistribution;
-use lsl::core::luby_glauber::LubyGlauber;
-use lsl::core::Chain;
-use lsl::graph::generators;
-use lsl::local::rng::Xoshiro256pp;
-use lsl::mrf::gibbs::{encode_config, Enumeration};
-use lsl::mrf::models;
+use lsl::mrf::gibbs::Enumeration;
+use lsl::prelude::*;
 
 fn main() {
     let g = generators::cycle(5);
@@ -35,13 +31,16 @@ fn main() {
 
     let replicas = 40_000;
     let steps = 60;
-    let mut emp = EmpiricalDistribution::new();
-    for rep in 0..replicas {
-        let mut chain = LubyGlauber::new(&mrf);
-        let mut rng = Xoshiro256pp::seed_from(rep);
-        chain.run(steps, &mut rng);
-        emp.record(encode_config(chain.state(), q));
-    }
+    let emp = Sampler::for_mrf(&mrf)
+        .algorithm(Algorithm::LubyGlauber)
+        .scheduler(Sched::Luby)
+        // A proper list coloring to start from: the default start can
+        // conflict, and heat-bath marginals are only defined on states
+        // with feasible completions (paper assumption).
+        .start(vec![1, 2, 0, 3, 2])
+        .seed(77)
+        .distribution(steps, replicas)
+        .expect("valid configuration");
     let tv = emp.tv_against_dense(&exact.distribution());
     println!("LubyGlauber, {steps} rounds x {replicas} replicas:");
     println!("  total variation distance to exact Gibbs = {tv:.4}");

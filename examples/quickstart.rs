@@ -1,18 +1,15 @@
 //! Quickstart: sample a proper coloring of a torus, two ways.
 //!
-//! 1. The fast "direct" simulation of the LocalMetropolis chain.
+//! 1. The fast "direct" simulation through the sampler facade — one
+//!    typed builder over models × algorithms × schedulers × backends.
 //! 2. The same algorithm as a LOCAL-model protocol, with round and
 //!    message accounting — each chain step is exactly one LOCAL round.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lsl::core::local_metropolis::LocalMetropolis;
 use lsl::core::programs::LocalMetropolisProgram;
-use lsl::core::Chain;
-use lsl::graph::generators;
-use lsl::local::rng::Xoshiro256pp;
 use lsl::local::runtime::Simulator;
-use lsl::mrf::models;
+use lsl::prelude::*;
 
 fn main() {
     let rows = 16;
@@ -27,14 +24,19 @@ fn main() {
         mrf.graph().max_degree()
     );
 
-    // 1. Direct simulation.
-    let mut chain = LocalMetropolis::new(&mrf);
-    let mut rng = Xoshiro256pp::seed_from(2026);
-    chain.run(rounds, &mut rng);
+    // 1. Direct simulation through the facade (the parallel backend is
+    //    bit-identical to the sequential one by the determinism contract).
+    let mut sampler = Sampler::for_mrf(&mrf)
+        .algorithm(Algorithm::LocalMetropolis)
+        .backend(Backend::Parallel { threads: 0 })
+        .seed(2026)
+        .build()
+        .expect("valid configuration");
+    sampler.run(rounds);
     println!(
         "direct simulation: {} rounds -> proper coloring? {}",
         rounds,
-        mrf.is_feasible(chain.state())
+        mrf.is_feasible(sampler.state())
     );
 
     // 2. LOCAL-model protocol with accounting.

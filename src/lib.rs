@@ -22,21 +22,41 @@
 //!
 //! # Quickstart
 //!
-//! Sample a uniform proper coloring of a torus with the LocalMetropolis
-//! chain and check it is proper:
+//! Everything goes through one front door, the [`prelude`]'s `Sampler`
+//! builder — pick a model, an algorithm, a scheduler, a backend, and
+//! build. Sample a uniform proper coloring of a torus with the
+//! LocalMetropolis chain and check it is proper:
 //!
 //! ```
-//! use lsl::core::local_metropolis::LocalMetropolis;
-//! use lsl::core::Chain;
-//! use lsl::graph::generators;
-//! use lsl::local::rng::Xoshiro256pp;
-//! use lsl::mrf::models;
+//! use lsl::prelude::*;
 //!
 //! let mrf = models::proper_coloring(generators::torus(8, 8), 16);
-//! let mut chain = LocalMetropolis::new(&mrf);
-//! let mut rng = Xoshiro256pp::seed_from(7);
-//! chain.run(100, &mut rng);
-//! assert!(mrf.is_feasible(chain.state()));
+//! let mut sampler = Sampler::for_mrf(&mrf)
+//!     .algorithm(Algorithm::LocalMetropolis)
+//!     .backend(Backend::Parallel { threads: 0 })
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! sampler.run(100);
+//! assert!(mrf.is_feasible(sampler.state()));
+//! ```
+//!
+//! Measurement runs as builder *jobs* (`tv_curve`, `coalescence`,
+//! `distribution`) that spawn batched replicas on the step engine:
+//!
+//! ```
+//! use lsl::mrf::gibbs::Enumeration;
+//! use lsl::prelude::*;
+//!
+//! let mrf = models::proper_coloring(generators::cycle(4), 3);
+//! let exact = Enumeration::new(&mrf).unwrap();
+//! let curve = Sampler::for_mrf(&mrf)
+//!     .algorithm(Algorithm::LubyGlauber)
+//!     .scheduler(Sched::Luby)
+//!     .seed(1)
+//!     .tv_curve(&exact, &[0, 40, 120], 2000)
+//!     .unwrap();
+//! assert!(curve.last().unwrap().1 < 0.1);
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
@@ -49,3 +69,28 @@ pub use lsl_graph as graph;
 pub use lsl_local as local;
 pub use lsl_lowerbound as lowerbound;
 pub use lsl_mrf as mrf;
+
+/// The facade in one `use`: the sampler builder types, the
+/// [`Chain`](crate::core::Chain) trait, the engine backend, common
+/// model constructors
+/// ([`models`](mod@crate::mrf::models)), graph
+/// [`generators`](mod@crate::graph::generators), and the workspace PRNG.
+///
+/// ```
+/// use lsl::prelude::*;
+///
+/// let mrf = models::ising(generators::torus(4, 4), 0.7);
+/// let mut s = Sampler::for_mrf(&mrf).seed(3).build().unwrap();
+/// s.run(20);
+/// assert_eq!(s.state().len(), 16);
+/// ```
+pub mod prelude {
+    pub use crate::core::prelude::{
+        AcceptanceObserver, Algorithm, Backend, BuildError, Chain, CoalescenceReport,
+        EnergyObserver, HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler,
+        SamplerBuilder, Sched, Xoshiro256pp,
+    };
+    pub use crate::graph::generators;
+    pub use crate::mrf::csp::Csp;
+    pub use crate::mrf::{models, Mrf};
+}

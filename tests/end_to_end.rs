@@ -3,16 +3,11 @@
 //! validation against exact ground truth.
 
 use lsl::analysis::EmpiricalDistribution;
-use lsl::core::local_metropolis::LocalMetropolis;
-use lsl::core::luby_glauber::LubyGlauber;
 use lsl::core::programs::{LocalMetropolisProgram, LubyGlauberProgram};
-use lsl::core::single_site::GlauberChain;
-use lsl::core::Chain;
-use lsl::graph::{generators, traversal};
-use lsl::local::rng::Xoshiro256pp;
+use lsl::graph::traversal;
 use lsl::local::runtime::Simulator;
 use lsl::mrf::gibbs::{encode_config, Enumeration};
-use lsl::mrf::models;
+use lsl::prelude::*;
 use std::sync::Arc;
 
 /// End-to-end: LOCAL protocol on a cycle samples the exact Gibbs law.
@@ -42,10 +37,13 @@ fn direct_and_local_surfaces_agree() {
 
     let mut emp_direct = EmpiricalDistribution::new();
     for rep in 0..reps {
-        let mut chain = LocalMetropolis::new(&mrf);
-        let mut rng = Xoshiro256pp::seed_from(rep);
-        chain.run(steps, &mut rng);
-        emp_direct.record(encode_config(chain.state(), q));
+        let mut sampler = Sampler::for_mrf(&mrf)
+            .algorithm(Algorithm::LocalMetropolis)
+            .seed(rep)
+            .build()
+            .unwrap();
+        sampler.run(steps);
+        emp_direct.record(encode_config(sampler.state(), q));
     }
 
     let graph = mrf.graph_arc();
@@ -66,13 +64,15 @@ fn direct_and_local_surfaces_agree() {
 fn chains_handle_multigraphs() {
     let g = lsl::graph::Graph::from_edges(4, &[(0, 1), (0, 1), (1, 2), (2, 3), (3, 0)]);
     let mrf = models::proper_coloring(g, 5);
-    let mut rng = Xoshiro256pp::seed_from(3);
-    let mut lm = LocalMetropolis::new(&mrf);
-    lm.run(100, &mut rng);
-    assert!(mrf.is_feasible(lm.state()));
-    let mut lg = LubyGlauber::new(&mrf);
-    lg.run(100, &mut rng);
-    assert!(mrf.is_feasible(lg.state()));
+    for alg in [Algorithm::LocalMetropolis, Algorithm::LubyGlauber] {
+        let mut sampler = Sampler::for_mrf(&mrf)
+            .algorithm(alg)
+            .seed(3)
+            .build()
+            .unwrap();
+        sampler.run(100);
+        assert!(mrf.is_feasible(sampler.state()), "{alg:?} infeasible");
+    }
 }
 
 /// The full lower-bound pipeline: build gadget + lift, check structure,
@@ -129,11 +129,14 @@ fn glauber_on_lifted_graph_is_sound() {
         &mut rng,
     );
     let mrf = models::hardcore(lifted.graph().clone(), 4.0);
-    let mut chain = GlauberChain::new(&mrf);
-    let mut x = Xoshiro256pp::seed_from(8);
-    chain.run(20_000, &mut x);
-    assert!(mrf.is_feasible(chain.state()));
-    let phases = lifted.phases(chain.state());
+    let mut sampler = Sampler::for_mrf(&mrf)
+        .algorithm(Algorithm::Glauber)
+        .seed(8)
+        .build()
+        .unwrap();
+    sampler.run(20_000);
+    assert!(mrf.is_feasible(sampler.state()));
+    let phases = lifted.phases(sampler.state());
     assert_eq!(phases.len(), 4);
 }
 
@@ -147,12 +150,17 @@ fn whole_stack_determinism() {
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.stats, b.stats);
 
-    let mut c1 = LubyGlauber::new(&mrf);
-    let mut c2 = LubyGlauber::new(&mrf);
-    let mut r1 = Xoshiro256pp::seed_from(55);
-    let mut r2 = Xoshiro256pp::seed_from(55);
-    c1.run(50, &mut r1);
-    c2.run(50, &mut r2);
+    let build = || {
+        Sampler::for_mrf(&mrf)
+            .algorithm(Algorithm::LubyGlauber)
+            .seed(55)
+            .build()
+            .unwrap()
+    };
+    let mut c1 = build();
+    let mut c2 = build();
+    c1.run(50);
+    c2.run(50);
     assert_eq!(c1.state(), c2.state());
 }
 
@@ -162,7 +170,6 @@ fn whole_stack_determinism() {
 #[test]
 fn theory_budget_covers_measured_coalescence() {
     use lsl::analysis::theory;
-    use lsl::core::mixing::coalescence_summary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -172,23 +179,17 @@ fn theory_budget_covers_measured_coalescence() {
     let mut rng = StdRng::seed_from_u64(77);
     let g = generators::random_regular(n, delta, &mut rng);
     let mrf = models::proper_coloring(g, q);
-    let (summary, timeouts) = coalescence_summary(
-        |s| {
-            let mut c = LubyGlauber::new(&mrf);
-            c.set_state(s);
-            c
-        },
-        &mrf,
-        3,
-        1_000_000,
-        5,
-    );
-    assert_eq!(timeouts, 0);
+    let report = Sampler::for_mrf(&mrf)
+        .algorithm(Algorithm::LubyGlauber)
+        .seed(5)
+        .coalescence(3, 1_000_000)
+        .unwrap();
+    assert_eq!(report.timeouts, 0);
     let alpha = delta as f64 / (q - delta) as f64;
     let budget = theory::luby_glauber_mixing_bound(n, 0.01, alpha, theory::luby_gamma(delta));
     assert!(
-        summary.mean < 4.0 * budget as f64,
+        report.summary.mean < 4.0 * budget as f64,
         "measured {} vs budget {budget}",
-        summary.mean
+        report.summary.mean
     );
 }
