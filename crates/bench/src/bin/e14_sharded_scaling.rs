@@ -1,0 +1,219 @@
+//! E14 — sharded owner-computes execution: scaling and boundary
+//! communication.
+//!
+//! The paper's LOCAL model charges for states crossing edges; the
+//! sharded backend makes that cost measurable. We sweep shard counts
+//! and partitioners on the 256×256 torus coloring (the step-engine
+//! reference workload) and on G(n,p), reporting throughput plus the
+//! per-round boundary traffic (`messages ≤ 2·cut` by construction —
+//! one message per boundary vertex per subscribing shard, each cut
+//! edge inducing at most two such pairs, i.e. the O(Δ·cut) regime).
+//! Trajectories are bit-identical to the sequential backend for every
+//! row, so the sweep isolates pure execution cost.
+//!
+//! Results are printed as TSV and recorded to `BENCH_sharded.json` at
+//! the workspace root. `--tiny` (or `quick` / `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs and skips the JSON write.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::engine::rules::LocalMetropolisRule;
+use lsl_core::engine::sharded::ShardedChain;
+use lsl_core::engine::SyncChain;
+use lsl_graph::partition::Partitioner;
+use lsl_graph::Graph;
+use lsl_mrf::models;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Row {
+    graph: String,
+    partitioner: &'static str,
+    shards: usize,
+    n: usize,
+    cut: usize,
+    balance: f64,
+    rounds: usize,
+    secs: f64,
+    steps_vertices_per_sec: f64,
+    msgs_per_round: f64,
+    bytes_per_round: f64,
+    changed_per_round: f64,
+}
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn sweep(
+    label: &str,
+    g: Graph,
+    q: usize,
+    shard_counts: &[usize],
+    rounds: usize,
+    repeats: usize,
+    rows: &mut Vec<Row>,
+) {
+    let mrf = models::proper_coloring(g, q);
+    let n = mrf.num_vertices();
+
+    // Sequential baseline (the bit-identical reference).
+    {
+        let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 1);
+        chain.run(2); // warm up
+        let secs = best_secs(repeats, || chain.run(rounds));
+        rows.push(Row {
+            graph: label.to_string(),
+            partitioner: "none",
+            shards: 1,
+            n,
+            cut: 0,
+            balance: 1.0,
+            rounds,
+            secs,
+            steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+            msgs_per_round: 0.0,
+            bytes_per_round: 0.0,
+            changed_per_round: 0.0,
+        });
+    }
+
+    for &k in shard_counts {
+        for part in Partitioner::ALL {
+            let partition = part.partition(mrf.graph(), k);
+            let stats = partition.stats(mrf.graph());
+            let mut chain = ShardedChain::new(&mrf, LocalMetropolisRule::new(), 1, partition);
+            chain.run(2); // warm up
+            chain.reset_comm(); // account only the measured rounds
+            let secs = best_secs(repeats, || chain.run(rounds));
+            let comm = chain.comm();
+            let measured = comm.rounds_seen() as f64;
+            rows.push(Row {
+                graph: label.to_string(),
+                partitioner: part.name(),
+                shards: k,
+                n,
+                cut: stats.cut_size,
+                balance: stats.balance,
+                rounds,
+                secs,
+                steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
+                msgs_per_round: comm.total_messages() as f64 / measured,
+                bytes_per_round: comm.total_bytes() as f64 / measured,
+                changed_per_round: comm.total_changed() as f64 / measured,
+            });
+        }
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, gnp_n, rounds, repeats, shard_counts): (usize, usize, usize, usize, Vec<usize>) =
+        if tiny {
+            (48, 512, 4, 1, vec![2, 4])
+        } else {
+            (256, 4096, 12, 3, vec![2, 4, 8, 16])
+        };
+
+    header(&[
+        "E14: sharded owner-computes scaling + boundary messages",
+        "messages/round <= 2*cut by construction (O(delta*cut) regime);",
+        "trajectories are bit-identical to the sequential backend",
+    ]);
+    header_row(
+        "graph,partitioner,shards,n,cut,balance,rounds,secs,steps_vertices_per_sec,\
+         msgs_per_round,bytes_per_round,changed_per_round",
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    sweep(
+        &format!("torus{side}x{side}"),
+        lsl_graph::generators::torus(side, side),
+        16,
+        &shard_counts,
+        rounds,
+        repeats,
+        &mut rows,
+    );
+    {
+        // Sparse G(n,p) at mean degree 8, q comfortably in the
+        // Theorem 1.2 regime for the realized max degree.
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = lsl_graph::generators::gnp(gnp_n, 8.0 / gnp_n as f64, &mut rng);
+        let q = 4 * g.max_degree().max(1);
+        sweep(
+            &format!("gnp{gnp_n}"),
+            g,
+            q,
+            &shard_counts,
+            rounds,
+            repeats,
+            &mut rows,
+        );
+    }
+
+    for r in &rows {
+        row(&[
+            r.graph.clone(),
+            r.partitioner.into(),
+            r.shards.to_string(),
+            r.n.to_string(),
+            r.cut.to_string(),
+            format!("{:.3}", r.balance),
+            r.rounds.to_string(),
+            format!("{:.4}", r.secs),
+            format!("{:.3e}", r.steps_vertices_per_sec),
+            format!("{:.1}", r.msgs_per_round),
+            format!("{:.1}", r.bytes_per_round),
+            format!("{:.1}", r.changed_per_round),
+        ]);
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"graph\": \"{}\", \"partitioner\": \"{}\", \"shards\": {}, \"n\": {}, \
+                 \"cut\": {}, \"balance\": {:.3}, \"rounds\": {}, \"secs\": {:.6}, \
+                 \"steps_vertices_per_sec\": {:.1}, \"msgs_per_round\": {:.1}, \
+                 \"bytes_per_round\": {:.1}, \"changed_per_round\": {:.1}}}",
+                r.graph,
+                r.partitioner,
+                r.shards,
+                r.n,
+                r.cut,
+                r.balance,
+                r.rounds,
+                r.secs,
+                r.steps_vertices_per_sec,
+                r.msgs_per_round,
+                r.bytes_per_round,
+                r.changed_per_round,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_scaling\",\n  \"workload\": \"LocalMetropolis proper \
+         coloring, torus + gnp, shard-count x partitioner sweep\",\n  \"tiny\": {tiny},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
+    if tiny {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# tiny run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

@@ -1,4 +1,4 @@
-//! Shared harness utilities for the experiment binaries (E1–E13).
+//! Shared harness utilities for the experiment binaries (E1–E14).
 //!
 //! Each binary in `src/bin/` regenerates one experiment from the
 //! `EXPERIMENTS.md` index at the workspace root as a TSV table on

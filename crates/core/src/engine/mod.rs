@@ -10,13 +10,17 @@
 //!   publish a `Local` value) and **resolve** (combine the old state, the
 //!   neighborhood's locals, and per-edge coins into the vertex's next
 //!   spin);
-//! * a [`Backend`] says how the sweep runs: [`Backend::Sequential`] or
+//! * a [`Backend`] says how the sweep runs — four execution backends,
+//!   all bit-identical by the determinism contract:
+//!   [`Backend::Sequential`] (one vertex after another),
 //!   [`Backend::Parallel`] (a scoped-thread fork-join over vertex
-//!   ranges);
-//! * [`SyncChain`] owns the buffers and advances one chain;
-//!   [`replicas::ReplicaSet`] advances a whole batch of chains in one
-//!   cache-friendly pass (the workhorse for TV estimation and grand
-//!   couplings).
+//!   ranges), [`Backend::Sharded`] (owner-computes graph shards with
+//!   boundary exchange and communication accounting — see
+//!   [`sharded::ShardedChain`]), and the batched-replica backend
+//!   ([`replicas::ReplicaSet`], which advances a whole batch of chains
+//!   in one cache-friendly pass — the workhorse for TV estimation and
+//!   grand couplings);
+//! * [`SyncChain`] owns the buffers and advances one chain.
 //!
 //! # The determinism contract
 //!
@@ -32,6 +36,7 @@
 
 pub mod replicas;
 pub mod rules;
+pub mod sharded;
 
 use lsl_graph::{EdgeId, VertexId};
 use lsl_local::rng::{derive_seed, round_key, VertexRng, Xoshiro256pp};
@@ -195,6 +200,22 @@ pub enum Backend {
         /// Worker count (0 = auto-detect).
         threads: usize,
     },
+    /// Owner-computes graph shards with per-round boundary exchange;
+    /// `shards == 0` means "all available cores". Bit-identical to the
+    /// other backends by the determinism contract.
+    ///
+    /// The sampler facade builds a [`sharded::ShardedChain`] (private
+    /// state slabs, frontier buffers, communication accounting) for
+    /// this backend, partitioning with
+    /// [`Partition::contiguous`](lsl_graph::partition::Partition::contiguous);
+    /// construct a `ShardedChain` directly to choose the partitioner.
+    /// [`SyncChain`] and [`replicas::ReplicaSet`], whose state is one
+    /// flat arena by design, treat it as [`Backend::Parallel`] with
+    /// `shards` workers.
+    Sharded {
+        /// Shard count (0 = auto-detect).
+        shards: usize,
+    },
 }
 
 impl Backend {
@@ -202,10 +223,13 @@ impl Backend {
     pub fn worker_count(self) -> usize {
         match self {
             Backend::Sequential => 1,
-            Backend::Parallel { threads: 0 } => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            Backend::Parallel { threads: 0 } | Backend::Sharded { shards: 0 } => {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
             Backend::Parallel { threads } => threads,
+            Backend::Sharded { shards } => shards,
         }
     }
 }

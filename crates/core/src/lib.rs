@@ -12,9 +12,9 @@
 //!   here;
 //! * [`engine`] — the **step engine**: chain logic as per-vertex rules
 //!   over counter-style randomness streams, executed by swappable
-//!   backends (sequential, parallel, batched replicas) with bit-identical
-//!   trajectories — see `DESIGN.md` for the layering and the determinism
-//!   contract;
+//!   backends (sequential, parallel, owner-computes sharded, batched
+//!   replicas) with bit-identical trajectories — see `DESIGN.md` for
+//!   the layering and the determinism contract;
 //! * [`single_site`] — the classic sequential chains: heat-bath **Glauber
 //!   dynamics**, single-site **Metropolis**, and **systematic scan**;
 //! * [`schedule`] — the paper's "Luby step" and the other
@@ -55,6 +55,8 @@
 //! sampler.run(60);
 //! assert!(mrf.is_feasible(sampler.state()));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod coupling;
 pub mod csp_metropolis;

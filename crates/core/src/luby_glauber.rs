@@ -61,7 +61,8 @@ impl<'a> LubyGlauber<'a, LubyScheduler> {
 impl<'a, S: VertexScheduler> LubyGlauber<'a, S> {
     /// Creates the chain with a custom scheduler.
     #[deprecated(note = "construct through the sampler facade: \
-                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).scheduler(..).build()`")]
+                `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).scheduler(sched)\
+                .build()` with the matching `Sched` variant")]
     pub fn with_scheduler(mrf: &'a Mrf, scheduler: S) -> Self {
         Self::wire(mrf, scheduler)
     }
@@ -176,7 +177,8 @@ impl<'a, S: Scheduler> CspLubyGlauber<'a, S> {
     /// # Panics
     /// Panics if the start has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
-                `Sampler::for_csp(&csp).scheduler(..).start(start).build()`")]
+                `Sampler::for_csp(&csp).scheduler(sched).start(start).build()` \
+                with the matching `Sched` variant")]
     pub fn with_scheduler(csp: &'a Csp, start: Vec<Spin>, scheduler: S) -> Self {
         assert_eq!(start.len(), csp.graph().num_vertices());
         let primal = csp.scope_hypergraph().primal_graph();

@@ -142,7 +142,7 @@ fn empirical_distribution_impl<C: Chain>(
 /// and returns the empirical distribution of final configurations
 /// (encoded as base-`q` indices).
 #[deprecated(note = "use the sampler facade's job verb: \
-            `Sampler::for_mrf(&mrf)...distribution(steps, replicas)`")]
+            `Sampler::for_mrf(&mrf).algorithm(alg).seed(seed).distribution(steps, replicas)`")]
 pub fn empirical_distribution<C: Chain>(
     mut make: impl FnMut() -> C,
     q: usize,
@@ -156,7 +156,7 @@ pub fn empirical_distribution<C: Chain>(
 /// Empirical total variation distance between a chain's time-`steps`
 /// distribution and the exact Gibbs distribution.
 #[deprecated(note = "use the sampler facade's job verb: \
-            `Sampler::for_mrf(&mrf)...tv(&exact, steps, replicas)`")]
+            `Sampler::for_mrf(&mrf).algorithm(alg).seed(seed).tv(&exact, steps, replicas)`")]
 pub fn empirical_tv<C: Chain>(
     mut make: impl FnMut() -> C,
     exact: &Enumeration,
@@ -171,7 +171,8 @@ pub fn empirical_tv<C: Chain>(
 /// The empirical TV curve at a ladder of step counts (fresh replicas per
 /// rung, so points are independent).
 #[deprecated(note = "use the sampler facade's job verb: \
-            `Sampler::for_mrf(&mrf)...tv_curve(&exact, ladder, replicas)`")]
+            `Sampler::for_mrf(&mrf).algorithm(alg).seed(seed).tv_curve(&exact, step_ladder, \
+            replicas)`")]
 pub fn empirical_tv_curve<C: Chain>(
     mut make: impl FnMut() -> C,
     exact: &Enumeration,
@@ -198,7 +199,7 @@ pub fn empirical_tv_curve<C: Chain>(
 /// starts: the experimental surrogate for τ(ε) in the scaling experiments
 /// (by the coupling lemma, `Pr[not coalesced by t] ≥ d(t)` bounds mixing).
 #[deprecated(note = "use the sampler facade's job verb: \
-            `Sampler::for_mrf(&mrf)...coalescence(trials, max_steps)`")]
+            `Sampler::for_mrf(&mrf).algorithm(alg).seed(seed).coalescence(trials, max_steps)`")]
 pub fn coalescence_summary<C: Chain>(
     make: impl FnMut(&[Spin]) -> C,
     mrf: &Mrf,

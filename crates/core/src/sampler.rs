@@ -54,6 +54,7 @@
 
 use crate::engine::replicas::ReplicaSet;
 use crate::engine::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule, MetropolisRule};
+use crate::engine::sharded::{CommStats, ShardedChain};
 use crate::engine::{Backend, SyncChain, SyncRule};
 use crate::schedule::{
     BernoulliFilterScheduler, ChromaticScheduler, LubyScheduler, SingletonScheduler,
@@ -391,8 +392,21 @@ impl<'a> SamplerBuilder<'a> {
                 let start = self.start;
                 let seed = self.seed;
                 dispatch_rule!(self.algorithm, self.scheduler, mrf, |rule| {
+                    // The sharded backend is a different executor, not a
+                    // different sweep order: owner-computes shards over a
+                    // contiguous partition, exchanging boundary states.
+                    let inner: Box<dyn DynSampler + 'a> = if let Backend::Sharded { .. } = backend {
+                        // min-then-max (not clamp) so a hypothetical
+                        // empty model degrades instead of panicking.
+                        let k = backend.worker_count().min(mrf.num_vertices()).max(1);
+                        let partition = lsl_graph::partition::Partition::contiguous(mrf.graph(), k);
+                        let start = start.unwrap_or_else(|| crate::single_site::default_start(mrf));
+                        Box::new(ShardedChain::with_state(mrf, rule, seed, start, partition))
+                    } else {
+                        Box::new(wire(mrf, rule, seed, start, backend))
+                    };
                     Sampler {
-                        inner: Box::new(wire(mrf, rule, seed, start, backend)),
+                        inner,
                         mrf: Some(mrf),
                         algorithm,
                         backend,
@@ -723,6 +737,39 @@ trait DynSampler {
     fn set_state(&mut self, state: &[Spin]);
     fn round(&self) -> u64;
     fn name(&self) -> &'static str;
+    /// Boundary-communication record; only the sharded executor has one.
+    fn comm(&self) -> Option<&CommStats> {
+        None
+    }
+    /// Clears the boundary-communication record (no-op elsewhere).
+    fn reset_comm(&mut self) {}
+}
+
+impl<R: SyncRule> DynSampler for ShardedChain<'_, R> {
+    fn step(&mut self) {
+        ShardedChain::step(self);
+    }
+    fn step_keyed(&mut self, master: u64) {
+        ShardedChain::step_keyed(self, master);
+    }
+    fn state(&self) -> &[Spin] {
+        ShardedChain::state(self)
+    }
+    fn set_state(&mut self, state: &[Spin]) {
+        ShardedChain::set_state(self, state);
+    }
+    fn round(&self) -> u64 {
+        ShardedChain::round(self)
+    }
+    fn name(&self) -> &'static str {
+        self.rule().name()
+    }
+    fn comm(&self) -> Option<&CommStats> {
+        Some(ShardedChain::comm(self))
+    }
+    fn reset_comm(&mut self) {
+        ShardedChain::reset_comm(self);
+    }
 }
 
 impl<R: SyncRule> DynSampler for SyncChain<'_, R> {
@@ -896,6 +943,21 @@ impl<'a> Sampler<'a> {
     /// The MRF being sampled (`None` for CSP samplers).
     pub fn mrf(&self) -> Option<&'a Mrf> {
         self.mrf
+    }
+
+    /// Boundary-communication accounting when running on
+    /// [`Backend::Sharded`] (`None` on the flat backends, whose rounds
+    /// cross no shard boundaries). See
+    /// [`CommStats`](crate::engine::sharded::CommStats) for the
+    /// per-round records and totals.
+    pub fn comm_stats(&self) -> Option<&CommStats> {
+        self.inner.comm()
+    }
+
+    /// Clears the boundary-communication record, e.g. after burn-in
+    /// (no-op on the flat backends).
+    pub fn reset_comm_stats(&mut self) {
+        self.inner.reset_comm();
     }
 
     /// Advances `rounds` rounds, feeding every finished configuration to

@@ -18,6 +18,9 @@
 //!   scheduler baseline (Gonzalez et al.).
 //! * [`matching`]: random perfect matchings, the substrate of the
 //!   Section 5.1 bipartite gadget.
+//! * [`partition`]: owner-computes graph shards (contiguous / BFS /
+//!   greedy edge-cut partitioners with cut and balance statistics), the
+//!   substrate of the sharded execution backend.
 //! * [`hypergraph`]: constraint-scope neighborhoods for the weighted local
 //!   CSP extension of LubyGlauber.
 //!
@@ -32,11 +35,14 @@
 //! assert_eq!(traversal::diameter(&g), Some(4));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coloring;
 pub mod generators;
 mod graph;
 pub mod hypergraph;
 pub mod matching;
+pub mod partition;
 pub mod traversal;
 
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};

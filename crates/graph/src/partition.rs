@@ -1,0 +1,527 @@
+//! Graph partitions for owner-computes sharded execution.
+//!
+//! The paper's chains run on a *network*: each vertex sees only its
+//! neighborhood, and the cost that matters is rounds of boundary
+//! communication. The sharded execution backend
+//! (`lsl_core::engine::sharded`) simulates that honestly by splitting
+//! the vertex set into `K` **owner-computes shards** — each shard
+//! updates only the vertices it owns and learns about the rest of the
+//! graph exclusively through boundary-state exchange. This module
+//! provides the partitions themselves:
+//!
+//! * [`Partition`] — an assignment of every vertex to one of `K`
+//!   shards, with membership queries and cut/balance statistics;
+//! * three deterministic partitioners ([`Partitioner`]):
+//!   [`Partition::contiguous`] (index blocks), [`Partition::bfs`]
+//!   (BFS-grown regions), and [`Partition::greedy_edge_cut`] (linear
+//!   deterministic greedy, minimizing the edge cut under a balance
+//!   cap).
+//!
+//! The communication volume a partition induces is governed by its
+//! **cut** — the edges whose endpoints live in different shards — and
+//! reported by [`Partition::stats`]; experiment E14 plots measured
+//! boundary messages against the cut size.
+//!
+//! # Example
+//! ```
+//! use lsl_graph::partition::Partition;
+//! use lsl_graph::generators;
+//!
+//! let g = generators::torus(8, 8);
+//! let p = Partition::bfs(&g, 4);
+//! let stats = p.stats(&g);
+//! assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 64);
+//! assert!(stats.cut_size < g.num_edges());
+//! ```
+
+use crate::{EdgeId, Graph, VertexId};
+
+/// An assignment of every vertex of a graph to one of `K` shards.
+///
+/// Shards are dense indices `0..K`; the assignment is immutable once
+/// built. Construction validates that every vertex is assigned to a
+/// shard in range, so downstream consumers can index without checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    num_shards: usize,
+    shard_of: Vec<u32>,
+    /// CSR offsets into `members`, length `num_shards + 1`.
+    member_offsets: Vec<u32>,
+    /// Vertices grouped by shard, ascending within each shard.
+    members: Vec<VertexId>,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit per-vertex assignment.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or any entry is `>= num_shards`.
+    pub fn from_assignment(num_shards: usize, shard_of: Vec<u32>) -> Self {
+        assert!(num_shards > 0, "a partition needs at least one shard");
+        assert!(
+            num_shards <= u32::MAX as usize,
+            "shard count exceeds u32 range"
+        );
+        let mut sizes = vec![0u32; num_shards];
+        for (v, &s) in shard_of.iter().enumerate() {
+            assert!(
+                (s as usize) < num_shards,
+                "vertex v{v} assigned to shard {s}, but there are only {num_shards} shards"
+            );
+            sizes[s as usize] += 1;
+        }
+        let mut member_offsets = vec![0u32; num_shards + 1];
+        for s in 0..num_shards {
+            member_offsets[s + 1] = member_offsets[s] + sizes[s];
+        }
+        let mut members = vec![VertexId(0); shard_of.len()];
+        let mut cursor: Vec<u32> = member_offsets[..num_shards].to_vec();
+        // Vertices are visited in index order, so members stay ascending
+        // within each shard.
+        for (v, &s) in shard_of.iter().enumerate() {
+            members[cursor[s as usize] as usize] = VertexId(v as u32);
+            cursor[s as usize] += 1;
+        }
+        Partition {
+            num_shards,
+            shard_of,
+            member_offsets,
+            members,
+        }
+    }
+
+    /// Partitions `0..n` into `k` contiguous index blocks whose sizes
+    /// differ by at most one.
+    ///
+    /// On index-local graph families (paths, cycles, row-major tori)
+    /// contiguous blocks already give near-minimal cuts; this is the
+    /// default partitioner of the facade's `Backend::Sharded`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn contiguous(g: &Graph, k: usize) -> Self {
+        assert!(k > 0, "a partition needs at least one shard");
+        let n = g.num_vertices();
+        let mut shard_of = vec![0u32; n];
+        // The first `n % k` blocks get one extra vertex.
+        let (base, extra) = (n / k, n % k);
+        let mut v = 0usize;
+        for s in 0..k {
+            let size = base + usize::from(s < extra);
+            for slot in &mut shard_of[v..v + size] {
+                *slot = s as u32;
+            }
+            v += size;
+        }
+        Self::from_assignment(k, shard_of)
+    }
+
+    /// Partitions the graph into `k` BFS-grown regions of near-equal
+    /// size.
+    ///
+    /// Shard `s` grows from the smallest-index unassigned vertex by
+    /// breadth-first search until it reaches its size quota; on
+    /// disconnected graphs the frontier is reseeded from the smallest
+    /// unassigned vertex. Deterministic: no randomness, ties broken by
+    /// vertex index.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn bfs(g: &Graph, k: usize) -> Self {
+        assert!(k > 0, "a partition needs at least one shard");
+        let n = g.num_vertices();
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut shard_of = vec![UNASSIGNED; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut next_seed = 0usize;
+        let (base, extra) = (n / k, n % k);
+        for s in 0..k {
+            let quota = base + usize::from(s < extra);
+            let mut size = 0usize;
+            while size < quota {
+                let v = match queue.pop_front() {
+                    Some(v) => v,
+                    None => {
+                        // Reseed from the smallest unassigned vertex
+                        // (fresh shard, or a disconnected remainder).
+                        while next_seed < n && shard_of[next_seed] != UNASSIGNED {
+                            next_seed += 1;
+                        }
+                        VertexId(next_seed as u32)
+                    }
+                };
+                if shard_of[v.index()] != UNASSIGNED {
+                    continue;
+                }
+                shard_of[v.index()] = s as u32;
+                size += 1;
+                for u in g.neighbors(v) {
+                    if shard_of[u.index()] == UNASSIGNED {
+                        queue.push_back(u);
+                    }
+                }
+            }
+            // The next shard grows its own region from a fresh seed.
+            queue.clear();
+        }
+        Self::from_assignment(k, shard_of)
+    }
+
+    /// Partitions the graph by linear deterministic greedy edge-cut
+    /// minimization.
+    ///
+    /// Vertices are visited in index order; each goes to the shard
+    /// holding most of its already-assigned neighbors (fewest new cut
+    /// edges), subject to a hard balance cap of `ceil(n/k)` vertices
+    /// per shard. Ties go to the smaller shard, then the smaller shard
+    /// index — fully deterministic.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn greedy_edge_cut(g: &Graph, k: usize) -> Self {
+        assert!(k > 0, "a partition needs at least one shard");
+        let n = g.num_vertices();
+        const UNASSIGNED: u32 = u32::MAX;
+        let cap = n.div_ceil(k);
+        let mut shard_of = vec![UNASSIGNED; n];
+        let mut sizes = vec![0usize; k];
+        // Per-candidate neighbor counts, reset sparsely between vertices.
+        let mut gains = vec![0usize; k];
+        let mut touched: Vec<usize> = Vec::new();
+        for v in g.vertices() {
+            for u in g.neighbors(v) {
+                let s = shard_of[u.index()];
+                if s != UNASSIGNED {
+                    let s = s as usize;
+                    if gains[s] == 0 {
+                        touched.push(s);
+                    }
+                    gains[s] += 1;
+                }
+            }
+            let mut best: Option<usize> = None;
+            for s in 0..k {
+                if sizes[s] >= cap {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    // Highest gain, then smallest shard; strict
+                    // comparisons let the first (smallest-index)
+                    // candidate keep remaining ties.
+                    Some(b) => gains[s] > gains[b] || (gains[s] == gains[b] && sizes[s] < sizes[b]),
+                };
+                if better {
+                    best = Some(s);
+                }
+            }
+            let s = best.expect("the balance cap leaves room for every vertex");
+            shard_of[v.index()] = s as u32;
+            sizes[s] += 1;
+            for &t in &touched {
+                gains[t] = 0;
+            }
+            touched.clear();
+        }
+        Self::from_assignment(k, shard_of)
+    }
+
+    /// Number of shards `K`.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of vertices the partition covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Whether the partition covers no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// The shard owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shard_of[v.index()] as usize
+    }
+
+    /// The per-vertex assignment, indexed by vertex.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// The vertices owned by shard `s`, in ascending index order.
+    #[inline]
+    pub fn members(&self, s: usize) -> &[VertexId] {
+        let lo = self.member_offsets[s] as usize;
+        let hi = self.member_offsets[s + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// Iterator over the member slices of all shards, in shard order.
+    pub fn shards(&self) -> impl ExactSizeIterator<Item = &[VertexId]> + '_ {
+        (0..self.num_shards).map(move |s| self.members(s))
+    }
+
+    /// Whether edge `e` crosses a shard boundary.
+    #[inline]
+    pub fn is_cut(&self, g: &Graph, e: EdgeId) -> bool {
+        let (u, v) = g.endpoints(e);
+        self.shard_of[u.index()] != self.shard_of[v.index()]
+    }
+
+    /// The edges crossing shard boundaries, in edge-id order.
+    pub fn cut_edges<'a>(&'a self, g: &'a Graph) -> impl Iterator<Item = EdgeId> + 'a {
+        g.edge_ids().filter(move |&e| self.is_cut(g, e))
+    }
+
+    /// Exact cut and balance statistics of this partition on `g`.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover exactly `g`'s vertices.
+    pub fn stats(&self, g: &Graph) -> PartitionStats {
+        assert_eq!(
+            self.len(),
+            g.num_vertices(),
+            "partition covers {} vertices, graph has {}",
+            self.len(),
+            g.num_vertices()
+        );
+        let shard_sizes: Vec<usize> = self.shards().map(<[VertexId]>::len).collect();
+        let cut_size = self.cut_edges(g).count();
+        let boundary_vertices = g
+            .vertices()
+            .filter(|&v| {
+                let s = self.shard_of[v.index()];
+                g.neighbors(v).any(|u| self.shard_of[u.index()] != s)
+            })
+            .count();
+        let n = self.len();
+        let ideal = n.div_ceil(self.num_shards).max(1);
+        let max_size = shard_sizes.iter().copied().max().unwrap_or(0);
+        PartitionStats {
+            num_shards: self.num_shards,
+            shard_sizes,
+            cut_size,
+            boundary_vertices,
+            balance: max_size as f64 / ideal as f64,
+        }
+    }
+}
+
+/// Cut and balance statistics of a [`Partition`] on a graph.
+#[derive(Clone, Debug, PartialEq)]
+#[must_use = "partition statistics are only useful if inspected"]
+pub struct PartitionStats {
+    /// Number of shards `K`.
+    pub num_shards: usize,
+    /// Vertices owned by each shard, indexed by shard.
+    pub shard_sizes: Vec<usize>,
+    /// Edges whose endpoints live in different shards (parallel edges
+    /// counted individually) — the quantity that bounds per-round
+    /// boundary communication.
+    pub cut_size: usize,
+    /// Vertices with at least one neighbor in another shard.
+    pub boundary_vertices: usize,
+    /// Largest shard size divided by the ideal `ceil(n/K)`; `1.0` is
+    /// perfectly balanced.
+    pub balance: f64,
+}
+
+/// The deterministic partitioners, as a value — for sweeping in tests,
+/// benches, and experiment binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Partitioner {
+    /// [`Partition::contiguous`]: balanced contiguous index blocks.
+    Contiguous,
+    /// [`Partition::bfs`]: BFS-grown regions of near-equal size.
+    Bfs,
+    /// [`Partition::greedy_edge_cut`]: linear deterministic greedy
+    /// cut minimization under a balance cap.
+    GreedyEdgeCut,
+}
+
+impl Partitioner {
+    /// Every partitioner, for exhaustive sweeps.
+    pub const ALL: [Partitioner; 3] = [
+        Partitioner::Contiguous,
+        Partitioner::Bfs,
+        Partitioner::GreedyEdgeCut,
+    ];
+
+    /// Human-readable name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioner::Contiguous => "contiguous",
+            Partitioner::Bfs => "bfs",
+            Partitioner::GreedyEdgeCut => "greedy",
+        }
+    }
+
+    /// Runs this partitioner on `g` with `k` shards.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn partition(self, g: &Graph, k: usize) -> Partition {
+        match self {
+            Partitioner::Contiguous => Partition::contiguous(g, k),
+            Partitioner::Bfs => Partition::bfs(g, k),
+            Partitioner::GreedyEdgeCut => Partition::greedy_edge_cut(g, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Every partitioner must produce a valid, balanced cover.
+    fn check_cover(g: &Graph, p: &Partition, k: usize) {
+        assert_eq!(p.num_shards(), k);
+        assert_eq!(p.len(), g.num_vertices());
+        let total: usize = p.shards().map(<[VertexId]>::len).sum();
+        assert_eq!(total, g.num_vertices(), "shards must cover every vertex");
+        for s in 0..k {
+            for &v in p.members(s) {
+                assert_eq!(p.shard_of(v), s);
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_blocks_are_balanced() {
+        let g = generators::cycle(10);
+        let p = Partition::contiguous(&g, 3);
+        check_cover(&g, &p, 3);
+        let sizes: Vec<usize> = p.shards().map(<[VertexId]>::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        // A cycle cut into 3 contiguous arcs has exactly 3 cut edges.
+        assert_eq!(p.stats(&g).cut_size, 3);
+    }
+
+    #[test]
+    fn stats_exact_on_hand_built_graph() {
+        // Two triangles joined by one bridge: {0,1,2} and {3,4,5}.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let p = Partition::from_assignment(2, vec![0, 0, 0, 1, 1, 1]);
+        let stats = p.stats(&g);
+        assert_eq!(stats.shard_sizes, vec![3, 3]);
+        assert_eq!(stats.cut_size, 1, "only the bridge crosses");
+        assert_eq!(stats.boundary_vertices, 2, "the bridge endpoints");
+        assert_eq!(stats.balance, 1.0);
+        assert_eq!(p.cut_edges(&g).collect::<Vec<_>>(), vec![EdgeId(6)]);
+    }
+
+    #[test]
+    fn stats_count_parallel_cut_edges_individually() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        let p = Partition::from_assignment(2, vec![0, 1]);
+        assert_eq!(p.stats(&g).cut_size, 2);
+    }
+
+    #[test]
+    fn unbalanced_assignment_reports_balance() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Partition::from_assignment(2, vec![0, 0, 0, 1]);
+        let stats = p.stats(&g);
+        // Ideal is ceil(4/2) = 2; the largest shard has 3.
+        assert_eq!(stats.balance, 1.5);
+        assert_eq!(stats.cut_size, 1);
+    }
+
+    #[test]
+    fn bfs_regions_are_balanced_on_torus() {
+        let g = generators::torus(6, 6);
+        let p = Partition::bfs(&g, 4);
+        check_cover(&g, &p, 4);
+        let stats = p.stats(&g);
+        assert_eq!(stats.shard_sizes, vec![9, 9, 9, 9], "quotas are exact");
+        assert_eq!(stats.balance, 1.0);
+        // Locality sanity: BFS regions cut far fewer edges than the
+        // 2m/K expectation of a shard-oblivious assignment.
+        assert!(
+            stats.cut_size < g.num_edges() / 2,
+            "cut {} of {} edges",
+            stats.cut_size,
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_graphs() {
+        // Two disjoint paths.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let p = Partition::bfs(&g, 4);
+        check_cover(&g, &p, 4);
+    }
+
+    #[test]
+    fn greedy_respects_balance_cap() {
+        let g = generators::complete(9);
+        let p = Partition::greedy_edge_cut(&g, 4);
+        check_cover(&g, &p, 4);
+        let stats = p.stats(&g);
+        let cap = 9usize.div_ceil(4);
+        assert!(stats.shard_sizes.iter().all(|&s| s <= cap));
+    }
+
+    #[test]
+    fn greedy_keeps_cliques_together_when_it_can() {
+        // Two 3-cliques and a bridge; with cap 3, greedy should place
+        // each clique in its own shard, cutting only the bridge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let p = Partition::greedy_edge_cut(&g, 2);
+        let stats = p.stats(&g);
+        assert_eq!(stats.cut_size, 1);
+    }
+
+    #[test]
+    fn single_shard_has_empty_cut() {
+        let g = generators::torus(4, 4);
+        for part in Partitioner::ALL {
+            let p = part.partition(&g, 1);
+            let stats = p.stats(&g);
+            assert_eq!(stats.cut_size, 0, "{}", part.name());
+            assert_eq!(stats.boundary_vertices, 0);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_empty_shards() {
+        let g = generators::path(3);
+        for part in Partitioner::ALL {
+            let p = part.partition(&g, 5);
+            check_cover(&g, &p, 5);
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = Graph::from_edges(0, &[]);
+        for part in Partitioner::ALL {
+            let p = part.partition(&g, 2);
+            assert!(p.is_empty());
+            assert_eq!(p.stats(&g).cut_size, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 shards")]
+    fn rejects_out_of_range_assignment() {
+        Partition::from_assignment(2, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let g = generators::path(3);
+        Partition::contiguous(&g, 0);
+    }
+}

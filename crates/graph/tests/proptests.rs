@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use lsl_graph::{generators, traversal, Graph, GraphBuilder, VertexId};
+use lsl_graph::{generators, partition, traversal, Graph, GraphBuilder, VertexId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 // Redundant under the offline proptest stand-in (its macro injects the
@@ -119,6 +119,51 @@ proptest! {
         let claim = g.is_independent_set(&mask);
         let truth = g.edges().all(|(_, u, v)| !(mask[u.index()] && mask[v.index()]));
         prop_assert_eq!(claim, truth);
+    }
+
+    #[test]
+    fn partitioners_cover_every_vertex_exactly_once(g in arb_graph(20, 50), k in 1usize..6) {
+        for p in partition::Partitioner::ALL {
+            let part = p.partition(&g, k);
+            prop_assert_eq!(part.num_shards(), k);
+            prop_assert_eq!(part.len(), g.num_vertices());
+            let mut seen = vec![false; g.num_vertices()];
+            for s in 0..k {
+                for &v in part.members(s) {
+                    prop_assert!(!seen[v.index()], "{} assigned v twice", p.name());
+                    seen[v.index()] = true;
+                    prop_assert_eq!(part.shard_of(v), s);
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "{} missed a vertex", p.name());
+        }
+    }
+
+    #[test]
+    fn partition_stats_match_brute_force(g in arb_graph(16, 40), k in 1usize..5) {
+        for p in partition::Partitioner::ALL {
+            let part = p.partition(&g, k);
+            let stats = part.stats(&g);
+            let cut = g
+                .edges()
+                .filter(|&(_, u, v)| part.shard_of(u) != part.shard_of(v))
+                .count();
+            prop_assert_eq!(stats.cut_size, cut, "{} miscounts the cut", p.name());
+            prop_assert_eq!(stats.cut_size, part.cut_edges(&g).count());
+            let boundary = g
+                .vertices()
+                .filter(|&v| g.neighbors(v).any(|u| part.shard_of(u) != part.shard_of(v)))
+                .count();
+            prop_assert_eq!(stats.boundary_vertices, boundary);
+            prop_assert_eq!(
+                stats.shard_sizes.iter().sum::<usize>(),
+                g.num_vertices()
+            );
+            // The built-in partitioners respect the ceil(n/k) quota.
+            let ideal = g.num_vertices().div_ceil(k).max(1);
+            prop_assert!(stats.balance <= 1.0 + 1e-12, "{}: {}", p.name(), stats.balance);
+            prop_assert!(stats.shard_sizes.iter().all(|&s| s <= ideal));
+        }
     }
 }
 
