@@ -1,0 +1,64 @@
+//! Serving-layer overhead bench: the [`Service`] queue + cache path
+//! versus calling [`JobSpec::run`] directly on the caller's thread.
+//!
+//! Three measurements on one small fixed workload (so chain time does
+//! not drown the serving cost):
+//!
+//! * **direct** — `spec.run()` in a loop (no queue, no cache);
+//! * **service:1** — one worker: pure queue + reply-channel + cache
+//!   overhead per job;
+//! * **service:N** — all cores: the concurrency win on a batch.
+//!
+//! Results are printed as TSV. `quick` (or `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs.
+
+use lsl_core::service::Service;
+use lsl_core::spec::JobSpec;
+use std::time::Instant;
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (jobs, rounds, repeats) = if quick { (16, 10, 2) } else { (128, 25, 3) };
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|seed| {
+            format!("graph=torus:16x16 model=coloring:q=16 seed={seed} job=run:rounds={rounds}")
+                .parse()
+                .expect("a valid bench spec")
+        })
+        .collect();
+
+    println!("# service bench: {jobs} jobs of {rounds} rounds on a 16x16 torus coloring");
+    println!("mode\tsecs\tjobs_per_sec");
+
+    let direct = best_secs(repeats, || {
+        for spec in &specs {
+            spec.run().expect("a valid bench spec");
+        }
+    });
+    println!("direct\t{direct:.4}\t{:.1}", jobs as f64 / direct);
+
+    for workers in [1, threads] {
+        let secs = best_secs(repeats, || {
+            let service = Service::new(workers);
+            let handles: Vec<_> = specs.iter().cloned().map(|s| service.submit(s)).collect();
+            for h in handles {
+                h.wait().expect("a valid bench spec");
+            }
+        });
+        println!("service:{workers}\t{secs:.4}\t{:.1}", jobs as f64 / secs);
+    }
+}

@@ -7,16 +7,16 @@
 //! roughly constant across independent samplers; the chromatic scheduler
 //! (deterministic scan, the Gonzalez-et-al. baseline) is included for
 //! contrast.
+//!
+//! The sweep is one base [`JobSpec`] varying only `scheduler=`; the
+//! instance is built once through the spec layer and shared.
 
-use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::sampler::{Algorithm, Sampler, Sched};
+use lsl_bench::{coalescence_output, f, header, header_row, row, scaled};
+use lsl_core::sampler::Sched;
 use lsl_core::schedule::{
     BernoulliFilterScheduler, ChromaticScheduler, LubyScheduler, Scheduler, SingletonScheduler,
 };
-use lsl_graph::generators;
-use lsl_mrf::models;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lsl_core::spec::{BuiltModel, JobSpec};
 
 /// The γ of Theorem 3.2's remark for a [`Sched`] choice on this network
 /// (None for the deterministic chromatic scan).
@@ -40,9 +40,20 @@ fn main() {
     let delta = 4;
     let q = 12;
     let trials = scaled(5usize, 2);
-    let mut rng = StdRng::seed_from_u64(1);
-    let g = generators::random_regular(n, delta, &mut rng);
-    let mrf = models::proper_coloring(g, q);
+
+    let base: JobSpec = format!(
+        "graph=random-regular:n={n},d={delta} model=coloring:q={q} \
+         algorithm=luby-glauber seed=99 graph-seed=1 \
+         job=coalescence:trials={trials},max-rounds=5000000"
+    )
+    .parse()
+    .expect("a valid E10 spec");
+    // Build the instance once; every scheduler samples the same graph.
+    let model = base.build_model();
+    let graph = match &model {
+        BuiltModel::Mrf(mrf) => mrf.graph_arc(),
+        BuiltModel::Csp { .. } => unreachable!("coloring is an MRF"),
+    };
 
     for (name, sched) in [
         ("Luby", Sched::Luby),
@@ -51,21 +62,21 @@ fn main() {
         ("Singleton", Sched::Singleton),
         ("Chromatic", Sched::Chromatic),
     ] {
-        let gm = gamma(sched, mrf.graph());
-        let report = Sampler::for_mrf(&mrf)
-            .algorithm(Algorithm::LubyGlauber)
-            .scheduler(sched)
-            .seed(99)
-            .coalescence(trials, 5_000_000)
+        let gm = gamma(sched, &graph);
+        let mut spec = base.clone();
+        spec.scheduler = Some(sched);
+        let result = spec
+            .run_on(&model)
             .expect("LubyGlauber accepts every scheduler");
+        let (mean, se, timeouts) = coalescence_output(&result);
         let gstr = gm.map_or("-".to_string(), f);
-        let prod = gm.map_or("-".to_string(), |g| f(report.summary.mean * g));
+        let prod = gm.map_or("-".to_string(), |g| f(mean * g));
         row(&[
             name.into(),
             gstr,
-            f(report.summary.mean),
-            f(report.summary.std_error),
-            report.timeouts.to_string(),
+            f(mean),
+            f(se),
+            timeouts.to_string(),
             prod,
         ]);
     }

@@ -5,16 +5,18 @@
 //! Dominating sets (single-site-connected solution spaces) are sampled to
 //! uniform; maximal independent sets (frozen under single-site moves)
 //! demonstrate exact *invariance* of the uniform distribution.
+//!
+//! Instances are declared as [`JobSpec`] lines (`model=dominating-set`,
+//! `model=mis`) and built once through the spec layer; per-replica
+//! chains come from the same spec with only the seed (and, for the MIS
+//! invariance run, the start) varied.
 
 use lsl_analysis::EmpiricalDistribution;
 use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::sampler::Sampler;
-use lsl_graph::generators;
+use lsl_core::spec::{BuiltModel, JobSpec};
 use lsl_local::rng::Xoshiro256pp;
-use lsl_mrf::csp::Csp;
 use lsl_mrf::gibbs::encode_config;
 use rand::RngExt;
-use std::sync::Arc;
 
 fn tv_to_uniform(emp: &EmpiricalDistribution, sols: &[(Vec<u32>, f64)]) -> f64 {
     let target = 1.0 / sols.len() as f64;
@@ -41,19 +43,27 @@ fn main() {
     let reps = scaled(20_000u64, 3000);
     // Dominating sets on small paths and cycles.
     for (name, graph) in [
-        ("path4", generators::path(4)),
-        ("path5", generators::path(5)),
-        ("cycle5", generators::cycle(5)),
+        ("path4", "path:4"),
+        ("path5", "path:5"),
+        ("cycle5", "cycle:5"),
     ] {
-        let csp = Csp::dominating_set(Arc::new(graph));
+        let base: JobSpec = format!("graph={graph} model=dominating-set")
+            .parse()
+            .expect("a valid E12 spec");
+        let model = base.build_model();
+        let csp = match &model {
+            BuiltModel::Csp { csp, .. } => csp.clone(),
+            BuiltModel::Mrf(_) => unreachable!("dominating-set is a CSP"),
+        };
         let sols = csp.enumerate();
         let steps = 80;
         let mut emp = EmpiricalDistribution::new();
         let mut feasible = true;
         for rep in 0..reps {
-            let mut chain = Sampler::for_csp(&csp)
-                .start(vec![1; csp.graph().num_vertices()])
-                .seed(17_000 + rep)
+            let mut spec = base.clone();
+            spec.seed = Some(17_000 + rep);
+            let mut chain = spec
+                .sampler_builder(&model)
                 .build()
                 .expect("feasible dominating-set start");
             chain.run(steps);
@@ -71,12 +81,17 @@ fn main() {
         ]);
     }
 
-    // MIS invariance: exact-uniform start stays uniform.
-    for (name, graph) in [
-        ("cycle5", generators::cycle(5)),
-        ("path5", generators::path(5)),
-    ] {
-        let csp = Csp::maximal_independent_set(Arc::new(graph));
+    // MIS invariance: exact-uniform start stays uniform (the spec's
+    // canonical greedy start is overridden per replica).
+    for (name, graph) in [("cycle5", "cycle:5"), ("path5", "path:5")] {
+        let base: JobSpec = format!("graph={graph} model=mis")
+            .parse()
+            .expect("a valid E12 spec");
+        let model = base.build_model();
+        let csp = match &model {
+            BuiltModel::Csp { csp, .. } => csp.clone(),
+            BuiltModel::Mrf(_) => unreachable!("mis is a CSP"),
+        };
         let sols = csp.enumerate();
         let steps = 30;
         let mut emp = EmpiricalDistribution::new();
@@ -84,9 +99,11 @@ fn main() {
         for rep in 0..reps {
             let mut rng = Xoshiro256pp::seed_from(18_000 + rep);
             let pick = rng.random_range(0..sols.len());
-            let mut chain = Sampler::for_csp(&csp)
+            let mut spec = base.clone();
+            spec.seed = Some(18_000 + rep);
+            let mut chain = spec
+                .sampler_builder(&model)
                 .start(sols[pick].0.clone())
-                .seed(18_000 + rep)
                 .build()
                 .expect("exact solutions are feasible starts");
             chain.run(steps);

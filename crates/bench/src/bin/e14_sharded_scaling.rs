@@ -11,20 +11,26 @@
 //! Trajectories are bit-identical to the sequential backend for every
 //! row, so the sweep isolates pure execution cost.
 //!
+//! Every row is one [`JobSpec`] (`backend=sharded:K partitioner=P
+//! job=run:rounds=R`); the model is built once per instance through
+//! the spec layer and shared across the sweep. The `secs` column is
+//! the best end-to-end job wall clock — sampler construction
+//! (partitioning, slab setup) *included*, unlike the pre-spec binary
+//! which timed only warmed-up stepping — so rows measure what a
+//! service pays per query. Flags narrow the sweep via the workload
+//! enums' `FromStr` forms:
+//!
+//! ```text
+//! e14_sharded_scaling [--tiny] [--partitioner bfs] [--shards 8]
+//! ```
+//!
 //! Results are printed as TSV and recorded to `BENCH_sharded.json` at
 //! the workspace root. `--tiny` (or `quick` / `LSL_BENCH_QUICK=1`)
 //! shrinks the workload for smoke runs and skips the JSON write.
 
 use lsl_bench::{header, header_row, row};
-use lsl_core::engine::rules::LocalMetropolisRule;
-use lsl_core::engine::sharded::ShardedChain;
-use lsl_core::engine::SyncChain;
+use lsl_core::spec::{BuiltModel, CommSummary, JobOutput, JobSpec};
 use lsl_graph::partition::Partitioner;
-use lsl_graph::Graph;
-use lsl_mrf::models;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Instant;
 
 struct Row {
     graph: String,
@@ -41,34 +47,50 @@ struct Row {
     changed_per_round: f64,
 }
 
-/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
-fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+/// Runs `spec` on the prebuilt model `repeats` times and returns the
+/// best wall clock plus the (deterministic) run output.
+fn best_run(spec: &JobSpec, model: &BuiltModel, repeats: usize) -> (f64, u64, Option<CommSummary>) {
     let mut best = f64::INFINITY;
+    let mut last = None;
     for _ in 0..repeats {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64());
+        let result = spec.run_on(model).expect("a valid E14 spec");
+        best = best.min(result.elapsed_secs);
+        last = Some(result.output);
     }
-    best
+    match last {
+        Some(JobOutput::Run { rounds, comm, .. }) => (best, rounds, comm),
+        other => panic!("expected a run output, got {other:?}"),
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     label: &str,
-    g: Graph,
+    graph: &str,
+    graph_seed: u64,
     q: usize,
     shard_counts: &[usize],
+    partitioners: &[Partitioner],
     rounds: usize,
     repeats: usize,
     rows: &mut Vec<Row>,
 ) {
-    let mrf = models::proper_coloring(g, q);
+    let base: JobSpec = format!(
+        "graph={graph} model=coloring:q={q} algorithm=local-metropolis \
+         seed=1 graph-seed={graph_seed} job=run:rounds={rounds}"
+    )
+    .parse()
+    .expect("a valid E14 base spec");
+    let model = base.build_model();
+    let mrf = match &model {
+        BuiltModel::Mrf(mrf) => mrf.clone(),
+        BuiltModel::Csp { .. } => unreachable!("coloring is an MRF"),
+    };
     let n = mrf.num_vertices();
 
     // Sequential baseline (the bit-identical reference).
     {
-        let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 1);
-        chain.run(2); // warm up
-        let secs = best_secs(repeats, || chain.run(rounds));
+        let (secs, _, _) = best_run(&base, &model, repeats);
         rows.push(Row {
             graph: label.to_string(),
             partitioner: "none",
@@ -86,15 +108,15 @@ fn sweep(
     }
 
     for &k in shard_counts {
-        for part in Partitioner::ALL {
+        for &part in partitioners {
             let partition = part.partition(mrf.graph(), k);
             let stats = partition.stats(mrf.graph());
-            let mut chain = ShardedChain::new(&mrf, LocalMetropolisRule::new(), 1, partition);
-            chain.run(2); // warm up
-            chain.reset_comm(); // account only the measured rounds
-            let secs = best_secs(repeats, || chain.run(rounds));
-            let comm = chain.comm();
-            let measured = comm.rounds_seen() as f64;
+            let mut spec = base.clone();
+            spec.backend = Some(lsl_core::engine::Backend::Sharded { shards: k });
+            spec.partitioner = Some(part);
+            let (secs, _, comm) = best_run(&spec, &model, repeats);
+            let comm = comm.expect("sharded runs record communication");
+            let measured = comm.rounds_seen as f64;
             rows.push(Row {
                 graph: label.to_string(),
                 partitioner: part.name(),
@@ -105,23 +127,47 @@ fn sweep(
                 rounds,
                 secs,
                 steps_vertices_per_sec: rounds as f64 * n as f64 / secs,
-                msgs_per_round: comm.total_messages() as f64 / measured,
-                bytes_per_round: comm.total_bytes() as f64 / measured,
-                changed_per_round: comm.total_changed() as f64 / measured,
+                msgs_per_round: comm.total_messages as f64 / measured,
+                bytes_per_round: comm.total_bytes as f64 / measured,
+                changed_per_round: comm.total_changed as f64 / measured,
             });
         }
+    }
+}
+
+/// Parses `--partitioner <name>` / `--shards <k>` through the workload
+/// enums' `FromStr` impls (the same forms the spec grammar accepts).
+fn flag<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == name)?;
+    let value = args
+        .get(i + 1)
+        .unwrap_or_else(|| panic!("{name} needs a value"));
+    match value.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(e) => panic!("{name} {value:?}: {e}"),
     }
 }
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
         || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
-    let (side, gnp_n, rounds, repeats, shard_counts): (usize, usize, usize, usize, Vec<usize>) =
+    let (side, gnp_n, rounds, repeats, mut shard_counts): (usize, usize, usize, usize, Vec<usize>) =
         if tiny {
             (48, 512, 4, 1, vec![2, 4])
         } else {
             (256, 4096, 12, 3, vec![2, 4, 8, 16])
         };
+    let partitioners: Vec<Partitioner> = match flag::<Partitioner>("--partitioner") {
+        Some(p) => vec![p],
+        None => Partitioner::ALL.to_vec(),
+    };
+    if let Some(k) = flag::<usize>("--shards") {
+        shard_counts = vec![k];
+    }
 
     header(&[
         "E14: sharded owner-computes scaling + boundary messages",
@@ -136,24 +182,30 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     sweep(
         &format!("torus{side}x{side}"),
-        lsl_graph::generators::torus(side, side),
+        &format!("torus:{side}x{side}"),
+        14,
         16,
         &shard_counts,
+        &partitioners,
         rounds,
         repeats,
         &mut rows,
     );
     {
-        // Sparse G(n,p) at mean degree 8, q comfortably in the
-        // Theorem 1.2 regime for the realized max degree.
-        let mut rng = StdRng::seed_from_u64(14);
-        let g = lsl_graph::generators::gnp(gnp_n, 8.0 / gnp_n as f64, &mut rng);
-        let q = 4 * g.max_degree().max(1);
+        // Sparse G(n,p) at mean degree 8, q = 4Δ for the *realized* max
+        // degree (probed from the same deterministic build the sweep
+        // uses), comfortably in the Theorem 1.2 regime — the pre-spec
+        // workload, reproduced exactly.
+        let graph = format!("gnp:n={gnp_n},p={}", 8.0 / gnp_n as f64);
+        let gspec = lsl_core::spec::GraphSpec::parse(&graph).expect("a valid gnp family");
+        let q = 4 * gspec.build(14).max_degree().max(1);
         sweep(
             &format!("gnp{gnp_n}"),
-            g,
+            &graph,
+            14,
             q,
             &shard_counts,
+            &partitioners,
             rounds,
             repeats,
             &mut rows,
@@ -176,6 +228,10 @@ fn main() {
             format!("{:.1}", r.changed_per_round),
         ]);
     }
+
+    // Only full sweeps record the datapoint (a narrowed sweep would
+    // silently shrink the recorded coverage).
+    let full = !tiny && partitioners.len() == Partitioner::ALL.len() && shard_counts.len() > 1;
 
     // Record the datapoint (hand-rolled JSON: no serde in the tree).
     let json_rows: Vec<String> = rows
@@ -208,9 +264,10 @@ fn main() {
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
-    if tiny {
-        // Smoke runs must not clobber the recorded full-workload datapoint.
-        println!("# tiny run: not recording {path}");
+    if !full {
+        // Smoke / narrowed runs must not clobber the recorded
+        // full-workload datapoint.
+        println!("# partial run: not recording {path}");
     } else if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not record {path}: {e}");
     } else {

@@ -1,0 +1,153 @@
+//! E15 — the sampling service under load: jobs/sec vs worker threads.
+//!
+//! The ROADMAP's north star is a sampling *service*; this experiment
+//! measures the serving layer itself. A fixed batch of [`JobSpec`]
+//! queries — mixed workloads over one shared model (cache hits) and
+//! per-seed random graphs (cache misses) — is submitted to a
+//! [`Service`] at increasing worker counts, and we record end-to-end
+//! jobs/sec plus the model-cache hit footprint. Results are
+//! bit-identical at every worker count (asserted each sweep row via
+//! result fingerprints), so the sweep isolates pure serving cost.
+//!
+//! Results are printed as TSV and recorded to `BENCH_service.json` at
+//! the workspace root. `--tiny` (or `quick` / `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs and skips the JSON write.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::service::Service;
+use lsl_core::spec::{JobResult, JobSpec};
+use std::time::Instant;
+
+struct Row {
+    threads: usize,
+    jobs: usize,
+    distinct_models: usize,
+    secs: f64,
+    jobs_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+/// The query batch: `shared` jobs on one cached model (distinct seeds)
+/// plus `fresh` jobs each building its own random graph.
+fn batch(shared: usize, fresh: usize, side: usize, rounds: usize) -> Vec<JobSpec> {
+    let mut specs = Vec::with_capacity(shared + fresh);
+    for seed in 0..shared {
+        specs.push(
+            format!(
+                "graph=torus:{side}x{side} model=coloring:q=16 seed={seed} \
+                 job=run:rounds={rounds}"
+            )
+            .parse()
+            .expect("a valid shared-model spec"),
+        );
+    }
+    for seed in 0..fresh {
+        specs.push(
+            format!(
+                "graph=gnp:n={},p=0.01 model=coloring:q=24 seed={seed} \
+                 job=run:rounds={rounds}",
+                side * side
+            )
+            .parse()
+            .expect("a valid fresh-model spec"),
+        );
+    }
+    specs
+}
+
+/// Serves the whole batch on `threads` workers; returns the wall clock,
+/// the cache footprint, and the results (submission order).
+fn serve(specs: &[JobSpec], threads: usize) -> (f64, usize, Vec<JobResult>) {
+    let service = Service::new(threads);
+    let t = Instant::now();
+    let handles: Vec<_> = specs.iter().cloned().map(|s| service.submit(s)).collect();
+    let results: Vec<JobResult> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("a valid E15 spec"))
+        .collect();
+    let secs = t.elapsed().as_secs_f64();
+    (secs, service.cached_models(), results)
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, shared, fresh, thread_counts): (usize, usize, usize, usize, Vec<usize>) =
+        if tiny {
+            (24, 10, 8, 4, vec![1, 4])
+        } else {
+            (64, 40, 48, 16, vec![1, 2, 4, 8])
+        };
+
+    header(&[
+        "E15: sampling-service throughput (jobs/sec vs worker threads)",
+        "mixed batch: cache-shared torus jobs + per-seed G(n,p) jobs;",
+        "results are bit-identical at every worker count (asserted)",
+    ]);
+    header_row("threads,jobs,distinct_models,secs,jobs_per_sec,speedup_vs_1");
+
+    let specs = batch(shared, fresh, side, rounds);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<Vec<JobResult>> = None;
+    let mut base_rate = 0.0;
+    for &threads in &thread_counts {
+        let (secs, distinct_models, results) = serve(&specs, threads);
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => assert_eq!(
+                expected, &results,
+                "worker count changed a result — determinism violated"
+            ),
+        }
+        let jobs_per_sec = specs.len() as f64 / secs;
+        if threads == thread_counts[0] {
+            base_rate = jobs_per_sec;
+        }
+        rows.push(Row {
+            threads,
+            jobs: specs.len(),
+            distinct_models,
+            secs,
+            jobs_per_sec,
+            speedup_vs_1: jobs_per_sec / base_rate,
+        });
+    }
+
+    for r in &rows {
+        row(&[
+            r.threads.to_string(),
+            r.jobs.to_string(),
+            r.distinct_models.to_string(),
+            format!("{:.4}", r.secs),
+            format!("{:.1}", r.jobs_per_sec),
+            format!("{:.2}", r.speedup_vs_1),
+        ]);
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"jobs\": {}, \"distinct_models\": {}, \
+                 \"secs\": {:.6}, \"jobs_per_sec\": {:.1}, \"speedup_vs_1\": {:.2}}}",
+                r.threads, r.jobs, r.distinct_models, r.secs, r.jobs_per_sec, r.speedup_vs_1,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"workload\": \"mixed JobSpec batch \
+         (shared torus coloring + per-seed gnp), worker-thread sweep\",\n  \"tiny\": {tiny},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    if tiny {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# tiny run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

@@ -7,32 +7,26 @@
 //! Series A: rounds vs Δ at fixed n — expect ~linear growth in Δ.
 //! Series B: rounds vs n at fixed Δ — expect ~logarithmic growth.
 //! The `theory` column is the explicit Theorem 3.2 budget.
+//!
+//! Workloads are declared as [`JobSpec`] lines (the `lsl` CLI's format)
+//! and run through the spec layer — the experiment is its spec string.
 
 use lsl_analysis::theory;
-use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::sampler::{Algorithm, Sampler};
-use lsl_graph::generators;
-use lsl_mrf::models;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lsl_bench::{coalescence_output, f, header, header_row, row, scaled};
+use lsl_core::spec::JobSpec;
 
 fn measure(n: usize, delta: usize, q: usize, trials: usize, seed: u64) -> (f64, f64, usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let g = generators::random_regular(n, delta, &mut rng);
-    let mrf = models::proper_coloring(g, q);
     // The coalescence job runs grand couplings as coupled replica sets
     // on the step engine: each round's shared randomness is computed
     // once for all copies.
-    let report = Sampler::for_mrf(&mrf)
-        .algorithm(Algorithm::LubyGlauber)
-        .seed(seed)
-        .coalescence(trials, 2_000_000)
-        .expect("valid LubyGlauber configuration");
-    (
-        report.summary.mean,
-        report.summary.std_error,
-        report.timeouts,
+    let spec: JobSpec = format!(
+        "graph=random-regular:n={n},d={delta} model=coloring:q={q} \
+         algorithm=luby-glauber seed={seed} job=coalescence:trials={trials},max-rounds=2000000"
     )
+    .parse()
+    .expect("a valid E1 spec");
+    let result = spec.run().expect("valid LubyGlauber configuration");
+    coalescence_output(&result)
 }
 
 fn main() {

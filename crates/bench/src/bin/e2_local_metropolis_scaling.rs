@@ -5,28 +5,34 @@
 //! flat curve for LocalMetropolis and a ~linear one for LubyGlauber on the
 //! *same* instances (the crossover that motivates Algorithm 2).
 //! Series B: rounds vs n at fixed Δ — expect logarithmic growth.
+//!
+//! Workloads are declared as [`JobSpec`] lines; both chains of series A
+//! share one spec modulo `algorithm=`, and the spec layer's
+//! deterministic graph builds guarantee they sample the *same* random
+//! regular instance (equal `graph-seed` ⇒ bit-identical graph).
 
-use lsl_bench::{f, header, header_row, row, scaled};
-use lsl_core::sampler::{Algorithm, CoalescenceReport, Sampler};
-use lsl_graph::generators;
-use lsl_mrf::models;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lsl_bench::{coalescence_output, f, header, header_row, row, scaled};
+use lsl_core::spec::JobSpec;
 
-/// Grand-coupling coalescence of `algorithm` on `mrf` via the facade's
-/// job verb (coupled replica batches on the step engine).
+/// Grand-coupling coalescence declared as a spec line (coupled replica
+/// batches on the step engine).
 fn coalesce(
-    mrf: &lsl_mrf::Mrf,
-    algorithm: Algorithm,
+    graph: &str,
+    graph_seed: u64,
+    q: usize,
+    algorithm: &str,
     trials: usize,
-    max_steps: usize,
+    max_rounds: usize,
     seed: u64,
-) -> CoalescenceReport {
-    Sampler::for_mrf(mrf)
-        .algorithm(algorithm)
-        .seed(seed)
-        .coalescence(trials, max_steps)
-        .expect("valid chain configuration")
+) -> (f64, f64, usize) {
+    let spec: JobSpec = format!(
+        "graph={graph} model=coloring:q={q} algorithm={algorithm} seed={seed} \
+         graph-seed={graph_seed} job=coalescence:trials={trials},max-rounds={max_rounds}"
+    )
+    .parse()
+    .expect("a valid E2 spec");
+    let result = spec.run().expect("valid chain configuration");
+    coalescence_output(&result)
 }
 
 fn main() {
@@ -41,12 +47,13 @@ fn main() {
     let n_fixed = scaled(256usize, 64);
     for delta in [4usize, 6, 9, 12, 16, 24] {
         let q = (7 * delta).div_ceil(2);
-        let mut rng = StdRng::seed_from_u64(300 + delta as u64);
-        let g = generators::random_regular(n_fixed, delta, &mut rng);
-        let mrf = models::proper_coloring(g, q);
-        let lm = coalesce(
-            &mrf,
-            Algorithm::LocalMetropolis,
+        let graph = format!("random-regular:n={n_fixed},d={delta}");
+        let graph_seed = 300 + delta as u64;
+        let (mean, se, timeouts) = coalesce(
+            &graph,
+            graph_seed,
+            q,
+            "local-metropolis",
             trials,
             500_000,
             71 + delta as u64,
@@ -57,13 +64,15 @@ fn main() {
             delta.to_string(),
             n_fixed.to_string(),
             q.to_string(),
-            f(lm.summary.mean),
-            f(lm.summary.std_error),
-            lm.timeouts.to_string(),
+            f(mean),
+            f(se),
+            timeouts.to_string(),
         ]);
-        let lg = coalesce(
-            &mrf,
-            Algorithm::LubyGlauber,
+        let (mean, se, timeouts) = coalesce(
+            &graph,
+            graph_seed,
+            q,
+            "luby-glauber",
             trials,
             2_000_000,
             72 + delta as u64,
@@ -74,21 +83,20 @@ fn main() {
             delta.to_string(),
             n_fixed.to_string(),
             q.to_string(),
-            f(lg.summary.mean),
-            f(lg.summary.std_error),
-            lg.timeouts.to_string(),
+            f(mean),
+            f(se),
+            timeouts.to_string(),
         ]);
     }
 
     let delta_fixed = 9usize;
     let q = 32;
     for n in scaled(vec![64usize, 128, 256, 512, 1024], vec![64, 128]) {
-        let mut rng = StdRng::seed_from_u64(400 + n as u64);
-        let g = generators::random_regular(n, delta_fixed, &mut rng);
-        let mrf = models::proper_coloring(g, q);
-        let s = coalesce(
-            &mrf,
-            Algorithm::LocalMetropolis,
+        let (mean, se, timeouts) = coalesce(
+            &format!("random-regular:n={n},d={delta_fixed}"),
+            400 + n as u64,
+            q,
+            "local-metropolis",
             trials,
             500_000,
             73 + n as u64,
@@ -99,9 +107,9 @@ fn main() {
             delta_fixed.to_string(),
             n.to_string(),
             q.to_string(),
-            f(s.summary.mean),
-            f(s.summary.std_error),
-            s.timeouts.to_string(),
+            f(mean),
+            f(se),
+            timeouts.to_string(),
         ]);
     }
 }

@@ -8,9 +8,28 @@
 //! defaults reproduce the recorded numbers. Chains are constructed
 //! through the sampler facade (`lsl_core::sampler`).
 
+use lsl_core::spec::{JobOutput, JobResult};
+
 /// Whether the binary was invoked with a `quick` argument.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "quick")
+}
+
+/// Unwraps a coalescence job's `(mean_rounds, std_error, timeouts)`.
+///
+/// # Panics
+/// Panics if the result is not a coalescence output (an experiment
+/// wiring bug, not a data condition).
+pub fn coalescence_output(result: &JobResult) -> (f64, f64, usize) {
+    match result.output {
+        JobOutput::Coalescence {
+            mean_rounds,
+            std_error,
+            timeouts,
+            ..
+        } => (mean_rounds, std_error, timeouts),
+        ref other => panic!("expected a coalescence output, got {other:?}"),
+    }
 }
 
 /// Picks `full` or `quick` depending on [`quick_mode`].

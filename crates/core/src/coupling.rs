@@ -19,6 +19,7 @@ use crate::Chain;
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::{Mrf, Spin};
 use rand::RngExt;
+use std::sync::Arc;
 
 /// Label for per-step coupling seeds.
 const STEP_LABEL: u64 = 0x4350_4c53_5445_5000; // "CPLSTEP\0"
@@ -99,13 +100,13 @@ pub fn adversarial_starts(mrf: &Mrf, extra: usize, seed: u64) -> Vec<Vec<Spin>> 
 /// computes each round's shared randomness once — until all states
 /// coincide or `max_steps` elapse.
 pub fn coalesce_batched<R: SyncRule>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: R,
     starts: &[Vec<Spin>],
     master_seed: u64,
     max_steps: usize,
 ) -> Coalescence {
-    let mut set = ReplicaSet::coupled(mrf, rule, starts, master_seed);
+    let mut set = ReplicaSet::coupled(Arc::clone(mrf), rule, starts, master_seed);
     // Copies shard over all cores; the coupling is execution-independent.
     set.set_backend(crate::engine::Backend::Parallel { threads: 0 });
     if set.coalesced() {
@@ -123,7 +124,7 @@ pub fn coalesce_batched<R: SyncRule>(
 /// Batched counterpart of [`coalescence_times`]: `trials` independent
 /// grand couplings of an engine rule, each a coupled replica set.
 pub fn coalescence_times_batched<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     starts: &[Vec<Spin>],
     trials: usize,
@@ -326,7 +327,7 @@ mod tests {
     #[test]
     fn batched_grand_coupling_coalesces() {
         use crate::engine::rules::LocalMetropolisRule;
-        let mrf = models::proper_coloring(generators::torus(4, 4), 24);
+        let mrf = Arc::new(models::proper_coloring(generators::torus(4, 4), 24));
         let starts = adversarial_starts(&mrf, 2, 3);
         let (times, timeouts) =
             coalescence_times_batched(&mrf, &LocalMetropolisRule::new(), &starts, 5, 5_000, 13);
@@ -338,7 +339,7 @@ mod tests {
     #[test]
     fn batched_coalesce_detects_equal_starts() {
         use crate::engine::rules::GlauberRule;
-        let mrf = models::proper_coloring(generators::cycle(5), 6);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(5), 6));
         let starts = vec![vec![0; 5], vec![0; 5]];
         assert_eq!(
             coalesce_batched(&mrf, GlauberRule, &starts, 1, 10),
@@ -349,7 +350,7 @@ mod tests {
     #[test]
     fn batched_luby_glauber_coalesces() {
         use crate::engine::rules::LubyGlauberRule;
-        let mrf = models::proper_coloring(generators::cycle(8), 6);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(8), 6));
         let starts = adversarial_starts(&mrf, 1, 3);
         let (times, timeouts) =
             coalescence_times_batched(&mrf, &LubyGlauberRule::luby(), &starts, 5, 20_000, 17);

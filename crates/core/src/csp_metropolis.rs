@@ -21,6 +21,7 @@ use lsl_mrf::csp::{Constraint, Csp};
 use lsl_mrf::gibbs::{checked_pow, decode_config};
 use lsl_mrf::Spin;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The mixture-product pass probability of constraint `c` given the
 /// current spins and proposals of its scope: `Π_{∅ ≠ S ⊆ [k]} f̃(τ_S)`
@@ -76,21 +77,22 @@ pub fn constraint_pass_probability(
 /// assert!(csp.is_feasible(sampler.state()));
 /// ```
 #[derive(Clone, Debug)]
-pub struct CspLocalMetropolis<'a> {
-    csp: &'a Csp,
+pub struct CspLocalMetropolis {
+    csp: Arc<Csp>,
     state: Vec<Spin>,
     proposals: Vec<Spin>,
     accept: Vec<bool>,
 }
 
-impl<'a> CspLocalMetropolis<'a> {
+impl CspLocalMetropolis {
     /// Creates the chain from an explicit start.
     ///
     /// # Panics
     /// Panics if the start has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_csp(&csp).algorithm(Algorithm::LocalMetropolis).start(start).build()`")]
-    pub fn new(csp: &'a Csp, start: Vec<Spin>) -> Self {
+    pub fn new(csp: impl Into<Arc<Csp>>, start: Vec<Spin>) -> Self {
+        let csp = csp.into();
         assert_eq!(start.len(), csp.graph().num_vertices());
         let n = start.len();
         CspLocalMetropolis {
@@ -103,11 +105,11 @@ impl<'a> CspLocalMetropolis<'a> {
 
     /// The CSP this chain samples from.
     pub fn csp(&self) -> &Csp {
-        self.csp
+        &self.csp
     }
 }
 
-impl Chain for CspLocalMetropolis<'_> {
+impl Chain for CspLocalMetropolis {
     fn state(&self) -> &[Spin] {
         &self.state
     }

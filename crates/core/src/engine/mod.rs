@@ -41,6 +41,7 @@ pub mod sharded;
 use lsl_graph::{EdgeId, VertexId};
 use lsl_local::rng::{derive_seed, round_key, VertexRng, Xoshiro256pp};
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Phase labels under which round-local streams are derived.
 const PROPOSE_LABEL: u64 = 0x5052_4f50_4f53_4500; // "PROPOSE\0"
@@ -131,8 +132,10 @@ impl<'a> RoundCtx<'a> {
 ///
 /// Implementations must be pure per-vertex functions of the inputs they
 /// are handed — the engine exploits this to run phases in any order (or
-/// in parallel) without changing the trajectory.
-pub trait SyncRule: Sync {
+/// in parallel) without changing the trajectory. Rules are `Send + Sync`
+/// so chains that own them are `Send` handles servable from worker
+/// threads (see `lsl_core::service`).
+pub trait SyncRule: Send + Sync {
     /// The per-vertex value published by the propose phase (a proposal
     /// spin, a Luby `β_v`, ...).
     type Local: Copy + Send + Sync + Default;
@@ -193,16 +196,25 @@ pub trait SyncRule: Sync {
 pub enum Backend {
     /// One vertex after another on the calling thread.
     Sequential,
-    /// Fork-join over contiguous vertex ranges with scoped threads;
-    /// `threads == 0` means "all available cores". Bit-identical to
-    /// [`Backend::Sequential`] by the determinism contract.
+    /// Fork-join over contiguous vertex ranges with scoped threads.
+    /// Bit-identical to [`Backend::Sequential`] by the determinism
+    /// contract.
+    ///
+    /// **`threads == 0` means auto-detect**: the worker count resolves
+    /// to [`std::thread::available_parallelism`] (clamped to at least
+    /// one worker if the probe fails) at the moment the backend is
+    /// installed — see [`Backend::worker_count`].
     Parallel {
-        /// Worker count (0 = auto-detect).
+        /// Worker count (0 = auto-detect; see the variant docs).
         threads: usize,
     },
     /// Owner-computes graph shards with per-round boundary exchange;
-    /// `shards == 0` means "all available cores". Bit-identical to the
-    /// other backends by the determinism contract.
+    /// bit-identical to the other backends by the determinism contract.
+    ///
+    /// **`shards == 0` means auto-detect**: the shard count resolves to
+    /// [`std::thread::available_parallelism`] (clamped to at least one
+    /// shard if the probe fails), and executors additionally clamp it
+    /// to the vertex count so a small model never gets empty shards.
     ///
     /// The sampler facade builds a [`sharded::ShardedChain`] (private
     /// state slabs, frontier buffers, communication accounting) for
@@ -213,23 +225,75 @@ pub enum Backend {
     /// flat arena by design, treat it as [`Backend::Parallel`] with
     /// `shards` workers.
     Sharded {
-        /// Shard count (0 = auto-detect).
+        /// Shard count (0 = auto-detect; see the variant docs).
         shards: usize,
     },
 }
 
 impl Backend {
-    /// The number of workers this backend will use.
+    /// The number of workers this backend will use. The `0 = auto`
+    /// variants resolve to [`std::thread::available_parallelism`],
+    /// never less than one worker.
     pub fn worker_count(self) -> usize {
         match self {
             Backend::Sequential => 1,
             Backend::Parallel { threads: 0 } | Backend::Sharded { shards: 0 } => {
+                // NonZeroUsize: the probe cannot yield 0, and a failed
+                // probe falls back to one worker.
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
             }
             Backend::Parallel { threads } => threads,
             Backend::Sharded { shards } => shards,
+        }
+    }
+}
+
+/// Canonical spec-string form, accepted back by the `FromStr` impl:
+/// `sequential`, `parallel:<threads>`, `sharded:<shards>` (0 = auto).
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Sequential => write!(f, "sequential"),
+            Backend::Parallel { threads } => write!(f, "parallel:{threads}"),
+            Backend::Sharded { shards } => write!(f, "sharded:{shards}"),
+        }
+    }
+}
+
+/// Parses the [`Display`](Backend#impl-Display-for-Backend) form;
+/// `parallel` and `sharded` without a count mean auto (0).
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        let count = |arg: Option<&str>| -> Result<usize, String> {
+            match arg {
+                None => Ok(0),
+                Some(a) => a
+                    .parse::<usize>()
+                    .map_err(|_| format!("backend count {a:?} is not a non-negative integer")),
+            }
+        };
+        match name {
+            "sequential" => match arg {
+                None => Ok(Backend::Sequential),
+                Some(a) => Err(format!("sequential takes no argument, got {a:?}")),
+            },
+            "parallel" => Ok(Backend::Parallel {
+                threads: count(arg)?,
+            }),
+            "sharded" => Ok(Backend::Sharded {
+                shards: count(arg)?,
+            }),
+            other => Err(format!(
+                "unknown backend {other:?} (expected sequential | parallel[:t] | sharded[:k])"
+            )),
         }
     }
 }
@@ -327,21 +391,28 @@ fn run_round<R: SyncRule>(
 
 /// One chain advanced by the step engine.
 ///
+/// The chain *owns* its model as an `Arc<Mrf>`, so it is a `'static`,
+/// `Send` handle: build it, hand it to a worker thread, serve it for as
+/// long as the process lives. Constructors take `impl Into<Arc<Mrf>>` —
+/// pass an `Arc<Mrf>` (cheap, shared), an owned `Mrf`, or `&Mrf` (which
+/// clones into a fresh handle; fine for tests, avoid in loops).
+///
 /// # Example
 /// ```
 /// use lsl_core::engine::rules::LocalMetropolisRule;
 /// use lsl_core::engine::{Backend, SyncChain};
 /// use lsl_graph::generators;
 /// use lsl_mrf::models;
+/// use std::sync::Arc;
 ///
-/// let mrf = models::proper_coloring(generators::torus(6, 6), 12);
-/// let mut chain = SyncChain::new(&mrf, LocalMetropolisRule::new(), 7);
+/// let mrf = Arc::new(models::proper_coloring(generators::torus(6, 6), 12));
+/// let mut chain = SyncChain::new(Arc::clone(&mrf), LocalMetropolisRule::new(), 7);
 /// chain.set_backend(Backend::Parallel { threads: 0 });
 /// chain.run(40);
 /// assert!(mrf.is_feasible(chain.state()));
 /// ```
-pub struct SyncChain<'a, R: SyncRule> {
-    mrf: &'a Mrf,
+pub struct SyncChain<R: SyncRule> {
+    mrf: Arc<Mrf>,
     rule: R,
     backend: Backend,
     state: Vec<Spin>,
@@ -356,7 +427,7 @@ pub struct SyncChain<'a, R: SyncRule> {
     last_key: Option<(u64, u64)>,
 }
 
-impl<R: SyncRule> std::fmt::Debug for SyncChain<'_, R> {
+impl<R: SyncRule> std::fmt::Debug for SyncChain<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SyncChain")
             .field("rule", &self.rule.name())
@@ -367,11 +438,12 @@ impl<R: SyncRule> std::fmt::Debug for SyncChain<'_, R> {
     }
 }
 
-impl<'a, R: SyncRule> SyncChain<'a, R> {
+impl<R: SyncRule> SyncChain<R> {
     /// Builds the chain on the deterministic default start with the
     /// sequential backend.
-    pub fn new(mrf: &'a Mrf, rule: R, master: u64) -> Self {
-        let start = crate::single_site::default_start(mrf);
+    pub fn new(mrf: impl Into<Arc<Mrf>>, rule: R, master: u64) -> Self {
+        let mrf = mrf.into();
+        let start = crate::single_site::default_start(&mrf);
         Self::with_state(mrf, rule, master, start)
     }
 
@@ -379,10 +451,11 @@ impl<'a, R: SyncRule> SyncChain<'a, R> {
     ///
     /// # Panics
     /// Panics if the configuration has the wrong length.
-    pub fn with_state(mrf: &'a Mrf, rule: R, master: u64, state: Vec<Spin>) -> Self {
+    pub fn with_state(mrf: impl Into<Arc<Mrf>>, rule: R, master: u64, state: Vec<Spin>) -> Self {
+        let mrf = mrf.into();
         assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
         let n = state.len();
-        let scratches = vec![rule.make_scratch(mrf)];
+        let scratches = vec![rule.make_scratch(&mrf)];
         SyncChain {
             mrf,
             rule,
@@ -403,7 +476,7 @@ impl<'a, R: SyncRule> SyncChain<'a, R> {
         self.backend = backend;
         let want = backend.worker_count();
         while self.scratches.len() < want {
-            self.scratches.push(self.rule.make_scratch(self.mrf));
+            self.scratches.push(self.rule.make_scratch(&self.mrf));
         }
         self.workers = want;
     }
@@ -415,7 +488,12 @@ impl<'a, R: SyncRule> SyncChain<'a, R> {
 
     /// The model being sampled.
     pub fn mrf(&self) -> &Mrf {
-        self.mrf
+        &self.mrf
+    }
+
+    /// The owning handle of the model (cheap to clone and share).
+    pub fn mrf_handle(&self) -> &Arc<Mrf> {
+        &self.mrf
     }
 
     /// The vertex-step rule.
@@ -463,7 +541,7 @@ impl<'a, R: SyncRule> SyncChain<'a, R> {
     /// derive per-step masters from the caller's generator so that grand
     /// couplings keep working through the legacy interface).
     pub fn step_keyed(&mut self, master: u64) {
-        let ctx = RoundCtx::new(self.mrf, master, self.round);
+        let ctx = RoundCtx::new(&self.mrf, master, self.round);
         let workers = self.workers.min(self.scratches.len());
         run_round(
             &self.rule,
@@ -561,5 +639,37 @@ mod tests {
         assert_eq!(Backend::Sequential.worker_count(), 1);
         assert_eq!(Backend::Parallel { threads: 4 }.worker_count(), 4);
         assert!(Backend::Parallel { threads: 0 }.worker_count() >= 1);
+        // The 0-means-auto contract: sharded auto-detection clamps to
+        // available parallelism and never resolves below one shard.
+        let auto = Backend::Sharded { shards: 0 }.worker_count();
+        assert!(auto >= 1);
+        assert_eq!(
+            auto,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+    }
+
+    #[test]
+    fn backend_display_parses_back() {
+        for b in [
+            Backend::Sequential,
+            Backend::Parallel { threads: 0 },
+            Backend::Parallel { threads: 6 },
+            Backend::Sharded { shards: 0 },
+            Backend::Sharded { shards: 8 },
+        ] {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!(
+            "parallel".parse::<Backend>().unwrap(),
+            Backend::Parallel { threads: 0 }
+        );
+        assert_eq!(
+            "sharded".parse::<Backend>().unwrap(),
+            Backend::Sharded { shards: 0 }
+        );
+        assert!("sequential:2".parse::<Backend>().is_err());
+        assert!("gpu".parse::<Backend>().is_err());
+        assert!("parallel:x".parse::<Backend>().is_err());
     }
 }

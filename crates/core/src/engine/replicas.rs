@@ -23,11 +23,15 @@ use super::{RoundCtx, SyncRule};
 use crate::engine::Backend;
 use lsl_local::rng::derive_seed;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Label under which per-replica master seeds are derived.
 const REPLICA_LABEL: u64 = 0x5245_504c_4943_4100; // "REPLICA\0"
 
 /// A batch of `B` chains of one rule advanced together.
+///
+/// The set *owns* its model as an `Arc<Mrf>` (constructors take
+/// `impl Into<Arc<Mrf>>`), so it is a `'static`, `Send` handle.
 ///
 /// # Example
 /// ```
@@ -35,16 +39,17 @@ const REPLICA_LABEL: u64 = 0x5245_504c_4943_4100; // "REPLICA\0"
 /// use lsl_core::engine::rules::LocalMetropolisRule;
 /// use lsl_graph::generators;
 /// use lsl_mrf::models;
+/// use std::sync::Arc;
 ///
-/// let mrf = models::proper_coloring(generators::torus(4, 4), 8);
-/// let mut set = ReplicaSet::independent(&mrf, LocalMetropolisRule::new(), 16, 7);
+/// let mrf = Arc::new(models::proper_coloring(generators::torus(4, 4), 8));
+/// let mut set = ReplicaSet::independent(Arc::clone(&mrf), LocalMetropolisRule::new(), 16, 7);
 /// set.run(50);
 /// for state in set.states() {
 ///     assert!(mrf.is_feasible(state));
 /// }
 /// ```
-pub struct ReplicaSet<'a, R: SyncRule> {
-    mrf: &'a Mrf,
+pub struct ReplicaSet<R: SyncRule> {
+    mrf: Arc<Mrf>,
     rule: R,
     backend: Backend,
     n: usize,
@@ -65,7 +70,7 @@ pub struct ReplicaSet<'a, R: SyncRule> {
     round: u64,
 }
 
-impl<R: SyncRule> std::fmt::Debug for ReplicaSet<'_, R> {
+impl<R: SyncRule> std::fmt::Debug for ReplicaSet<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaSet")
             .field("rule", &self.rule.name())
@@ -77,13 +82,13 @@ impl<R: SyncRule> std::fmt::Debug for ReplicaSet<'_, R> {
     }
 }
 
-impl<'a, R: SyncRule> ReplicaSet<'a, R> {
-    fn build(mrf: &'a Mrf, rule: R, states: Vec<Spin>, masters: Vec<u64>, coupled: bool) -> Self {
+impl<R: SyncRule> ReplicaSet<R> {
+    fn build(mrf: Arc<Mrf>, rule: R, states: Vec<Spin>, masters: Vec<u64>, coupled: bool) -> Self {
         let n = mrf.num_vertices();
         assert!(n > 0, "replica sets need a non-empty model");
         let count = masters.len();
         assert_eq!(states.len(), n * count);
-        let scratches = vec![rule.make_scratch(mrf)];
+        let scratches = vec![rule.make_scratch(&mrf)];
         ReplicaSet {
             mrf,
             rule,
@@ -104,9 +109,10 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
 
     /// `count` iid replicas from the deterministic default start, each
     /// under its own master seed derived from `seed`.
-    pub fn independent(mrf: &'a Mrf, rule: R, count: usize, seed: u64) -> Self {
+    pub fn independent(mrf: impl Into<Arc<Mrf>>, rule: R, count: usize, seed: u64) -> Self {
         assert!(count > 0, "need at least one replica");
-        let start = crate::single_site::default_start(mrf);
+        let mrf = mrf.into();
+        let start = crate::single_site::default_start(&mrf);
         let starts: Vec<&[Spin]> = (0..count).map(|_| &start[..]).collect();
         Self::independent_from(mrf, rule, &starts, seed)
     }
@@ -115,8 +121,14 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
     ///
     /// # Panics
     /// Panics if `starts` is empty or any start has the wrong length.
-    pub fn independent_from(mrf: &'a Mrf, rule: R, starts: &[&[Spin]], seed: u64) -> Self {
+    pub fn independent_from(
+        mrf: impl Into<Arc<Mrf>>,
+        rule: R,
+        starts: &[&[Spin]],
+        seed: u64,
+    ) -> Self {
         assert!(!starts.is_empty(), "need at least one replica");
+        let mrf = mrf.into();
         let n = mrf.num_vertices();
         let mut states = Vec::with_capacity(n * starts.len());
         for s in starts {
@@ -134,8 +146,9 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
     ///
     /// # Panics
     /// Panics if `starts` is empty or any start has the wrong length.
-    pub fn coupled(mrf: &'a Mrf, rule: R, starts: &[Vec<Spin>], master: u64) -> Self {
+    pub fn coupled(mrf: impl Into<Arc<Mrf>>, rule: R, starts: &[Vec<Spin>], master: u64) -> Self {
         assert!(!starts.is_empty(), "need at least one copy");
+        let mrf = mrf.into();
         let n = mrf.num_vertices();
         let mut states = Vec::with_capacity(n * starts.len());
         for s in starts {
@@ -152,7 +165,7 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
         self.backend = backend;
         let want = backend.worker_count();
         while self.scratches.len() < want {
-            self.scratches.push(self.rule.make_scratch(self.mrf));
+            self.scratches.push(self.rule.make_scratch(&self.mrf));
             self.worker_locals.push(vec![R::Local::default(); self.n]);
         }
         self.workers = want;
@@ -189,7 +202,7 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
         let round = self.round;
         // Single-site rules update one vertex in place; synchronous rules
         // double-buffer. The branch is rule-constant (checked below).
-        let probe = RoundCtx::new(self.mrf, self.masters[0], round);
+        let probe = RoundCtx::new(&self.mrf, self.masters[0], round);
         let single_site = self.rule.active_vertex(&probe).is_some();
 
         // Coupled + state-free proposals: one propose phase serves every
@@ -197,7 +210,7 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
         // state) — the batch's 1/B randomness amortization.
         let share_propose = !single_site && self.coupled && R::HAS_PROPOSE && R::STATE_FREE_PROPOSE;
         if share_propose {
-            let ctx = RoundCtx::new(self.mrf, self.masters[0], round);
+            let ctx = RoundCtx::new(&self.mrf, self.masters[0], round);
             super::propose_phase(
                 &self.rule,
                 &ctx,
@@ -225,7 +238,7 @@ impl<'a, R: SyncRule> ReplicaSet<'a, R> {
         };
         let per_worker = self.count.div_ceil(workers);
         let n = self.n;
-        let mrf = self.mrf;
+        let mrf: &Mrf = &self.mrf;
         let rule = &self.rule;
         let masters = &self.masters;
         let shared_locals = &self.shared_locals;
@@ -392,7 +405,7 @@ mod tests {
         let mrf = models::proper_coloring(generators::torus(4, 4), 16);
         let starts = crate::coupling::adversarial_starts(&mrf, 2, 5);
         let mut set = ReplicaSet::coupled(&mrf, LocalMetropolisRule::new(), &starts, 77);
-        let mut singles: Vec<SyncChain<'_, LocalMetropolisRule>> = starts
+        let mut singles: Vec<SyncChain<LocalMetropolisRule>> = starts
             .iter()
             .map(|s| SyncChain::with_state(&mrf, LocalMetropolisRule::new(), 77, s.clone()))
             .collect();

@@ -45,6 +45,7 @@ use super::{RoundCtx, SyncRule};
 use lsl_graph::partition::Partition;
 use lsl_graph::VertexId;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// One shard's private execution state.
 struct ShardWorker<R: SyncRule> {
@@ -175,6 +176,10 @@ impl CommStats {
 /// partition, by the determinism contract. The facade builds one of
 /// these for `.backend(Backend::Sharded { .. })`.
 ///
+/// Like [`SyncChain`](super::SyncChain), the chain *owns* its model as
+/// an `Arc<Mrf>` (constructors take `impl Into<Arc<Mrf>>`), so it is a
+/// `'static`, `Send` handle servable from worker threads.
+///
 /// # Example
 /// ```
 /// use lsl_core::engine::sharded::ShardedChain;
@@ -182,16 +187,17 @@ impl CommStats {
 /// use lsl_graph::partition::Partition;
 /// use lsl_graph::generators;
 /// use lsl_mrf::models;
+/// use std::sync::Arc;
 ///
-/// let mrf = models::proper_coloring(generators::torus(6, 6), 12);
+/// let mrf = Arc::new(models::proper_coloring(generators::torus(6, 6), 12));
 /// let part = Partition::bfs(mrf.graph(), 4);
-/// let mut chain = ShardedChain::new(&mrf, LocalMetropolisRule::new(), 7, part);
+/// let mut chain = ShardedChain::new(Arc::clone(&mrf), LocalMetropolisRule::new(), 7, part);
 /// chain.run(40);
 /// assert!(mrf.is_feasible(chain.state()));
 /// assert!(chain.comm().total_messages() > 0);
 /// ```
-pub struct ShardedChain<'a, R: SyncRule> {
-    mrf: &'a Mrf,
+pub struct ShardedChain<R: SyncRule> {
+    mrf: Arc<Mrf>,
     rule: R,
     partition: Partition,
     shards: Vec<ShardWorker<R>>,
@@ -205,7 +211,7 @@ pub struct ShardedChain<'a, R: SyncRule> {
     last_key: Option<(u64, u64)>,
 }
 
-impl<R: SyncRule> std::fmt::Debug for ShardedChain<'_, R> {
+impl<R: SyncRule> std::fmt::Debug for ShardedChain<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedChain")
             .field("rule", &self.rule.name())
@@ -216,15 +222,16 @@ impl<R: SyncRule> std::fmt::Debug for ShardedChain<'_, R> {
     }
 }
 
-impl<'a, R: SyncRule> ShardedChain<'a, R> {
+impl<R: SyncRule> ShardedChain<R> {
     /// Builds the sharded chain on the deterministic default start.
     ///
     /// # Panics
     /// Panics if the partition does not cover `mrf`'s vertices, or if
     /// the rule has a state-dependent propose phase (see the module
     /// docs for the owner-computes contract).
-    pub fn new(mrf: &'a Mrf, rule: R, master: u64, partition: Partition) -> Self {
-        let start = crate::single_site::default_start(mrf);
+    pub fn new(mrf: impl Into<Arc<Mrf>>, rule: R, master: u64, partition: Partition) -> Self {
+        let mrf = mrf.into();
+        let start = crate::single_site::default_start(&mrf);
         Self::with_state(mrf, rule, master, start, partition)
     }
 
@@ -234,12 +241,13 @@ impl<'a, R: SyncRule> ShardedChain<'a, R> {
     /// As [`ShardedChain::new`], plus if the configuration has the
     /// wrong length.
     pub fn with_state(
-        mrf: &'a Mrf,
+        mrf: impl Into<Arc<Mrf>>,
         rule: R,
         master: u64,
         state: Vec<Spin>,
         partition: Partition,
     ) -> Self {
+        let mrf = mrf.into();
         let n = mrf.num_vertices();
         assert_eq!(state.len(), n, "state length must be n");
         assert_eq!(
@@ -285,7 +293,7 @@ impl<'a, R: SyncRule> ShardedChain<'a, R> {
                 slab: state.clone(),
                 next_owned,
                 locals: vec![R::Local::default(); n],
-                scratch: rule.make_scratch(mrf),
+                scratch: rule.make_scratch(&mrf),
             });
         }
         let plan = plan_map
@@ -318,7 +326,12 @@ impl<'a, R: SyncRule> ShardedChain<'a, R> {
 
     /// The model being sampled.
     pub fn mrf(&self) -> &Mrf {
-        self.mrf
+        &self.mrf
+    }
+
+    /// The owning handle of the model (cheap to clone and share).
+    pub fn mrf_handle(&self) -> &Arc<Mrf> {
+        &self.mrf
     }
 
     /// The vertex-step rule.
@@ -385,7 +398,10 @@ impl<'a, R: SyncRule> ShardedChain<'a, R> {
     /// (the sharded counterpart of
     /// [`SyncChain::step_keyed`](super::SyncChain::step_keyed)).
     pub fn step_keyed(&mut self, master: u64) {
-        let ctx = RoundCtx::new(self.mrf, master, self.round);
+        // A cheap handle clone keeps `ctx` independent of `self`, so the
+        // `&mut self` round bodies below can borrow freely.
+        let mrf = Arc::clone(&self.mrf);
+        let ctx = RoundCtx::new(&mrf, master, self.round);
         if let Some(v) = self.rule.active_vertex(&ctx) {
             self.single_site_round(&ctx, v);
         } else {

@@ -69,10 +69,13 @@ pub mod mixing;
 pub mod programs;
 pub mod sampler;
 pub mod schedule;
+pub mod service;
 pub mod single_site;
+pub mod spec;
 pub mod update;
 
-/// The facade in one `use`: the [`sampler`] builder types, the legacy
+/// The facade in one `use`: the [`sampler`] builder types, the
+/// declarative [`spec`] layer and its serving [`service`], the legacy
 /// [`Chain`] trait, the engine [`Backend`](engine::Backend), and the
 /// workspace PRNG.
 pub mod prelude {
@@ -81,6 +84,8 @@ pub mod prelude {
         AcceptanceObserver, Algorithm, BuildError, CoalescenceReport, EnergyObserver,
         HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler, SamplerBuilder, Sched,
     };
+    pub use crate::service::{JobHandle, Service};
+    pub use crate::spec::{JobOutput, JobResult, JobSpec, ScenarioRegistry, SpecError};
     pub use crate::Chain;
     pub use lsl_local::rng::Xoshiro256pp;
 }

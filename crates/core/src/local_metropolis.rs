@@ -24,6 +24,7 @@ use crate::engine::{Backend, SyncChain, SyncRule};
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// The LocalMetropolis chain (Algorithm 2), running on the step engine:
 /// the chain logic lives in
@@ -48,15 +49,15 @@ use lsl_mrf::{Mrf, Spin};
 /// assert!(mrf.is_feasible(sampler.state()));
 /// ```
 #[derive(Debug)]
-pub struct LocalMetropolis<'a> {
-    inner: SyncChain<'a, LocalMetropolisRule>,
+pub struct LocalMetropolis {
+    inner: SyncChain<LocalMetropolisRule>,
 }
 
-impl<'a> LocalMetropolis<'a> {
+impl LocalMetropolis {
     /// Creates the chain with the deterministic default start.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolis).build()`")]
-    pub fn new(mrf: &'a Mrf) -> Self {
+    pub fn new(mrf: impl Into<Arc<Mrf>>) -> Self {
         LocalMetropolis {
             inner: crate::sampler::wire(
                 mrf,
@@ -74,7 +75,7 @@ impl<'a> LocalMetropolis<'a> {
     /// Panics if the configuration has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolis).start(state).build()`")]
-    pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
+    pub fn with_state(mrf: impl Into<Arc<Mrf>>, state: Vec<Spin>) -> Self {
         LocalMetropolis {
             inner: crate::sampler::wire(
                 mrf,
@@ -94,7 +95,7 @@ impl<'a> LocalMetropolis<'a> {
     /// distribution"; experiment E9 verifies the failure exactly.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::LocalMetropolisNoRule3).build()`")]
-    pub fn without_rule3(mrf: &'a Mrf) -> Self {
+    pub fn without_rule3(mrf: impl Into<Arc<Mrf>>) -> Self {
         LocalMetropolis {
             inner: crate::sampler::wire(
                 mrf,
@@ -143,7 +144,7 @@ impl<'a> LocalMetropolis<'a> {
     }
 }
 
-impl Chain for LocalMetropolis<'_> {
+impl Chain for LocalMetropolis {
     fn state(&self) -> &[Spin] {
         self.inner.state()
     }
@@ -175,7 +176,7 @@ mod tests {
     use lsl_mrf::models;
 
     fn chain_tv(
-        mut make: impl FnMut() -> LocalMetropolis<'static>,
+        mut make: impl FnMut() -> LocalMetropolis,
         q: usize,
         steps: usize,
         replicas: u64,
@@ -225,26 +226,44 @@ mod tests {
 
     #[test]
     fn samples_gibbs_colorings_small() {
-        let mrf = Box::leak(Box::new(models::proper_coloring(generators::cycle(4), 4)));
-        let exact = Enumeration::new(mrf).unwrap();
-        let tv = chain_tv(|| LocalMetropolis::new(mrf), 4, 80, 8000, &exact);
+        let mrf = std::sync::Arc::new(models::proper_coloring(generators::cycle(4), 4));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = chain_tv(
+            || LocalMetropolis::new(std::sync::Arc::clone(&mrf)),
+            4,
+            80,
+            8000,
+            &exact,
+        );
         assert!(tv < 0.05, "tv = {tv}");
     }
 
     #[test]
     fn samples_soft_constraint_models() {
         // Ising (soft activities exercise the fractional coin path).
-        let mrf = Box::leak(Box::new(models::ising(generators::path(3), 0.6)));
-        let exact = Enumeration::new(mrf).unwrap();
-        let tv = chain_tv(|| LocalMetropolis::new(mrf), 2, 80, 8000, &exact);
+        let mrf = std::sync::Arc::new(models::ising(generators::path(3), 0.6));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = chain_tv(
+            || LocalMetropolis::new(std::sync::Arc::clone(&mrf)),
+            2,
+            80,
+            8000,
+            &exact,
+        );
         assert!(tv < 0.05, "tv = {tv}");
     }
 
     #[test]
     fn samples_hardcore() {
-        let mrf = Box::leak(Box::new(models::hardcore(generators::path(3), 1.0)));
-        let exact = Enumeration::new(mrf).unwrap();
-        let tv = chain_tv(|| LocalMetropolis::new(mrf), 2, 60, 8000, &exact);
+        let mrf = std::sync::Arc::new(models::hardcore(generators::path(3), 1.0));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = chain_tv(
+            || LocalMetropolis::new(std::sync::Arc::clone(&mrf)),
+            2,
+            60,
+            8000,
+            &exact,
+        );
         assert!(tv < 0.05, "tv = {tv}");
     }
 
@@ -253,9 +272,15 @@ mod tests {
         // The full chain stays correct on instances where the rule-3
         // ablation changes the transition structure (the exact-kernel
         // tests in `kernel` quantify the ablation's failure).
-        let mrf = Box::leak(Box::new(models::proper_coloring(generators::path(3), 3)));
-        let exact = Enumeration::new(mrf).unwrap();
-        let good = chain_tv(|| LocalMetropolis::new(mrf), 3, 400, 8000, &exact);
+        let mrf = std::sync::Arc::new(models::proper_coloring(generators::path(3), 3));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let good = chain_tv(
+            || LocalMetropolis::new(std::sync::Arc::clone(&mrf)),
+            3,
+            400,
+            8000,
+            &exact,
+        );
         assert!(good < 0.05, "good = {good}");
     }
 
@@ -283,9 +308,15 @@ mod tests {
     fn large_degree_still_correct() {
         // Star with q = 2Δ? LocalMetropolis correctness (not mixing speed)
         // only needs the chain rules; test on a star with ample colors.
-        let mrf = Box::leak(Box::new(models::proper_coloring(generators::star(3), 4)));
-        let exact = Enumeration::new(mrf).unwrap();
-        let tv = chain_tv(|| LocalMetropolis::new(mrf), 4, 300, 20_000, &exact);
+        let mrf = std::sync::Arc::new(models::proper_coloring(generators::star(3), 4));
+        let exact = Enumeration::new(&mrf).unwrap();
+        let tv = chain_tv(
+            || LocalMetropolis::new(std::sync::Arc::clone(&mrf)),
+            4,
+            300,
+            20_000,
+            &exact,
+        );
         assert!(tv < 0.06, "tv = {tv}");
     }
 }

@@ -18,6 +18,7 @@ use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::csp::Csp;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// The LubyGlauber chain (Algorithm 1), generic over the independent-set
 /// scheduler and running on the step engine: the chain logic lives in
@@ -43,32 +44,33 @@ use lsl_mrf::{Mrf, Spin};
 /// assert!(mrf.is_feasible(sampler.state()));
 /// ```
 #[derive(Debug)]
-pub struct LubyGlauber<'a, S: VertexScheduler = LubyScheduler> {
-    inner: SyncChain<'a, LubyGlauberRule<S>>,
+pub struct LubyGlauber<S: VertexScheduler = LubyScheduler> {
+    inner: SyncChain<LubyGlauberRule<S>>,
     mask: Vec<bool>,
 }
 
-impl<'a> LubyGlauber<'a, LubyScheduler> {
+impl LubyGlauber<LubyScheduler> {
     /// Creates the chain with the paper's Luby-step scheduler and the
     /// deterministic default start.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).build()`")]
-    pub fn new(mrf: &'a Mrf) -> Self {
+    pub fn new(mrf: impl Into<Arc<Mrf>>) -> Self {
         Self::wire(mrf, LubyScheduler::new())
     }
 }
 
-impl<'a, S: VertexScheduler> LubyGlauber<'a, S> {
+impl<S: VertexScheduler> LubyGlauber<S> {
     /// Creates the chain with a custom scheduler.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::LubyGlauber).scheduler(sched)\
                 .build()` with the matching `Sched` variant")]
-    pub fn with_scheduler(mrf: &'a Mrf, scheduler: S) -> Self {
+    pub fn with_scheduler(mrf: impl Into<Arc<Mrf>>, scheduler: S) -> Self {
         Self::wire(mrf, scheduler)
     }
 
     /// The shared wiring behind both deprecated constructors.
-    fn wire(mrf: &'a Mrf, scheduler: S) -> Self {
+    fn wire(mrf: impl Into<Arc<Mrf>>, scheduler: S) -> Self {
+        let mrf = mrf.into();
         let n = mrf.num_vertices();
         LubyGlauber {
             inner: crate::sampler::wire(
@@ -115,7 +117,7 @@ impl<'a, S: VertexScheduler> LubyGlauber<'a, S> {
     }
 }
 
-impl<S: VertexScheduler> Chain for LubyGlauber<'_, S> {
+impl<S: VertexScheduler> Chain for LubyGlauber<S> {
     fn state(&self) -> &[Spin] {
         self.inner.state()
     }
@@ -146,8 +148,8 @@ impl<S: VertexScheduler> Chain for LubyGlauber<'_, S> {
 /// the scheduled set must be *strongly* independent. Implemented by
 /// running the scheduler on the primal graph of the scope hypergraph.
 #[derive(Clone, Debug)]
-pub struct CspLubyGlauber<'a, S: Scheduler = LubyScheduler> {
-    csp: &'a Csp,
+pub struct CspLubyGlauber<S: Scheduler = LubyScheduler> {
+    csp: Arc<Csp>,
     primal: lsl_graph::Graph,
     scheduler: S,
     state: Vec<Spin>,
@@ -155,7 +157,7 @@ pub struct CspLubyGlauber<'a, S: Scheduler = LubyScheduler> {
     scratch: lsl_mrf::csp::MarginalScratch,
 }
 
-impl<'a> CspLubyGlauber<'a, LubyScheduler> {
+impl CspLubyGlauber<LubyScheduler> {
     /// Creates the chain with the Luby scheduler, starting from the given
     /// configuration (CSPs often have constrained feasible spaces, so the
     /// caller provides a sensible start — e.g. any maximal independent
@@ -165,13 +167,13 @@ impl<'a> CspLubyGlauber<'a, LubyScheduler> {
     /// Panics if the start has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_csp(&csp).start(start).build()`")]
-    pub fn new(csp: &'a Csp, start: Vec<Spin>) -> Self {
+    pub fn new(csp: impl Into<Arc<Csp>>, start: Vec<Spin>) -> Self {
         #[allow(deprecated)] // one shim delegating to the other
         Self::with_scheduler(csp, start, LubyScheduler::new())
     }
 }
 
-impl<'a, S: Scheduler> CspLubyGlauber<'a, S> {
+impl<S: Scheduler> CspLubyGlauber<S> {
     /// Creates the chain with a custom scheduler.
     ///
     /// # Panics
@@ -179,27 +181,29 @@ impl<'a, S: Scheduler> CspLubyGlauber<'a, S> {
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_csp(&csp).scheduler(sched).start(start).build()` \
                 with the matching `Sched` variant")]
-    pub fn with_scheduler(csp: &'a Csp, start: Vec<Spin>, scheduler: S) -> Self {
+    pub fn with_scheduler(csp: impl Into<Arc<Csp>>, start: Vec<Spin>, scheduler: S) -> Self {
+        let csp = csp.into();
         assert_eq!(start.len(), csp.graph().num_vertices());
         let primal = csp.scope_hypergraph().primal_graph();
         let n = csp.graph().num_vertices();
+        let scratch = lsl_mrf::csp::MarginalScratch::new(&csp);
         CspLubyGlauber {
             csp,
             primal,
             scheduler,
             state: start,
             mask: vec![false; n],
-            scratch: lsl_mrf::csp::MarginalScratch::new(csp),
+            scratch,
         }
     }
 
     /// The CSP this chain samples from.
     pub fn csp(&self) -> &Csp {
-        self.csp
+        &self.csp
     }
 }
 
-impl<S: Scheduler> Chain for CspLubyGlauber<'_, S> {
+impl<S: Scheduler> Chain for CspLubyGlauber<S> {
     fn state(&self) -> &[Spin] {
         &self.state
     }

@@ -20,6 +20,7 @@ use lsl_analysis::EmpiricalDistribution;
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::gibbs::{encode_config, Enumeration};
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Cap on the spins held in memory at once by the batched runners;
 /// replica batches are chunked to stay under it.
@@ -33,7 +34,7 @@ const BATCH_SPIN_BUDGET: usize = 1 << 22;
 /// start can empty a heat-bath marginal).
 #[must_use]
 pub fn empirical_distribution_batched<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     steps: usize,
     replicas: usize,
@@ -49,7 +50,7 @@ pub fn empirical_distribution_batched<R: SyncRule + Clone>(
 /// Panics if the start has the wrong length.
 #[must_use]
 pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     start: &[Spin],
     steps: usize,
@@ -65,7 +66,7 @@ pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
         let count = chunk.min(replicas - done);
         let starts: Vec<&[Spin]> = (0..count).map(|_| start).collect();
         let mut set = ReplicaSet::independent_from(
-            mrf,
+            Arc::clone(mrf),
             rule.clone(),
             &starts,
             derive_seed(seed, 0x4241_5443_48, batch), // "BATCH"
@@ -87,7 +88,7 @@ pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
 /// time-`steps` distribution and the exact Gibbs distribution.
 #[must_use]
 pub fn empirical_tv_batched<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     exact: &Enumeration,
     steps: usize,
@@ -102,7 +103,7 @@ pub fn empirical_tv_batched<R: SyncRule + Clone>(
 /// per rung, so points are independent).
 #[must_use]
 pub fn empirical_tv_curve_batched<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     exact: &Enumeration,
     step_ladder: &[usize],
@@ -216,7 +217,7 @@ pub fn coalescence_summary<C: Chain>(
 /// Batched coalescence-round summary: grand couplings run as coupled
 /// replica sets (shared randomness computed once per round).
 pub fn coalescence_summary_batched<R: SyncRule + Clone>(
-    mrf: &Mrf,
+    mrf: &Arc<Mrf>,
     rule: &R,
     trials: usize,
     max_steps: usize,
@@ -243,7 +244,7 @@ mod tests {
 
     #[test]
     fn batched_tv_curve_decreases() {
-        let mrf = models::proper_coloring(generators::cycle(4), 3);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(4), 3));
         let exact = Enumeration::new(&mrf).unwrap();
         let curve = empirical_tv_curve_batched(
             &mrf,
@@ -260,7 +261,7 @@ mod tests {
 
     #[test]
     fn batched_tv_local_metropolis_converges() {
-        let mrf = models::proper_coloring(generators::cycle(4), 4);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(4), 4));
         let exact = Enumeration::new(&mrf).unwrap();
         let tv = empirical_tv_batched(&mrf, &LocalMetropolisRule::new(), &exact, 80, 8000, 7);
         assert!(tv < 0.05, "tv = {tv}");
@@ -270,7 +271,7 @@ mod tests {
     fn batched_tv_single_site_converges() {
         // The single-site fast path through the batched backend still
         // targets the Gibbs distribution.
-        let mrf = models::uniform_independent_set(generators::path(3));
+        let mrf = Arc::new(models::uniform_independent_set(generators::path(3)));
         let exact = Enumeration::new(&mrf).unwrap();
         let tv = empirical_tv_batched(&mrf, &GlauberRule, &exact, 80, 6000, 3);
         assert!(tv < 0.05, "tv = {tv}");
@@ -280,14 +281,14 @@ mod tests {
     fn batched_chunking_covers_all_replicas() {
         // Chunk boundary: more replicas than one batch holds for this n
         // still yields exactly `replicas` recordings.
-        let mrf = models::proper_coloring(generators::cycle(4), 3);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(4), 3));
         let emp = empirical_distribution_batched(&mrf, &LubyGlauberRule::luby(), 3, 2500, 1);
         assert_eq!(emp.total(), 2500);
     }
 
     #[test]
     fn batched_coalescence_summary_reports() {
-        let mrf = models::proper_coloring(generators::cycle(6), 9);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(6), 9));
         let (summary, timeouts) =
             coalescence_summary_batched(&mrf, &LocalMetropolisRule::new(), 4, 50_000, 5);
         assert_eq!(timeouts, 0);

@@ -66,6 +66,7 @@ use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::csp::Csp;
 use lsl_mrf::gibbs::Enumeration;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Label under which CSP chain steps derive their per-round generators.
 const CSP_STEP_LABEL: u64 = 0x4353_5053_5445_5000; // "CSPSTEP\0"
@@ -90,6 +91,15 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every algorithm, for exhaustive sweeps and the scenario registry.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::LocalMetropolis,
+        Algorithm::LocalMetropolisNoRule3,
+        Algorithm::LubyGlauber,
+        Algorithm::Glauber,
+        Algorithm::Metropolis,
+    ];
+
     /// Human-readable name (matches the chain's experiment-output name).
     pub fn name(self) -> &'static str {
         match self {
@@ -98,6 +108,41 @@ impl Algorithm {
             Algorithm::LubyGlauber => "LubyGlauber",
             Algorithm::Glauber => "Glauber",
             Algorithm::Metropolis => "Metropolis",
+        }
+    }
+}
+
+/// Canonical spec-string form (kebab-case), accepted back by the
+/// `FromStr` impl: `local-metropolis`,
+/// `local-metropolis-no-rule3`, `luby-glauber`, `glauber`, `metropolis`.
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Algorithm::LocalMetropolis => "local-metropolis",
+            Algorithm::LocalMetropolisNoRule3 => "local-metropolis-no-rule3",
+            Algorithm::LubyGlauber => "luby-glauber",
+            Algorithm::Glauber => "glauber",
+            Algorithm::Metropolis => "metropolis",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parses the [`Display`](Algorithm#impl-Display-for-Algorithm) form.
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "local-metropolis" => Ok(Algorithm::LocalMetropolis),
+            "local-metropolis-no-rule3" => Ok(Algorithm::LocalMetropolisNoRule3),
+            "luby-glauber" => Ok(Algorithm::LubyGlauber),
+            "glauber" => Ok(Algorithm::Glauber),
+            "metropolis" => Ok(Algorithm::Metropolis),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected local-metropolis | \
+                 local-metropolis-no-rule3 | luby-glauber | glauber | metropolis)"
+            )),
         }
     }
 }
@@ -127,6 +172,44 @@ impl Sched {
             Sched::Singleton => "Singleton",
             Sched::Bernoulli(_) => "BernoulliFilter",
             Sched::Chromatic => "Chromatic",
+        }
+    }
+}
+
+/// Canonical spec-string form, accepted back by the `FromStr` impl:
+/// `luby`, `singleton`, `bernoulli:<p>`, `chromatic`.
+impl std::fmt::Display for Sched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sched::Luby => f.write_str("luby"),
+            Sched::Singleton => f.write_str("singleton"),
+            Sched::Bernoulli(p) => write!(f, "bernoulli:{p}"),
+            Sched::Chromatic => f.write_str("chromatic"),
+        }
+    }
+}
+
+/// Parses the [`Display`](Sched#impl-Display-for-Sched) form. The
+/// Bernoulli probability is range-checked at `build()`, not here, so
+/// the round-trip is lossless for any finite value.
+impl std::str::FromStr for Sched {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "luby" => Ok(Sched::Luby),
+            "singleton" => Ok(Sched::Singleton),
+            "chromatic" => Ok(Sched::Chromatic),
+            other => match other.strip_prefix("bernoulli:") {
+                Some(p) => p
+                    .parse::<f64>()
+                    .map(Sched::Bernoulli)
+                    .map_err(|_| format!("bernoulli probability {p:?} is not a number")),
+                None => Err(format!(
+                    "unknown scheduler {other:?} (expected luby | singleton | \
+                     bernoulli:<p> | chromatic)"
+                )),
+            },
         }
     }
 }
@@ -258,14 +341,17 @@ macro_rules! dispatch_rule {
     }};
 }
 
-/// The model a builder targets.
-#[derive(Clone, Copy, Debug)]
-enum Model<'a> {
-    Mrf(&'a Mrf),
-    Csp(&'a Csp),
+/// The model a builder targets — *owned* behind an [`Arc`], so built
+/// samplers are `'static + Send` handles (the ownership redesign that
+/// lets a [`Service`](crate::service::Service) hold and serve them
+/// from worker threads).
+#[derive(Clone, Debug)]
+enum Model {
+    Mrf(Arc<Mrf>),
+    Csp(Arc<Csp>),
 }
 
-impl Model<'_> {
+impl Model {
     fn num_vertices(&self) -> usize {
         match self {
             Model::Mrf(m) => m.num_vertices(),
@@ -279,17 +365,18 @@ impl Model<'_> {
 /// and `DESIGN.md` ("The sampler facade") for the builder states.
 #[derive(Clone, Debug)]
 #[must_use = "a builder does nothing until .build() (or a job verb) runs it"]
-pub struct SamplerBuilder<'a> {
-    model: Model<'a>,
+pub struct SamplerBuilder {
+    model: Model,
     algorithm: Algorithm,
     scheduler: Option<Sched>,
     backend: Backend,
+    partitioner: lsl_graph::partition::Partitioner,
     seed: u64,
     burn_in: usize,
     start: Option<Vec<Spin>>,
 }
 
-impl<'a> SamplerBuilder<'a> {
+impl SamplerBuilder {
     /// The chain to run. Default: [`Algorithm::LocalMetropolis`] on an
     /// MRF, [`Algorithm::LubyGlauber`] on a CSP.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
@@ -310,6 +397,18 @@ impl<'a> SamplerBuilder<'a> {
     /// ignore this.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The graph partitioner used when the backend is
+    /// [`Backend::Sharded`] (default:
+    /// [`Partitioner::Contiguous`](lsl_graph::partition::Partitioner::Contiguous)).
+    /// Trajectories are partition-independent by the determinism
+    /// contract — this only changes the cut, and with it the boundary
+    /// communication volume. Ignored by the flat backends and by
+    /// replica batches (whose state is one flat arena by design).
+    pub fn partitioner(mut self, partitioner: lsl_graph::partition::Partitioner) -> Self {
+        self.partitioner = partitioner;
         self
     }
 
@@ -335,7 +434,7 @@ impl<'a> SamplerBuilder<'a> {
 
     /// Narrows to a replica batch of `count` chains (iid by default;
     /// see [`ReplicaBuilder::coupled`] for grand couplings).
-    pub fn replicas(self, count: usize) -> ReplicaBuilder<'a> {
+    pub fn replicas(self, count: usize) -> ReplicaBuilder {
         ReplicaBuilder {
             base: self,
             count,
@@ -382,8 +481,9 @@ impl<'a> SamplerBuilder<'a> {
         Ok(())
     }
 
-    /// Builds the single-trajectory [`Sampler`].
-    pub fn build(self) -> Result<Sampler<'a>, BuildError> {
+    /// Builds the single-trajectory [`Sampler`] — a `'static + Send`
+    /// handle owning its model.
+    pub fn build(self) -> Result<Sampler, BuildError> {
         self.validate()?;
         let algorithm = self.algorithm;
         let backend = self.backend;
@@ -391,19 +491,27 @@ impl<'a> SamplerBuilder<'a> {
             Model::Mrf(mrf) => {
                 let start = self.start;
                 let seed = self.seed;
-                dispatch_rule!(self.algorithm, self.scheduler, mrf, |rule| {
+                dispatch_rule!(self.algorithm, self.scheduler, &mrf, |rule| {
                     // The sharded backend is a different executor, not a
                     // different sweep order: owner-computes shards over a
                     // contiguous partition, exchanging boundary states.
-                    let inner: Box<dyn DynSampler + 'a> = if let Backend::Sharded { .. } = backend {
+                    let inner: Box<dyn DynSampler + Send> = if let Backend::Sharded { .. } = backend
+                    {
                         // min-then-max (not clamp) so a hypothetical
                         // empty model degrades instead of panicking.
                         let k = backend.worker_count().min(mrf.num_vertices()).max(1);
-                        let partition = lsl_graph::partition::Partition::contiguous(mrf.graph(), k);
-                        let start = start.unwrap_or_else(|| crate::single_site::default_start(mrf));
-                        Box::new(ShardedChain::with_state(mrf, rule, seed, start, partition))
+                        let partition = self.partitioner.partition(mrf.graph(), k);
+                        let start =
+                            start.unwrap_or_else(|| crate::single_site::default_start(&mrf));
+                        Box::new(ShardedChain::with_state(
+                            Arc::clone(&mrf),
+                            rule,
+                            seed,
+                            start,
+                            partition,
+                        ))
                     } else {
-                        Box::new(wire(mrf, rule, seed, start, backend))
+                        Box::new(wire(Arc::clone(&mrf), rule, seed, start, backend))
                     };
                     Sampler {
                         inner,
@@ -418,12 +526,12 @@ impl<'a> SamplerBuilder<'a> {
                 // The facade owns the wiring the legacy CSP constructors
                 // shim to, so it may use them without the deprecation lint.
                 #[allow(deprecated)]
-                let inner: Box<dyn DynSampler + 'a> = match self.algorithm {
+                let inner: Box<dyn DynSampler + Send> = match self.algorithm {
                     Algorithm::LubyGlauber => {
                         match self.scheduler.unwrap_or(Sched::Luby) {
                             Sched::Luby => Box::new(KeyedLegacy::new(
                                 crate::luby_glauber::CspLubyGlauber::with_scheduler(
-                                    csp,
+                                    Arc::clone(&csp),
                                     start,
                                     LubyScheduler::new(),
                                 ),
@@ -431,7 +539,7 @@ impl<'a> SamplerBuilder<'a> {
                             )),
                             Sched::Singleton => Box::new(KeyedLegacy::new(
                                 crate::luby_glauber::CspLubyGlauber::with_scheduler(
-                                    csp,
+                                    Arc::clone(&csp),
                                     start,
                                     SingletonScheduler,
                                 ),
@@ -439,7 +547,7 @@ impl<'a> SamplerBuilder<'a> {
                             )),
                             Sched::Bernoulli(p) => Box::new(KeyedLegacy::new(
                                 crate::luby_glauber::CspLubyGlauber::with_scheduler(
-                                    csp,
+                                    Arc::clone(&csp),
                                     start,
                                     BernoulliFilterScheduler::new(p),
                                 ),
@@ -447,7 +555,7 @@ impl<'a> SamplerBuilder<'a> {
                             )),
                             Sched::Chromatic => Box::new(KeyedLegacy::new(
                                 crate::luby_glauber::CspLubyGlauber::with_scheduler(
-                                    csp,
+                                    Arc::clone(&csp),
                                     start,
                                     ChromaticScheduler::greedy(
                                         // Schedule on the primal graph of the
@@ -460,7 +568,7 @@ impl<'a> SamplerBuilder<'a> {
                         }
                     }
                     Algorithm::LocalMetropolis => Box::new(KeyedLegacy::new(
-                        crate::csp_metropolis::CspLocalMetropolis::new(csp, start),
+                        crate::csp_metropolis::CspLocalMetropolis::new(Arc::clone(&csp), start),
                         self.seed,
                     )),
                     _ => unreachable!("validated above"),
@@ -488,9 +596,9 @@ impl<'a> SamplerBuilder<'a> {
     // *built* samplers, not distribution-versus-time measurements.
 
     /// Requires an MRF model (jobs run through the batched engine).
-    fn require_mrf(&self, what: &'static str) -> Result<&'a Mrf, BuildError> {
+    fn require_mrf(&self, what: &'static str) -> Result<&Arc<Mrf>, BuildError> {
         self.validate()?;
-        match self.model {
+        match &self.model {
             Model::Mrf(mrf) => Ok(mrf),
             Model::Csp(_) => Err(BuildError::UnsupportedOnCsp { what }),
         }
@@ -606,14 +714,14 @@ pub struct CoalescenceReport {
 /// [`SamplerBuilder::replicas`]).
 #[derive(Clone, Debug)]
 #[must_use = "a builder does nothing until .build()"]
-pub struct ReplicaBuilder<'a> {
-    base: SamplerBuilder<'a>,
+pub struct ReplicaBuilder {
+    base: SamplerBuilder,
     count: usize,
     coupled: bool,
     starts: Option<Vec<Vec<Spin>>>,
 }
 
-impl<'a> ReplicaBuilder<'a> {
+impl ReplicaBuilder {
     /// Couples all replicas on one master seed: the grand coupling of
     /// the coupling lemma (identical randomness every round). Default is
     /// iid replicas under per-replica derived seeds.
@@ -630,14 +738,15 @@ impl<'a> ReplicaBuilder<'a> {
         self
     }
 
-    /// Builds the [`ReplicaSampler`].
-    pub fn build(self) -> Result<ReplicaSampler<'a>, BuildError> {
+    /// Builds the [`ReplicaSampler`] — a `'static + Send` handle
+    /// owning its model.
+    pub fn build(self) -> Result<ReplicaSampler, BuildError> {
         self.base.validate()?;
         if self.count == 0 {
             return Err(BuildError::ZeroReplicas);
         }
         let mrf = match self.base.model {
-            Model::Mrf(mrf) => mrf,
+            Model::Mrf(ref mrf) => Arc::clone(mrf),
             Model::Csp(_) => {
                 return Err(BuildError::UnsupportedOnCsp {
                     what: "replica batching",
@@ -674,25 +783,30 @@ impl<'a> ReplicaBuilder<'a> {
                 .base
                 .start
                 .clone()
-                .unwrap_or_else(|| crate::single_site::default_start(mrf)),
+                .unwrap_or_else(|| crate::single_site::default_start(&mrf)),
         };
         let algorithm = self.base.algorithm;
         let backend = self.base.backend;
         let seed = self.base.seed;
         let coupled = self.coupled;
         let count = self.count;
-        let mut set = dispatch_rule!(self.base.algorithm, self.base.scheduler, mrf, |rule| {
-            let set: Box<dyn DynReplicas + 'a> = if coupled {
+        let mut set = dispatch_rule!(self.base.algorithm, self.base.scheduler, &mrf, |rule| {
+            let set: Box<dyn DynReplicas + Send> = if coupled {
                 // Coupled batches are small (grand couplings over a
                 // handful of adversarial starts); owned copies are fine.
                 let owned = explicit.unwrap_or_else(|| vec![base; count]);
-                Box::new(ReplicaSet::coupled(mrf, rule, &owned, seed))
+                Box::new(ReplicaSet::coupled(Arc::clone(&mrf), rule, &owned, seed))
             } else {
                 let refs: Vec<&[Spin]> = match &explicit {
                     Some(starts) => starts.iter().map(|s| &s[..]).collect(),
                     None => (0..count).map(|_| &base[..]).collect(),
                 };
-                Box::new(ReplicaSet::independent_from(mrf, rule, &refs, seed))
+                Box::new(ReplicaSet::independent_from(
+                    Arc::clone(&mrf),
+                    rule,
+                    &refs,
+                    seed,
+                ))
             };
             set
         });
@@ -711,14 +825,15 @@ impl<'a> ReplicaBuilder<'a> {
 /// builder's `build()` and the deprecated legacy constructors both end
 /// up here, so there is exactly one place that turns (model, rule, seed,
 /// start, backend) into a running engine chain.
-pub(crate) fn wire<'a, R: SyncRule>(
-    mrf: &'a Mrf,
+pub(crate) fn wire<R: SyncRule>(
+    mrf: impl Into<Arc<Mrf>>,
     rule: R,
     seed: u64,
     start: Option<Vec<Spin>>,
     backend: Backend,
-) -> SyncChain<'a, R> {
-    let start = start.unwrap_or_else(|| crate::single_site::default_start(mrf));
+) -> SyncChain<R> {
+    let mrf = mrf.into();
+    let start = start.unwrap_or_else(|| crate::single_site::default_start(&mrf));
     let mut chain = SyncChain::with_state(mrf, rule, seed, start);
     chain.set_backend(backend);
     chain
@@ -745,7 +860,7 @@ trait DynSampler {
     fn reset_comm(&mut self) {}
 }
 
-impl<R: SyncRule> DynSampler for ShardedChain<'_, R> {
+impl<R: SyncRule> DynSampler for ShardedChain<R> {
     fn step(&mut self) {
         ShardedChain::step(self);
     }
@@ -772,7 +887,7 @@ impl<R: SyncRule> DynSampler for ShardedChain<'_, R> {
     }
 }
 
-impl<R: SyncRule> DynSampler for SyncChain<'_, R> {
+impl<R: SyncRule> DynSampler for SyncChain<R> {
     fn step(&mut self) {
         SyncChain::step(self);
     }
@@ -846,21 +961,30 @@ impl<C: Chain> DynSampler for KeyedLegacy<C> {
 /// rounds (pure functions of the builder's seed and the round index);
 /// [`Sampler::step_keyed`] exists for grand couplings driven by external
 /// randomness, exactly like the legacy `Chain` wrappers.
-pub struct Sampler<'a> {
-    inner: Box<dyn DynSampler + 'a>,
-    mrf: Option<&'a Mrf>,
+pub struct Sampler {
+    inner: Box<dyn DynSampler + Send>,
+    mrf: Option<Arc<Mrf>>,
     algorithm: Algorithm,
     backend: Backend,
 }
 
-impl<'a> Sampler<'a> {
+impl Sampler {
     /// Opens a builder over an MRF model.
-    pub fn for_mrf(mrf: &'a Mrf) -> SamplerBuilder<'a> {
+    ///
+    /// Takes anything that converts into an owned [`Arc<Mrf>`] handle —
+    /// an `Arc<Mrf>` (cheap, shared), an owned `Mrf`, or `&Mrf` (which
+    /// clones into a fresh handle, mirroring how
+    /// [`lsl_mrf::models`] constructors take `impl Into<Arc<Graph>>`).
+    /// The built [`Sampler`] owns the model, so it is `'static + Send`:
+    /// it can outlive the call site, move to a worker thread, and be
+    /// served concurrently (see [`Service`](crate::service::Service)).
+    pub fn for_mrf(mrf: impl Into<Arc<Mrf>>) -> SamplerBuilder {
         SamplerBuilder {
-            model: Model::Mrf(mrf),
+            model: Model::Mrf(mrf.into()),
             algorithm: Algorithm::LocalMetropolis,
             scheduler: None,
             backend: Backend::Sequential,
+            partitioner: lsl_graph::partition::Partitioner::Contiguous,
             seed: 0,
             burn_in: 0,
             start: None,
@@ -869,13 +993,15 @@ impl<'a> Sampler<'a> {
 
     /// Opens a builder over a weighted local CSP (LubyGlauber on
     /// strongly independent sets, or the per-constraint
-    /// LocalMetropolis). CSPs require an explicit `.start(..)`.
-    pub fn for_csp(csp: &'a Csp) -> SamplerBuilder<'a> {
+    /// LocalMetropolis). CSPs require an explicit `.start(..)`. Takes
+    /// `impl Into<Arc<Csp>>`, exactly like [`Sampler::for_mrf`].
+    pub fn for_csp(csp: impl Into<Arc<Csp>>) -> SamplerBuilder {
         SamplerBuilder {
-            model: Model::Csp(csp),
+            model: Model::Csp(csp.into()),
             algorithm: Algorithm::LubyGlauber,
             scheduler: None,
             backend: Backend::Sequential,
+            partitioner: lsl_graph::partition::Partitioner::Contiguous,
             seed: 0,
             burn_in: 0,
             start: None,
@@ -941,14 +1067,13 @@ impl<'a> Sampler<'a> {
     }
 
     /// The MRF being sampled (`None` for CSP samplers).
-    pub fn mrf(&self) -> Option<&'a Mrf> {
-        self.mrf
+    pub fn mrf(&self) -> Option<&Arc<Mrf>> {
+        self.mrf.as_ref()
     }
 
     /// Boundary-communication accounting when running on
     /// [`Backend::Sharded`] (`None` on the flat backends, whose rounds
-    /// cross no shard boundaries). See
-    /// [`CommStats`](crate::engine::sharded::CommStats) for the
+    /// cross no shard boundaries). See [`CommStats`] for the
     /// per-round records and totals.
     pub fn comm_stats(&self) -> Option<&CommStats> {
         self.inner.comm()
@@ -977,7 +1102,7 @@ impl<'a> Sampler<'a> {
     }
 }
 
-impl std::fmt::Debug for Sampler<'_> {
+impl std::fmt::Debug for Sampler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sampler")
             .field("algorithm", &self.algorithm)
@@ -998,7 +1123,7 @@ trait DynReplicas {
     fn set_backend(&mut self, backend: Backend);
 }
 
-impl<R: SyncRule> DynReplicas for ReplicaSet<'_, R> {
+impl<R: SyncRule> DynReplicas for ReplicaSet<R> {
     fn step_all(&mut self) {
         ReplicaSet::step_all(self);
     }
@@ -1021,13 +1146,13 @@ impl<R: SyncRule> DynReplicas for ReplicaSet<'_, R> {
 
 /// A batch of replicas built by the facade — iid copies (TV estimation)
 /// or a grand coupling ([`ReplicaBuilder::coupled`]).
-pub struct ReplicaSampler<'a> {
-    inner: Box<dyn DynReplicas + 'a>,
+pub struct ReplicaSampler {
+    inner: Box<dyn DynReplicas + Send>,
     algorithm: Algorithm,
     backend: Backend,
 }
 
-impl ReplicaSampler<'_> {
+impl ReplicaSampler {
     /// Advances every replica by one round.
     pub fn step(&mut self) {
         self.inner.step_all();
@@ -1076,7 +1201,7 @@ impl ReplicaSampler<'_> {
     }
 }
 
-impl std::fmt::Debug for ReplicaSampler<'_> {
+impl std::fmt::Debug for ReplicaSampler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaSampler")
             .field("algorithm", &self.algorithm)
@@ -1356,9 +1481,9 @@ mod tests {
     fn jobs_match_free_functions_bit_for_bit() {
         // The job verbs are the same computation as the batched free
         // functions — identical seeds must give identical numbers.
-        let mrf = models::proper_coloring(generators::cycle(4), 3);
+        let mrf = Arc::new(models::proper_coloring(generators::cycle(4), 3));
         let exact = Enumeration::new(&mrf).unwrap();
-        let builder = Sampler::for_mrf(&mrf)
+        let builder = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LubyGlauber)
             .seed(99);
         let job = builder.tv_curve(&exact, &[0, 5, 40], 2000).unwrap();

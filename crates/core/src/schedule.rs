@@ -47,8 +47,9 @@ pub trait Scheduler {
 /// **selection** predicate over the neighborhood's marks (plus the
 /// round-shared stream for global draws). This is what lets LubyGlauber
 /// rounds execute in parallel — or batched across replicas — without
-/// changing the scheduled set's distribution.
-pub trait VertexScheduler: Sync {
+/// changing the scheduled set's distribution. Schedulers are
+/// `Send + Sync` so the rules that embed them make `Send` chains.
+pub trait VertexScheduler: Send + Sync {
     /// The per-vertex mark published by the propose phase.
     type Mark: Copy + Send + Sync + Default;
 

@@ -1,0 +1,373 @@
+//! The sampling service: an owned worker pool serving [`JobSpec`]s
+//! concurrently.
+//!
+//! The ROADMAP's north star is a system that answers *sampling queries*
+//! under heavy traffic. The ownership redesign made every sampler a
+//! `'static + Send` handle; this module adds the serving layer:
+//!
+//! * [`Service::new(threads)`](Service::new) spawns a pool of worker
+//!   threads behind an in-process job queue;
+//! * [`Service::submit`] enqueues a parsed [`JobSpec`] and returns a
+//!   [`JobHandle`] immediately;
+//! * [`JobHandle::wait`] blocks for that job's [`JobResult`].
+//!
+//! Workers share a **model cache** keyed by [`JobSpec::model_key`]:
+//! two jobs naming the same graph × model (× graph seed, for random
+//! families) reuse one built [`BuiltModel`] — the graphs are behind
+//! `Arc`s, so a cache hit costs two reference-count bumps, not a
+//! rebuild of a million-edge CSR structure.
+//!
+//! **Determinism is preserved end to end**: a job's result is a pure
+//! function of its spec (every random draw is keyed by
+//! `(seed, round, vertex-or-edge)`, and random graphs by the graph
+//! seed), so a service answer is bit-identical to calling
+//! [`JobSpec::run`] directly on the caller's thread — regardless of
+//! worker count, submission order, cache state, or scheduling.
+//! Property-tested in `tests/service_identity.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use lsl_core::service::Service;
+//! use lsl_core::spec::JobSpec;
+//!
+//! let service = Service::new(4);
+//! let handles: Vec<_> = (0..8)
+//!     .map(|seed| {
+//!         let spec: JobSpec = format!(
+//!             "graph=cycle:12 model=coloring:q=5 seed={seed} job=run:rounds=50"
+//!         )
+//!         .parse()
+//!         .unwrap();
+//!         service.submit(spec)
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     let result = h.wait().unwrap();
+//!     assert!(matches!(
+//!         result.output,
+//!         lsl_core::spec::JobOutput::Run { feasible: true, .. }
+//!     ));
+//! }
+//! ```
+
+use crate::spec::{BuiltModel, JobResult, JobSpec, SpecError};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued job: the spec plus the reply channel.
+struct Task {
+    spec: JobSpec,
+    reply: mpsc::Sender<Result<JobResult, SpecError>>,
+}
+
+/// Models retained by the cache before the oldest entries are evicted
+/// (FIFO). Bounds a long-lived service's memory under a stream of
+/// distinct workloads; a miss after eviction just rebuilds
+/// (deterministically, so answers never change).
+const MODEL_CACHE_CAP: usize = 32;
+
+/// The shared model cache: a mutexed map plus FIFO insertion order for
+/// eviction. A plain mutex is deliberate: builds are deterministic, so
+/// if two workers race on the same key the second insert overwrites
+/// with a bit-identical model — wasted work at worst, never a wrong
+/// answer.
+#[derive(Default)]
+struct ModelCacheInner {
+    models: HashMap<String, BuiltModel>,
+    order: std::collections::VecDeque<String>,
+}
+
+impl ModelCacheInner {
+    fn insert(&mut self, key: String, model: BuiltModel) {
+        if self.models.insert(key.clone(), model).is_none() {
+            self.order.push_back(key);
+        }
+        while self.models.len() > MODEL_CACHE_CAP {
+            let oldest = self.order.pop_front().expect("order tracks models");
+            self.models.remove(&oldest);
+        }
+    }
+}
+
+type ModelCache = Mutex<ModelCacheInner>;
+
+/// An owned worker-pool service executing [`JobSpec`]s concurrently.
+/// See the [module docs](self) for the design and guarantees.
+///
+/// Dropping the service closes the queue and then **blocks joining
+/// every worker until the queue drains** — jobs already submitted
+/// still run to completion and their handles resolve normally. A
+/// handle resolves to [`SpecError::ServiceStopped`] only if its job
+/// never ran (e.g. a worker thread died).
+pub struct Service {
+    /// `Some` while accepting; taken (closing the queue) on drop.
+    tx: Option<mpsc::Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<ModelCache>,
+}
+
+impl Service {
+    /// Spawns a service with `threads` workers (clamped to at least
+    /// one; `0` means auto-detect, the engine's
+    /// [`Backend`](crate::engine::Backend) 0-means-auto contract).
+    pub fn new(threads: usize) -> Self {
+        let threads = crate::engine::Backend::Parallel { threads }
+            .worker_count()
+            .max(1);
+        let (tx, rx) = mpsc::channel::<Task>();
+        // mpsc receivers are single-consumer; the pool shares one
+        // behind a mutex, each worker holding it only for the dequeue.
+        let rx = Arc::new(Mutex::new(rx));
+        let cache: Arc<ModelCache> = Arc::new(Mutex::new(ModelCacheInner::default()));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("lsl-service-{i}"))
+                    .spawn(move || worker_loop(&rx, &cache))
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        Service {
+            tx: Some(tx),
+            workers,
+            cache,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job and returns immediately. The returned handle
+    /// resolves to exactly what [`JobSpec::run`] would have returned
+    /// on this thread (bit-identical by the determinism contract).
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let (reply, rx) = mpsc::channel();
+        let canonical = spec.to_string();
+        let task = Task { spec, reply };
+        let tx = self.tx.as_ref().expect("service accepts until dropped");
+        // A send only fails once every worker is gone; the handle then
+        // reports ServiceStopped on wait.
+        let _ = tx.send(task);
+        JobHandle {
+            rx,
+            spec: canonical,
+        }
+    }
+
+    /// Parses and submits a spec line in one call.
+    ///
+    /// # Errors
+    /// Returns the parse error immediately (nothing is enqueued).
+    pub fn submit_str(&self, spec: &str) -> Result<JobHandle, SpecError> {
+        Ok(self.submit(spec.parse::<JobSpec>()?))
+    }
+
+    /// Number of distinct models currently cached (bounded by a FIFO
+    /// eviction cap, so long-lived services don't grow without limit).
+    pub fn cached_models(&self) -> usize {
+        self.cache.lock().expect("cache lock").models.len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing the channel lets the workers drain the queue and exit.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("threads", &self.workers.len())
+            .field("cached_models", &self.cached_models())
+            .finish()
+    }
+}
+
+/// A pending job. [`JobHandle::wait`] blocks for the result; dropping
+/// the handle abandons the job (it still runs, its result is
+/// discarded).
+#[must_use = "a submitted job's result arrives through its handle"]
+#[derive(Debug)]
+pub struct JobHandle {
+    rx: mpsc::Receiver<Result<JobResult, SpecError>>,
+    spec: String,
+}
+
+impl JobHandle {
+    /// The canonical form of the submitted spec.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Blocks until the job finishes.
+    ///
+    /// # Errors
+    /// A [`SpecError`] from the job itself (invalid combination,
+    /// unsupported job), or [`SpecError::ServiceStopped`] if the
+    /// service dropped before running it.
+    pub fn wait(self) -> Result<JobResult, SpecError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(mpsc::RecvError) => Err(SpecError::ServiceStopped),
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the job has finished.
+    pub fn try_wait(&self) -> Option<Result<JobResult, SpecError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(SpecError::ServiceStopped)),
+        }
+    }
+}
+
+/// The worker body: dequeue, resolve the model through the cache, run,
+/// reply. Exits when the queue closes (service drop). Panics inside a
+/// job (parse-time validation makes them unexpected, but a bug must
+/// not shrink the pool) are caught and replied as
+/// [`SpecError::JobPanicked`]; the worker survives.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
+    loop {
+        // Hold the queue lock only for the dequeue, so workers run
+        // jobs concurrently.
+        let task = match rx.lock().expect("queue lock").recv() {
+            Ok(task) => task,
+            Err(mpsc::RecvError) => return,
+        };
+        let key = task.spec.model_key();
+        let spec = task.spec;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cached = cache.lock().expect("cache lock").models.get(&key).cloned();
+            let model = match cached {
+                Some(model) => model,
+                None => {
+                    // Built outside the lock: a slow build must not
+                    // stall the whole pool. Racing builds are
+                    // bit-identical (deterministic), so last-in wins
+                    // harmlessly.
+                    let model = spec.build_model();
+                    cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key.clone(), model.clone());
+                    model
+                }
+            };
+            spec.run_on(&model)
+        }));
+        let result = outcome.unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SpecError::JobPanicked { message })
+        });
+        // The receiver may be gone (abandoned handle); ignore.
+        let _ = task.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobOutput;
+
+    fn spec(s: &str) -> JobSpec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn serves_a_job() {
+        let service = Service::new(2);
+        let h = service.submit(spec(
+            "graph=torus:4x4 model=coloring:q=9 seed=3 job=run:rounds=40",
+        ));
+        let result = h.wait().unwrap();
+        assert!(matches!(
+            result.output,
+            JobOutput::Run {
+                feasible: true,
+                rounds: 40,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn service_result_is_bit_identical_to_direct_run() {
+        let service = Service::new(4);
+        let s = spec("graph=cycle:16 model=coloring:q=6 seed=11 job=run:rounds=80");
+        let direct = s.run().unwrap();
+        let served = service.submit(s).wait().unwrap();
+        assert_eq!(direct, served);
+    }
+
+    #[test]
+    fn cache_is_shared_across_jobs() {
+        let service = Service::new(3);
+        let handles: Vec<_> = (0..6)
+            .map(|seed| {
+                service.submit(spec(&format!(
+                    "graph=torus:5x5 model=coloring:q=10 seed={seed} job=run:rounds=20"
+                )))
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        // Six jobs, one (graph, model): exactly one cache entry.
+        assert_eq!(service.cached_models(), 1);
+    }
+
+    #[test]
+    fn job_errors_come_back_typed() {
+        let service = Service::new(1);
+        let h = service.submit(spec(
+            "graph=cycle:8 model=coloring:q=5 algorithm=glauber scheduler=luby",
+        ));
+        assert!(matches!(h.wait(), Err(SpecError::Combo(_))));
+        // Parse errors surface before anything is enqueued.
+        assert!(service.submit_str("graph=nope model=mis").is_err());
+    }
+
+    #[test]
+    fn cache_is_bounded_by_the_fifo_cap() {
+        let service = Service::new(2);
+        // More distinct models than the cap: the cache must not grow
+        // past it (oldest entries evicted, answers unaffected).
+        let handles: Vec<_> = (0..MODEL_CACHE_CAP + 8)
+            .map(|i| {
+                service.submit(spec(&format!(
+                    "graph=cycle:{} model=coloring:q=5 job=run:rounds=5",
+                    3 + i
+                )))
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert!(service.cached_models() <= MODEL_CACHE_CAP);
+    }
+
+    #[test]
+    fn dropping_the_service_resolves_pending_handles() {
+        let service = Service::new(1);
+        let h = service.submit(spec("graph=cycle:8 model=coloring:q=5 job=run:rounds=5"));
+        drop(service); // drains the queue first, so this job completes
+        assert!(h.wait().is_ok());
+    }
+}

@@ -17,6 +17,7 @@ use crate::update::Resampler;
 use crate::Chain;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Samples an arbitrary initial configuration with positive vertex
 /// activities (the paper lets chains start from any configuration; spins
@@ -45,16 +46,16 @@ pub fn arbitrary_start(mrf: &Mrf, rng: &mut Xoshiro256pp) -> Vec<Spin> {
 /// assert!(mrf.is_feasible(sampler.state()));
 /// ```
 #[derive(Debug)]
-pub struct GlauberChain<'a> {
-    inner: SyncChain<'a, GlauberRule>,
+pub struct GlauberChain {
+    inner: SyncChain<GlauberRule>,
 }
 
-impl<'a> GlauberChain<'a> {
+impl GlauberChain {
     /// Creates the chain with a deterministic arbitrary start (spin of
     /// smallest index with positive activity at each vertex).
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::Glauber).build()`")]
-    pub fn new(mrf: &'a Mrf) -> Self {
+    pub fn new(mrf: impl Into<Arc<Mrf>>) -> Self {
         GlauberChain {
             inner: crate::sampler::wire(mrf, GlauberRule, 0, None, Backend::Sequential),
         }
@@ -66,7 +67,7 @@ impl<'a> GlauberChain<'a> {
     /// Panics if the configuration has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::Glauber).start(state).build()`")]
-    pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
+    pub fn with_state(mrf: impl Into<Arc<Mrf>>, state: Vec<Spin>) -> Self {
         GlauberChain {
             inner: crate::sampler::wire(mrf, GlauberRule, 0, Some(state), Backend::Sequential),
         }
@@ -78,7 +79,7 @@ impl<'a> GlauberChain<'a> {
     }
 }
 
-impl Chain for GlauberChain<'_> {
+impl Chain for GlauberChain {
     fn state(&self) -> &[Spin] {
         self.inner.state()
     }
@@ -102,15 +103,15 @@ impl Chain for GlauberChain<'_> {
 /// The single-site Metropolis chain: propose `c ∼ b_v`, accept with
 /// probability `Π_{u ∼ v} Ã_uv(c, X_u)`.
 #[derive(Debug)]
-pub struct MetropolisChain<'a> {
-    inner: SyncChain<'a, MetropolisRule>,
+pub struct MetropolisChain {
+    inner: SyncChain<MetropolisRule>,
 }
 
-impl<'a> MetropolisChain<'a> {
+impl MetropolisChain {
     /// Creates the chain with the deterministic default start.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::Metropolis).build()`")]
-    pub fn new(mrf: &'a Mrf) -> Self {
+    pub fn new(mrf: impl Into<Arc<Mrf>>) -> Self {
         MetropolisChain {
             inner: crate::sampler::wire(mrf, MetropolisRule, 0, None, Backend::Sequential),
         }
@@ -122,14 +123,14 @@ impl<'a> MetropolisChain<'a> {
     /// Panics if the configuration has the wrong length.
     #[deprecated(note = "construct through the sampler facade: \
                 `Sampler::for_mrf(&mrf).algorithm(Algorithm::Metropolis).start(state).build()`")]
-    pub fn with_state(mrf: &'a Mrf, state: Vec<Spin>) -> Self {
+    pub fn with_state(mrf: impl Into<Arc<Mrf>>, state: Vec<Spin>) -> Self {
         MetropolisChain {
             inner: crate::sampler::wire(mrf, MetropolisRule, 0, Some(state), Backend::Sequential),
         }
     }
 }
 
-impl Chain for MetropolisChain<'_> {
+impl Chain for MetropolisChain {
     fn state(&self) -> &[Spin] {
         self.inner.state()
     }
@@ -149,26 +150,30 @@ impl Chain for MetropolisChain<'_> {
 
 /// Systematic scan: one step = one heat-bath sweep in vertex order.
 #[derive(Clone, Debug)]
-pub struct ScanChain<'a> {
-    mrf: &'a Mrf,
+pub struct ScanChain {
+    mrf: Arc<Mrf>,
     state: Vec<Spin>,
     scratch: Vec<f64>,
     resampler: Resampler,
 }
 
-impl<'a> ScanChain<'a> {
+impl ScanChain {
     /// Creates the chain with the deterministic default start.
-    pub fn new(mrf: &'a Mrf) -> Self {
+    pub fn new(mrf: impl Into<Arc<Mrf>>) -> Self {
+        let mrf = mrf.into();
+        let state = default_start(&mrf);
+        let scratch = vec![0.0; mrf.q()];
+        let resampler = Resampler::new(&mrf);
         ScanChain {
             mrf,
-            state: default_start(mrf),
-            scratch: vec![0.0; mrf.q()],
-            resampler: Resampler::new(mrf),
+            state,
+            scratch,
+            resampler,
         }
     }
 }
 
-impl Chain for ScanChain<'_> {
+impl Chain for ScanChain {
     fn state(&self) -> &[Spin] {
         &self.state
     }

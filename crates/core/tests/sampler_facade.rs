@@ -23,12 +23,7 @@ use proptest::prelude::*;
 /// of per-step keys (the wrappers key each step by one draw from the
 /// caller's generator; `Sampler::step_keyed` accepts the identical
 /// draws) and asserts the trajectories never diverge.
-fn assert_keyed_identity<C: Chain>(
-    mut facade: Sampler<'_>,
-    mut legacy: C,
-    seed: u64,
-    rounds: usize,
-) {
+fn assert_keyed_identity<C: Chain>(mut facade: Sampler, mut legacy: C, seed: u64, rounds: usize) {
     let mut facade_rng = Xoshiro256pp::seed_from(seed);
     let mut legacy_rng = Xoshiro256pp::seed_from(seed);
     for r in 0..rounds {
@@ -84,7 +79,7 @@ fn assert_facade_matches_legacy(mrf: &Mrf, seed: u64, threads: usize, rounds: us
         .coupled()
         .build()
         .unwrap();
-    let mut singles: Vec<SyncChain<'_, LocalMetropolisRule>> = starts
+    let mut singles: Vec<SyncChain<LocalMetropolisRule>> = starts
         .iter()
         .map(|s| SyncChain::with_state(mrf, LocalMetropolisRule::new(), seed, s.clone()))
         .collect();

@@ -1,0 +1,195 @@
+//! The service's contract: a [`Service`] answer is **bit-identical**
+//! to running the same [`JobSpec`] directly on the caller's thread —
+//! regardless of worker count, concurrency, submission order, or
+//! model-cache state — and the owned facade handles really are
+//! `'static + Send`.
+
+use lsl_core::prelude::*;
+use lsl_core::spec::JobKind;
+use lsl_graph::generators;
+use lsl_mrf::models;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ----- the ownership acceptance criterion, statically ----------------
+
+/// `Sampler`, `ReplicaSampler`, and the engine chains are `'static`,
+/// `Send` handles (compile-time assertion).
+#[test]
+fn owned_handles_are_static_and_send() {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<Sampler>();
+    assert_send::<ReplicaSampler>();
+    assert_send::<lsl_core::engine::SyncChain<lsl_core::engine::rules::LocalMetropolisRule>>();
+    assert_send::<lsl_core::engine::sharded::ShardedChain<lsl_core::engine::rules::GlauberRule>>();
+    assert_send::<lsl_core::engine::replicas::ReplicaSet<lsl_core::engine::rules::LubyGlauberRule>>(
+    );
+    assert_send::<Service>();
+    assert_send::<JobHandle>();
+}
+
+/// A sampler built on one thread keeps running on another — the
+/// ownership redesign's point, exercised dynamically.
+#[test]
+fn samplers_outlive_their_build_site_and_cross_threads() {
+    let sampler = {
+        // The model binding dies at the end of this block; the sampler
+        // owns its handle and survives.
+        let mrf = Arc::new(models::proper_coloring(generators::torus(5, 5), 10));
+        Sampler::for_mrf(mrf).seed(3).build().unwrap()
+    };
+    let handle = std::thread::spawn(move || {
+        let mut sampler = sampler;
+        sampler.run(50);
+        (
+            sampler.round(),
+            sampler.mrf().unwrap().is_feasible(sampler.state()),
+        )
+    });
+    let (rounds, feasible) = handle.join().unwrap();
+    assert_eq!(rounds, 50);
+    assert!(feasible);
+}
+
+// ----- bit-identity, concretely --------------------------------------
+
+fn run_both(spec_line: &str, threads: usize) {
+    let spec: JobSpec = spec_line.parse().unwrap();
+    let direct = spec.run().unwrap();
+    let service = Service::new(threads);
+    let served = service.submit(spec).wait().unwrap();
+    assert_eq!(direct, served, "service diverged on {spec_line}");
+}
+
+/// Every algorithm on the torus/cycle/G(n,p) instance families, served
+/// by a 4-worker pool, matches a direct facade run bit for bit.
+#[test]
+fn service_matches_direct_for_every_algorithm_and_family() {
+    for graph in ["torus:4x4", "cycle:11", "gnp:n=12,p=0.3"] {
+        for algorithm in [
+            "local-metropolis",
+            "local-metropolis-no-rule3",
+            "luby-glauber",
+            "glauber",
+            "metropolis",
+        ] {
+            run_both(
+                &format!(
+                    "graph={graph} model=coloring:q=9 algorithm={algorithm} \
+                     seed=7 job=run:rounds=40"
+                ),
+                4,
+            );
+        }
+    }
+}
+
+/// Schedulers, backends, and partitioners ride through the service
+/// unchanged too.
+#[test]
+fn service_matches_direct_across_schedulers_and_backends() {
+    for sched in ["luby", "singleton", "bernoulli:0.3", "chromatic"] {
+        run_both(
+            &format!(
+                "graph=torus:4x4 model=coloring:q=9 algorithm=luby-glauber \
+                 scheduler={sched} seed=3 job=run:rounds=30"
+            ),
+            4,
+        );
+    }
+    for backend in ["sequential", "parallel:3", "sharded:3", "sharded:0"] {
+        run_both(
+            &format!(
+                "graph=torus:5x5 model=ising:beta=0.4 backend={backend} \
+                 seed=5 job=run:rounds=30"
+            ),
+            4,
+        );
+    }
+    for partitioner in ["contiguous", "bfs", "greedy"] {
+        run_both(
+            &format!(
+                "graph=torus:5x5 model=coloring:q=10 backend=sharded:4 \
+                 partitioner={partitioner} seed=5 job=run:rounds=30"
+            ),
+            4,
+        );
+    }
+}
+
+/// Measurement jobs (tv, coalescence, distribution) and CSP scenarios
+/// are served bit-identically as well.
+#[test]
+fn service_matches_direct_for_jobs_and_csps() {
+    for line in [
+        "graph=cycle:4 model=coloring:q=3 algorithm=luby-glauber seed=9 \
+         job=tv:rounds=30,replicas=800",
+        "graph=cycle:6 model=coloring:q=9 seed=2 job=coalescence:trials=3,max-rounds=50000",
+        "graph=cycle:5 model=hardcore:lambda=1.5 seed=4 job=distribution:rounds=30,replicas=500",
+        "graph=path:5 model=dominating-set seed=6 job=run:rounds=50",
+        "graph=cycle:7 model=mis seed=8 job=run:rounds=40",
+    ] {
+        run_both(line, 4);
+    }
+}
+
+/// The acceptance criterion: a ≥4-worker service under concurrent
+/// submissions (shared cache, interleaved execution) answers every job
+/// exactly as a direct run would.
+#[test]
+fn concurrent_submissions_are_bit_identical_to_direct_runs() {
+    let service = Service::new(4);
+    let specs: Vec<JobSpec> = (0..16)
+        .map(|i| {
+            format!(
+                "graph=torus:4x4 model=coloring:q=9 seed={i} job=run:rounds={}",
+                20 + (i % 4) * 10
+            )
+            .parse()
+            .unwrap()
+        })
+        .collect();
+    // Submit everything first so jobs genuinely overlap on the pool.
+    let handles: Vec<JobHandle> = specs.iter().cloned().map(|s| service.submit(s)).collect();
+    for (spec, handle) in specs.iter().zip(handles) {
+        let served = handle.wait().unwrap();
+        let direct = spec.run().unwrap();
+        assert_eq!(direct, served, "diverged on {spec}");
+    }
+    // All sixteen jobs share one (graph, model): one cache entry.
+    assert_eq!(service.cached_models(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized spot-check over the workload space: random family ×
+    /// algorithm × seed, served and direct, must agree exactly.
+    #[test]
+    fn service_identity_randomized(
+        family in 0u8..3,
+        gsize in 4usize..8,
+        alg_ix in 0usize..5,
+        seed in 0u64..10_000,
+        rounds in 10usize..60,
+        threads in 2usize..6,
+    ) {
+        let graph = match family {
+            0 => format!("torus:{gsize}x{gsize}"),
+            1 => format!("cycle:{}", gsize + 3),
+            _ => format!("gnp:n={},p=0.3", gsize + 6),
+        };
+        let algorithm = ["local-metropolis", "local-metropolis-no-rule3",
+                         "luby-glauber", "glauber", "metropolis"][alg_ix];
+        let line = format!(
+            "graph={graph} model=coloring:q=11 algorithm={algorithm} \
+             seed={seed} job=run:rounds={rounds}"
+        );
+        let spec: JobSpec = line.parse().unwrap();
+        prop_assert_eq!(spec.job_or_default(), JobKind::Run { rounds });
+        let direct = spec.run().unwrap();
+        let service = Service::new(threads);
+        let served = service.submit(spec).wait().unwrap();
+        prop_assert_eq!(direct, served, "service diverged on {}", line);
+    }
+}

@@ -42,7 +42,7 @@ fn assert_sharded_identity<R: SyncRule + Clone>(
     rounds: usize,
 ) {
     let mut seq = SyncChain::new(mrf, rule.clone(), seed);
-    let mut sharded: Vec<(&'static str, ShardedChain<'_, R>)> = Partitioner::ALL
+    let mut sharded: Vec<(&'static str, ShardedChain<R>)> = Partitioner::ALL
         .iter()
         .map(|p| {
             let part = p.partition(mrf.graph(), k);

@@ -1,0 +1,196 @@
+//! The spec grammar's contract: `parse → print → parse` is the
+//! identity, across the full scenario registry — every graph family ×
+//! every model × every algorithm/scheduler/backend/partitioner — and
+//! the `FromStr`/`Display` pairs of the four workload enums round-trip
+//! on their own.
+
+use lsl_core::engine::Backend;
+use lsl_core::sampler::{Algorithm, Sched};
+use lsl_core::spec::{GraphSpec, JobKind, JobSpec, ModelSpec};
+use lsl_graph::partition::Partitioner;
+use proptest::prelude::*;
+
+// ----- strategies over the whole registry ----------------------------
+
+fn arb_graph() -> impl Strategy<Value = GraphSpec> {
+    prop_oneof![
+        (1usize..40).prop_map(|n| GraphSpec::Path { n }),
+        (3usize..40).prop_map(|n| GraphSpec::Cycle { n }),
+        (1usize..9).prop_map(|n| GraphSpec::Complete { n }),
+        (1usize..6, 1usize..6).prop_map(|(a, b)| GraphSpec::CompleteBipartite { a, b }),
+        (1usize..12).prop_map(|n| GraphSpec::Star { n }),
+        (2usize..7, 2usize..7).prop_map(|(rows, cols)| GraphSpec::Grid { rows, cols }),
+        (3usize..7, 3usize..7).prop_map(|(rows, cols)| GraphSpec::Torus { rows, cols }),
+        (1u32..5).prop_map(|dim| GraphSpec::Hypercube { dim }),
+        (1usize..10).prop_map(|pages| GraphSpec::Book { pages }),
+        (1usize..6, 1usize..4).prop_map(|(spine, legs)| GraphSpec::Caterpillar { spine, legs }),
+        (4usize..24, 0u32..=10).prop_map(|(n, tenths)| GraphSpec::Gnp {
+            n,
+            p: f64::from(tenths) / 10.0,
+        }),
+        // d < n and n*d even, by construction.
+        (2usize..5, 3usize..8).prop_map(|(half_d, extra)| {
+            let d = 2 * half_d - 2;
+            GraphSpec::RandomRegular { n: d + extra, d }
+        }),
+        (1usize..20).prop_map(|n| GraphSpec::RandomTree { n }),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        (2usize..12).prop_map(|q| ModelSpec::Coloring { q }),
+        (2usize..9, 1usize..3).prop_map(|(q, size)| ModelSpec::ListColoring {
+            q,
+            size: size.min(q)
+        }),
+        (1u32..=30).prop_map(|tenths| ModelSpec::Hardcore {
+            lambda: f64::from(tenths) / 10.0,
+        }),
+        Just(ModelSpec::IndependentSet),
+        Just(ModelSpec::VertexCover),
+        (1u32..=30).prop_map(|tenths| ModelSpec::Ising {
+            beta: f64::from(tenths) / 10.0,
+        }),
+        (2usize..5, 1u32..=30).prop_map(|(q, tenths)| ModelSpec::Potts {
+            q,
+            beta: f64::from(tenths) / 10.0,
+        }),
+        Just(ModelSpec::DominatingSet),
+        Just(ModelSpec::Mis),
+    ]
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::LocalMetropolis),
+        Just(Algorithm::LocalMetropolisNoRule3),
+        Just(Algorithm::LubyGlauber),
+        Just(Algorithm::Glauber),
+        Just(Algorithm::Metropolis),
+    ]
+}
+
+fn arb_sched() -> impl Strategy<Value = Sched> {
+    prop_oneof![
+        Just(Sched::Luby),
+        Just(Sched::Singleton),
+        (1u32..=10).prop_map(|tenths| Sched::Bernoulli(f64::from(tenths) / 10.0)),
+        Just(Sched::Chromatic),
+    ]
+}
+
+fn arb_backend() -> impl Strategy<Value = Backend> {
+    prop_oneof![
+        Just(Backend::Sequential),
+        (0usize..8).prop_map(|threads| Backend::Parallel { threads }),
+        (0usize..8).prop_map(|shards| Backend::Sharded { shards }),
+    ]
+}
+
+fn arb_partitioner() -> impl Strategy<Value = Partitioner> {
+    prop_oneof![
+        Just(Partitioner::Contiguous),
+        Just(Partitioner::Bfs),
+        Just(Partitioner::GreedyEdgeCut),
+    ]
+}
+
+fn arb_job() -> impl Strategy<Value = JobKind> {
+    prop_oneof![
+        (1usize..500).prop_map(|rounds| JobKind::Run { rounds }),
+        (1usize..100, 1usize..200)
+            .prop_map(|(rounds, replicas)| JobKind::Distribution { rounds, replicas }),
+        (1usize..100, 1usize..200).prop_map(|(rounds, replicas)| JobKind::Tv { rounds, replicas }),
+        (1usize..5, 100usize..10_000)
+            .prop_map(|(trials, max_rounds)| JobKind::Coalescence { trials, max_rounds }),
+    ]
+}
+
+prop_compose! {
+    fn arb_spec()(
+        graph in arb_graph(),
+        model in arb_model(),
+        algorithm in proptest::option::of(arb_algorithm()),
+        scheduler in proptest::option::of(arb_sched()),
+        backend in proptest::option::of(arb_backend()),
+        partitioner in proptest::option::of(arb_partitioner()),
+        seed in proptest::option::of(0u64..1_000_000),
+        graph_seed in proptest::option::of(0u64..1_000_000),
+        burn_in in proptest::option::of(0usize..100),
+        job in proptest::option::of(arb_job()),
+    ) -> JobSpec {
+        JobSpec {
+            graph,
+            model,
+            algorithm,
+            scheduler,
+            backend,
+            partitioner,
+            seed,
+            graph_seed,
+            burn_in,
+            job,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline contract: printing a spec and parsing it back
+    /// yields the identical spec, and the printed form is a fixed
+    /// point of print ∘ parse.
+    #[test]
+    fn spec_print_parse_roundtrips(spec in arb_spec()) {
+        let printed = spec.to_string();
+        let reparsed: JobSpec = printed.parse().expect("canonical form must parse");
+        prop_assert_eq!(&reparsed, &spec, "parse(print(spec)) != spec for {}", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn algorithm_roundtrips(a in arb_algorithm()) {
+        prop_assert_eq!(a.to_string().parse::<Algorithm>().unwrap(), a);
+    }
+
+    #[test]
+    fn sched_roundtrips(s in arb_sched()) {
+        prop_assert_eq!(s.to_string().parse::<Sched>().unwrap(), s);
+    }
+
+    #[test]
+    fn backend_roundtrips(b in arb_backend()) {
+        prop_assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+    }
+
+    #[test]
+    fn partitioner_roundtrips(p in arb_partitioner()) {
+        prop_assert_eq!(p.to_string().parse::<Partitioner>().unwrap(), p);
+    }
+
+    /// Deterministic graph builds: the same spec builds the same graph
+    /// (vertex + edge counts as a cheap witness), so service cache hits
+    /// can never change a workload.
+    #[test]
+    fn graph_builds_are_deterministic(g in arb_graph(), seed in 0u64..1_000) {
+        let a = g.build(seed);
+        let b = g.build(seed);
+        prop_assert_eq!(a.num_vertices(), b.num_vertices());
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        let edges_a: Vec<_> = a.edges().collect();
+        let edges_b: Vec<_> = b.edges().collect();
+        prop_assert_eq!(edges_a, edges_b);
+    }
+}
+
+/// Bare names parse where the grammar allows them (auto counts,
+/// default run rounds).
+#[test]
+fn shorthand_forms_parse() {
+    let spec: JobSpec = "graph=cycle:9 model=mis backend=parallel job=run"
+        .parse()
+        .unwrap();
+    assert_eq!(spec.backend, Some(Backend::Parallel { threads: 0 }));
+    assert_eq!(spec.job, Some(JobKind::Run { rounds: 100 }));
+}

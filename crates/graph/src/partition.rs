@@ -377,6 +377,31 @@ impl Partitioner {
     }
 }
 
+/// Canonical spec-string form — identical to [`Partitioner::name`] and
+/// accepted back by the `FromStr` impl: `contiguous`, `bfs`,
+/// `greedy`.
+impl std::fmt::Display for Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses the [`Partitioner::name`] form.
+impl std::str::FromStr for Partitioner {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "contiguous" => Ok(Partitioner::Contiguous),
+            "bfs" => Ok(Partitioner::Bfs),
+            "greedy" => Ok(Partitioner::GreedyEdgeCut),
+            other => Err(format!(
+                "unknown partitioner {other:?} (expected contiguous | bfs | greedy)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

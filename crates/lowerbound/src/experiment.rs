@@ -7,6 +7,7 @@ use crate::lifted::LiftedCycle;
 use lsl_core::sampler::{Algorithm, Sampler};
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::{models, Mrf, Spin};
+use std::sync::Arc;
 
 /// Statistics of phase vectors gathered from repeated sampling runs.
 #[derive(Clone, Debug, Default)]
@@ -101,13 +102,13 @@ pub fn gibbs_phase_stats(
     sweeps: usize,
     seed: u64,
 ) -> PhaseStats {
-    let mrf = hardcore_on(lifted, lambda);
+    let mrf = Arc::new(hardcore_on(lifted, lambda));
     let n = mrf.num_vertices();
     let mut stats = PhaseStats::default();
     for run in 0..runs {
         let run_seed = derive_seed(seed, 0x474942, run as u64); // "GIB"
         let mut rng = Xoshiro256pp::seed_from(run_seed);
-        let mut sampler = Sampler::for_mrf(&mrf)
+        let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::Glauber)
             // Random start: occupation by fair coins, thinned to an
             // independent set by dropping conflicts in index order.
@@ -133,13 +134,13 @@ pub fn local_protocol_phase_stats(
     runs: usize,
     seed: u64,
 ) -> PhaseStats {
-    let mrf = hardcore_on(lifted, lambda);
+    let mrf = Arc::new(hardcore_on(lifted, lambda));
     let mut stats = PhaseStats::default();
     for run in 0..runs {
         let run_seed = derive_seed(seed, 0x4c4f43, run as u64); // "LOC"
         let mut rng = Xoshiro256pp::seed_from(run_seed);
         let start = random_independent_start(&mrf, &mut rng);
-        let mut sampler = Sampler::for_mrf(&mrf)
+        let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LocalMetropolis)
             .start(start)
             .seed(run_seed)

@@ -314,6 +314,17 @@ impl Csp {
     }
 }
 
+/// Clones the CSP into a fresh shared handle (the CSP counterpart of
+/// `From<&Mrf> for Arc<Mrf>`): borrowed call sites keep compiling
+/// against chain constructors that take `impl Into<Arc<Csp>>`, at the
+/// cost of duplicating the constraint tables. Hold an `Arc<Csp>` and
+/// pass `Arc::clone` on hot paths.
+impl From<&Csp> for Arc<Csp> {
+    fn from(csp: &Csp) -> Self {
+        Arc::new(csp.clone())
+    }
+}
+
 /// Reusable buffers for allocation-free CSP marginals: the trial
 /// configuration written per candidate spin and the resulting weights.
 #[derive(Clone, Debug)]

@@ -352,6 +352,21 @@ impl Mrf {
     }
 }
 
+/// Clones the model into a fresh shared handle.
+///
+/// Chains and samplers *own* their model as an `Arc<Mrf>` (so they are
+/// `'static` and can be served concurrently); this impl lets borrowed
+/// call sites keep compiling by cloning into a new allocation. The
+/// graph itself is already behind an `Arc` and is shared, not copied —
+/// only the O(n + m) activity-index tables are duplicated. Hot paths
+/// that build many chains from one model should hold an `Arc<Mrf>` and
+/// pass `Arc::clone` instead.
+impl From<&Mrf> for std::sync::Arc<Mrf> {
+    fn from(mrf: &Mrf) -> Self {
+        Arc::new(mrf.clone())
+    }
+}
+
 /// Samples an index with probability proportional to `weights`; `None` if
 /// all weights are zero (or the sum is not positive).
 pub fn sample_weighted(weights: &[f64], rng: &mut impl Rng) -> Option<u32> {

@@ -3,8 +3,9 @@
 //! Implements the slice of the proptest API the workspace's property
 //! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
 //! range and tuple strategies, [`collection::vec`], [`arbitrary::any`],
-//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`
-//! header), and the `prop_assert*` macros.
+//! [`option::of`], the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]` header), the [`prop_oneof!`] and
+//! [`prop_compose!`] strategy builders, and the `prop_assert*` macros.
 //!
 //! No shrinking: a failing case panics with the sampled inputs in the
 //! message, which is enough to reproduce (sampling is deterministic in
@@ -283,12 +284,111 @@ pub mod arbitrary {
     }
 }
 
+/// A strategy defined by a sampling closure — the building block of
+/// [`prop_compose!`].
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A uniform choice among boxed strategies — what [`prop_oneof!`]
+/// builds. (The real crate supports weighted arms; the workspace only
+/// uses uniform ones.)
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.random_range(0..self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+/// A uniform choice among the given strategies (all must share one
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        #[allow(unused_imports)]
+        use $crate::Strategy as _;
+        $crate::Union(vec![$( ($strat).boxed() ),+])
+    }};
+}
+
+/// Defines a function returning a composite strategy: evaluate each
+/// argument strategy, then map the sampled values through the body.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// prop_compose! {
+///     fn arb_point()(x in 0i64..10, y in 0i64..10) -> (i64, i64) {
+///         (x, y)
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+            ($($arg:ident in $strat:expr),* $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $out> {
+            $(let $arg = $strat;)*
+            $crate::FnStrategy(move |__rng: &mut $crate::__rt::StdRng| {
+                #[allow(unused_imports)]
+                use $crate::Strategy as _;
+                $(let $arg = $arg.sample(__rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Samples `None` half the time, `Some` of the inner strategy
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.random::<f64>() < 0.5 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
 /// Everything a property test needs.
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::collection;
+    pub use crate::{collection, option};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 

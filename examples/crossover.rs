@@ -24,13 +24,13 @@ fn main() {
         let q = 4 * delta;
         let mut rng = StdRng::seed_from_u64(delta as u64);
         let g = generators::random_regular(n, delta, &mut rng);
-        let mrf = models::proper_coloring(g, q);
-        let lg = Sampler::for_mrf(&mrf)
+        let mrf = Arc::new(models::proper_coloring(g, q));
+        let lg = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LubyGlauber)
             .seed(11)
             .coalescence(trials, 1_000_000)
             .expect("valid configuration");
-        let lm = Sampler::for_mrf(&mrf)
+        let lm = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LocalMetropolis)
             .seed(12)
             .coalescence(trials, 1_000_000)

@@ -16,11 +16,11 @@ fn main() {
     println!("Ising on a 16x16 torus, LocalMetropolis, 2000 rounds, 8 replicas");
     println!("{:>6} {:>18}", "β", "neighbor agreement");
     for beta in [0.25, 0.5, 1.0, 1.5, 2.5] {
-        let mrf = models::ising(g.clone(), beta);
+        let mrf = Arc::new(models::ising(g.clone(), beta));
         let mut agreement_sum = 0.0;
         let replicas = 8;
         for rep in 0..replicas {
-            let mut sampler = Sampler::for_mrf(&mrf)
+            let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
                 .algorithm(Algorithm::LocalMetropolis)
                 .backend(Backend::Parallel { threads: 0 })
                 .seed(100 + rep)

@@ -21,7 +21,7 @@ fn main() {
         vec![1, 3],
         vec![0, 2, 3],
     ];
-    let mrf = models::list_coloring(g, q, &lists);
+    let mrf = Arc::new(models::list_coloring(g, q, &lists));
     let exact = Enumeration::new(&mrf).expect("small instance");
     println!(
         "C5 list coloring: {} proper list colorings out of {} configurations",
@@ -31,7 +31,7 @@ fn main() {
 
     let replicas = 40_000;
     let steps = 60;
-    let emp = Sampler::for_mrf(&mrf)
+    let emp = Sampler::for_mrf(Arc::clone(&mrf))
         .algorithm(Algorithm::LubyGlauber)
         .scheduler(Sched::Luby)
         // A proper list coloring to start from: the default start can

@@ -17,7 +17,7 @@ fn main() {
     let q = 16; // q = 4Δ > (2+√2)·Δ: Theorem 1.2 regime
     let rounds = 120;
 
-    let mrf = models::proper_coloring(generators::torus(rows, cols), q);
+    let mrf = Arc::new(models::proper_coloring(generators::torus(rows, cols), q));
     println!(
         "torus {rows}x{cols}: n = {}, Δ = {}, q = {q}",
         mrf.num_vertices(),
@@ -26,7 +26,7 @@ fn main() {
 
     // 1. Direct simulation through the facade (the parallel backend is
     //    bit-identical to the sequential one by the determinism contract).
-    let mut sampler = Sampler::for_mrf(&mrf)
+    let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
         .algorithm(Algorithm::LocalMetropolis)
         .backend(Backend::Parallel { threads: 0 })
         .seed(2026)

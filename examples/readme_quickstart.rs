@@ -8,15 +8,17 @@
 use lsl::prelude::*;
 
 fn main() {
-    // A Markov random field: uniform proper 16-colorings of the 16x16
-    // torus (q = 4Δ, comfortably inside the Theorem 1.2 regime).
-    let mrf = models::proper_coloring(generators::torus(16, 16), 16);
+    // An *owned* model handle: `Sampler::for_mrf` takes anything that
+    // converts into `Arc<Mrf>`, so the built sampler is a `'static +
+    // Send` handle — it can outlive this scope, move to a worker
+    // thread, and be served concurrently.
+    let mrf = Arc::new(models::proper_coloring(generators::torus(16, 16), 16));
 
     // One front door: model x algorithm x scheduler x backend. Backends
     // never change the trajectory — `Sharded` runs owner-computes graph
     // shards that exchange only boundary states, and still reproduces
     // the sequential chain bit for bit.
-    let mut sampler = Sampler::for_mrf(&mrf)
+    let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
         .algorithm(Algorithm::LocalMetropolis)
         .backend(Backend::Sharded { shards: 4 })
         .seed(7)
@@ -26,23 +28,48 @@ fn main() {
     sampler.run(20);
     assert!(mrf.is_feasible(sampler.state()), "coloring must be proper");
     println!(
-        "sampled a proper {}-coloring of n = {} vertices in {} rounds",
-        16,
+        "sampled a proper 16-coloring of n = {} vertices in {} rounds",
         mrf.num_vertices(),
         sampler.round()
     );
 
-    // Measurement runs as builder jobs on batched replicas: grand
-    // couplings from adversarial starts estimate the mixing time.
-    let report = Sampler::for_mrf(&mrf)
-        .algorithm(Algorithm::LubyGlauber)
-        .scheduler(Sched::Luby)
-        .seed(1)
-        .coalescence(5, 100_000)
-        .expect("a valid configuration");
-    println!(
-        "LubyGlauber grand coupling coalesced in {:.0} rounds on average \
-         ({} of 5 trials timed out)",
-        report.summary.mean, report.timeouts
-    );
+    // The same workloads as declarative specs (the `lsl` CLI's format),
+    // served concurrently by a sampling service with a shared model
+    // cache. Every answer is bit-identical to a direct facade run.
+    let service = Service::new(4);
+    let handles: Vec<JobHandle> = (0..8)
+        .map(|seed| {
+            let spec: JobSpec =
+                format!("graph=torus:16x16 model=coloring:q=16 seed={seed} job=run:rounds=120")
+                    .parse()
+                    .expect("a valid spec");
+            service.submit(spec)
+        })
+        .collect();
+    for handle in handles {
+        let result = handle.wait().expect("a served sample");
+        assert!(matches!(
+            result.output,
+            JobOutput::Run { feasible: true, .. }
+        ));
+    }
+    println!("served 8 sampling queries from 1 cached model");
+
+    // Measurement runs as jobs too: grand couplings from adversarial
+    // starts estimate the mixing time.
+    let spec: JobSpec = "graph=torus:16x16 model=coloring:q=16 algorithm=luby-glauber \
+                         seed=1 job=coalescence:trials=5,max-rounds=100000"
+        .parse()
+        .expect("a valid spec");
+    match spec.run().expect("a valid configuration").output {
+        JobOutput::Coalescence {
+            mean_rounds,
+            timeouts,
+            ..
+        } => println!(
+            "LubyGlauber grand coupling coalesced in {mean_rounds:.0} rounds on average \
+             ({timeouts} of 5 trials timed out)"
+        ),
+        other => unreachable!("coalescence jobs report coalescence: {other:?}"),
+    }
 }

@@ -1,0 +1,151 @@
+//! `lsl` — the command-line front door.
+//!
+//! One binary replaces per-experiment argument parsing: name a
+//! workload as a declarative spec line and run it.
+//!
+//! ```text
+//! lsl run graph=torus:16x16 model=coloring:q=16 seed=7 job=run:rounds=200
+//! lsl run --threads 4 "graph=cycle:12 model=coloring:q=5 seed=1" \
+//!                     "graph=cycle:12 model=coloring:q=5 seed=2"
+//! lsl list scenarios
+//! ```
+//!
+//! `run` accepts either bare `key=value` tokens (joined into one spec)
+//! or quoted whole-spec arguments (each its own job). Multiple jobs
+//! are served concurrently through a
+//! [`Service`](lsl::core::service::Service) worker pool and reported
+//! in submission order.
+
+use lsl::core::service::Service;
+use lsl::core::spec::{JobSpec, ScenarioRegistry};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lsl — local sampling library
+
+USAGE:
+    lsl run [--threads N] <spec>...
+    lsl list scenarios
+    lsl help
+
+SPECS:
+    A spec is whitespace-separated key=value tokens, e.g.
+
+        graph=torus:16x16 model=coloring:q=16 seed=7 job=run:rounds=200
+
+    Bare tokens after `run` are joined into one spec; arguments that
+    contain whitespace (quote them) are complete specs of their own,
+    and several run concurrently on a worker pool (--threads N,
+    default: all cores).
+
+    Keys: graph model algorithm scheduler backend partitioner seed
+          graph-seed burn-in job
+    Run `lsl list scenarios` for every accepted value.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("list") => match args.get(1).map(String::as_str) {
+            Some("scenarios") => {
+                print!("{}", ScenarioRegistry::render());
+                ExitCode::SUCCESS
+            }
+            other => {
+                eprintln!("unknown list target {other:?} (expected: scenarios)");
+                ExitCode::FAILURE
+            }
+        },
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            if args.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `run` arguments into (threads, specs): a `--threads N` flag,
+/// then either whole-spec arguments (contain whitespace) or bare
+/// tokens joined into a single spec.
+fn collect_specs(args: &[String]) -> Result<(usize, Vec<String>), String> {
+    let mut threads = 0usize; // 0 = auto
+    let mut specs: Vec<String> = Vec::new();
+    let mut bare: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let n = it.next().ok_or("--threads needs a number")?;
+            threads = n
+                .parse::<usize>()
+                .map_err(|_| format!("--threads {n:?} is not a number"))?;
+        } else if let Some(n) = arg.strip_prefix("--threads=") {
+            threads = n
+                .parse::<usize>()
+                .map_err(|_| format!("--threads {n:?} is not a number"))?;
+        } else if arg.split_whitespace().count() > 1 {
+            specs.push(arg.clone());
+        } else {
+            bare.push(arg);
+        }
+    }
+    if !bare.is_empty() {
+        specs.push(bare.join(" "));
+    }
+    if specs.is_empty() {
+        return Err("run needs at least one spec (see `lsl help`)".into());
+    }
+    Ok((threads, specs))
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let (threads, lines) = match collect_specs(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Parse everything up front: a typo in job 3 should fail fast,
+    // before jobs 1 and 2 burn cycles.
+    let mut specs: Vec<JobSpec> = Vec::with_capacity(lines.len());
+    for line in &lines {
+        match line.parse::<JobSpec>() {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("error: {e}\n  in spec: {line}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let service = Service::new(threads);
+    let handles: Vec<_> = specs.into_iter().map(|s| service.submit(s)).collect();
+    let mut failed = false;
+    for handle in handles {
+        let spec = handle.spec().to_string();
+        match handle.wait() {
+            Ok(result) => {
+                println!("# {spec}");
+                println!("{}  ({:.3}s)", result.output, result.elapsed_secs);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n  in spec: {spec}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

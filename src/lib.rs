@@ -87,10 +87,12 @@ pub use lsl_mrf as mrf;
 pub mod prelude {
     pub use crate::core::prelude::{
         AcceptanceObserver, Algorithm, Backend, BuildError, Chain, CoalescenceReport,
-        EnergyObserver, HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler,
-        SamplerBuilder, Sched, Xoshiro256pp,
+        EnergyObserver, HammingObserver, JobHandle, JobOutput, JobResult, JobSpec, Observer,
+        ReplicaBuilder, ReplicaSampler, Sampler, SamplerBuilder, ScenarioRegistry, Sched, Service,
+        SpecError, Xoshiro256pp,
     };
     pub use crate::graph::generators;
     pub use crate::mrf::csp::Csp;
     pub use crate::mrf::{models, Mrf};
+    pub use std::sync::Arc;
 }

@@ -30,14 +30,14 @@ fn local_protocol_matches_exact_gibbs() {
 /// same distribution.
 #[test]
 fn direct_and_local_surfaces_agree() {
-    let mrf = models::hardcore(generators::path(3), 1.2);
+    let mrf = Arc::new(models::hardcore(generators::path(3), 1.2));
     let q = 2;
     let steps = 60;
     let reps = 8000u64;
 
     let mut emp_direct = EmpiricalDistribution::new();
     for rep in 0..reps {
-        let mut sampler = Sampler::for_mrf(&mrf)
+        let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LocalMetropolis)
             .seed(rep)
             .build()
@@ -63,9 +63,9 @@ fn direct_and_local_surfaces_agree() {
 #[test]
 fn chains_handle_multigraphs() {
     let g = lsl::graph::Graph::from_edges(4, &[(0, 1), (0, 1), (1, 2), (2, 3), (3, 0)]);
-    let mrf = models::proper_coloring(g, 5);
+    let mrf = Arc::new(models::proper_coloring(g, 5));
     for alg in [Algorithm::LocalMetropolis, Algorithm::LubyGlauber] {
-        let mut sampler = Sampler::for_mrf(&mrf)
+        let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(alg)
             .seed(3)
             .build()
@@ -128,8 +128,8 @@ fn glauber_on_lifted_graph_is_sound() {
         },
         &mut rng,
     );
-    let mrf = models::hardcore(lifted.graph().clone(), 4.0);
-    let mut sampler = Sampler::for_mrf(&mrf)
+    let mrf = Arc::new(models::hardcore(lifted.graph().clone(), 4.0));
+    let mut sampler = Sampler::for_mrf(Arc::clone(&mrf))
         .algorithm(Algorithm::Glauber)
         .seed(8)
         .build()
@@ -143,7 +143,7 @@ fn glauber_on_lifted_graph_is_sound() {
 /// Determinism across the whole stack: same seed, same everything.
 #[test]
 fn whole_stack_determinism() {
-    let mrf = models::proper_coloring(generators::torus(5, 5), 12);
+    let mrf = Arc::new(models::proper_coloring(generators::torus(5, 5), 12));
     let sim = Simulator::new(mrf.graph_arc(), 123);
     let a = sim.run_with::<LocalMetropolisProgram>(40, &mrf);
     let b = sim.run_with::<LocalMetropolisProgram>(40, &mrf);
@@ -151,7 +151,7 @@ fn whole_stack_determinism() {
     assert_eq!(a.stats, b.stats);
 
     let build = || {
-        Sampler::for_mrf(&mrf)
+        Sampler::for_mrf(Arc::clone(&mrf))
             .algorithm(Algorithm::LubyGlauber)
             .seed(55)
             .build()
@@ -178,8 +178,8 @@ fn theory_budget_covers_measured_coalescence() {
     let q = 12; // α = 4/8 = 0.5
     let mut rng = StdRng::seed_from_u64(77);
     let g = generators::random_regular(n, delta, &mut rng);
-    let mrf = models::proper_coloring(g, q);
-    let report = Sampler::for_mrf(&mrf)
+    let mrf = Arc::new(models::proper_coloring(g, q));
+    let report = Sampler::for_mrf(Arc::clone(&mrf))
         .algorithm(Algorithm::LubyGlauber)
         .seed(5)
         .coalescence(3, 1_000_000)
