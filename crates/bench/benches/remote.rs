@@ -1,0 +1,97 @@
+//! Wire-overhead bench: the loopback TCP path (frame codec + socket +
+//! event forwarding) versus the in-process [`Service`] path on one
+//! small fixed workload (so chain time does not drown the protocol
+//! cost), plus the codec alone.
+//!
+//! Three measurements:
+//!
+//! * **in-process** — submit + wait on a `Service` (the E15 baseline);
+//! * **loopback** — the same batch through `Server`/`Client` frames;
+//! * **codec** — print + parse of a `finished` event frame, isolating
+//!   the hand-rolled wire codec itself.
+//!
+//! Results are printed as TSV. `quick` (or `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs.
+
+use lsl_core::net::{Client, Server};
+use lsl_core::proto::ServerFrame;
+use lsl_core::service::{JobEvent, Service};
+use lsl_core::spec::JobSpec;
+use std::time::Instant;
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (jobs, rounds, repeats) = if quick { (16, 10, 2) } else { (128, 25, 3) };
+    let threads = 2;
+
+    let lines: Vec<String> = (0..jobs)
+        .map(|seed| {
+            format!("graph=torus:16x16 model=coloring:q=16 seed={seed} job=run:rounds={rounds}")
+        })
+        .collect();
+
+    println!("# remote bench: {jobs} jobs of {rounds} rounds on a 16x16 torus coloring");
+    println!("mode\tsecs\tjobs_per_sec");
+
+    let in_process = best_secs(repeats, || {
+        let service = Service::new(threads);
+        let handles: Vec<_> = lines
+            .iter()
+            .map(|l| service.submit(l.parse::<JobSpec>().expect("a valid bench spec")))
+            .collect();
+        for h in handles {
+            h.wait().expect("a valid bench spec");
+        }
+    });
+    println!(
+        "in-process\t{in_process:.4}\t{:.1}",
+        jobs as f64 / in_process
+    );
+
+    let server = Server::bind("127.0.0.1:0", threads).expect("bind a loopback server");
+    let loopback = best_secs(repeats, || {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for line in &lines {
+            client.submit(line).expect("submit");
+        }
+        let outcomes = client.drain().expect("drain");
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+    });
+    println!("loopback\t{loopback:.4}\t{:.1}", jobs as f64 / loopback);
+
+    // The codec alone: round-trip a finished-event frame.
+    let result = lines[0]
+        .parse::<JobSpec>()
+        .unwrap()
+        .run()
+        .expect("a valid bench spec");
+    let frame = ServerFrame::Event {
+        id: 1,
+        index: 0,
+        event: JobEvent::Finished(result),
+    };
+    let codec_iters = jobs * 1000;
+    let codec = best_secs(repeats, || {
+        for _ in 0..codec_iters {
+            let printed = frame.to_string();
+            let reparsed: ServerFrame = printed.parse().expect("canonical frame");
+            assert!(matches!(reparsed, ServerFrame::Event { .. }));
+        }
+    });
+    println!(
+        "codec\t{codec:.4}\t{:.0} frames/sec",
+        codec_iters as f64 / codec
+    );
+}

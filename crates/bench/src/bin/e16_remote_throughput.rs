@@ -1,0 +1,195 @@
+//! E16 — the wire's cost: jobs/sec in-process vs over loopback TCP.
+//!
+//! PR 5 put the sampling service on the network (`lsl serve`, the
+//! line-delimited event protocol). This experiment measures what the
+//! wire costs: a fixed batch of [`JobSpec`] queries is answered
+//! (a) by an in-process [`Service`] and (b) over a live loopback
+//! [`Server`] by 1, 2, and 4 concurrent client sessions splitting the
+//! same batch. Every mode's results are asserted **bit-identical**
+//! (the determinism-over-TCP contract), so the sweep isolates pure
+//! protocol + socket cost: framing, escaping, event forwarding, and
+//! per-session threads.
+//!
+//! Results are printed as TSV and recorded to `BENCH_remote.json` at
+//! the workspace root. `--tiny` (or `quick` / `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs and skips the JSON write.
+//!
+//! NOTE: as with E15, this container exposes 1 CPU, so multi-session
+//! rows measure protocol overhead at fixed compute, not scaling —
+//! rerun on multicore hardware for real session-parallelism numbers.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::net::{Client, Server};
+use lsl_core::service::Service;
+use lsl_core::spec::{JobResult, JobSpec, SpecError};
+use std::time::Instant;
+
+struct Row {
+    mode: String,
+    jobs: usize,
+    secs: f64,
+    jobs_per_sec: f64,
+    vs_in_process: f64,
+}
+
+/// The query batch: `shared` jobs on one cached model (distinct
+/// seeds) plus `fresh` jobs each building its own random graph — the
+/// E15 mix, so in-process rows are comparable across experiments.
+fn batch(shared: usize, fresh: usize, side: usize, rounds: usize) -> Vec<String> {
+    let mut lines = Vec::with_capacity(shared + fresh);
+    for seed in 0..shared {
+        lines.push(format!(
+            "graph=torus:{side}x{side} model=coloring:q=16 seed={seed} job=run:rounds={rounds}"
+        ));
+    }
+    for seed in 0..fresh {
+        lines.push(format!(
+            "graph=gnp:n={},p=0.01 model=coloring:q=24 seed={seed} job=run:rounds={rounds}",
+            side * side
+        ));
+    }
+    lines
+}
+
+/// Serves the whole batch on an in-process pool.
+fn serve_in_process(lines: &[String], threads: usize) -> (f64, Vec<JobResult>) {
+    let service = Service::new(threads);
+    let t = Instant::now();
+    let handles: Vec<_> = lines
+        .iter()
+        .map(|l| service.submit(l.parse::<JobSpec>().expect("a valid E16 spec")))
+        .collect();
+    let results: Vec<JobResult> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("a valid E16 spec"))
+        .collect();
+    (t.elapsed().as_secs_f64(), results)
+}
+
+/// Serves the batch over loopback TCP, split round-robin across
+/// `sessions` concurrent client connections; results are reassembled
+/// into submission order.
+fn serve_remote(server: &Server, lines: &[String], sessions: usize) -> (f64, Vec<JobResult>) {
+    let addr = server.local_addr();
+    let t = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|s| {
+            let mine: Vec<(usize, String)> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % sessions == s)
+                .map(|(i, l)| (i, l.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to loopback");
+                for (_, line) in &mine {
+                    client.submit(line).expect("submit over loopback");
+                }
+                let outcomes = client.drain().expect("drain the session");
+                mine.into_iter()
+                    .zip(outcomes)
+                    .map(|((i, _), o)| {
+                        let member: Result<JobResult, SpecError> =
+                            o.members.into_iter().next().expect("one member");
+                        (i, member.expect("a valid E16 spec"))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut indexed: Vec<(usize, JobResult)> = Vec::with_capacity(lines.len());
+    for w in workers {
+        indexed.extend(w.join().expect("a client session"));
+    }
+    let secs = t.elapsed().as_secs_f64();
+    indexed.sort_by_key(|(i, _)| *i);
+    (secs, indexed.into_iter().map(|(_, r)| r).collect())
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, shared, fresh, session_counts): (usize, usize, usize, usize, Vec<usize>) =
+        if tiny {
+            (24, 10, 8, 4, vec![1, 2])
+        } else {
+            (64, 40, 48, 16, vec![1, 2, 4])
+        };
+    let threads = 4;
+
+    header(&[
+        "E16: remote-serving throughput (in-process vs loopback TCP sessions)",
+        "same mixed batch as E15; every mode's answers asserted bit-identical,",
+        "so rows isolate protocol + socket cost (1-CPU container: see rustdoc)",
+    ]);
+    header_row("mode,jobs,secs,jobs_per_sec,vs_in_process");
+
+    let lines = batch(shared, fresh, side, rounds);
+    let mut rows: Vec<Row> = Vec::new();
+
+    let (secs, reference) = serve_in_process(&lines, threads);
+    let base_rate = lines.len() as f64 / secs;
+    rows.push(Row {
+        mode: "in-process".into(),
+        jobs: lines.len(),
+        secs,
+        jobs_per_sec: base_rate,
+        vs_in_process: 1.0,
+    });
+
+    let server = Server::bind("127.0.0.1:0", threads).expect("bind a loopback server");
+    for &sessions in &session_counts {
+        let (secs, results) = serve_remote(&server, &lines, sessions);
+        assert_eq!(
+            reference, results,
+            "the wire changed a result — determinism-over-TCP violated"
+        );
+        let rate = lines.len() as f64 / secs;
+        rows.push(Row {
+            mode: format!("loopback:{sessions}"),
+            jobs: lines.len(),
+            secs,
+            jobs_per_sec: rate,
+            vs_in_process: rate / base_rate,
+        });
+    }
+
+    for r in &rows {
+        row(&[
+            r.mode.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.secs),
+            format!("{:.1}", r.jobs_per_sec),
+            format!("{:.2}", r.vs_in_process),
+        ]);
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"jobs\": {}, \"secs\": {:.6}, \
+                 \"jobs_per_sec\": {:.1}, \"vs_in_process\": {:.2}}}",
+                r.mode, r.jobs, r.secs, r.jobs_per_sec, r.vs_in_process,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"remote_throughput\",\n  \"workload\": \"mixed JobSpec batch \
+         (shared torus coloring + per-seed gnp) served in-process vs over loopback TCP \
+         at 1/2/4 client sessions\",\n  \"note\": \"1-CPU container: loopback rows measure \
+         protocol overhead at fixed compute, not session scaling\",\n  \"tiny\": {tiny},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_remote.json");
+    if tiny {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# tiny run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

@@ -106,6 +106,20 @@ pub fn coalesce_batched<R: SyncRule>(
     master_seed: u64,
     max_steps: usize,
 ) -> Coalescence {
+    coalesce_batched_observed(mrf, rule, starts, master_seed, max_steps, &mut |_| {})
+}
+
+/// [`coalesce_batched`] calling `observe` with the 1-based round count
+/// after every executed round — the per-round hook the progress
+/// reporting plugs into. Observation never perturbs the coupling.
+pub fn coalesce_batched_observed<R: SyncRule>(
+    mrf: &Arc<Mrf>,
+    rule: R,
+    starts: &[Vec<Spin>],
+    master_seed: u64,
+    max_steps: usize,
+    observe: &mut dyn FnMut(u64),
+) -> Coalescence {
     let mut set = ReplicaSet::coupled(Arc::clone(mrf), rule, starts, master_seed);
     // Copies shard over all cores; the coupling is execution-independent.
     set.set_backend(crate::engine::Backend::Parallel { threads: 0 });
@@ -114,6 +128,7 @@ pub fn coalesce_batched<R: SyncRule>(
     }
     for t in 0..max_steps {
         set.step_all();
+        observe(t as u64 + 1);
         if set.coalesced() {
             return Coalescence::At(t + 1);
         }
@@ -131,14 +146,47 @@ pub fn coalescence_times_batched<R: SyncRule + Clone>(
     max_steps: usize,
     seed: u64,
 ) -> (Vec<usize>, usize) {
+    coalescence_times_batched_observed(mrf, rule, starts, trials, max_steps, seed, &mut |_, _| {})
+}
+
+/// [`coalescence_times_batched`] reporting progress through `progress`
+/// with `(rounds done, trials × max_steps)` — ticked every few round
+/// slices inside each (potentially multi-million-round) coupling, and
+/// snapped to the trial boundary when a trial coalesces early. The
+/// sink observes the loop; it never changes the coupling.
+#[allow(clippy::too_many_arguments)]
+pub fn coalescence_times_batched_observed<R: SyncRule + Clone>(
+    mrf: &Arc<Mrf>,
+    rule: &R,
+    starts: &[Vec<Spin>],
+    trials: usize,
+    max_steps: usize,
+    seed: u64,
+    progress: crate::mixing::ProgressSink<'_>,
+) -> (Vec<usize>, usize) {
     let mut times = Vec::with_capacity(trials);
     let mut timeouts = 0;
+    let total = (trials as u64) * (max_steps as u64);
+    // Tick roughly every 1/8th of a trial budget, but never rarer than
+    // every 1<<16 rounds: a 2M-round coupling must report while it runs.
+    let tick = (max_steps / 8).clamp(1, 1 << 16) as u64;
     for trial in 0..trials {
+        let base = (trial as u64) * (max_steps as u64);
         let master = derive_seed(seed, 0x545249414c, trial as u64); // "TRIAL"
-        match coalesce_batched(mrf, rule.clone(), starts, master, max_steps) {
+        let mut observe = |t: u64| {
+            if t % tick == 0 {
+                progress(base + t, total);
+            }
+        };
+        match coalesce_batched_observed(mrf, rule.clone(), starts, master, max_steps, &mut observe)
+        {
             Coalescence::At(t) => times.push(t),
             Coalescence::TimedOut => timeouts += 1,
         }
+        progress(base + max_steps as u64, total.max(1));
+    }
+    if trials == 0 || max_steps == 0 {
+        progress(1, 1);
     }
     (times, timeouts)
 }

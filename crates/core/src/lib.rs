@@ -34,7 +34,11 @@
 //! * [`coupling`] — grand couplings and coalescence-time measurement (the
 //!   experimental counterpart of the path-coupling theorems);
 //! * [`mixing`] — empirical total-variation estimation against exact
-//!   ground truth.
+//!   ground truth;
+//! * [`spec`] / [`service`] / [`proto`] / [`net`] — the **serving
+//!   stack**: declarative job specs with seed/parameter sweeps, the
+//!   event-streaming worker-pool service, the line-delimited wire
+//!   codec, and the TCP server/client putting sessions on the network.
 //!
 //! # Example: sample a proper coloring with LocalMetropolis
 //!
@@ -66,7 +70,9 @@ pub mod labeling;
 pub mod local_metropolis;
 pub mod luby_glauber;
 pub mod mixing;
+pub mod net;
 pub mod programs;
+pub mod proto;
 pub mod sampler;
 pub mod schedule;
 pub mod service;
@@ -80,12 +86,15 @@ pub mod update;
 /// workspace PRNG.
 pub mod prelude {
     pub use crate::engine::Backend;
+    pub use crate::net::{Client, Server};
     pub use crate::sampler::{
         AcceptanceObserver, Algorithm, BuildError, CoalescenceReport, EnergyObserver,
         HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler, SamplerBuilder, Sched,
     };
-    pub use crate::service::{JobHandle, Service};
-    pub use crate::spec::{JobOutput, JobResult, JobSpec, ScenarioRegistry, SpecError};
+    pub use crate::service::{CacheStats, JobEvent, JobHandle, Service, SweepHandle};
+    pub use crate::spec::{
+        JobOutput, JobResult, JobSpec, ScenarioRegistry, SpecError, SweepResult, SweepSpec,
+    };
     pub use crate::Chain;
     pub use lsl_local::rng::Xoshiro256pp;
 }

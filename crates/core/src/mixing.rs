@@ -26,6 +26,19 @@ use std::sync::Arc;
 /// replica batches are chunked to stay under it.
 const BATCH_SPIN_BUDGET: usize = 1 << 22;
 
+/// Round-slices per replica batch at which the observed entry points
+/// report progress. Slicing only changes *when* the sink is called,
+/// never the trajectory: engine rounds are keyed by the round counter,
+/// so `run(a); run(b)` is bit-identical to `run(a + b)`.
+const PROGRESS_SLICES: usize = 8;
+
+/// A progress sink: called with `(work done, total work)` in abstract
+/// work units that are monotone over the run and end at `total`.
+/// The unit is entry-point-specific (replica-rounds for distribution
+/// jobs, trial-rounds for coalescence); consumers should only rely on
+/// monotonicity and the final `done == total` call.
+pub type ProgressSink<'a> = &'a mut dyn FnMut(u64, u64);
+
 /// Runs `replicas` iid copies of an engine rule for `steps` rounds each
 /// (in memory-bounded batches) and returns the empirical distribution of
 /// final configurations. All replicas start from the deterministic
@@ -57,8 +70,34 @@ pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
     replicas: usize,
     seed: u64,
 ) -> EmpiricalDistribution {
+    empirical_distribution_batched_observed(mrf, rule, start, steps, replicas, seed, &mut |_, _| {})
+}
+
+/// [`empirical_distribution_batched_from`] reporting progress through
+/// `progress` — the long-running loop behind the service's
+/// `Progress` events. Work units are replica-batch rounds: `total =
+/// batches × steps`, ticked every few round-slices per batch.
+///
+/// The sink never changes the answer: batching and per-batch seeds are
+/// identical to the unobserved entry point, and round-slicing is
+/// invisible to the engine's counter-keyed randomness.
+///
+/// # Panics
+/// Panics if the start has the wrong length.
+pub fn empirical_distribution_batched_observed<R: SyncRule + Clone>(
+    mrf: &Arc<Mrf>,
+    rule: &R,
+    start: &[Spin],
+    steps: usize,
+    replicas: usize,
+    seed: u64,
+    progress: ProgressSink<'_>,
+) -> EmpiricalDistribution {
     let n = mrf.num_vertices().max(1);
     let chunk = (BATCH_SPIN_BUDGET / n).clamp(1, replicas.max(1));
+    let batches = replicas.div_ceil(chunk).max(1) as u64;
+    let total = batches * steps as u64;
+    let slice = (steps / PROGRESS_SLICES).max(1);
     let mut emp = EmpiricalDistribution::new();
     let mut done = 0usize;
     let mut batch = 0u64;
@@ -74,12 +113,22 @@ pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
         // Replicas shard over all cores; trajectories are unaffected
         // (engine determinism contract).
         set.set_backend(crate::engine::Backend::Parallel { threads: 0 });
-        set.run(steps);
+        let mut ran = 0usize;
+        while ran < steps {
+            let now = slice.min(steps - ran);
+            set.run(now);
+            ran += now;
+            progress(batch * steps as u64 + ran as u64, total);
+        }
         for state in set.states() {
             emp.record(encode_config(state, mrf.q()));
         }
         done += count;
         batch += 1;
+    }
+    if steps == 0 || replicas == 0 {
+        // The round loop never ticked; still promise `done == total`.
+        progress(1, 1);
     }
     emp
 }
@@ -223,9 +272,25 @@ pub fn coalescence_summary_batched<R: SyncRule + Clone>(
     max_steps: usize,
     seed: u64,
 ) -> (Summary, usize) {
+    coalescence_summary_batched_observed(mrf, rule, trials, max_steps, seed, &mut |_, _| {})
+}
+
+/// [`coalescence_summary_batched`] reporting progress through
+/// `progress` — work units are trial-rounds (`total = trials ×
+/// max_steps`; a trial that coalesces early skips ahead to its trial
+/// boundary). The sink never changes the answer.
+pub fn coalescence_summary_batched_observed<R: SyncRule + Clone>(
+    mrf: &Arc<Mrf>,
+    rule: &R,
+    trials: usize,
+    max_steps: usize,
+    seed: u64,
+    progress: ProgressSink<'_>,
+) -> (Summary, usize) {
     let starts = adversarial_starts(mrf, 2, seed);
-    let (times, timeouts) =
-        crate::coupling::coalescence_times_batched(mrf, rule, &starts, trials, max_steps, seed);
+    let (times, timeouts) = crate::coupling::coalescence_times_batched_observed(
+        mrf, rule, &starts, trials, max_steps, seed, progress,
+    );
     let xs: Vec<f64> = times.iter().map(|&t| t as f64).collect();
     (Summary::of(&xs), timeouts)
 }

@@ -1,0 +1,588 @@
+//! The network front end: the service's event-streaming job protocol
+//! over TCP (`std::net`, one session per connection, line-delimited
+//! [`proto`](crate::proto) frames).
+//!
+//! * [`Server::bind`] starts an accept loop over a shared
+//!   [`Service`]; each connection gets a session thread that parses
+//!   [`ClientFrame`]s, expands sweep lines, submits member jobs, and
+//!   forwards every [`JobEvent`] back as a [`ServerFrame::Event`].
+//!   Multiple jobs per session run **concurrently** — frames of
+//!   different jobs interleave; frames of one job keep the service's
+//!   event order. A malformed line is answered with a typed
+//!   [`ServerFrame::Error`] and the session stays alive.
+//! * [`Client::connect`] speaks the other side: submit any number of
+//!   lines, then [`Client::drain`] demultiplexes the event streams
+//!   into per-line [`RemoteOutcome`]s.
+//!
+//! **Determinism over TCP**: the wire codec round-trips results
+//! bit-identically (shortest-round-trip floats, escaped strings) and
+//! the server runs jobs through the same [`Service`] path as
+//! in-process callers, so a remote answer equals the in-process answer
+//! exactly — property-tested in `tests/remote_identity.rs`, including
+//! concurrent multi-client batches.
+
+use crate::proto::{ClientFrame, ServerFrame, WireError};
+use crate::service::{JobEvent, Service};
+use crate::spec::{JobResult, SpecError, SweepResult, SweepSpec};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Writes one frame as one line, under the session's writer lock (so
+/// concurrent forwarders never interleave *within* a line).
+fn send_frame(writer: &Mutex<TcpStream>, frame: &ServerFrame) {
+    let mut w = writer.lock().expect("session writer lock");
+    // A gone client is not an error worth a worker's life: the session
+    // reader will notice EOF and wind down.
+    let _ = writeln!(w, "{frame}");
+}
+
+/// The TCP front end over an owned [`Service`] — what `lsl serve`
+/// runs. Bound to a local address; every accepted connection becomes
+/// an independent session speaking the [`proto`](crate::proto) frame
+/// protocol.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving on a fresh [`Service`] with `threads` workers.
+    ///
+    /// # Errors
+    /// The bind error, if the address is unavailable.
+    pub fn bind(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Polling accept: the loop must notice `stop` without a
+        // self-connection trick.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Service::new(threads));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("lsl-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &stop))
+                .expect("spawning the accept loop")
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for Server {
+    /// Stops accepting and joins the accept loop. Sessions already
+    /// running finish on their own (they end when their client
+    /// disconnects); their in-flight jobs complete on the service
+    /// owned by the accept loop.
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                let handle = std::thread::Builder::new()
+                    .name("lsl-session".into())
+                    .spawn(move || session(stream, &service))
+                    .expect("spawning a session");
+                sessions.push(handle);
+            }
+            // Transient accept errors (WouldBlock from the nonblocking
+            // listener, EMFILE under fd pressure, ECONNABORTED on a
+            // client reset mid-handshake) must not kill the accept
+            // loop — a serve process that stops accepting while its
+            // main loop keeps sleeping would look healthy and be dead.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        // Reap finished sessions so a long-lived server doesn't hold
+        // a handle per past connection.
+        sessions.retain(|h| !h.is_finished());
+    }
+    // Deliberately NOT joined: a session blocks on its client's next
+    // line, so joining here would make dropping the Server hang for as
+    // long as any client stays connected. Sessions keep the `Service`
+    // alive through their own `Arc` and wind down at client EOF.
+    drop(sessions);
+}
+
+/// One connection's lifetime: read frames until EOF. Each submitted
+/// line's member jobs route their events into one tagged channel
+/// ([`Service::submit_routed`]) drained by **one** forwarder thread
+/// per line — a `seeds=0..4096` sweep costs one thread, not 4096 —
+/// writing frames through the shared writer. Joins the forwarders
+/// before returning.
+fn session(stream: TcpStream, service: &Arc<Service>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match line.parse::<ClientFrame>() {
+            Err(e) => {
+                // The malformed-frame contract: answer typed, stay up.
+                send_frame(
+                    &writer,
+                    &ServerFrame::Error {
+                        id: None,
+                        message: e.to_string(),
+                    },
+                );
+            }
+            Ok(ClientFrame::Submit { id, spec }) => match spec.parse::<SweepSpec>() {
+                Err(e) => send_frame(
+                    &writer,
+                    &ServerFrame::Error {
+                        id: Some(id),
+                        message: e.to_string(),
+                    },
+                ),
+                Ok(sweep) => {
+                    let members = sweep.expand();
+                    let jobs = members.len();
+                    send_frame(
+                        &writer,
+                        &ServerFrame::Submitted {
+                            id,
+                            jobs: jobs as u64,
+                        },
+                    );
+                    let (tx, rx) = std::sync::mpsc::channel::<(u64, JobEvent)>();
+                    for (index, member) in members.into_iter().enumerate() {
+                        let tx = tx.clone();
+                        service.submit_routed(member, move |event| {
+                            // The forwarder may already be gone
+                            // (client hung up); dropping events then
+                            // is fine.
+                            let _ = tx.send((index as u64, event));
+                        });
+                    }
+                    drop(tx);
+                    let writer = Arc::clone(&writer);
+                    let forwarder = std::thread::Builder::new()
+                        .name("lsl-forward".into())
+                        .spawn(move || forward_line(&writer, id, jobs, &rx))
+                        .expect("spawning an event forwarder");
+                    forwarders.push(forwarder);
+                }
+            },
+        }
+        // Reap finished forwarders so a long-lived session submitting
+        // thousands of lines doesn't hold a handle per past line.
+        forwarders.retain(|h| !h.is_finished());
+    }
+    for f in forwarders {
+        let _ = f.join();
+    }
+}
+
+/// Drains one submitted line's tagged event stream into frames until
+/// every member reported a terminal event. If the channel closes with
+/// members unresolved (the service died mid-queue), each of them is
+/// failed explicitly so the client never hangs.
+fn forward_line(
+    writer: &Mutex<TcpStream>,
+    id: u64,
+    jobs: usize,
+    rx: &std::sync::mpsc::Receiver<(u64, JobEvent)>,
+) {
+    let mut resolved = vec![false; jobs];
+    let mut remaining = jobs;
+    for (index, event) in rx.iter() {
+        let terminal = event.is_terminal();
+        send_frame(writer, &ServerFrame::Event { id, index, event });
+        if terminal {
+            if let Some(slot) = resolved.get_mut(index as usize) {
+                if !*slot {
+                    *slot = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                return;
+            }
+        }
+    }
+    for (index, done) in resolved.into_iter().enumerate() {
+        if !done {
+            send_frame(
+                writer,
+                &ServerFrame::Event {
+                    id,
+                    index: index as u64,
+                    event: JobEvent::Failed(SpecError::ServiceStopped),
+                },
+            );
+        }
+    }
+}
+
+/// How one submitted line ended, as seen by a [`Client`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RemoteOutcome {
+    /// The session-scoped submit id.
+    pub id: u64,
+    /// The submitted line, verbatim.
+    pub spec: String,
+    /// Member results in expansion index order (`Err` members carry
+    /// the job's typed [`SpecError`]; a line rejected by the server
+    /// before expansion has one `Err` member with the rejection).
+    pub members: Vec<Result<JobResult, SpecError>>,
+    /// `Progress` events observed across all members.
+    pub progress_events: u64,
+}
+
+impl RemoteOutcome {
+    /// Whether every member finished.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.members.iter().all(Result::is_ok)
+    }
+
+    /// Aggregates a multi-member outcome into a [`SweepResult`]
+    /// (expansion order), or the first member error.
+    ///
+    /// # Errors
+    /// The first failing member's error.
+    pub fn into_sweep_result(self) -> Result<SweepResult, SpecError> {
+        let mut results = Vec::with_capacity(self.members.len());
+        for member in self.members {
+            results.push(member?);
+        }
+        Ok(SweepResult::aggregate(self.spec, results))
+    }
+}
+
+/// A blocking client session — what `lsl run --remote` speaks. Submit
+/// any number of lines ([`Client::submit`]), then [`Client::drain`]
+/// the interleaved event streams into per-line outcomes.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    /// Submitted lines awaiting terminal events, by id.
+    pending: HashMap<u64, Pending>,
+    /// Submission order, so outcomes come back in the order sent.
+    order: Vec<u64>,
+}
+
+struct Pending {
+    spec: String,
+    /// `None` until the `submitted` ack tells us the expansion size.
+    members: Option<Vec<Option<Result<JobResult, SpecError>>>>,
+    progress_events: u64,
+    /// A line-level rejection (server `error` frame for this id).
+    rejected: Option<SpecError>,
+}
+
+impl Client {
+    /// Connects to an [`Server`] (or `lsl serve`) address.
+    ///
+    /// # Errors
+    /// The connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+            pending: HashMap::new(),
+            order: Vec::new(),
+        })
+    }
+
+    /// Submits one spec/sweep line; returns its session-scoped id.
+    /// Events accumulate server-side until [`Client::drain`] reads
+    /// them — submit the whole batch first, then drain once.
+    ///
+    /// # Errors
+    /// The socket write error, or `InvalidInput` if `spec` contains a
+    /// line break (frames are line-delimited; an embedded newline
+    /// would split one submit into two frames and desync the session).
+    pub fn submit(&mut self, spec: &str) -> std::io::Result<u64> {
+        if spec.contains('\n') || spec.contains('\r') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a spec line must not contain line breaks",
+            ));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = ClientFrame::Submit {
+            id,
+            spec: spec.to_string(),
+        };
+        writeln!(self.writer, "{frame}")?;
+        self.pending.insert(
+            id,
+            Pending {
+                spec: spec.to_string(),
+                members: None,
+                progress_events: 0,
+                rejected: None,
+            },
+        );
+        self.order.push(id);
+        Ok(id)
+    }
+
+    /// Blocks until every submitted line resolved (all member jobs
+    /// terminal, or the line rejected) and returns the outcomes in
+    /// submission order.
+    ///
+    /// # Errors
+    /// A [`NetError`] if the connection drops or the server sends a
+    /// frame that does not parse — job-level failures are **not**
+    /// errors here; they come back inside [`RemoteOutcome::members`].
+    pub fn drain(&mut self) -> Result<Vec<RemoteOutcome>, NetError> {
+        while !self.all_resolved() {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).map_err(NetError::Io)?;
+            if n == 0 {
+                return Err(NetError::Disconnected);
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let frame = line.parse::<ServerFrame>().map_err(NetError::Wire)?;
+            self.apply(frame)?;
+        }
+        let mut outcomes = Vec::with_capacity(self.order.len());
+        for id in std::mem::take(&mut self.order) {
+            let p = self.pending.remove(&id).expect("resolved ids are pending");
+            let members = match (p.rejected, p.members) {
+                (Some(e), _) => vec![Err(e)],
+                (None, Some(members)) => members
+                    .into_iter()
+                    .map(|m| m.expect("resolved lines have terminal members"))
+                    .collect(),
+                (None, None) => unreachable!("resolved lines are acked or rejected"),
+            };
+            outcomes.push(RemoteOutcome {
+                id,
+                spec: p.spec,
+                members,
+                progress_events: p.progress_events,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.pending.values().all(|p| {
+            p.rejected.is_some()
+                || p.members
+                    .as_ref()
+                    .is_some_and(|m| m.iter().all(Option::is_some))
+        })
+    }
+
+    fn apply(&mut self, frame: ServerFrame) -> Result<(), NetError> {
+        match frame {
+            ServerFrame::Submitted { id, jobs } => {
+                let p = self.pending.get_mut(&id).ok_or(NetError::UnknownId(id))?;
+                p.members = Some((0..jobs).map(|_| None).collect());
+            }
+            ServerFrame::Event { id, index, event } => {
+                let p = self.pending.get_mut(&id).ok_or(NetError::UnknownId(id))?;
+                match event {
+                    JobEvent::Progress { .. } => p.progress_events += 1,
+                    JobEvent::Finished(result) => set_member(p, index, Ok(result))?,
+                    JobEvent::Failed(e) => set_member(p, index, Err(e))?,
+                    JobEvent::Accepted | JobEvent::Started => {}
+                }
+            }
+            ServerFrame::Error { id, message } => match id.and_then(|i| self.pending.get_mut(&i)) {
+                // Line-level rejection: the server names the id.
+                Some(p) => {
+                    p.rejected = Some(SpecError::Unsupported {
+                        message: format!("rejected by server: {message}"),
+                    });
+                }
+                // A session-level protocol error is a client bug.
+                None => return Err(NetError::Protocol(message)),
+            },
+        }
+        Ok(())
+    }
+}
+
+fn set_member(
+    p: &mut Pending,
+    index: u64,
+    result: Result<JobResult, SpecError>,
+) -> Result<(), NetError> {
+    let members = p
+        .members
+        .as_mut()
+        .ok_or_else(|| NetError::Protocol("event before submitted ack".into()))?;
+    let slot = members
+        .get_mut(index as usize)
+        .ok_or_else(|| NetError::Protocol(format!("member index {index} out of range")))?;
+    *slot = Some(result);
+    Ok(())
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// A client-side session failure (distinct from job-level
+/// [`SpecError`]s, which arrive inside outcomes).
+#[derive(Debug)]
+pub enum NetError {
+    /// Reading or writing the socket failed.
+    Io(std::io::Error),
+    /// The server closed the connection with lines still unresolved.
+    Disconnected,
+    /// A server frame failed to parse.
+    Wire(WireError),
+    /// The server referenced an id this session never submitted, or
+    /// violated the frame ordering contract.
+    Protocol(String),
+    /// A server error frame named an id we no longer track.
+    UnknownId(u64),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Disconnected => f.write_str("server disconnected mid-session"),
+            NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::UnknownId(id) => write!(f, "server frame for unknown id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobOutput;
+
+    #[test]
+    fn loopback_job_matches_in_process() {
+        let server = Server::bind("127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let line = "graph=torus:5x5 model=coloring:q=9 seed=4 job=run:rounds=40";
+        client.submit(line).unwrap();
+        let outcomes = client.drain().unwrap();
+        assert_eq!(outcomes.len(), 1);
+        let direct = line.parse::<crate::spec::JobSpec>().unwrap().run().unwrap();
+        assert_eq!(outcomes[0].members[0].as_ref().unwrap(), &direct);
+        assert!(outcomes[0].progress_events > 0, "progress streamed");
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors_and_the_session_survives() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Not a frame at all.
+        writeln!(writer, "EHLO example.com").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let frame: ServerFrame = line.trim_end().parse().unwrap();
+        assert!(
+            matches!(frame, ServerFrame::Error { id: None, .. }),
+            "{frame:?}"
+        );
+        // A frame whose spec is rejected: typed, with the id.
+        writeln!(writer, "submit id=5 spec=graph=moebius:9 model=mis").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let frame: ServerFrame = line.trim_end().parse().unwrap();
+        match frame {
+            ServerFrame::Error { id, message } => {
+                assert_eq!(id, Some(5));
+                assert!(message.contains("graph family"), "{message}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        // The session is still alive: a good job runs to completion.
+        writeln!(
+            writer,
+            "submit id=6 spec=graph=cycle:8 model=coloring:q=5 seed=1 job=run:rounds=10"
+        )
+        .unwrap();
+        let mut finished = false;
+        while !finished {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+            let frame: ServerFrame = line.trim_end().parse().unwrap();
+            if let ServerFrame::Event {
+                id: 6,
+                event: JobEvent::Finished(result),
+                ..
+            } = frame
+            {
+                assert!(matches!(result.output, JobOutput::Run { .. }));
+                finished = true;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_streams_tagged_members() {
+        let server = Server::bind("127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .submit("graph=cycle:10 model=coloring:q=5 job=run:rounds=10 seeds=0..3")
+            .unwrap();
+        let outcomes = client.drain().unwrap();
+        assert_eq!(outcomes[0].members.len(), 3);
+        let sweep = outcomes[0].clone().into_sweep_result().unwrap();
+        assert_eq!(sweep.summary.jobs, 3);
+        for (i, member) in sweep.results.iter().enumerate() {
+            let solo: crate::spec::JobSpec =
+                format!("graph=cycle:10 model=coloring:q=5 seed={i} job=run:rounds=10")
+                    .parse()
+                    .unwrap();
+            assert_eq!(member, &solo.run().unwrap(), "member {i}");
+        }
+    }
+}

@@ -619,6 +619,20 @@ impl SamplerBuilder {
         steps: usize,
         replicas: usize,
     ) -> Result<EmpiricalDistribution, BuildError> {
+        self.distribution_observed(steps, replicas, &mut |_, _| {})
+    }
+
+    /// [`SamplerBuilder::distribution`] reporting progress through
+    /// `progress` (see [`ProgressSink`](crate::mixing::ProgressSink)) —
+    /// what a [`Service`](crate::service::Service) worker runs so
+    /// long jobs stream `Progress` events. The sink never changes the
+    /// answer (batching and seeds are identical).
+    pub fn distribution_observed(
+        &self,
+        steps: usize,
+        replicas: usize,
+        progress: crate::mixing::ProgressSink<'_>,
+    ) -> Result<EmpiricalDistribution, BuildError> {
         let mrf = self.require_mrf("the distribution job")?;
         let seed = self.seed;
         let start = self.job_start(mrf);
@@ -627,8 +641,8 @@ impl SamplerBuilder {
             self.scheduler,
             mrf,
             |rule| {
-                crate::mixing::empirical_distribution_batched_from(
-                    mrf, &rule, &start, steps, replicas, seed,
+                crate::mixing::empirical_distribution_batched_observed(
+                    mrf, &rule, &start, steps, replicas, seed, progress,
                 )
             }
         ))
@@ -642,7 +656,20 @@ impl SamplerBuilder {
         steps: usize,
         replicas: usize,
     ) -> Result<f64, BuildError> {
-        let emp = self.distribution(steps, replicas)?;
+        self.tv_observed(exact, steps, replicas, &mut |_, _| {})
+    }
+
+    /// [`SamplerBuilder::tv`] reporting progress through `progress`
+    /// (the replica rounds dominate; the final TV comparison is one
+    /// pass over the support). The sink never changes the answer.
+    pub fn tv_observed(
+        &self,
+        exact: &Enumeration,
+        steps: usize,
+        replicas: usize,
+        progress: crate::mixing::ProgressSink<'_>,
+    ) -> Result<f64, BuildError> {
+        let emp = self.distribution_observed(steps, replicas, progress)?;
         Ok(emp.tv_against_dense(&exact.distribution()))
     }
 
@@ -690,10 +717,25 @@ impl SamplerBuilder {
         trials: usize,
         max_steps: usize,
     ) -> Result<CoalescenceReport, BuildError> {
+        self.coalescence_observed(trials, max_steps, &mut |_, _| {})
+    }
+
+    /// [`SamplerBuilder::coalescence`] reporting progress through
+    /// `progress` with `(trial-rounds done, trials × max_steps)` — the
+    /// hook behind the service's `Progress` events on long couplings.
+    /// The sink never changes the measurement.
+    pub fn coalescence_observed(
+        &self,
+        trials: usize,
+        max_steps: usize,
+        progress: crate::mixing::ProgressSink<'_>,
+    ) -> Result<CoalescenceReport, BuildError> {
         let mrf = self.require_mrf("the coalescence job")?;
         let seed = self.seed;
         let (summary, timeouts) = dispatch_rule!(self.algorithm, self.scheduler, mrf, |rule| {
-            crate::mixing::coalescence_summary_batched(mrf, &rule, trials, max_steps, seed)
+            crate::mixing::coalescence_summary_batched_observed(
+                mrf, &rule, trials, max_steps, seed, progress,
+            )
         });
         Ok(CoalescenceReport { summary, timeouts })
     }

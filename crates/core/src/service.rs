@@ -1,5 +1,5 @@
-//! The sampling service: an owned worker pool serving [`JobSpec`]s
-//! concurrently.
+//! The sampling service: an owned worker pool streaming [`JobEvent`]s
+//! for [`JobSpec`]s and [`SweepSpec`]s run concurrently.
 //!
 //! The ROADMAP's north star is a system that answers *sampling queries*
 //! under heavy traffic. The ownership redesign made every sampler a
@@ -9,13 +9,29 @@
 //!   threads behind an in-process job queue;
 //! * [`Service::submit`] enqueues a parsed [`JobSpec`] and returns a
 //!   [`JobHandle`] immediately;
-//! * [`JobHandle::wait`] blocks for that job's [`JobResult`].
+//! * [`JobHandle::events`] subscribes to the job's **event stream** —
+//!   [`JobEvent::Accepted`] at submission, [`JobEvent::Started`] when a
+//!   worker picks the job up, periodic [`JobEvent::Progress`] from the
+//!   long-running round loops, and exactly one terminal
+//!   [`JobEvent::Finished`] / [`JobEvent::Failed`];
+//! * [`JobHandle::wait`] is the one-shot convenience that drains the
+//!   stream and returns the terminal result;
+//! * [`Service::submit_sweep`] expands a [`SweepSpec`] (`seeds=0..32`,
+//!   `sweep=beta:0.1..0.5:0.1`) into member jobs and returns a
+//!   [`SweepHandle`] aggregating them into a
+//!   [`SweepResult`].
+//!
+//! The same protocol goes over the network unchanged: `lsl serve`
+//! forwards these events as line frames (see [`proto`](crate::proto)
+//! and [`net`](crate::net)).
 //!
 //! Workers share a **model cache** keyed by [`JobSpec::model_key`]:
 //! two jobs naming the same graph × model (× graph seed, for random
 //! families) reuse one built [`BuiltModel`] — the graphs are behind
 //! `Arc`s, so a cache hit costs two reference-count bumps, not a
-//! rebuild of a million-edge CSR structure.
+//! rebuild of a million-edge CSR structure. Eviction is LRU
+//! (touch-on-hit), so a hot model survives a churn of cold one-off
+//! specs; [`Service::cache_stats`] reports hits/misses/evictions.
 //!
 //! **Determinism is preserved end to end**: a job's result is a pure
 //! function of its spec (every random draw is keyed by
@@ -23,79 +39,168 @@
 //! seed), so a service answer is bit-identical to calling
 //! [`JobSpec::run`] directly on the caller's thread — regardless of
 //! worker count, submission order, cache state, or scheduling.
-//! Property-tested in `tests/service_identity.rs`.
+//! Progress events observe the round loops without perturbing them.
+//! Property-tested in `tests/service_identity.rs` (in-process) and
+//! `tests/remote_identity.rs` (over TCP).
 //!
 //! # Example
 //!
 //! ```
-//! use lsl_core::service::Service;
+//! use lsl_core::service::{JobEvent, Service};
 //! use lsl_core::spec::JobSpec;
 //!
 //! let service = Service::new(4);
-//! let handles: Vec<_> = (0..8)
-//!     .map(|seed| {
-//!         let spec: JobSpec = format!(
-//!             "graph=cycle:12 model=coloring:q=5 seed={seed} job=run:rounds=50"
-//!         )
-//!         .parse()
-//!         .unwrap();
-//!         service.submit(spec)
-//!     })
-//!     .collect();
-//! for h in handles {
-//!     let result = h.wait().unwrap();
-//!     assert!(matches!(
-//!         result.output,
-//!         lsl_core::spec::JobOutput::Run { feasible: true, .. }
-//!     ));
+//! let spec: JobSpec = "graph=cycle:12 model=coloring:q=5 seed=1 job=run:rounds=50"
+//!     .parse()
+//!     .unwrap();
+//!
+//! // Streaming: watch the job progress.
+//! let mut saw_progress = false;
+//! for event in service.submit(spec.clone()).events() {
+//!     match event {
+//!         JobEvent::Progress { round, of } => {
+//!             saw_progress = true;
+//!             assert!(round <= of);
+//!         }
+//!         JobEvent::Finished(result) => {
+//!             assert!(matches!(
+//!                 result.output,
+//!                 lsl_core::spec::JobOutput::Run { feasible: true, .. }
+//!             ));
+//!         }
+//!         _ => {}
+//!     }
 //! }
+//! assert!(saw_progress);
+//!
+//! // One-shot: `wait` drains the same stream.
+//! let result = service.submit(spec).wait().unwrap();
 //! ```
 
-use crate::spec::{BuiltModel, JobResult, JobSpec, SpecError};
+use crate::spec::{BuiltModel, JobResult, JobSpec, SpecError, SweepResult, SweepSpec};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued job: the spec plus the reply channel.
-struct Task {
-    spec: JobSpec,
-    reply: mpsc::Sender<Result<JobResult, SpecError>>,
+/// One event in a job's lifecycle, streamed through
+/// [`JobHandle::events`] (and, framed by [`proto`](crate::proto), over
+/// the wire).
+///
+/// Per job the stream is ordered `Accepted`, `Started`, zero or more
+/// `Progress`, then exactly one terminal `Finished` / `Failed` —
+/// except for jobs that die before running (service dropped mid-queue,
+/// worker thread gone), whose stream ends with
+/// `Failed(ServiceStopped)` possibly right after `Accepted`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobEvent {
+    /// The job entered the service queue.
+    Accepted,
+    /// A worker dequeued the job and is running it.
+    Started,
+    /// The job's round loop reached `round` of `of` work units
+    /// (monotone; units are job-kind-specific, e.g. rounds for `run`
+    /// jobs, replica-batch rounds for `distribution`/`tv`,
+    /// trial-rounds for `coalescence`).
+    Progress {
+        /// Work done so far.
+        round: u64,
+        /// Total work the job will do.
+        of: u64,
+    },
+    /// Terminal: the job finished with this result.
+    Finished(JobResult),
+    /// Terminal: the job failed (invalid combination, unsupported job,
+    /// contained panic, or service shutdown).
+    Failed(SpecError),
 }
 
-/// Models retained by the cache before the oldest entries are evicted
-/// (FIFO). Bounds a long-lived service's memory under a stream of
+impl JobEvent {
+    /// Whether the event ends its job's stream.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobEvent::Finished(_) | JobEvent::Failed(_))
+    }
+}
+
+/// One queued job: the spec plus the event sink the worker feeds.
+/// A boxed closure (not a concrete channel) so multiplexers can route
+/// many jobs into one stream ([`Service::submit_routed`]) without one
+/// thread per job.
+struct Task {
+    spec: JobSpec,
+    emit: Box<dyn Fn(JobEvent) + Send>,
+}
+
+/// Models retained by the cache before the least-recently-used entries
+/// are evicted. Bounds a long-lived service's memory under a stream of
 /// distinct workloads; a miss after eviction just rebuilds
 /// (deterministically, so answers never change).
 const MODEL_CACHE_CAP: usize = 32;
 
-/// The shared model cache: a mutexed map plus FIFO insertion order for
-/// eviction. A plain mutex is deliberate: builds are deterministic, so
-/// if two workers race on the same key the second insert overwrites
-/// with a bit-identical model — wasted work at worst, never a wrong
-/// answer.
+/// Cache counters since service start; see [`Service::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the model.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+}
+
+/// The shared model cache: a mutexed map plus LRU order for eviction
+/// (back = most recent; hits touch). A plain mutex is deliberate:
+/// builds are deterministic, so if two workers race on the same key
+/// the second insert overwrites with a bit-identical model — wasted
+/// work at worst, never a wrong answer.
 #[derive(Default)]
 struct ModelCacheInner {
     models: HashMap<String, BuiltModel>,
-    order: std::collections::VecDeque<String>,
+    /// Keys ordered least → most recently used.
+    order: Vec<String>,
+    stats: CacheStats,
 }
 
 impl ModelCacheInner {
+    /// Looks `key` up, touching it to most-recently-used on a hit.
+    fn get(&mut self, key: &str) -> Option<BuiltModel> {
+        match self.models.get(key) {
+            Some(model) => {
+                self.stats.hits += 1;
+                // Touch-on-hit is what makes the policy LRU rather
+                // than FIFO: a hot model churned by cold specs keeps
+                // returning to the back of the eviction order.
+                if let Some(pos) = self.order.iter().position(|k| k == key) {
+                    let k = self.order.remove(pos);
+                    self.order.push(k);
+                }
+                Some(model.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
     fn insert(&mut self, key: String, model: BuiltModel) {
         if self.models.insert(key.clone(), model).is_none() {
-            self.order.push_back(key);
+            self.order.push(key);
         }
         while self.models.len() > MODEL_CACHE_CAP {
-            let oldest = self.order.pop_front().expect("order tracks models");
+            let oldest = self.order.remove(0);
             self.models.remove(&oldest);
+            self.stats.evictions += 1;
         }
     }
 }
 
 type ModelCache = Mutex<ModelCacheInner>;
 
-/// An owned worker-pool service executing [`JobSpec`]s concurrently.
-/// See the [module docs](self) for the design and guarantees.
+/// An owned worker-pool service executing [`JobSpec`]s concurrently
+/// and streaming [`JobEvent`]s. See the [module docs](self) for the
+/// design and guarantees.
 ///
 /// Dropping the service closes the queue and then **blocks joining
 /// every worker until the queue drains** — jobs already submitted
@@ -144,21 +249,42 @@ impl Service {
         self.workers.len()
     }
 
-    /// Enqueues a job and returns immediately. The returned handle
-    /// resolves to exactly what [`JobSpec::run`] would have returned
-    /// on this thread (bit-identical by the determinism contract).
+    /// Enqueues a job and returns immediately; the handle's event
+    /// stream already carries [`JobEvent::Accepted`]. The terminal
+    /// result is exactly what [`JobSpec::run`] would have returned on
+    /// this thread (bit-identical by the determinism contract).
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
-        let (reply, rx) = mpsc::channel();
+        let (events, rx) = mpsc::channel();
         let canonical = spec.to_string();
-        let task = Task { spec, reply };
-        let tx = self.tx.as_ref().expect("service accepts until dropped");
-        // A send only fails once every worker is gone; the handle then
-        // reports ServiceStopped on wait.
-        let _ = tx.send(task);
+        self.submit_routed(spec, move |event| {
+            // The receiver may be gone (abandoned handle); fine.
+            let _ = events.send(event);
+        });
         JobHandle {
             rx,
             spec: canonical,
+            terminal: None,
         }
+    }
+
+    /// Enqueues a job whose events are delivered through `route`
+    /// instead of a per-job channel — the fan-in primitive for
+    /// multiplexers (a network session routes every member of a sweep
+    /// into one tagged stream, one drain thread total, instead of one
+    /// thread per member). The sink is called from the worker thread;
+    /// the same `Accepted … terminal` ordering as [`JobHandle::events`]
+    /// applies. If the service stops before the job runs, no terminal
+    /// is emitted — the routing channel closing is the signal.
+    pub fn submit_routed(&self, spec: JobSpec, route: impl Fn(JobEvent) + Send + 'static) {
+        route(JobEvent::Accepted);
+        let task = Task {
+            spec,
+            emit: Box::new(route),
+        };
+        let tx = self.tx.as_ref().expect("service accepts until dropped");
+        // A send only fails once every worker is gone; the sink then
+        // never sees a terminal event (its channel closes instead).
+        let _ = tx.send(task);
     }
 
     /// Parses and submits a spec line in one call.
@@ -169,10 +295,28 @@ impl Service {
         Ok(self.submit(spec.parse::<JobSpec>()?))
     }
 
-    /// Number of distinct models currently cached (bounded by a FIFO
+    /// Expands a sweep line into its member jobs and submits them all;
+    /// the returned [`SweepHandle`] aggregates member results (in
+    /// expansion order) into a [`SweepResult`]. Single-job lines work
+    /// too (a sweep of one).
+    pub fn submit_sweep(&self, sweep: &SweepSpec) -> SweepHandle {
+        let members = sweep.expand().into_iter().map(|s| self.submit(s)).collect();
+        SweepHandle {
+            spec: sweep.to_string(),
+            members,
+        }
+    }
+
+    /// Number of distinct models currently cached (bounded by the LRU
     /// eviction cap, so long-lived services don't grow without limit).
     pub fn cached_models(&self) -> usize {
         self.cache.lock().expect("cache lock").models.len()
+    }
+
+    /// Model-cache counters (hits / misses / LRU evictions) since the
+    /// service started.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats
     }
 }
 
@@ -195,14 +339,18 @@ impl std::fmt::Debug for Service {
     }
 }
 
-/// A pending job. [`JobHandle::wait`] blocks for the result; dropping
-/// the handle abandons the job (it still runs, its result is
-/// discarded).
+/// A pending job: a subscription to its event stream. Use
+/// [`JobHandle::events`] to watch it run or [`JobHandle::wait`] for
+/// the terminal result; dropping the handle abandons the job (it still
+/// runs, its events are discarded).
 #[must_use = "a submitted job's result arrives through its handle"]
 #[derive(Debug)]
 pub struct JobHandle {
-    rx: mpsc::Receiver<Result<JobResult, SpecError>>,
+    rx: mpsc::Receiver<JobEvent>,
     spec: String,
+    /// Terminal result once observed by `try_wait` (so a later
+    /// `wait`/`events` call does not lose it).
+    terminal: Option<Result<JobResult, SpecError>>,
 }
 
 impl JobHandle {
@@ -211,34 +359,151 @@ impl JobHandle {
         &self.spec
     }
 
-    /// Blocks until the job finishes.
+    /// Consumes the handle into a blocking iterator over the job's
+    /// events, ending after the terminal event. If the service dies
+    /// before the job runs, the stream ends with
+    /// [`JobEvent::Failed`]`(`[`SpecError::ServiceStopped`]`)`.
+    pub fn events(self) -> JobEvents {
+        JobEvents {
+            buffered: self.terminal.map(|t| match t {
+                Ok(result) => JobEvent::Finished(result),
+                Err(e) => JobEvent::Failed(e),
+            }),
+            rx: self.rx,
+            done: false,
+        }
+    }
+
+    /// Blocks until the job finishes — the thin convenience that
+    /// drains [`JobHandle::events`] and returns the terminal result.
     ///
     /// # Errors
     /// A [`SpecError`] from the job itself (invalid combination,
     /// unsupported job), or [`SpecError::ServiceStopped`] if the
     /// service dropped before running it.
     pub fn wait(self) -> Result<JobResult, SpecError> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(mpsc::RecvError) => Err(SpecError::ServiceStopped),
+        for event in self.events() {
+            match event {
+                JobEvent::Finished(result) => return Ok(result),
+                JobEvent::Failed(e) => return Err(e),
+                _ => {}
+            }
         }
+        // `events()` always ends with a terminal event.
+        Err(SpecError::ServiceStopped)
     }
 
-    /// Non-blocking probe: `Some` once the job has finished.
-    pub fn try_wait(&self) -> Option<Result<JobResult, SpecError>> {
-        match self.rx.try_recv() {
-            Ok(result) => Some(result),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(SpecError::ServiceStopped)),
+    /// Non-blocking probe: `Some` once the job has finished. Progress
+    /// events arriving in between are drained and discarded; the
+    /// terminal result is cached, so probing never loses it.
+    pub fn try_wait(&mut self) -> Option<Result<JobResult, SpecError>> {
+        if let Some(t) = &self.terminal {
+            return Some(t.clone());
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(JobEvent::Finished(result)) => {
+                    self.terminal = Some(Ok(result.clone()));
+                    return Some(Ok(result));
+                }
+                Ok(JobEvent::Failed(e)) => {
+                    self.terminal = Some(Err(e.clone()));
+                    return Some(Err(e));
+                }
+                Ok(_) => continue,
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    let e = SpecError::ServiceStopped;
+                    self.terminal = Some(Err(e.clone()));
+                    return Some(Err(e));
+                }
+            }
         }
     }
 }
 
-/// The worker body: dequeue, resolve the model through the cache, run,
-/// reply. Exits when the queue closes (service drop). Panics inside a
-/// job (parse-time validation makes them unexpected, but a bug must
-/// not shrink the pool) are caught and replied as
-/// [`SpecError::JobPanicked`]; the worker survives.
+/// Blocking iterator over one job's [`JobEvent`]s (from
+/// [`JobHandle::events`]); ends after the terminal event.
+#[derive(Debug)]
+pub struct JobEvents {
+    /// A terminal event already observed through `try_wait`.
+    buffered: Option<JobEvent>,
+    rx: mpsc::Receiver<JobEvent>,
+    done: bool,
+}
+
+impl Iterator for JobEvents {
+    type Item = JobEvent;
+
+    fn next(&mut self) -> Option<JobEvent> {
+        if self.done {
+            return None;
+        }
+        if let Some(event) = self.buffered.take() {
+            self.done = event.is_terminal();
+            return Some(event);
+        }
+        match self.rx.recv() {
+            Ok(event) => {
+                self.done = event.is_terminal();
+                Some(event)
+            }
+            Err(mpsc::RecvError) => {
+                // Channel gone without a terminal event: the job never
+                // ran (service dropped / worker died).
+                self.done = true;
+                Some(JobEvent::Failed(SpecError::ServiceStopped))
+            }
+        }
+    }
+}
+
+/// All member jobs of one submitted sweep line (from
+/// [`Service::submit_sweep`]), in expansion order.
+#[must_use = "a submitted sweep's results arrive through its handle"]
+#[derive(Debug)]
+pub struct SweepHandle {
+    spec: String,
+    members: Vec<JobHandle>,
+}
+
+impl SweepHandle {
+    /// The canonical form of the submitted sweep line.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Number of member jobs.
+    pub fn jobs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member handles, in expansion order — for callers that want
+    /// the raw event streams instead of the aggregate.
+    pub fn into_members(self) -> Vec<JobHandle> {
+        self.members
+    }
+
+    /// Blocks until every member finishes and aggregates the results.
+    ///
+    /// # Errors
+    /// The first failing member's error, in expansion order (members
+    /// after it still run to completion — they share the service pool).
+    pub fn wait(self) -> Result<SweepResult, SpecError> {
+        let mut results = Vec::with_capacity(self.members.len());
+        for handle in self.members {
+            results.push(handle.wait()?);
+        }
+        Ok(SweepResult::aggregate(self.spec, results))
+    }
+}
+
+/// The worker body: dequeue, resolve the model through the cache, run
+/// (streaming progress), reply with the terminal event. Exits when the
+/// queue closes (service drop). Panics inside a job (parse-time
+/// validation makes them unexpected, but a bug must not shrink the
+/// pool) are caught and replied as [`SpecError::JobPanicked`]; the
+/// worker survives.
 fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
     loop {
         // Hold the queue lock only for the dequeue, so workers run
@@ -249,8 +514,10 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
         };
         let key = task.spec.model_key();
         let spec = task.spec;
+        let emit = task.emit;
+        emit(JobEvent::Started);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let cached = cache.lock().expect("cache lock").models.get(&key).cloned();
+            let cached = cache.lock().expect("cache lock").get(&key);
             let model = match cached {
                 Some(model) => model,
                 None => {
@@ -266,7 +533,10 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
                     model
                 }
             };
-            spec.run_on(&model)
+            // An abandoned sink just swallows progress; fine.
+            spec.run_on_observed(&model, &mut |round, of| {
+                emit(JobEvent::Progress { round, of });
+            })
         }));
         let result = outcome.unwrap_or_else(|payload| {
             let message = payload
@@ -276,8 +546,11 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             Err(SpecError::JobPanicked { message })
         });
-        // The receiver may be gone (abandoned handle); ignore.
-        let _ = task.reply.send(result);
+        let terminal = match result {
+            Ok(result) => JobEvent::Finished(result),
+            Err(e) => JobEvent::Failed(e),
+        };
+        emit(terminal);
     }
 }
 
@@ -317,6 +590,68 @@ mod tests {
     }
 
     #[test]
+    fn event_stream_is_ordered_and_terminates() {
+        let service = Service::new(1);
+        let events: Vec<JobEvent> = service
+            .submit(spec(
+                "graph=cycle:12 model=coloring:q=5 seed=2 job=run:rounds=64",
+            ))
+            .events()
+            .collect();
+        assert_eq!(events.first(), Some(&JobEvent::Accepted));
+        assert_eq!(events.get(1), Some(&JobEvent::Started));
+        let progress: Vec<(u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::Progress { round, of } => Some((*round, *of)),
+                _ => None,
+            })
+            .collect();
+        assert!(!progress.is_empty(), "a 64-round job reports progress");
+        assert!(progress.windows(2).all(|w| w[0].0 <= w[1].0), "monotone");
+        assert_eq!(progress.last().unwrap(), &(64, 64), "ends complete");
+        // Exactly one terminal event, and it is last.
+        let terminals = events.iter().filter(|e| e.is_terminal()).count();
+        assert_eq!(terminals, 1);
+        assert!(events.last().unwrap().is_terminal());
+    }
+
+    #[test]
+    fn coalescence_and_tv_jobs_stream_progress() {
+        let service = Service::new(2);
+        for s in [
+            "graph=cycle:6 model=coloring:q=8 seed=1 job=coalescence:trials=2,max-rounds=5000",
+            "graph=cycle:4 model=coloring:q=3 seed=1 job=tv:rounds=16,replicas=200",
+        ] {
+            let events: Vec<JobEvent> = service.submit(spec(s)).events().collect();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, JobEvent::Progress { .. })),
+                "{s} streamed no progress: {events:?}"
+            );
+            assert!(matches!(events.last(), Some(JobEvent::Finished(_))));
+        }
+    }
+
+    #[test]
+    fn try_wait_probes_without_losing_the_result() {
+        let service = Service::new(1);
+        let mut h = service.submit(spec("graph=cycle:8 model=coloring:q=5 job=run:rounds=30"));
+        let result = loop {
+            if let Some(r) = h.try_wait() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        // Probing again returns the cached terminal result.
+        assert_eq!(h.try_wait(), Some(result.clone()));
+        // And the event stream still ends with the same terminal.
+        let last = h.events().last().unwrap();
+        assert_eq!(last, JobEvent::Finished(result.unwrap()));
+    }
+
+    #[test]
     fn cache_is_shared_across_jobs() {
         let service = Service::new(3);
         let handles: Vec<_> = (0..6)
@@ -331,6 +666,9 @@ mod tests {
         }
         // Six jobs, one (graph, model): exactly one cache entry.
         assert_eq!(service.cached_models(), 1);
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 6);
+        assert!(stats.misses >= 1, "first lookup builds");
     }
 
     #[test]
@@ -345,22 +683,58 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_bounded_by_the_fifo_cap() {
-        let service = Service::new(2);
-        // More distinct models than the cap: the cache must not grow
-        // past it (oldest entries evicted, answers unaffected).
-        let handles: Vec<_> = (0..MODEL_CACHE_CAP + 8)
-            .map(|i| {
-                service.submit(spec(&format!(
-                    "graph=cycle:{} model=coloring:q=5 job=run:rounds=5",
+    fn cache_is_bounded_and_lru_keeps_hot_models() {
+        // One worker: jobs run in submission order, so the cache
+        // traffic is deterministic.
+        let service = Service::new(1);
+        let hot = "graph=torus:4x4 model=coloring:q=7 job=run:rounds=2";
+        service.submit(spec(hot)).wait().unwrap();
+        // A churn of more distinct cold models than the cap fits,
+        // touching the hot model between every few of them.
+        for i in 0..MODEL_CACHE_CAP + 16 {
+            service
+                .submit(spec(&format!(
+                    "graph=cycle:{} model=coloring:q=5 job=run:rounds=2",
                     3 + i
                 )))
-            })
-            .collect();
-        for h in handles {
-            h.wait().unwrap();
+                .wait()
+                .unwrap();
+            if i % 4 == 0 {
+                service.submit(spec(hot)).wait().unwrap();
+            }
         }
         assert!(service.cached_models() <= MODEL_CACHE_CAP);
+        let stats = service.cache_stats();
+        assert!(stats.evictions > 0, "the churn must evict");
+        // The hot model survived the whole churn: its lookups after
+        // the first are all hits (cold specs never repeat, so every
+        // hit is the hot model's).
+        let hot_touches = 1 + (MODEL_CACHE_CAP + 16).div_ceil(4);
+        assert_eq!(stats.hits, hot_touches as u64 - 1);
+    }
+
+    #[test]
+    fn sweep_expands_and_aggregates() {
+        let service = Service::new(2);
+        let sweep: SweepSpec = "graph=cycle:10 model=coloring:q=5 job=run:rounds=20 seeds=0..4"
+            .parse()
+            .unwrap();
+        let handle = service.submit_sweep(&sweep);
+        assert_eq!(handle.jobs(), 4);
+        let result = handle.wait().unwrap();
+        assert_eq!(result.results.len(), 4);
+        assert_eq!(result.summary.jobs, 4);
+        // Member i is bit-identical to the independent single-seed run.
+        for (i, member) in result.results.iter().enumerate() {
+            let solo = spec(&format!(
+                "graph=cycle:10 model=coloring:q=5 seed={i} job=run:rounds=20"
+            ))
+            .run()
+            .unwrap();
+            assert_eq!(member, &solo, "member {i} diverged from a solo run");
+        }
+        // run-job metric = feasibility rate: all feasible here.
+        assert_eq!(result.summary.mean, 1.0);
     }
 
     #[test]

@@ -862,6 +862,22 @@ impl JobSpec {
 
     /// Runs the job on an already-built model (the service's path).
     pub fn run_on(&self, model: &BuiltModel) -> Result<JobResult, SpecError> {
+        self.run_on_observed(model, &mut |_, _| {})
+    }
+
+    /// [`JobSpec::run_on`] reporting progress through `progress` with
+    /// monotone `(done, total)` work units — what a service worker
+    /// runs so in-flight jobs stream `Progress` events from the
+    /// long-running round loops. Observation never changes the result:
+    /// `run` jobs are advanced in round slices (bit-identical under
+    /// the engine's counter-keyed randomness) and the measurement jobs
+    /// call the `*_observed` facade verbs, which batch and seed
+    /// exactly like their silent forms.
+    pub fn run_on_observed(
+        &self,
+        model: &BuiltModel,
+        progress: crate::mixing::ProgressSink<'_>,
+    ) -> Result<JobResult, SpecError> {
         let started = std::time::Instant::now();
         let output = match self.job_or_default() {
             JobKind::Run { rounds } => {
@@ -869,7 +885,20 @@ impl JobSpec {
                     .sampler_builder(model)
                     .burn_in(self.burn_in.unwrap_or(0))
                     .build()?;
-                sampler.run(rounds);
+                // Sliced stepping: `run(a); run(b)` equals `run(a+b)`
+                // by the determinism contract, so ticking every slice
+                // is free of observable effect on the trajectory.
+                let slice = (rounds / 16).max(1);
+                let mut ran = 0usize;
+                while ran < rounds {
+                    let now = slice.min(rounds - ran);
+                    sampler.run(now);
+                    ran += now;
+                    progress(ran as u64, rounds.max(1) as u64);
+                }
+                if rounds == 0 {
+                    progress(1, 1);
+                }
                 let state = sampler.state();
                 let feasible = match model {
                     BuiltModel::Mrf(mrf) => mrf.is_feasible(state),
@@ -884,7 +913,9 @@ impl JobSpec {
                 }
             }
             JobKind::Distribution { rounds, replicas } => {
-                let emp = self.sampler_builder(model).distribution(rounds, replicas)?;
+                let emp = self
+                    .sampler_builder(model)
+                    .distribution_observed(rounds, replicas, progress)?;
                 JobOutput::Distribution {
                     replicas: emp.total(),
                     support: emp.support_size(),
@@ -902,7 +933,9 @@ impl JobSpec {
                 let exact = Enumeration::new(mrf).map_err(|e| SpecError::Unsupported {
                     message: format!("the tv job cannot enumerate this model exactly: {e}"),
                 })?;
-                let tv = self.sampler_builder(model).tv(&exact, rounds, replicas)?;
+                let tv = self
+                    .sampler_builder(model)
+                    .tv_observed(&exact, rounds, replicas, progress)?;
                 JobOutput::Tv {
                     rounds,
                     replicas,
@@ -912,7 +945,7 @@ impl JobSpec {
             JobKind::Coalescence { trials, max_rounds } => {
                 let report = self
                     .sampler_builder(model)
-                    .coalescence(trials, max_rounds)?;
+                    .coalescence_observed(trials, max_rounds, progress)?;
                 JobOutput::Coalescence {
                     trials,
                     mean_rounds: report.summary.mean,
@@ -1134,6 +1167,30 @@ pub enum JobOutput {
     },
 }
 
+impl JobOutput {
+    /// The one scalar a sweep summarizes per job, chosen per kind:
+    /// `run` → feasibility as 1.0/0.0 (so a sweep's mean is the
+    /// feasibility rate), `distribution` → support size, `tv` → the
+    /// TV distance, `coalescence` → mean coalescence rounds. A
+    /// deterministic function of the output, so sweep summaries are
+    /// covered by the determinism contract.
+    #[must_use]
+    pub fn metric(&self) -> f64 {
+        match *self {
+            JobOutput::Run { feasible, .. } => {
+                if feasible {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            JobOutput::Distribution { support, .. } => support as f64,
+            JobOutput::Tv { tv, .. } => tv,
+            JobOutput::Coalescence { mean_rounds, .. } => mean_rounds,
+        }
+    }
+}
+
 impl fmt::Display for JobOutput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -1200,6 +1257,376 @@ impl PartialEq for JobResult {
 }
 
 // ---------------------------------------------------------------------
+// Sweeps: one spec line, many deterministic jobs
+// ---------------------------------------------------------------------
+
+/// Cap on the jobs one sweep line may expand into — a typo like
+/// `seeds=0..999999999` must be a parse error, not a queue flood.
+pub const MAX_SWEEP_JOBS: usize = 4096;
+
+/// Which model parameter a `sweep=` clause varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepParam {
+    /// The inverse temperature of `ising` / `potts`.
+    Beta,
+    /// The fugacity of `hardcore`.
+    Lambda,
+}
+
+impl SweepParam {
+    /// The spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepParam::Beta => "beta",
+            SweepParam::Lambda => "lambda",
+        }
+    }
+}
+
+impl fmt::Display for SweepParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `sweep=param:start..end:step` clause: an inclusive arithmetic
+/// ladder of model-parameter values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParamSweep {
+    /// The swept parameter.
+    pub param: SweepParam,
+    /// First value (must be > 0: every swept model requires it).
+    pub start: f64,
+    /// Last value covered (inclusive up to float rounding).
+    pub end: f64,
+    /// Ladder step (must be > 0).
+    pub step: f64,
+}
+
+impl ParamSweep {
+    fn parse(value: &str) -> Result<Self, SpecError> {
+        const KEY: &str = "sweep";
+        let (name, rest) = value.split_once(':').ok_or_else(|| {
+            bad(
+                KEY,
+                format!("expected param:start..end:step, got {value:?}"),
+            )
+        })?;
+        let param = match name {
+            "beta" => SweepParam::Beta,
+            "lambda" => SweepParam::Lambda,
+            other => {
+                return Err(bad(
+                    KEY,
+                    format!("unknown sweep parameter {other:?} (expected beta | lambda)"),
+                ))
+            }
+        };
+        let (range, step) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| bad(KEY, format!("expected start..end:step, got {rest:?}")))?;
+        let (start, end) = range
+            .split_once("..")
+            .ok_or_else(|| bad(KEY, format!("expected start..end, got {range:?}")))?;
+        let start = parse_int::<f64>(KEY, start)?;
+        let end = parse_int::<f64>(KEY, end)?;
+        let step = parse_int::<f64>(KEY, step)?;
+        if !(start > 0.0) || !start.is_finite() {
+            return Err(bad(KEY, "sweep start must be a finite number > 0"));
+        }
+        if !(step > 0.0) || !step.is_finite() {
+            return Err(bad(KEY, "sweep step must be a finite number > 0"));
+        }
+        if !(end >= start) || !end.is_finite() {
+            return Err(bad(KEY, "sweep needs start <= end"));
+        }
+        let sweep = ParamSweep {
+            param,
+            start,
+            end,
+            step,
+        };
+        if sweep.len() > MAX_SWEEP_JOBS {
+            return Err(bad(
+                KEY,
+                format!(
+                    "sweep expands to {} values (cap {MAX_SWEEP_JOBS})",
+                    sweep.len()
+                ),
+            ));
+        }
+        Ok(sweep)
+    }
+
+    /// Number of ladder values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        // A hair of slack so 0.1..0.5:0.1 yields five values despite
+        // binary rounding of the quotient.
+        ((self.end - self.start) / self.step + 1e-9).floor() as usize + 1
+    }
+
+    /// Whether the ladder is empty (it never is — `len() >= 1`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ladder values, computed as `start + i·step` (no running
+    /// accumulation, so every value is a pure function of its index).
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.start + i as f64 * self.step)
+            .collect()
+    }
+}
+
+impl fmt::Display for ParamSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}..{}:{}",
+            self.param, self.start, self.end, self.step
+        )
+    }
+}
+
+/// A spec line that may expand into many jobs: a base [`JobSpec`] plus
+/// the sweep clauses `seeds=a..b` (half-open seed range) and
+/// `sweep=param:start..end:step` (model-parameter ladder). Expansion
+/// ([`SweepSpec::expand`]) is deterministic — member `i` is a plain
+/// [`JobSpec`] equal to what a hand-written single-job line would
+/// produce, so sweep answers are covered by the bit-identity contract.
+///
+/// A line with neither clause is a single job ([`SweepSpec::is_single`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// The job template (its `seed=` / model parameters are what the
+    /// clauses override per member).
+    pub base: JobSpec,
+    /// `seeds=a..b`: member seeds `a, a+1, .., b-1`.
+    pub seeds: Option<(u64, u64)>,
+    /// `sweep=param:start..end:step`: the parameter ladder.
+    pub sweep: Option<ParamSweep>,
+}
+
+impl SweepSpec {
+    /// Wraps a single job (no sweep clauses).
+    pub fn single(base: JobSpec) -> Self {
+        SweepSpec {
+            base,
+            seeds: None,
+            sweep: None,
+        }
+    }
+
+    /// Whether the line is a plain single job.
+    #[must_use]
+    pub fn is_single(&self) -> bool {
+        self.seeds.is_none() && self.sweep.is_none()
+    }
+
+    /// How many jobs the line expands into.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        let seeds = self.seeds.map_or(1, |(a, b)| (b - a) as usize);
+        let values = self.sweep.map_or(1, |s| s.len());
+        seeds * values
+    }
+
+    /// Expands into member jobs, seed-major: member `i` covers seed
+    /// index `i / values` and ladder index `i % values`. Every member
+    /// is an ordinary [`JobSpec`]; running it alone gives the same
+    /// answer as running it inside the sweep.
+    #[must_use]
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let seeds: Vec<Option<u64>> = match self.seeds {
+            Some((a, b)) => (a..b).map(Some).collect(),
+            None => vec![None],
+        };
+        let values: Vec<Option<(SweepParam, f64)>> = match self.sweep {
+            Some(s) => s.values().into_iter().map(|v| Some((s.param, v))).collect(),
+            None => vec![None],
+        };
+        let mut jobs = Vec::with_capacity(seeds.len() * values.len());
+        for &seed in &seeds {
+            for &value in &values {
+                let mut spec = self.base.clone();
+                if let Some(seed) = seed {
+                    spec.seed = Some(seed);
+                }
+                if let Some((param, v)) = value {
+                    spec.model = match (param, spec.model) {
+                        (SweepParam::Beta, ModelSpec::Ising { .. }) => ModelSpec::Ising { beta: v },
+                        (SweepParam::Beta, ModelSpec::Potts { q, .. }) => {
+                            ModelSpec::Potts { q, beta: v }
+                        }
+                        (SweepParam::Lambda, ModelSpec::Hardcore { .. }) => {
+                            ModelSpec::Hardcore { lambda: v }
+                        }
+                        // Parse-time validation rejects the mismatch.
+                        (_, m) => m,
+                    };
+                }
+                jobs.push(spec);
+            }
+        }
+        jobs
+    }
+}
+
+impl fmt::Display for SweepSpec {
+    /// Canonical form: the base spec, then `seeds=`, then `sweep=`.
+    /// Parsing the printed form reproduces the identical sweep.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        if let Some((a, b)) = self.seeds {
+            write!(f, " seeds={a}..{b}")?;
+        }
+        if let Some(s) = self.sweep {
+            write!(f, " sweep={s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SweepSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut seeds: Option<(u64, u64)> = None;
+        let mut sweep: Option<ParamSweep> = None;
+        let mut base_tokens: Vec<&str> = Vec::new();
+        for token in s.split_whitespace() {
+            if let Some(value) = token.strip_prefix("seeds=") {
+                if seeds.is_some() {
+                    return Err(SpecError::DuplicateKey {
+                        key: "seeds".to_string(),
+                    });
+                }
+                let (a, b) = value.split_once("..").ok_or_else(|| {
+                    bad("seeds", format!("expected a half-open a..b, got {value:?}"))
+                })?;
+                let a = parse_int::<u64>("seeds", a)?;
+                let b = parse_int::<u64>("seeds", b)?;
+                if b <= a {
+                    return Err(bad("seeds", format!("empty seed range {a}..{b}")));
+                }
+                if (b - a) as usize > MAX_SWEEP_JOBS {
+                    return Err(bad(
+                        "seeds",
+                        format!("{} seeds requested (cap {MAX_SWEEP_JOBS})", b - a),
+                    ));
+                }
+                seeds = Some((a, b));
+            } else if let Some(value) = token.strip_prefix("sweep=") {
+                if sweep.is_some() {
+                    return Err(SpecError::DuplicateKey {
+                        key: "sweep".to_string(),
+                    });
+                }
+                sweep = Some(ParamSweep::parse(value)?);
+            } else {
+                base_tokens.push(token);
+            }
+        }
+        let base: JobSpec = base_tokens.join(" ").parse()?;
+        if let Some(s) = sweep {
+            let compatible = matches!(
+                (s.param, base.model),
+                (SweepParam::Beta, ModelSpec::Ising { .. })
+                    | (SweepParam::Beta, ModelSpec::Potts { .. })
+                    | (SweepParam::Lambda, ModelSpec::Hardcore { .. })
+            );
+            if !compatible {
+                return Err(bad(
+                    "sweep",
+                    format!("model {} has no {} parameter", base.model, s.param),
+                ));
+            }
+        }
+        if seeds.is_some() && base.seed.is_some() {
+            return Err(bad("seeds", "seeds=a..b replaces seed=, give one of them"));
+        }
+        let sweep = SweepSpec { base, seeds, sweep };
+        if sweep.job_count() > MAX_SWEEP_JOBS {
+            return Err(bad(
+                "sweep",
+                format!(
+                    "line expands to {} jobs (cap {MAX_SWEEP_JOBS})",
+                    sweep.job_count()
+                ),
+            ));
+        }
+        Ok(sweep)
+    }
+}
+
+/// Per-sweep aggregate of the member jobs' [`JobOutput::metric`]s.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepSummary {
+    /// Member jobs aggregated.
+    pub jobs: usize,
+    /// Mean metric.
+    pub mean: f64,
+    /// Smallest metric.
+    pub min: f64,
+    /// Largest metric.
+    pub max: f64,
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep: jobs={} mean={:.6} min={:.6} max={:.6}",
+            self.jobs, self.mean, self.min, self.max
+        )
+    }
+}
+
+/// All results of one expanded sweep line: the member results in
+/// expansion order plus the metric summary. A deterministic function
+/// of the sweep spec (every member is), so sweep answers can be
+/// asserted bit-identical across services, backends, and the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepResult {
+    /// The canonical sweep line.
+    pub spec: String,
+    /// Member results, indexed by expansion order.
+    pub results: Vec<JobResult>,
+    /// Aggregate over the members' [`JobOutput::metric`]s.
+    pub summary: SweepSummary,
+}
+
+impl SweepResult {
+    /// Aggregates member results (in expansion order) into a sweep
+    /// result.
+    ///
+    /// # Panics
+    /// Panics if `results` is empty (expansion always yields ≥ 1 job).
+    #[must_use]
+    pub fn aggregate(spec: String, results: Vec<JobResult>) -> Self {
+        assert!(!results.is_empty(), "a sweep has at least one member");
+        let metrics: Vec<f64> = results.iter().map(|r| r.output.metric()).collect();
+        let mean = metrics.iter().sum::<f64>() / metrics.len() as f64;
+        let min = metrics.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = metrics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        SweepResult {
+            spec,
+            summary: SweepSummary {
+                jobs: results.len(),
+                mean,
+                min,
+                max,
+            },
+            results,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The scenario registry
 // ---------------------------------------------------------------------
 
@@ -1220,6 +1647,10 @@ pub enum ScenarioKind {
     Partitioner,
     /// A `job=` measurement.
     Job,
+    /// A `seeds=` sweep clause.
+    Seeds,
+    /// A `sweep=` parameter-ladder clause.
+    Sweep,
 }
 
 impl ScenarioKind {
@@ -1233,6 +1664,8 @@ impl ScenarioKind {
             ScenarioKind::Backend => "backend",
             ScenarioKind::Partitioner => "partitioner",
             ScenarioKind::Job => "job",
+            ScenarioKind::Seeds => "seeds",
+            ScenarioKind::Sweep => "sweep",
         }
     }
 }
@@ -1469,6 +1902,17 @@ impl ScenarioRegistry {
                 kind: K::Job,
                 syntax: "coalescence:trials=<t>,max-rounds=<m>",
                 summary: "grand-coupling coalescence rounds (MRF)",
+            },
+            // sweep clauses
+            ScenarioEntry {
+                kind: K::Seeds,
+                syntax: "<a>..<b>",
+                summary: "expand the line into one job per seed in [a, b)",
+            },
+            ScenarioEntry {
+                kind: K::Sweep,
+                syntax: "<beta|lambda>:<start>..<end>:<step>",
+                summary: "expand into one job per model-parameter value",
             },
         ];
         E

@@ -1,0 +1,228 @@
+//! The network front end's contract: an answer served over a live
+//! loopback TCP session is **bit-identical** to the in-process
+//! [`Service`] answer (itself bit-identical to a direct
+//! [`JobSpec::run`]) — across algorithms × graph families ×
+//! schedulers/backends/partitioners × job kinds, under concurrent
+//! multi-client sessions, and through sweep expansion.
+
+use lsl_core::net::{Client, Server};
+use lsl_core::prelude::*;
+use proptest::prelude::*;
+
+/// Runs `line` three ways — direct, in-process service, loopback TCP —
+/// and asserts all answers equal.
+fn run_three_ways(server: &Server, line: &str) {
+    let spec: JobSpec = line.parse().unwrap();
+    let direct = spec.run().unwrap();
+    let service = Service::new(2);
+    let served = service.submit(spec).wait().unwrap();
+    assert_eq!(direct, served, "in-process service diverged on {line}");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.submit(line).unwrap();
+    let outcomes = client.drain().unwrap();
+    let remote = outcomes[0].members[0]
+        .as_ref()
+        .unwrap_or_else(|e| panic!("remote job failed on {line}: {e}"));
+    assert_eq!(&direct, remote, "remote answer diverged on {line}");
+}
+
+/// Every algorithm on torus/cycle/G(n,p), over one live server.
+#[test]
+fn remote_matches_direct_for_every_algorithm_and_family() {
+    let server = Server::bind("127.0.0.1:0", 2).unwrap();
+    for graph in ["torus:4x4", "cycle:11", "gnp:n=12,p=0.3"] {
+        for algorithm in [
+            "local-metropolis",
+            "local-metropolis-no-rule3",
+            "luby-glauber",
+            "glauber",
+            "metropolis",
+        ] {
+            run_three_ways(
+                &server,
+                &format!(
+                    "graph={graph} model=coloring:q=9 algorithm={algorithm} \
+                     seed=7 job=run:rounds=40"
+                ),
+            );
+        }
+    }
+}
+
+/// Schedulers, backends, partitioners, measurement jobs, and CSP
+/// scenarios cross the wire unchanged too — including the float-heavy
+/// tv/coalescence outputs (shortest-round-trip encoding).
+#[test]
+fn remote_matches_direct_across_schedulers_backends_and_jobs() {
+    let server = Server::bind("127.0.0.1:0", 2).unwrap();
+    for sched in ["luby", "singleton", "bernoulli:0.3", "chromatic"] {
+        run_three_ways(
+            &server,
+            &format!(
+                "graph=torus:4x4 model=coloring:q=9 algorithm=luby-glauber \
+                 scheduler={sched} seed=3 job=run:rounds=30"
+            ),
+        );
+    }
+    for backend in ["sequential", "parallel:3", "sharded:3"] {
+        run_three_ways(
+            &server,
+            &format!(
+                "graph=torus:5x5 model=ising:beta=0.4 backend={backend} \
+                 seed=5 job=run:rounds=30"
+            ),
+        );
+    }
+    for partitioner in ["contiguous", "bfs", "greedy"] {
+        run_three_ways(
+            &server,
+            &format!(
+                "graph=torus:5x5 model=coloring:q=10 backend=sharded:4 \
+                 partitioner={partitioner} seed=5 job=run:rounds=30"
+            ),
+        );
+    }
+    for line in [
+        "graph=cycle:4 model=coloring:q=3 algorithm=luby-glauber seed=9 \
+         job=tv:rounds=30,replicas=800",
+        "graph=cycle:6 model=coloring:q=9 seed=2 job=coalescence:trials=3,max-rounds=50000",
+        "graph=cycle:5 model=hardcore:lambda=1.5 seed=4 job=distribution:rounds=30,replicas=500",
+        "graph=path:5 model=dominating-set seed=6 job=run:rounds=50",
+        "graph=cycle:7 model=mis seed=8 job=run:rounds=40",
+    ] {
+        run_three_ways(&server, line);
+    }
+}
+
+/// The acceptance criterion's concurrency leg: several clients, each
+/// with several in-flight jobs on one session, all answered exactly
+/// as direct runs — no cross-talk between interleaved event streams.
+#[test]
+fn concurrent_multi_client_batches_are_bit_identical() {
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr();
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let lines: Vec<String> = (0..6)
+                    .map(|i| {
+                        format!(
+                            "graph=torus:4x4 model=coloring:q=9 seed={} job=run:rounds={}",
+                            c * 100 + i,
+                            20 + (i % 3) * 10
+                        )
+                    })
+                    .collect();
+                for line in &lines {
+                    client.submit(line).unwrap();
+                }
+                let outcomes = client.drain().unwrap();
+                (lines, outcomes)
+            })
+        })
+        .collect();
+    for handle in clients {
+        let (lines, outcomes) = handle.join().unwrap();
+        assert_eq!(lines.len(), outcomes.len());
+        for (line, outcome) in lines.iter().zip(outcomes) {
+            let direct = line.parse::<JobSpec>().unwrap().run().unwrap();
+            assert_eq!(
+                outcome.members[0].as_ref().unwrap(),
+                &direct,
+                "client batch diverged on {line}"
+            );
+        }
+    }
+}
+
+/// The sweep acceptance criterion: a `seeds=0..N` sweep served over
+/// the wire equals N independent single-seed runs, member by member,
+/// and the aggregate matches a local aggregation.
+#[test]
+fn remote_seed_sweep_equals_independent_runs() {
+    let server = Server::bind("127.0.0.1:0", 3).unwrap();
+    let base = "graph=torus:4x4 model=coloring:q=9 job=run:rounds=30";
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.submit(&format!("{base} seeds=0..6")).unwrap();
+    let outcomes = client.drain().unwrap();
+    assert_eq!(outcomes[0].members.len(), 6);
+    for (seed, member) in outcomes[0].members.iter().enumerate() {
+        let solo = format!("graph=torus:4x4 model=coloring:q=9 seed={seed} job=run:rounds=30")
+            .parse::<JobSpec>()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(member.as_ref().unwrap(), &solo, "seed {seed} diverged");
+    }
+    // And the remote aggregate equals the in-process sweep aggregate.
+    let sweep: SweepSpec = format!("{base} seeds=0..6").parse().unwrap();
+    let local = Service::new(2).submit_sweep(&sweep).wait().unwrap();
+    let remote = outcomes.into_iter().next().unwrap();
+    assert_eq!(remote.into_sweep_result().unwrap(), local);
+}
+
+/// A parameter sweep crosses the wire bit-identically as well.
+#[test]
+fn remote_parameter_sweep_matches_in_process() {
+    let server = Server::bind("127.0.0.1:0", 2).unwrap();
+    let line = "graph=cycle:8 model=ising:beta=0.1 seed=3 job=run:rounds=25 \
+                sweep=beta:0.1..0.5:0.1";
+    let sweep: SweepSpec = line.parse().unwrap();
+    assert_eq!(sweep.job_count(), 5);
+    let local = Service::new(2).submit_sweep(&sweep).wait().unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.submit(line).unwrap();
+    let remote = client
+        .drain()
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap()
+        .into_sweep_result()
+        .unwrap();
+    // Canonical sweep line differs from the raw one only in key order;
+    // compare members and summary.
+    assert_eq!(remote.results, local.results);
+    assert_eq!(remote.summary, local.summary);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized spot-check over the workload space, over the wire:
+    /// random family × algorithm × backend × seed, remote and direct,
+    /// must agree exactly.
+    #[test]
+    fn remote_identity_randomized(
+        family in 0u8..3,
+        gsize in 4usize..8,
+        alg_ix in 0usize..5,
+        backend_ix in 0usize..3,
+        seed in 0u64..10_000,
+        rounds in 10usize..60,
+    ) {
+        let graph = match family {
+            0 => format!("torus:{gsize}x{gsize}"),
+            1 => format!("cycle:{}", gsize + 3),
+            _ => format!("gnp:n={},p=0.3", gsize + 6),
+        };
+        let algorithm = ["local-metropolis", "local-metropolis-no-rule3",
+                         "luby-glauber", "glauber", "metropolis"][alg_ix];
+        let backend = ["sequential", "parallel:2", "sharded:2"][backend_ix];
+        let line = format!(
+            "graph={graph} model=coloring:q=11 algorithm={algorithm} \
+             backend={backend} seed={seed} job=run:rounds={rounds}"
+        );
+        let direct = line.parse::<JobSpec>().unwrap().run().unwrap();
+        let server = Server::bind("127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.submit(&line).unwrap();
+        let outcomes = client.drain().unwrap();
+        prop_assert_eq!(
+            outcomes[0].members[0].as_ref().unwrap(),
+            &direct,
+            "remote diverged on {}", line
+        );
+    }
+}

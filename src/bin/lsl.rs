@@ -1,30 +1,37 @@
 //! `lsl` — the command-line front door.
 //!
 //! One binary replaces per-experiment argument parsing: name a
-//! workload as a declarative spec line and run it.
+//! workload as a declarative spec line and run it — locally, against a
+//! remote server, or serve the protocol yourself.
 //!
 //! ```text
 //! lsl run graph=torus:16x16 model=coloring:q=16 seed=7 job=run:rounds=200
-//! lsl run --threads 4 "graph=cycle:12 model=coloring:q=5 seed=1" \
-//!                     "graph=cycle:12 model=coloring:q=5 seed=2"
+//! lsl run "graph=cycle:12 model=coloring:q=5 job=run:rounds=50 seeds=0..8"
+//! lsl serve --addr 127.0.0.1:7878 --threads 4
+//! lsl run --remote 127.0.0.1:7878 graph=cycle:12 model=coloring:q=5
 //! lsl list scenarios
 //! ```
 //!
 //! `run` accepts either bare `key=value` tokens (joined into one spec)
-//! or quoted whole-spec arguments (each its own job). Multiple jobs
-//! are served concurrently through a
-//! [`Service`](lsl::core::service::Service) worker pool and reported
-//! in submission order.
+//! or quoted whole-spec arguments (each its own job). Lines may carry
+//! the sweep clauses `seeds=a..b` / `sweep=param:start..end:step`,
+//! expanding into many deterministic jobs reported per member plus a
+//! summary. Multiple lines are served concurrently — through an
+//! in-process [`Service`] worker pool, or over TCP with `--remote`
+//! (bit-identical answers either way). Any failing job makes the exit
+//! code non-zero and echoes the failing spec on stderr.
 
+use lsl::core::net::{Client, Server};
 use lsl::core::service::Service;
-use lsl::core::spec::{JobSpec, ScenarioRegistry};
+use lsl::core::spec::{JobResult, ScenarioRegistry, SpecError, SweepResult, SweepSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 lsl — local sampling library
 
 USAGE:
-    lsl run [--threads N] <spec>...
+    lsl run [--threads N] [--remote ADDR] <spec>...
+    lsl serve [--addr ADDR] [--threads N]
     lsl list scenarios
     lsl help
 
@@ -36,17 +43,29 @@ SPECS:
     Bare tokens after `run` are joined into one spec; arguments that
     contain whitespace (quote them) are complete specs of their own,
     and several run concurrently on a worker pool (--threads N,
-    default: all cores).
+    default: all cores). `--remote ADDR` sends the batch to an
+    `lsl serve` instance instead; answers are bit-identical.
+
+    Sweep clauses expand one line into many jobs:
+
+        seeds=0..32                 one job per seed
+        sweep=beta:0.1..0.5:0.1     one job per parameter value
 
     Keys: graph model algorithm scheduler backend partitioner seed
-          graph-seed burn-in job
+          graph-seed burn-in job seeds sweep
     Run `lsl list scenarios` for every accepted value.
+
+SERVE:
+    `lsl serve` listens on --addr (default 127.0.0.1:7878; use port 0
+    for an ephemeral port, printed on startup) and runs every session's
+    jobs on a shared worker pool (--threads N, default: all cores).
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("list") => match args.get(1).map(String::as_str) {
             Some("scenarios") => {
                 print!("{}", ScenarioRegistry::render());
@@ -72,26 +91,51 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parses `run` arguments into (threads, specs): a `--threads N` flag,
+/// Takes the value of `--flag X` / `--flag=X` out of `args`; `None`
+/// when absent, `Err` when the flag is dangling.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            args.remove(i);
+            if i >= args.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            value = Some(args.remove(i));
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(value)
+}
+
+/// Takes `--threads N` out of `args` (0 = auto when absent).
+fn take_threads(args: &mut Vec<String>) -> Result<usize, String> {
+    match take_flag(args, "--threads")? {
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| format!("--threads {n:?} is not a number")),
+        None => Ok(0), // 0 = auto
+    }
+}
+
+/// Parses `run` arguments into (threads, remote, spec lines): flags,
 /// then either whole-spec arguments (contain whitespace) or bare
 /// tokens joined into a single spec.
-fn collect_specs(args: &[String]) -> Result<(usize, Vec<String>), String> {
-    let mut threads = 0usize; // 0 = auto
+fn collect_specs(args: &[String]) -> Result<(usize, Option<String>, Vec<String>), String> {
+    let mut args = args.to_vec();
+    let threads = take_threads(&mut args)?;
+    let remote = take_flag(&mut args, "--remote")?;
     let mut specs: Vec<String> = Vec::new();
-    let mut bare: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            let n = it.next().ok_or("--threads needs a number")?;
-            threads = n
-                .parse::<usize>()
-                .map_err(|_| format!("--threads {n:?} is not a number"))?;
-        } else if let Some(n) = arg.strip_prefix("--threads=") {
-            threads = n
-                .parse::<usize>()
-                .map_err(|_| format!("--threads {n:?} is not a number"))?;
-        } else if arg.split_whitespace().count() > 1 {
-            specs.push(arg.clone());
+    let mut bare: Vec<String> = Vec::new();
+    for arg in args {
+        if arg.split_whitespace().count() > 1 {
+            specs.push(arg);
         } else {
             bare.push(arg);
         }
@@ -102,11 +146,40 @@ fn collect_specs(args: &[String]) -> Result<(usize, Vec<String>), String> {
     if specs.is_empty() {
         return Err("run needs at least one spec (see `lsl help`)".into());
     }
-    Ok((threads, specs))
+    Ok((threads, remote, specs))
+}
+
+/// One line's member results, in expansion order.
+type LineResults = Vec<Result<JobResult, SpecError>>;
+
+/// Prints one line's results; returns whether every member succeeded.
+fn report(sweep: &SweepSpec, members: &LineResults) -> bool {
+    let spec = sweep.to_string();
+    println!("# {spec}");
+    let mut ok = true;
+    for (index, member) in members.iter().enumerate() {
+        match member {
+            Ok(result) => {
+                if members.len() > 1 {
+                    print!("[{index}] ");
+                }
+                println!("{}  ({:.3}s)", result.output, result.elapsed_secs);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n  in spec: {spec} (member {index})");
+                ok = false;
+            }
+        }
+    }
+    if ok && members.len() > 1 {
+        let results: Vec<JobResult> = members.iter().map(|m| m.clone().unwrap()).collect();
+        println!("{}", SweepResult::aggregate(spec, results).summary);
+    }
+    ok
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let (threads, lines) = match collect_specs(args) {
+    let (threads, remote, lines) = match collect_specs(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("{e}");
@@ -115,11 +188,11 @@ fn run(args: &[String]) -> ExitCode {
     };
 
     // Parse everything up front: a typo in job 3 should fail fast,
-    // before jobs 1 and 2 burn cycles.
-    let mut specs: Vec<JobSpec> = Vec::with_capacity(lines.len());
+    // before jobs 1 and 2 burn cycles (or hit the network).
+    let mut sweeps: Vec<SweepSpec> = Vec::with_capacity(lines.len());
     for line in &lines {
-        match line.parse::<JobSpec>() {
-            Ok(spec) => specs.push(spec),
+        match line.parse::<SweepSpec>() {
+            Ok(sweep) => sweeps.push(sweep),
             Err(e) => {
                 eprintln!("error: {e}\n  in spec: {line}");
                 return ExitCode::FAILURE;
@@ -127,25 +200,91 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    let service = Service::new(threads);
-    let handles: Vec<_> = specs.into_iter().map(|s| service.submit(s)).collect();
+    let outcomes: Vec<LineResults> = match &remote {
+        None => {
+            let service = Service::new(threads);
+            let handles: Vec<_> = sweeps.iter().map(|s| service.submit_sweep(s)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.into_members().into_iter().map(|m| m.wait()).collect())
+                .collect()
+        }
+        Some(addr) => {
+            if threads != 0 {
+                eprintln!(
+                    "note: --threads is ignored with --remote \
+                     (the server's worker pool governs)"
+                );
+            }
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot connect to {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Submit the canonical forms (same expansion server-side).
+            for sweep in &sweeps {
+                if let Err(e) = client.submit(&sweep.to_string()) {
+                    eprintln!("error: lost connection to {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match client.drain() {
+                Ok(outcomes) => outcomes.into_iter().map(|o| o.members).collect(),
+                Err(e) => {
+                    eprintln!("error: session with {addr} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
     let mut failed = false;
-    for handle in handles {
-        let spec = handle.spec().to_string();
-        match handle.wait() {
-            Ok(result) => {
-                println!("# {spec}");
-                println!("{}  ({:.3}s)", result.output, result.elapsed_secs);
-            }
-            Err(e) => {
-                eprintln!("error: {e}\n  in spec: {spec}");
-                failed = true;
-            }
+    for (sweep, members) in sweeps.iter().zip(&outcomes) {
+        if !report(sweep, members) {
+            failed = true;
         }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let addr = match take_flag(&mut args, "--addr") {
+        Ok(a) => a.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = match take_threads(&mut args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(extra) = args.first() {
+        eprintln!("unexpected serve argument {extra:?} (see `lsl help`)");
+        return ExitCode::FAILURE;
+    }
+    let server = match Server::bind(addr.as_str(), threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The line scripts scrape for the (possibly ephemeral) port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
