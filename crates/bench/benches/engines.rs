@@ -137,7 +137,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"step_engine_throughput\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"step_engine_throughput\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"meta\": {},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_engine.json");

@@ -116,7 +116,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"sampler_api_overhead\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sampler_api_overhead\",\n  \"workload\": \"LocalMetropolis proper {side}x{side} torus coloring, q=16\",\n  \"meta\": {},\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampler_api.json");

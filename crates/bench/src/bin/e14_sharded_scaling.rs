@@ -259,8 +259,9 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"sharded_scaling\",\n  \"workload\": \"LocalMetropolis proper \
-         coloring, torus + gnp, shard-count x partitioner sweep\",\n  \"tiny\": {tiny},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         coloring, torus + gnp, shard-count x partitioner sweep\",\n  \"meta\": {},\n  \
+         \"tiny\": {tiny},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");

@@ -137,8 +137,9 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"service_throughput\",\n  \"workload\": \"mixed JobSpec batch \
-         (shared torus coloring + per-seed gnp), worker-thread sweep\",\n  \"tiny\": {tiny},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         (shared torus coloring + per-seed gnp), worker-thread sweep\",\n  \"meta\": {},\n  \
+         \"tiny\": {tiny},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");

@@ -179,8 +179,9 @@ fn main() {
         "{{\n  \"bench\": \"remote_throughput\",\n  \"workload\": \"mixed JobSpec batch \
          (shared torus coloring + per-seed gnp) served in-process vs over loopback TCP \
          at 1/2/4 client sessions\",\n  \"note\": \"1-CPU container: loopback rows measure \
-         protocol overhead at fixed compute, not session scaling\",\n  \"tiny\": {tiny},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         protocol overhead at fixed compute, not session scaling\",\n  \"meta\": {},\n  \
+         \"tiny\": {tiny},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_remote.json");

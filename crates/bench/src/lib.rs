@@ -63,6 +63,54 @@ pub fn header_row(spec: &str) {
     println!("{}", spec.replace(',', "\t"));
 }
 
+/// Logical CPUs visible to this process. Recorded so a datapoint from
+/// a 1-CPU container is never mistaken for a scaling ceiling.
+#[must_use]
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// First stdout line of `cmd args...`, or `"unknown"` if the command
+/// is missing or fails (benches must run in stripped containers).
+fn probe(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(|l| l.trim().to_string()))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Provenance block every `BENCH_*.json` embeds: host CPU count, the
+/// rustc that built the binary's workspace, and the git revision the
+/// numbers were measured at. Returned as a JSON object literal —
+/// splice it as the value of a `"meta"` key. All probed values are
+/// alphanumeric/punctuation (no quotes), so no escaping is needed.
+#[must_use]
+pub fn meta_json() -> String {
+    format!(
+        "{{\"cpus\": {}, \"rustc\": \"{}\", \"git_rev\": \"{}\"}}",
+        host_cpus(),
+        probe("rustc", &["--version"]),
+        probe(
+            "git",
+            &[
+                "-C",
+                env!("CARGO_MANIFEST_DIR"),
+                "rev-parse",
+                "--short",
+                "HEAD"
+            ]
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -74,5 +122,15 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(super::f(0.123456), "0.1235");
+    }
+
+    #[test]
+    fn meta_json_is_wellformed() {
+        let meta = super::meta_json();
+        assert!(meta.starts_with('{') && meta.ends_with('}'), "{meta}");
+        for key in ["\"cpus\": ", "\"rustc\": \"", "\"git_rev\": \""] {
+            assert!(meta.contains(key), "{meta} lacks {key}");
+        }
+        assert!(super::host_cpus() >= 1);
     }
 }

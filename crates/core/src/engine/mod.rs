@@ -34,9 +34,14 @@
 //! bit-identical, and replicas coupled on the same master seed realize
 //! the paper's grand coupling by construction.
 
+pub mod hotpath;
 pub mod replicas;
 pub mod rules;
 pub mod sharded;
+pub mod slab;
+
+pub use hotpath::{HotKernel, HotPath};
+pub use slab::{Packing, StateSlab, StateView};
 
 use lsl_graph::{EdgeId, VertexId};
 use lsl_local::rng::{derive_seed, round_key, VertexRng, Xoshiro256pp};
@@ -167,12 +172,15 @@ pub trait SyncRule: Send + Sync {
 
     /// Propose phase at `v`: draw from `rng` (and, unless
     /// [`SyncRule::STATE_FREE_PROPOSE`], read the state) and publish a
-    /// local value.
-    fn propose(
+    /// local value. Generic over the state representation (see
+    /// [`StateView`]): the scalar oracle hands a flat slice, packed
+    /// executors hand a [`StateSlab`] — one rule body, identical
+    /// trajectories.
+    fn propose<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         rng: &mut Xoshiro256pp,
         scratch: &mut Self::Scratch,
     ) -> Self::Local;
@@ -180,15 +188,31 @@ pub trait SyncRule: Send + Sync {
     /// Resolve phase at `v`: combine the old state, the locals of `v`'s
     /// inclusive neighborhood, the edge coins of incident edges, and the
     /// resolve stream into `v`'s next spin.
-    fn resolve(
+    fn resolve<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         locals: &[Self::Local],
         rng: &mut Xoshiro256pp,
         scratch: &mut Self::Scratch,
     ) -> Spin;
+
+    /// Builds this rule's lane-batched hot kernel for `mrf`, if it has
+    /// one (see [`hotpath`]). `None` — the default — means the engine
+    /// always runs the scalar per-vertex phases; rules that return a
+    /// kernel must make it bit-identical to those phases, which stay
+    /// compiled and selectable ([`HotPath::Scalar`]) as the regression
+    /// oracle.
+    fn hot_kernel(
+        &self,
+        mrf: &Arc<Mrf>,
+        packing: Packing,
+        block_rng: bool,
+    ) -> Option<Box<dyn HotKernel<Self::Local>>> {
+        let _ = (mrf, packing, block_rng);
+        None
+    }
 }
 
 /// How a sweep executes.
@@ -422,6 +446,12 @@ pub struct SyncChain<R: SyncRule> {
     /// Resolved worker count (cached at `set_backend`; probing
     /// available parallelism per round is not free).
     workers: usize,
+    /// The hot-path selection (see [`HotPath`]).
+    hotpath: HotPath,
+    /// The rule's lane-batched kernel under `hotpath`, if any. Engaged
+    /// on single-worker synchronous rounds; the scalar phases remain
+    /// the multi-worker path and the oracle.
+    kernel: Option<Box<dyn HotKernel<R::Local>>>,
     master: u64,
     round: u64,
     last_key: Option<(u64, u64)>,
@@ -456,6 +486,8 @@ impl<R: SyncRule> SyncChain<R> {
         assert_eq!(state.len(), mrf.num_vertices(), "state length must be n");
         let n = state.len();
         let scratches = vec![rule.make_scratch(&mrf)];
+        let hotpath = HotPath::default();
+        let kernel = hotpath.build_kernel(&mrf, &rule);
         SyncChain {
             mrf,
             rule,
@@ -465,6 +497,8 @@ impl<R: SyncRule> SyncChain<R> {
             locals: vec![R::Local::default(); n],
             scratches,
             workers: 1,
+            hotpath,
+            kernel,
             master,
             round: 0,
             last_key: None,
@@ -479,6 +513,32 @@ impl<R: SyncRule> SyncChain<R> {
             self.scratches.push(self.rule.make_scratch(&self.mrf));
         }
         self.workers = want;
+    }
+
+    /// Switches the hot-path selection (trajectories are unaffected —
+    /// kernels are bit-identical to the scalar phases by contract, and
+    /// property-tested to be).
+    ///
+    /// # Panics
+    /// Panics if an explicitly requested packing cannot hold this
+    /// model's spins (e.g. [`Packing::Bit`] with `q > 2`).
+    pub fn set_hotpath(&mut self, hotpath: HotPath) {
+        hotpath
+            .validate_for(self.mrf.q())
+            .expect("invalid hot path");
+        self.hotpath = hotpath;
+        self.kernel = hotpath.build_kernel(&self.mrf, &self.rule);
+    }
+
+    /// The hot-path selection in use.
+    pub fn hotpath(&self) -> HotPath {
+        self.hotpath
+    }
+
+    /// Whether rounds are currently served by a lane-batched kernel
+    /// (rule has one, hot path enabled, single-worker backend).
+    pub fn kernel_engaged(&self) -> bool {
+        self.kernel.is_some() && self.workers <= 1
     }
 
     /// The execution backend in use.
@@ -543,15 +603,26 @@ impl<R: SyncRule> SyncChain<R> {
     pub fn step_keyed(&mut self, master: u64) {
         let ctx = RoundCtx::new(&self.mrf, master, self.round);
         let workers = self.workers.min(self.scratches.len());
-        run_round(
-            &self.rule,
-            &ctx,
-            &mut self.state,
-            &mut self.next,
-            &mut self.locals,
-            &mut self.scratches,
-            workers,
-        );
+        // Lane-batched fast path: single-worker synchronous rounds of a
+        // rule with a kernel. Multi-worker sweeps keep the scalar
+        // phases (the kernel is one strided pass; splitting it would
+        // re-introduce the per-vertex plumbing it removes), as do
+        // single-site rounds.
+        match self.kernel.as_mut() {
+            Some(kernel) if workers <= 1 && self.rule.active_vertex(&ctx).is_none() => {
+                kernel.round(&ctx, &self.state, &mut self.next, &mut self.locals);
+                std::mem::swap(&mut self.state, &mut self.next);
+            }
+            _ => run_round(
+                &self.rule,
+                &ctx,
+                &mut self.state,
+                &mut self.next,
+                &mut self.locals,
+                &mut self.scratches,
+                workers,
+            ),
+        }
         self.last_key = Some((master, self.round));
         self.round += 1;
     }

@@ -19,7 +19,7 @@
 //! Replicas are embarrassingly parallel, so the set also accepts a
 //! [`Backend`] that shards replicas over scoped threads.
 
-use super::{RoundCtx, SyncRule};
+use super::{HotKernel, HotPath, RoundCtx, SyncRule};
 use crate::engine::Backend;
 use lsl_local::rng::derive_seed;
 use lsl_mrf::{Mrf, Spin};
@@ -64,6 +64,14 @@ pub struct ReplicaSet<R: SyncRule> {
     /// Per-worker (locals, scratch) pairs.
     worker_locals: Vec<Vec<R::Local>>,
     scratches: Vec<R::Scratch>,
+    /// The hot-path selection, and one kernel per worker (replicas are
+    /// sharded by whole replica, so per-worker kernels preserve
+    /// trajectories at any worker count). A kernel's proposal cache is
+    /// keyed by the round's propose master, which is what amortizes the
+    /// coupled batch's shared randomness without a separate shared
+    /// propose pass.
+    hotpath: HotPath,
+    kernels: Vec<Option<Box<dyn HotKernel<R::Local>>>>,
     /// Resolved worker count (cached at `set_backend`; probing
     /// available parallelism per round is not free).
     workers: usize,
@@ -89,8 +97,9 @@ impl<R: SyncRule> ReplicaSet<R> {
         let count = masters.len();
         assert_eq!(states.len(), n * count);
         let scratches = vec![rule.make_scratch(&mrf)];
+        let hotpath = HotPath::default();
+        let kernels = vec![hotpath.build_kernel(&mrf, &rule)];
         ReplicaSet {
-            mrf,
             rule,
             backend: Backend::Sequential,
             n,
@@ -102,8 +111,11 @@ impl<R: SyncRule> ReplicaSet<R> {
             shared_locals: vec![R::Local::default(); n],
             worker_locals: vec![vec![R::Local::default(); n]],
             scratches,
+            hotpath,
+            kernels,
             workers: 1,
             round: 0,
+            mrf,
         }
     }
 
@@ -167,8 +179,31 @@ impl<R: SyncRule> ReplicaSet<R> {
         while self.scratches.len() < want {
             self.scratches.push(self.rule.make_scratch(&self.mrf));
             self.worker_locals.push(vec![R::Local::default(); self.n]);
+            self.kernels
+                .push(self.hotpath.build_kernel(&self.mrf, &self.rule));
         }
         self.workers = want;
+    }
+
+    /// Selects the hot path for the synchronous rounds (trajectories are
+    /// unaffected — kernels are bit-identical to the scalar phases).
+    ///
+    /// # Panics
+    /// Panics if an explicitly requested packing cannot hold the model's
+    /// spins.
+    pub fn set_hotpath(&mut self, hotpath: HotPath) {
+        hotpath
+            .validate_for(self.mrf.q())
+            .expect("invalid hot path for this model");
+        self.hotpath = hotpath;
+        for slot in self.kernels.iter_mut() {
+            *slot = hotpath.build_kernel(&self.mrf, &self.rule);
+        }
+    }
+
+    /// The hot-path selection in effect.
+    pub fn hotpath(&self) -> HotPath {
+        self.hotpath
     }
 
     /// Number of replicas `B`.
@@ -207,8 +242,16 @@ impl<R: SyncRule> ReplicaSet<R> {
 
         // Coupled + state-free proposals: one propose phase serves every
         // replica (they share all randomness, and proposals ignore the
-        // state) — the batch's 1/B randomness amortization.
-        let share_propose = !single_site && self.coupled && R::HAS_PROPOSE && R::STATE_FREE_PROPOSE;
+        // state) — the batch's 1/B randomness amortization. Engaged
+        // kernels get the same amortization from their propose cache
+        // (keyed by the shared propose master), so the precompute is
+        // skipped for them.
+        let kernels_engaged = !single_site && self.kernels[0].is_some();
+        let share_propose = !single_site
+            && self.coupled
+            && R::HAS_PROPOSE
+            && R::STATE_FREE_PROPOSE
+            && !kernels_engaged;
         if share_propose {
             let ctx = RoundCtx::new(&self.mrf, self.masters[0], round);
             super::propose_phase(
@@ -279,9 +322,14 @@ impl<R: SyncRule> ReplicaSet<R> {
                         states: &[Spin],
                         next: &mut [Spin],
                         scratch: &mut R::Scratch,
-                        locals: &mut Vec<R::Local>| {
+                        locals: &mut Vec<R::Local>,
+                        kernel: &mut Option<Box<dyn HotKernel<R::Local>>>| {
                 for (bi, (state, next)) in states.chunks(n).zip(next.chunks_mut(n)).enumerate() {
                     let ctx = RoundCtx::new(mrf, masters[base + bi], round);
+                    if let Some(k) = kernel.as_mut() {
+                        k.round(&ctx, state, next, locals);
+                        continue;
+                    }
                     let locals_for_replica: &[R::Local] = if share_propose {
                         shared_locals
                     } else {
@@ -315,21 +363,26 @@ impl<R: SyncRule> ReplicaSet<R> {
                     &mut self.next,
                     &mut self.scratches[0],
                     &mut self.worker_locals[0],
+                    &mut self.kernels[0],
                 );
             } else {
                 let state_chunks = self.states.chunks(per_worker * n);
                 let next_chunks = self.next.chunks_mut(per_worker * n);
                 let scratch_iter = self.scratches.iter_mut();
                 let locals_iter = self.worker_locals.iter_mut();
+                let kernel_iter = self.kernels.iter_mut();
                 std::thread::scope(|scope| {
-                    for (wi, (((states, next), scratch), locals)) in state_chunks
+                    for (wi, ((((states, next), scratch), locals), kernel)) in state_chunks
                         .zip(next_chunks)
                         .zip(scratch_iter)
                         .zip(locals_iter)
+                        .zip(kernel_iter)
                         .enumerate()
                     {
                         let work = &work;
-                        scope.spawn(move || work(wi * per_worker, states, next, scratch, locals));
+                        scope.spawn(move || {
+                            work(wi * per_worker, states, next, scratch, locals, kernel)
+                        });
                     }
                 });
             }

@@ -14,12 +14,13 @@
 //!   round-shared stream (so even they are pure functions of
 //!   `(master, round)` and batch across replicas).
 
-use super::{RoundCtx, SyncRule};
+use super::{hotpath, HotKernel, Packing, RoundCtx, StateView, SyncRule};
 use crate::schedule::{LubyScheduler, VertexScheduler};
 use crate::update::Resampler;
 use lsl_graph::VertexId;
 use lsl_local::rng::Xoshiro256pp;
 use lsl_mrf::{Mrf, Spin};
+use std::sync::Arc;
 
 /// Reusable per-worker scratch for heat-bath rules: a marginal-weight
 /// buffer and a coupling-friendly resampler. (Distinct from
@@ -40,8 +41,14 @@ impl HeatBathScratch {
     }
 
     /// Heat-bath resample of `v` given `state`, drawing from `rng`.
-    fn resample(&mut self, mrf: &Mrf, v: VertexId, state: &[Spin], rng: &mut Xoshiro256pp) -> Spin {
-        mrf.marginal_weights_into(v, state, &mut self.weights);
+    fn resample<Sv: StateView + ?Sized>(
+        &mut self,
+        mrf: &Mrf,
+        v: VertexId,
+        state: &Sv,
+        rng: &mut Xoshiro256pp,
+    ) -> Spin {
+        mrf.marginal_weights_with(v, |u| state.spin(u.index()), &mut self.weights);
         self.resampler
             .resample(&self.weights, rng)
             .expect("heat-bath marginal must be well-defined (paper assumption)")
@@ -102,34 +109,34 @@ impl SyncRule for LocalMetropolisRule {
 
     fn make_scratch(&self, _mrf: &Mrf) -> Self::Scratch {}
 
-    fn propose(
+    fn propose<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        _state: &[Spin],
+        _state: &Sv,
         rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
     ) -> Spin {
         ctx.mrf().vertex_activity(v).sample(rng)
     }
 
-    fn resolve(
+    fn resolve<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         locals: &[Spin],
         _rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
     ) -> Spin {
         let mrf = ctx.mrf();
         let g = mrf.graph();
-        let old = state[v.index()];
+        let old = state.spin(v.index());
         for (e, _) in g.incident_edges(v) {
             // Evaluate the filter in the edge's stored orientation so
             // both endpoints agree on the factors bit-for-bit.
             let (a, b) = g.endpoints(e);
-            let (xu, xv) = (state[a.index()], state[b.index()]);
+            let (xu, xv) = (state.spin(a.index()), state.spin(b.index()));
             let (su, sv) = (locals[a.index()], locals[b.index()]);
             let act = mrf.edge_activity(e);
             let mut p = act.normalized(su, sv) * act.normalized(xu, sv);
@@ -144,6 +151,17 @@ impl SyncRule for LocalMetropolisRule {
             }
         }
         locals[v.index()]
+    }
+
+    fn hot_kernel(
+        &self,
+        mrf: &Arc<Mrf>,
+        packing: Packing,
+        block_rng: bool,
+    ) -> Option<Box<dyn HotKernel<Spin>>> {
+        Some(hotpath::local_metropolis_kernel(
+            mrf, self.rule3, packing, block_rng,
+        ))
     }
 }
 
@@ -201,30 +219,44 @@ impl<S: VertexScheduler> SyncRule for LubyGlauberRule<S> {
         self.scheduler.single_vertex(ctx)
     }
 
-    fn propose(
+    fn propose<Sv: StateView + ?Sized>(
         &self,
         _ctx: &RoundCtx,
         v: VertexId,
-        _state: &[Spin],
+        _state: &Sv,
         rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
     ) -> S::Mark {
         self.scheduler.mark(v, rng)
     }
 
-    fn resolve(
+    fn resolve<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         locals: &[S::Mark],
         rng: &mut Xoshiro256pp,
         scratch: &mut Self::Scratch,
     ) -> Spin {
         if !self.scheduler.selected(ctx, v, locals) {
-            return state[v.index()];
+            return state.spin(v.index());
         }
         scratch.resample(ctx.mrf(), v, state, rng)
+    }
+
+    fn hot_kernel(
+        &self,
+        mrf: &Arc<Mrf>,
+        packing: Packing,
+        block_rng: bool,
+    ) -> Option<Box<dyn HotKernel<S::Mark>>> {
+        Some(hotpath::luby_glauber_kernel(
+            mrf,
+            self.scheduler.clone(),
+            packing,
+            block_rng,
+        ))
     }
 }
 
@@ -265,21 +297,21 @@ impl SyncRule for GlauberRule {
         Some(ctx.shared_vertex())
     }
 
-    fn propose(
+    fn propose<Sv: StateView + ?Sized>(
         &self,
         _ctx: &RoundCtx,
         _v: VertexId,
-        _state: &[Spin],
+        _state: &Sv,
         _rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
     ) {
     }
 
-    fn resolve(
+    fn resolve<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         _locals: &[()],
         rng: &mut Xoshiro256pp,
         scratch: &mut Self::Scratch,
@@ -310,21 +342,21 @@ impl SyncRule for MetropolisRule {
         Some(ctx.shared_vertex())
     }
 
-    fn propose(
+    fn propose<Sv: StateView + ?Sized>(
         &self,
         _ctx: &RoundCtx,
         _v: VertexId,
-        _state: &[Spin],
+        _state: &Sv,
         _rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
     ) {
     }
 
-    fn resolve(
+    fn resolve<Sv: StateView + ?Sized>(
         &self,
         ctx: &RoundCtx,
         v: VertexId,
-        state: &[Spin],
+        state: &Sv,
         _locals: &[()],
         rng: &mut Xoshiro256pp,
         _scratch: &mut Self::Scratch,
@@ -333,14 +365,16 @@ impl SyncRule for MetropolisRule {
         let proposal = mrf.vertex_activity(v).sample(rng);
         let mut accept_prob = 1.0;
         for (e, u) in mrf.graph().incident_edges(v) {
-            accept_prob *= mrf.edge_activity(e).normalized(proposal, state[u.index()]);
+            accept_prob *= mrf
+                .edge_activity(e)
+                .normalized(proposal, state.spin(u.index()));
         }
         // One coin per step keeps coupled streams aligned.
         let coin = rng.uniform_f64();
         if coin < accept_prob {
             proposal
         } else {
-            state[v.index()]
+            state.spin(v.index())
         }
     }
 }

@@ -41,7 +41,7 @@
 //! every partition — property-tested across partitioners, algorithms,
 //! and schedulers in `tests/sharded.rs`.
 
-use super::{RoundCtx, SyncRule};
+use super::{Packing, RoundCtx, StateSlab, SyncRule};
 use lsl_graph::partition::Partition;
 use lsl_graph::VertexId;
 use lsl_mrf::{Mrf, Spin};
@@ -54,10 +54,12 @@ struct ShardWorker<R: SyncRule> {
     /// Owned ∪ halo: the vertices whose slab entries are maintained
     /// (ascending). Proposals are computed over this whole set.
     active: Vec<VertexId>,
-    /// Full-length private state slab. Global indexing keeps the
+    /// Full-length private state slab, packed at the model's auto
+    /// packing (rules read it through
+    /// [`StateView`](super::StateView)). Global indexing keeps the
     /// [`SyncRule`] interface unchanged; only `active` entries are
     /// maintained, everything else goes stale after round 0.
-    slab: Vec<Spin>,
+    slab: StateSlab,
     /// Next spins of owned vertices (parallel to `owned`) — the private
     /// half of the double buffering.
     next_owned: Vec<Spin>,
@@ -76,7 +78,9 @@ struct Exchange {
     /// Boundary vertices owned by `owner` that `subscriber`'s halo
     /// needs (ascending, so membership is a binary search).
     vertices: Vec<VertexId>,
-    buffer: Vec<Spin>,
+    /// Packed like the slabs — what crosses a boundary is the packed
+    /// representation, which is what the byte accounting charges for.
+    buffer: StateSlab,
 }
 
 /// Per-round boundary-communication record of a [`ShardedChain`].
@@ -87,7 +91,9 @@ pub struct RoundComm {
     /// Boundary-vertex states that crossed a shard boundary (one
     /// vertex-state to one subscriber = one message).
     pub messages: u64,
-    /// Payload bytes: `messages × size_of::<Spin>()`.
+    /// Payload bytes at the chain's slab packing:
+    /// `ceil(messages × bits_per_spin / 8)` — 1 byte per message for
+    /// `q ≤ 256`, 1 *bit* per message for two-spin models.
     pub bytes: u64,
     /// Messages whose state actually differed from the subscriber's
     /// ghost copy — the volume a delta-compressing implementation
@@ -152,8 +158,8 @@ impl CommStats {
         self.total_changed = 0;
     }
 
-    fn record(&mut self, round: u64, messages: u64, changed: u64) {
-        let bytes = messages * std::mem::size_of::<Spin>() as u64;
+    fn record(&mut self, round: u64, messages: u64, changed: u64, bits_per_spin: u32) {
+        let bytes = (messages * u64::from(bits_per_spin)).div_ceil(8);
         if self.rounds.len() < MAX_ROUND_RECORDS {
             self.rounds.push(RoundComm {
                 round,
@@ -205,6 +211,9 @@ pub struct ShardedChain<R: SyncRule> {
     /// Canonical observer-facing configuration, refreshed from the
     /// owners' next buffers every round.
     state: Vec<Spin>,
+    /// The packing every slab and exchange buffer uses
+    /// ([`Packing::auto_for`] the model's `q`).
+    packing: Packing,
     comm: CommStats,
     master: u64,
     round: u64,
@@ -263,6 +272,7 @@ impl<R: SyncRule> ShardedChain<R> {
         );
         let g = mrf.graph();
         let k = partition.num_shards();
+        let packing = Packing::auto_for(mrf.q());
 
         // Per-shard halos, and the boundary channels they induce.
         let mut shards = Vec::with_capacity(k);
@@ -290,7 +300,7 @@ impl<R: SyncRule> ShardedChain<R> {
             shards.push(ShardWorker {
                 owned,
                 active,
-                slab: state.clone(),
+                slab: StateSlab::from_spins(packing, &state),
                 next_owned,
                 locals: vec![R::Local::default(); n],
                 scratch: rule.make_scratch(&mrf),
@@ -301,7 +311,7 @@ impl<R: SyncRule> ShardedChain<R> {
             .map(|((owner, subscriber), mut vertices)| {
                 vertices.sort_unstable();
                 vertices.dedup();
-                let buffer = vec![0; vertices.len()];
+                let buffer = StateSlab::new(packing, vertices.len());
                 Exchange {
                     owner,
                     subscriber,
@@ -317,6 +327,7 @@ impl<R: SyncRule> ShardedChain<R> {
             shards,
             plan,
             state,
+            packing,
             comm: CommStats::default(),
             master,
             round: 0,
@@ -349,6 +360,11 @@ impl<R: SyncRule> ShardedChain<R> {
         self.partition.num_shards()
     }
 
+    /// The packing of every shard slab and exchange buffer.
+    pub fn packing(&self) -> Packing {
+        self.packing
+    }
+
     /// The current configuration.
     pub fn state(&self) -> &[Spin] {
         &self.state
@@ -364,7 +380,7 @@ impl<R: SyncRule> ShardedChain<R> {
         self.state.copy_from_slice(state);
         for w in &mut self.shards {
             for &v in &w.active {
-                w.slab[v.index()] = state[v.index()];
+                w.slab.set(v.index(), state[v.index()]);
             }
         }
     }
@@ -429,7 +445,7 @@ impl<R: SyncRule> ShardedChain<R> {
         let spin = self
             .rule
             .resolve(ctx, v, &w.slab, &w.locals, rng.raw(), &mut w.scratch);
-        w.slab[v.index()] = spin;
+        w.slab.set(v.index(), spin);
         self.state[v.index()] = spin;
         let (mut messages, mut changed) = (0u64, 0u64);
         for ex in &mut self.plan {
@@ -438,10 +454,11 @@ impl<R: SyncRule> ShardedChain<R> {
             }
             let sub = &mut self.shards[ex.subscriber];
             messages += 1;
-            changed += u64::from(sub.slab[v.index()] != spin);
-            sub.slab[v.index()] = spin;
+            changed += u64::from(sub.slab.get(v.index()) != spin);
+            sub.slab.set(v.index(), spin);
         }
-        self.comm.record(self.round, messages, changed);
+        self.comm
+            .record(self.round, messages, changed, self.packing.bits_per_spin());
     }
 
     /// A synchronous round: per-shard propose + resolve in parallel,
@@ -478,29 +495,31 @@ impl<R: SyncRule> ShardedChain<R> {
         // double buffer) into their own slab and the canonical mirror.
         for w in &mut self.shards {
             for (i, &v) in w.owned.iter().enumerate() {
-                w.slab[v.index()] = w.next_owned[i];
+                w.slab.set(v.index(), w.next_owned[i]);
                 self.state[v.index()] = w.next_owned[i];
             }
         }
 
-        // Exchange, stage 1: owners fill the frontier buffers.
+        // Exchange, stage 1: owners fill the packed frontier buffers.
         for ex in &mut self.plan {
             let owner = &self.shards[ex.owner];
-            for (slot, &v) in ex.buffer.iter_mut().zip(&ex.vertices) {
-                *slot = owner.slab[v.index()];
+            for (i, &v) in ex.vertices.iter().enumerate() {
+                ex.buffer.set(i, owner.slab.get(v.index()));
             }
         }
         // Exchange, stage 2: subscribers drain them into their halos.
         let (mut messages, mut changed) = (0u64, 0u64);
         for ex in &mut self.plan {
             let sub = &mut self.shards[ex.subscriber];
-            for (&spin, &v) in ex.buffer.iter().zip(&ex.vertices) {
+            for (i, &v) in ex.vertices.iter().enumerate() {
+                let spin = ex.buffer.get(i);
                 messages += 1;
-                changed += u64::from(sub.slab[v.index()] != spin);
-                sub.slab[v.index()] = spin;
+                changed += u64::from(sub.slab.get(v.index()) != spin);
+                sub.slab.set(v.index(), spin);
             }
         }
-        self.comm.record(self.round, messages, changed);
+        self.comm
+            .record(self.round, messages, changed, self.packing.bits_per_spin());
     }
 }
 
@@ -545,12 +564,29 @@ mod tests {
             let cut = part.stats(mrf.graph()).cut_size as u64;
             let mut chain = ShardedChain::new(&mrf, LubyGlauberRule::luby(), 3, part);
             chain.run(5);
+            // q = 12 packs into byte lanes: one byte per message.
+            assert_eq!(chain.packing(), Packing::Byte);
             for rc in chain.comm().per_round() {
                 assert!(rc.messages > 0, "a cut partition must communicate");
                 assert!(rc.messages <= 2 * cut, "{} > 2*{cut}", rc.messages);
-                assert_eq!(rc.bytes, rc.messages * 4);
+                assert_eq!(rc.bytes, rc.messages);
                 assert!(rc.changed <= rc.messages);
             }
+        }
+    }
+
+    #[test]
+    fn two_spin_models_exchange_bits() {
+        // Ising spins pack into bit lanes: a round's payload is
+        // ceil(messages / 8) bytes, not 4 bytes per message.
+        let mrf = models::ising(generators::torus(6, 6), 0.3);
+        let part = Partition::bfs(mrf.graph(), 3);
+        let mut chain = ShardedChain::new(&mrf, LocalMetropolisRule::new(), 9, part);
+        assert_eq!(chain.packing(), Packing::Bit);
+        chain.run(5);
+        for rc in chain.comm().per_round() {
+            assert!(rc.messages > 0);
+            assert_eq!(rc.bytes, rc.messages.div_ceil(8));
         }
     }
 

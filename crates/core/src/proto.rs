@@ -171,6 +171,9 @@ fn encode_build_error(e: &BuildError) -> String {
         BuildError::UnsupportedOnCsp { what } => {
             format!("combo-unsupported-on-csp:what={}", escape(what))
         }
+        BuildError::InvalidHotPath { reason } => {
+            format!("combo-invalid-hotpath:reason={}", escape(reason))
+        }
     }
 }
 
@@ -235,6 +238,12 @@ fn decode_build_error(kind: &str, args: &str) -> Result<BuildError, WireError> {
             let what = known_static(&unescape(v[0])?, KNOWN_WHATS)
                 .unwrap_or("a job the remote end rejected");
             BuildError::UnsupportedOnCsp { what }
+        }
+        "combo-invalid-hotpath" => {
+            let v = error_args(args, &["reason"])?;
+            BuildError::InvalidHotPath {
+                reason: unescape(v[0])?,
+            }
         }
         other => return Err(wire_err(format!("unknown combo error {other:?}"))),
     })

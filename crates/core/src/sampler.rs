@@ -55,7 +55,7 @@
 use crate::engine::replicas::ReplicaSet;
 use crate::engine::rules::{GlauberRule, LocalMetropolisRule, LubyGlauberRule, MetropolisRule};
 use crate::engine::sharded::{CommStats, ShardedChain};
-use crate::engine::{Backend, SyncChain, SyncRule};
+use crate::engine::{Backend, HotPath, SyncChain, SyncRule};
 use crate::schedule::{
     BernoulliFilterScheduler, ChromaticScheduler, LubyScheduler, SingletonScheduler,
 };
@@ -256,6 +256,11 @@ pub enum BuildError {
         /// What was requested (e.g. an algorithm or job name).
         what: &'static str,
     },
+    /// An explicit hot-path packing that cannot hold the model's spins.
+    InvalidHotPath {
+        /// What was wrong (e.g. `"packing bit cannot hold q = 5 spins"`).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -288,6 +293,9 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::UnsupportedOnCsp { what } => {
                 write!(f, "{what} is not supported on CSP models")
+            }
+            BuildError::InvalidHotPath { reason } => {
+                write!(f, "invalid hot path: {reason}")
             }
         }
     }
@@ -371,6 +379,7 @@ pub struct SamplerBuilder {
     scheduler: Option<Sched>,
     backend: Backend,
     partitioner: lsl_graph::partition::Partitioner,
+    hotpath: Option<HotPath>,
     seed: u64,
     burn_in: usize,
     start: Option<Vec<Spin>>,
@@ -409,6 +418,17 @@ impl SamplerBuilder {
     /// replica batches (whose state is one flat arena by design).
     pub fn partitioner(mut self, partitioner: lsl_graph::partition::Partitioner) -> Self {
         self.partitioner = partitioner;
+        self
+    }
+
+    /// The hot-path selection for the engine's synchronous rounds
+    /// (default: the engine default, [`HotPath::default`] — lane-batched
+    /// kernels at auto packing). Trajectories are hot-path-independent:
+    /// kernels are bit-identical to [`HotPath::Scalar`]. The sharded
+    /// executor and CSP chains always run the scalar phases and ignore
+    /// this.
+    pub fn hotpath(mut self, hotpath: HotPath) -> Self {
+        self.hotpath = Some(hotpath);
         self
     }
 
@@ -478,6 +498,10 @@ impl SamplerBuilder {
                 return Err(BuildError::StartRequiredForCsp);
             }
         }
+        if let (Model::Mrf(mrf), Some(hp)) = (&self.model, self.hotpath) {
+            hp.validate_for(mrf.q())
+                .map_err(|reason| BuildError::InvalidHotPath { reason })?;
+        }
         Ok(())
     }
 
@@ -491,6 +515,7 @@ impl SamplerBuilder {
             Model::Mrf(mrf) => {
                 let start = self.start;
                 let seed = self.seed;
+                let hotpath = self.hotpath;
                 dispatch_rule!(self.algorithm, self.scheduler, &mrf, |rule| {
                     // The sharded backend is a different executor, not a
                     // different sweep order: owner-computes shards over a
@@ -511,7 +536,12 @@ impl SamplerBuilder {
                             partition,
                         ))
                     } else {
-                        Box::new(wire(Arc::clone(&mrf), rule, seed, start, backend))
+                        let mut chain = wire(Arc::clone(&mrf), rule, seed, start, backend);
+                        if let Some(hp) = hotpath {
+                            // Validated above, so this cannot panic.
+                            chain.set_hotpath(hp);
+                        }
+                        Box::new(chain)
                     };
                     Sampler {
                         inner,
@@ -853,6 +883,10 @@ impl ReplicaBuilder {
             set
         });
         set.set_backend(backend);
+        if let Some(hp) = self.base.hotpath {
+            // Validated above, so this cannot panic.
+            set.set_hotpath(hp);
+        }
         let mut sampler = ReplicaSampler {
             inner: set,
             algorithm,
@@ -1027,6 +1061,7 @@ impl Sampler {
             scheduler: None,
             backend: Backend::Sequential,
             partitioner: lsl_graph::partition::Partitioner::Contiguous,
+            hotpath: None,
             seed: 0,
             burn_in: 0,
             start: None,
@@ -1044,6 +1079,7 @@ impl Sampler {
             scheduler: None,
             backend: Backend::Sequential,
             partitioner: lsl_graph::partition::Partitioner::Contiguous,
+            hotpath: None,
             seed: 0,
             burn_in: 0,
             start: None,
@@ -1163,6 +1199,7 @@ trait DynReplicas {
     fn coalesced(&self) -> bool;
     fn round(&self) -> u64;
     fn set_backend(&mut self, backend: Backend);
+    fn set_hotpath(&mut self, hotpath: HotPath);
 }
 
 impl<R: SyncRule> DynReplicas for ReplicaSet<R> {
@@ -1183,6 +1220,9 @@ impl<R: SyncRule> DynReplicas for ReplicaSet<R> {
     }
     fn set_backend(&mut self, backend: Backend) {
         ReplicaSet::set_backend(self, backend);
+    }
+    fn set_hotpath(&mut self, hotpath: HotPath) {
+        ReplicaSet::set_hotpath(self, hotpath);
     }
 }
 

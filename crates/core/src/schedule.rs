@@ -48,8 +48,9 @@ pub trait Scheduler {
 /// round-shared stream for global draws). This is what lets LubyGlauber
 /// rounds execute in parallel — or batched across replicas — without
 /// changing the scheduled set's distribution. Schedulers are
-/// `Send + Sync` so the rules that embed them make `Send` chains.
-pub trait VertexScheduler: Send + Sync {
+/// `Send + Sync` so the rules that embed them make `Send` chains, and
+/// `Clone + 'static` so the hot-path kernels can own a copy.
+pub trait VertexScheduler: Send + Sync + Clone + 'static {
     /// The per-vertex mark published by the propose phase.
     type Mark: Copy + Send + Sync + Default;
 

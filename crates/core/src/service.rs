@@ -138,6 +138,13 @@ struct Task {
 /// (deterministically, so answers never change).
 const MODEL_CACHE_CAP: usize = 32;
 
+/// Minimum wall-clock spacing between consecutive [`JobEvent::Progress`]
+/// emissions for one job. Ticks arriving sooner are dropped — except
+/// completion ticks (`round == of`), which always ship — bounding the
+/// event rate of tight round loops to ~`1/PROGRESS_MIN_INTERVAL` per
+/// job regardless of how fast the engine steps.
+const PROGRESS_MIN_INTERVAL: std::time::Duration = std::time::Duration::from_millis(25);
+
 /// Cache counters since service start; see [`Service::cache_stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -534,8 +541,22 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
                 }
             };
             // An abandoned sink just swallows progress; fine.
+            //
+            // Throttled: a fast round loop can tick thousands of times
+            // a second, and each `Progress` is a clone + (over the
+            // wire) a framed line — so ticks inside the minimum
+            // interval are dropped. The first tick and every
+            // completion tick (`round == of`) always ship, keeping the
+            // stream's "ends complete" shape intact.
+            let mut last_emit: Option<std::time::Instant> = None;
             spec.run_on_observed(&model, &mut |round, of| {
-                emit(JobEvent::Progress { round, of });
+                let now = std::time::Instant::now();
+                let due =
+                    last_emit.is_none_or(|at| now.duration_since(at) >= PROGRESS_MIN_INTERVAL);
+                if due || round == of {
+                    last_emit = Some(now);
+                    emit(JobEvent::Progress { round, of });
+                }
             })
         }));
         let result = outcome.unwrap_or_else(|payload| {
@@ -632,6 +653,40 @@ mod tests {
             );
             assert!(matches!(events.last(), Some(JobEvent::Finished(_))));
         }
+    }
+
+    /// The throttle's guarantee: non-completion `Progress` emissions
+    /// are spaced at least [`PROGRESS_MIN_INTERVAL`] apart, so the
+    /// event count is bounded by the job's own elapsed time — no
+    /// matter how many times the round loop ticks. (Coalescence ticks
+    /// once per chain round, thousands of times a second.)
+    #[test]
+    fn progress_emission_is_rate_bounded() {
+        let service = Service::new(1);
+        let events: Vec<JobEvent> = service
+            .submit(spec(
+                "graph=cycle:6 model=coloring:q=8 seed=4 job=coalescence:trials=4,max-rounds=5000",
+            ))
+            .events()
+            .collect();
+        let progress = events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Progress { .. }))
+            .count();
+        let elapsed = events
+            .iter()
+            .find_map(|e| match e {
+                JobEvent::Finished(r) => Some(r.elapsed_secs),
+                _ => None,
+            })
+            .expect("job finishes");
+        // First tick + one per elapsed interval + completion ticks
+        // (one per trial can hit `round == of`, plus the final).
+        let allowed = 1 + (elapsed / PROGRESS_MIN_INTERVAL.as_secs_f64()).ceil() as usize + 5;
+        assert!(
+            progress <= allowed,
+            "{progress} progress events for a {elapsed:.3}s job (allowed {allowed})"
+        );
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! * `model=` — every [`lsl_mrf::models`] constructor
 //!   (`coloring:q=Q`, `ising:beta=B`, ...) plus the CSP scenarios
 //!   (`dominating-set`, `mis`);
-//! * `algorithm=` / `scheduler=` / `backend=` / `partitioner=` — the
-//!   facade's [`Algorithm`], [`Sched`], [`Backend`], and
-//!   [`Partitioner`], via their `FromStr`/`Display` forms;
+//! * `algorithm=` / `scheduler=` / `backend=` / `partitioner=` /
+//!   `hotpath=` — the facade's [`Algorithm`], [`Sched`], [`Backend`],
+//!   [`Partitioner`], and [`HotPath`], via their `FromStr`/`Display`
+//!   forms;
 //! * `seed=` / `graph-seed=` / `burn-in=` — determinism knobs (the
 //!   graph seed defaults to the chain seed);
 //! * `job=` — what to measure: `run:rounds=N` (default),
@@ -44,7 +45,7 @@
 //! with a model cache and the same guarantee.
 
 use crate::engine::sharded::CommStats;
-use crate::engine::Backend;
+use crate::engine::{Backend, HotPath};
 use crate::sampler::{Algorithm, BuildError, Sampler, SamplerBuilder, Sched};
 use lsl_graph::partition::Partitioner;
 use lsl_graph::Graph;
@@ -126,7 +127,7 @@ impl fmt::Display for SpecError {
             SpecError::UnknownKey { key } => write!(
                 f,
                 "unknown key {key:?} (expected graph | model | algorithm | scheduler | \
-                 backend | partitioner | seed | graph-seed | burn-in | job)"
+                 backend | partitioner | hotpath | seed | graph-seed | burn-in | job)"
             ),
             SpecError::DuplicateKey { key } => write!(f, "key {key:?} given twice"),
             SpecError::MissingKey { key } => write!(f, "required key {key:?} is missing"),
@@ -705,6 +706,9 @@ pub struct JobSpec {
     pub backend: Option<Backend>,
     /// The sharded partitioner (default: contiguous).
     pub partitioner: Option<Partitioner>,
+    /// The engine hot path (default: the engine default, lane-batched
+    /// kernels). Trajectories are hot-path-independent.
+    pub hotpath: Option<HotPath>,
     /// The chain master seed (default: 0).
     pub seed: Option<u64>,
     /// The random-graph seed (default: the chain seed).
@@ -726,6 +730,7 @@ impl JobSpec {
             scheduler: None,
             backend: None,
             partitioner: None,
+            hotpath: None,
             seed: None,
             graph_seed: None,
             burn_in: None,
@@ -848,6 +853,9 @@ impl JobSpec {
         }
         if let Some(p) = self.partitioner {
             b = b.partitioner(p);
+        }
+        if let Some(h) = self.hotpath {
+            b = b.hotpath(h);
         }
         b
     }
@@ -979,6 +987,9 @@ impl fmt::Display for JobSpec {
         if let Some(p) = self.partitioner {
             write!(f, " partitioner={p}")?;
         }
+        if let Some(h) = self.hotpath {
+            write!(f, " hotpath={h}")?;
+        }
         if let Some(s) = self.seed {
             write!(f, " seed={s}")?;
         }
@@ -1005,6 +1016,7 @@ impl FromStr for JobSpec {
         let mut scheduler = None;
         let mut backend = None;
         let mut partitioner = None;
+        let mut hotpath = None;
         let mut seed = None;
         let mut graph_seed = None;
         let mut burn_in = None;
@@ -1049,6 +1061,11 @@ impl FromStr for JobSpec {
                     key,
                     value.parse::<Partitioner>().map_err(|m| bad(key, m))?,
                 )?,
+                "hotpath" => set(
+                    &mut hotpath,
+                    key,
+                    value.parse::<HotPath>().map_err(|m| bad(key, m))?,
+                )?,
                 "seed" => set(&mut seed, key, parse_int::<u64>(key, value)?)?,
                 "graph-seed" => set(&mut graph_seed, key, parse_int::<u64>(key, value)?)?,
                 "burn-in" => set(&mut burn_in, key, parse_int::<usize>(key, value)?)?,
@@ -1068,6 +1085,7 @@ impl FromStr for JobSpec {
             scheduler,
             backend,
             partitioner,
+            hotpath,
             seed,
             graph_seed,
             burn_in,

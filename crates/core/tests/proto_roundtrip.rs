@@ -137,6 +137,7 @@ fn arb_build_error() -> impl Strategy<Value = BuildError> {
             Just("replica batching"),
         ]
         .prop_map(|what| BuildError::UnsupportedOnCsp { what }),
+        arb_message().prop_map(|reason| BuildError::InvalidHotPath { reason }),
     ]
 }
 

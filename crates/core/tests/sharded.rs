@@ -163,10 +163,9 @@ proptest! {
                 // and each cut edge induces at most two such pairs.
                 prop_assert!(rc.messages <= 2 * cut, "{} > 2*{cut}", rc.messages);
                 prop_assert!(rc.changed <= rc.messages);
-                prop_assert_eq!(
-                    rc.bytes,
-                    rc.messages * std::mem::size_of::<lsl_mrf::Spin>() as u64
-                );
+                // Payload is charged at the packed width.
+                let bits = u64::from(chain.packing().bits_per_spin());
+                prop_assert_eq!(rc.bytes, (rc.messages * bits).div_ceil(8));
             }
         }
     }

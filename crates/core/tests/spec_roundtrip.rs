@@ -4,7 +4,7 @@
 //! the `FromStr`/`Display` pairs of the four workload enums round-trip
 //! on their own.
 
-use lsl_core::engine::Backend;
+use lsl_core::engine::{Backend, HotPath, Packing};
 use lsl_core::sampler::{Algorithm, Sched};
 use lsl_core::spec::{GraphSpec, JobKind, JobSpec, ModelSpec};
 use lsl_graph::partition::Partitioner;
@@ -96,6 +96,20 @@ fn arb_partitioner() -> impl Strategy<Value = Partitioner> {
     ]
 }
 
+fn arb_hotpath() -> impl Strategy<Value = HotPath> {
+    let packing = prop_oneof![
+        Just(None),
+        Just(Some(Packing::Wide)),
+        Just(Some(Packing::Byte)),
+        Just(Some(Packing::Bit)),
+    ];
+    prop_oneof![
+        Just(HotPath::Scalar),
+        (packing, any::<bool>())
+            .prop_map(|(packing, block_rng)| HotPath::Lanes { packing, block_rng }),
+    ]
+}
+
 fn arb_job() -> impl Strategy<Value = JobKind> {
     prop_oneof![
         (1usize..500).prop_map(|rounds| JobKind::Run { rounds }),
@@ -115,6 +129,7 @@ prop_compose! {
         scheduler in proptest::option::of(arb_sched()),
         backend in proptest::option::of(arb_backend()),
         partitioner in proptest::option::of(arb_partitioner()),
+        hotpath in proptest::option::of(arb_hotpath()),
         seed in proptest::option::of(0u64..1_000_000),
         graph_seed in proptest::option::of(0u64..1_000_000),
         burn_in in proptest::option::of(0usize..100),
@@ -127,6 +142,7 @@ prop_compose! {
             scheduler,
             backend,
             partitioner,
+            hotpath,
             seed,
             graph_seed,
             burn_in,
@@ -167,6 +183,11 @@ proptest! {
     #[test]
     fn partitioner_roundtrips(p in arb_partitioner()) {
         prop_assert_eq!(p.to_string().parse::<Partitioner>().unwrap(), p);
+    }
+
+    #[test]
+    fn hotpath_roundtrips(h in arb_hotpath()) {
+        prop_assert_eq!(h.to_string().parse::<HotPath>().unwrap(), h);
     }
 
     /// Deterministic graph builds: the same spec builds the same graph

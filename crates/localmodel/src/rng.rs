@@ -12,12 +12,28 @@
 
 use rand::Rng;
 
+/// SplitMix64's additive state constant.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// SplitMix64 step: the standard 64-bit mixing finalizer, used both to
 /// seed Xoshiro and to derive child keys.
 #[inline]
 pub fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    *state = state.wrapping_add(GOLDEN);
     let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `k`-th [`splitmix64`] output from initial state `base`, computed
+/// directly: the state advance is pure addition, so consecutive outputs
+/// are independent finalizer mixes of `base + k·GOLDEN`. Block fills use
+/// this to compute only the outputs they need, each at dependency depth
+/// one instead of at the end of a serial state chain.
+#[inline(always)]
+fn splitmix_at(base: u64, k: u64) -> u64 {
+    let mut z = base.wrapping_add(GOLDEN.wrapping_mul(k));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -26,10 +42,8 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 /// Mixes a master seed with a stream label and index into a child seed.
 #[inline]
 pub fn derive_seed(master: u64, label: u64, index: u64) -> u64 {
-    let mut s = master ^ label.rotate_left(32) ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93);
-    let a = splitmix64(&mut s);
-    let b = splitmix64(&mut s);
-    a ^ b.rotate_left(17)
+    let s = master ^ label.rotate_left(32) ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    splitmix_at(s, 1) ^ splitmix_at(s, 2).rotate_left(17)
 }
 
 /// Xoshiro256++ — a small, fast, well-tested PRNG; the engine behind every
@@ -142,8 +156,165 @@ pub struct VertexRng {
     inner: Xoshiro256pp,
 }
 
-/// Label under which vertex streams are derived.
-const VERTEX_STREAM_LABEL: u64 = 0x5653_5452_4541_4d00; // "VSTREAM\0"
+/// Label under which vertex streams are derived (public so block fills
+/// can address the same streams as [`VertexRng::for_vertex`]).
+pub const VERTEX_STREAM_LABEL: u64 = 0x5653_5452_4541_4d00; // "VSTREAM\0"
+
+/// The first output of the derived stream `(master, label, index)` —
+/// exactly the value the stream's first `next()` would return.
+///
+/// Single-draw consumers (proposal samples, Luby marks, edge coins) can
+/// therefore be served from a precomputed block of heads instead of a
+/// generator construction per index, with bit-identical results.
+#[inline]
+pub fn stream_head(master: u64, label: u64, index: u64) -> u64 {
+    Xoshiro256pp::seed_from(derive_seed(master, label, index)).next()
+}
+
+/// First output of the all-zero-seed fallback state `[1, 2, 3, 4]`
+/// (`(1 + 4).rotate_left(23) + 1`) — lets [`head_at`] stay branchless
+/// where [`Xoshiro256pp::seed_from`] branches.
+const ZERO_GUARD_HEAD: u64 = (5u64 << 23) | 1;
+
+/// Branchless [`stream_head`]: the same SplitMix64/Xoshiro mixing steps
+/// with the zero-state guard as a select, so block fills auto-vectorize
+/// (the guard fires only if four consecutive SplitMix64 outputs are all
+/// zero — equality with the branching path is asserted by
+/// `stream_heads_match_per_vertex_streams`).
+#[inline(always)]
+fn head_at(master: u64, label: u64, index: u64) -> u64 {
+    let child = derive_seed(master, label, index);
+    let s0 = splitmix_at(child, 1);
+    let s1 = splitmix_at(child, 2);
+    let s2 = splitmix_at(child, 3);
+    let s3 = splitmix_at(child, 4);
+    let head = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+    if s0 | s1 | s2 | s3 == 0 {
+        ZERO_GUARD_HEAD
+    } else {
+        head
+    }
+}
+
+/// The eight-multiply fast path of [`head_at`]: only `s0` and `s3` of
+/// the freshly seeded Xoshiro state feed a stream's first output, so a
+/// head needs four direct [`splitmix_at`] mixes, not six. The zero-state
+/// guard also needs `s1 | s2`, but can only fire when `s0 | s3 == 0` —
+/// so instead of computing them, this returns that condition as a flag;
+/// callers OR-accumulate it and re-run the exact [`head_at`] over the
+/// block iff any index raised it (probability ~2⁻¹²⁸ per index).
+#[inline(always)]
+fn head_fast(master: u64, label: u64, index: u64) -> (u64, u64) {
+    let child = derive_seed(master, label, index);
+    let s0 = splitmix_at(child, 1);
+    let s3 = splitmix_at(child, 4);
+    let head = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+    (head, u64::from(s0 | s3 == 0))
+}
+
+/// The `[0, 1)` mapping of [`Xoshiro256pp::uniform_f64`] applied to a
+/// raw head: top 53 bits, bit-for-bit the same `f64`.
+#[inline(always)]
+pub fn head_to_f64(head: u64) -> f64 {
+    (head >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Declares scalar/AVX2/AVX-512 clones of a fill loop and a dispatcher
+/// that picks the widest instruction set the host supports. The bodies
+/// are identical — the `#[target_feature]` clones just let LLVM
+/// vectorize the (branchless, independent-per-index) loop with wider
+/// registers and native 64-bit multiplies (`vpmullq` needs AVX-512DQ).
+/// On non-x86-64 hosts only the portable loop exists.
+macro_rules! simd_fill {
+    ($(#[$doc:meta])* $name:ident, $elem:ty, $fast:expr, $exact:expr) => {
+        $(#[$doc])*
+        pub fn $name(master: u64, label: u64, out: &mut [$elem]) {
+            #[inline(always)]
+            fn portable(master: u64, label: u64, out: &mut [$elem]) {
+                // `fn(master, label, index) -> (elem, flag)`, pure; a
+                // nonzero flag marks an index whose fast value may
+                // disagree with the exact one (the Xoshiro zero-state
+                // guard, which the fast path does not evaluate fully).
+                let fast = $fast;
+                let mut rare = 0u64;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let (val, flag) = fast(master, label, i as u64);
+                    rare |= flag;
+                    *slot = val;
+                }
+                if rare != 0 {
+                    // A possibly-guarded index exists: redo the block on
+                    // the exact path. Never taken in practice — kept for
+                    // bit-exactness with the per-index streams.
+                    let exact = $exact;
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot = exact(master, label, i as u64);
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+                unsafe fn wide512(master: u64, label: u64, out: &mut [$elem]) {
+                    portable(master, label, out);
+                }
+                #[target_feature(enable = "avx2")]
+                unsafe fn wide256(master: u64, label: u64, out: &mut [$elem]) {
+                    portable(master, label, out);
+                }
+                if std::arch::is_x86_feature_detected!("avx512dq")
+                    && std::arch::is_x86_feature_detected!("avx512vl")
+                {
+                    // SAFETY: the required features were just detected.
+                    return unsafe { wide512(master, label, out) };
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 was just detected.
+                    return unsafe { wide256(master, label, out) };
+                }
+            }
+            portable(master, label, out);
+        }
+    };
+}
+
+simd_fill!(
+    /// Fills `out[i]` with [`stream_head`]`(master, label, i)` — one
+    /// round's single-draw randomness as one contiguous, vectorizable
+    /// pass.
+    ///
+    /// The per-index streams are unchanged (each head is still a pure
+    /// function of `(master, label, index)`), so trajectories built on
+    /// the heads are identical to ones that construct a generator per
+    /// index.
+    fill_stream_heads, u64, head_fast, head_at
+);
+
+simd_fill!(
+    /// Fills `out[i] = derive_seed(master, label, i)` — the seed block
+    /// for multi-draw consumers, which then build each full stream with
+    /// [`Xoshiro256pp::seed_from`] exactly as the scalar path does.
+    fill_stream_seeds, u64, |m, l, i| (derive_seed(m, l, i), 0), derive_seed
+);
+
+/// Fills `out[i]` with the first `uniform_f64` of stream
+/// `(master, label, i)` — [`fill_stream_heads`] composed with
+/// [`head_to_f64`], both passes vectorized (filling heads and
+/// converting in one mixed-type loop defeats the vectorizer, so the
+/// heads land in `out`'s storage bit-cast and convert in place).
+pub fn fill_stream_uniforms(master: u64, label: u64, out: &mut [f64]) {
+    {
+        // SAFETY: `f64` and `u64` have identical size and alignment,
+        // and every bit pattern written is overwritten by the convert
+        // pass below before any caller reads it as a float.
+        let heads =
+            unsafe { core::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u64>(), out.len()) };
+        fill_stream_heads(master, label, heads);
+    }
+    for slot in out.iter_mut() {
+        *slot = head_to_f64(slot.to_bits());
+    }
+}
 
 impl VertexRng {
     /// Derives the stream `Ψ_v` of vertex `v` from a protocol master seed.
@@ -298,6 +469,53 @@ mod tests {
         for r in 0..1000u64 {
             assert!(seen.insert(round_key(9, r)), "round key collision");
         }
+    }
+
+    #[test]
+    fn stream_heads_match_per_vertex_streams() {
+        // The block fill must reproduce the first draw of every
+        // VertexRng stream bit-for-bit — the hot path's contract.
+        let master = round_key(42, 9);
+        let mut heads = vec![0u64; 64];
+        fill_stream_heads(master, VERTEX_STREAM_LABEL, &mut heads);
+        for (v, &head) in heads.iter().enumerate() {
+            let mut scalar = VertexRng::for_vertex(master, v as u32);
+            assert_eq!(head, scalar.random::<u64>(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn stream_seeds_match_derive_seed() {
+        let mut seeds = vec![0u64; 32];
+        fill_stream_seeds(7, VERTEX_STREAM_LABEL, &mut seeds);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, derive_seed(7, VERTEX_STREAM_LABEL, i as u64));
+            // Seeding from the block seed reproduces the full stream.
+            let mut blocked = Xoshiro256pp::seed_from(s);
+            let mut scalar = VertexRng::for_vertex(7, i as u32);
+            for _ in 0..8 {
+                assert_eq!(blocked.next(), scalar.random::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_fill_matches_stream_uniform_f64() {
+        let master = round_key(7, 3);
+        let mut coins = vec![0.0; 97];
+        fill_stream_uniforms(master, 5, &mut coins);
+        for (i, &c) in coins.iter().enumerate() {
+            let mut scalar = Xoshiro256pp::seed_from(derive_seed(master, 5, i as u64));
+            assert_eq!(c, scalar.uniform_f64(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn head_at_matches_branching_path_on_zero_guard() {
+        // The fallback state's head, as the branching constructor
+        // computes it.
+        let mut guarded = Xoshiro256pp { s: [1, 2, 3, 4] };
+        assert_eq!(guarded.next(), ZERO_GUARD_HEAD);
     }
 
     #[test]

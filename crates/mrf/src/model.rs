@@ -154,6 +154,33 @@ impl Mrf {
         &self.vertex_palette[self.vertex_kind[v.index()] as usize]
     }
 
+    /// The palette index of edge `e`'s activity (see [`Mrf::edge_palette`]).
+    #[inline]
+    pub fn edge_kind_of(&self, e: EdgeId) -> u32 {
+        self.edge_kind[e.index()]
+    }
+
+    /// The palette index of vertex `v`'s activity (see
+    /// [`Mrf::vertex_palette`]).
+    #[inline]
+    pub fn vertex_kind_of(&self, v: VertexId) -> u32 {
+        self.vertex_kind[v.index()]
+    }
+
+    /// The edge-activity palette, indexed by [`Mrf::edge_kind_of`]. Kernels
+    /// precompute per-kind tables (e.g. normalized filter factors) against
+    /// this instead of one table per edge.
+    #[inline]
+    pub fn edge_palette(&self) -> &[EdgeActivity] {
+        &self.edge_palette
+    }
+
+    /// The vertex-activity palette, indexed by [`Mrf::vertex_kind_of`].
+    #[inline]
+    pub fn vertex_palette(&self) -> &[VertexActivity] {
+        &self.vertex_palette
+    }
+
     /// The weight `w(σ)` of a configuration (paper eq. 1). May underflow to
     /// zero for large instances; use [`Mrf::log_weight`] there.
     ///
@@ -223,6 +250,21 @@ impl Mrf {
     /// # Panics
     /// Panics if `out.len() != q`.
     pub fn marginal_weights_into(&self, v: VertexId, config: &[Spin], out: &mut [f64]) {
+        self.marginal_weights_with(v, |u| config[u.index()], out);
+    }
+
+    /// [`Mrf::marginal_weights_into`] over an arbitrary spin accessor —
+    /// the slice variant delegates here, so any representation (flat
+    /// slice, packed slab, sharded halo) sees bit-identical weights.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != q`.
+    pub fn marginal_weights_with(
+        &self,
+        v: VertexId,
+        spin_of: impl Fn(VertexId) -> Spin,
+        out: &mut [f64],
+    ) {
         assert_eq!(out.len(), self.q, "output buffer must have length q");
         let b = self.vertex_activity(v);
         for c in 0..self.q {
@@ -230,7 +272,7 @@ impl Mrf {
         }
         for (e, u) in self.graph.incident_edges(v) {
             let a = self.edge_activity(e);
-            let xu = config[u.index()];
+            let xu = spin_of(u);
             for (c, w) in out.iter_mut().enumerate() {
                 if *w > 0.0 {
                     *w *= a.get(c as Spin, xu);
