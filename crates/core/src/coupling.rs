@@ -19,6 +19,7 @@ use crate::Chain;
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::{Mrf, Spin};
 use rand::RngExt;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// Label for per-step coupling seeds.
@@ -106,19 +107,24 @@ pub fn coalesce_batched<R: SyncRule>(
     master_seed: u64,
     max_steps: usize,
 ) -> Coalescence {
-    coalesce_batched_observed(mrf, rule, starts, master_seed, max_steps, &mut |_| {})
+    coalesce_batched_observed(mrf, rule, starts, master_seed, max_steps, &mut |_| {
+        ControlFlow::Continue(())
+    })
 }
 
 /// [`coalesce_batched`] calling `observe` with the 1-based round count
 /// after every executed round — the per-round hook the progress
-/// reporting plugs into. Observation never perturbs the coupling.
+/// reporting plugs into. Observation never perturbs the coupling; an
+/// `observe` that returns [`ControlFlow::Break`] preempts the loop
+/// (cancellation), reported as [`Coalescence::TimedOut`] — callers
+/// that preempt discard the value anyway.
 pub fn coalesce_batched_observed<R: SyncRule>(
     mrf: &Arc<Mrf>,
     rule: R,
     starts: &[Vec<Spin>],
     master_seed: u64,
     max_steps: usize,
-    observe: &mut dyn FnMut(u64),
+    observe: &mut dyn FnMut(u64) -> ControlFlow<()>,
 ) -> Coalescence {
     let mut set = ReplicaSet::coupled(Arc::clone(mrf), rule, starts, master_seed);
     // Copies shard over all cores; the coupling is execution-independent.
@@ -128,9 +134,12 @@ pub fn coalesce_batched_observed<R: SyncRule>(
     }
     for t in 0..max_steps {
         set.step_all();
-        observe(t as u64 + 1);
+        let stop = observe(t as u64 + 1).is_break();
         if set.coalesced() {
             return Coalescence::At(t + 1);
+        }
+        if stop {
+            return Coalescence::TimedOut;
         }
     }
     Coalescence::TimedOut
@@ -146,7 +155,9 @@ pub fn coalescence_times_batched<R: SyncRule + Clone>(
     max_steps: usize,
     seed: u64,
 ) -> (Vec<usize>, usize) {
-    coalescence_times_batched_observed(mrf, rule, starts, trials, max_steps, seed, &mut |_, _| {})
+    coalescence_times_batched_observed(mrf, rule, starts, trials, max_steps, seed, &mut |_, _| {
+        ControlFlow::Continue(())
+    })
 }
 
 /// [`coalescence_times_batched`] reporting progress through `progress`
@@ -173,20 +184,28 @@ pub fn coalescence_times_batched_observed<R: SyncRule + Clone>(
     for trial in 0..trials {
         let base = (trial as u64) * (max_steps as u64);
         let master = derive_seed(seed, 0x545249414c, trial as u64); // "TRIAL"
+        let mut stopped = false;
         let mut observe = |t: u64| {
             if t % tick == 0 {
-                progress(base + t, total);
+                let flow = progress(base + t, total);
+                stopped |= flow.is_break();
+                return flow;
             }
+            ControlFlow::Continue(())
         };
         match coalesce_batched_observed(mrf, rule.clone(), starts, master, max_steps, &mut observe)
         {
             Coalescence::At(t) => times.push(t),
             Coalescence::TimedOut => timeouts += 1,
         }
-        progress(base + max_steps as u64, total.max(1));
+        if stopped || progress(base + max_steps as u64, total.max(1)).is_break() {
+            // Preempted (cancellation): the caller discards the partial
+            // tally, so skip the remaining trials.
+            return (times, timeouts);
+        }
     }
     if trials == 0 || max_steps == 0 {
-        progress(1, 1);
+        let _ = progress(1, 1);
     }
     (times, timeouts)
 }

@@ -67,6 +67,7 @@ pub mod csp_metropolis;
 pub mod engine;
 pub mod kernel;
 pub mod labeling;
+pub mod lifecycle;
 pub mod local_metropolis;
 pub mod luby_glauber;
 pub mod mixing;
@@ -78,6 +79,7 @@ pub mod schedule;
 pub mod service;
 pub mod single_site;
 pub mod spec;
+pub mod store;
 pub mod update;
 
 /// The facade in one `use`: the [`sampler`] builder types, the
@@ -86,6 +88,7 @@ pub mod update;
 /// workspace PRNG.
 pub mod prelude {
     pub use crate::engine::Backend;
+    pub use crate::lifecycle::{CancelToken, Limits, RejectReason};
     pub use crate::net::{Client, Server};
     pub use crate::sampler::{
         AcceptanceObserver, Algorithm, BuildError, CoalescenceReport, EnergyObserver,
@@ -95,6 +98,7 @@ pub mod prelude {
     pub use crate::spec::{
         JobOutput, JobResult, JobSpec, ScenarioRegistry, SpecError, SweepResult, SweepSpec,
     };
+    pub use crate::store::{ResultStore, StoreStats};
     pub use crate::Chain;
     pub use lsl_local::rng::Xoshiro256pp;
 }

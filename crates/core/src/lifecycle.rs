@@ -1,0 +1,353 @@
+//! Admission control and cancellation for the job lifecycle.
+//!
+//! The service used to accept everything and finish everything: an
+//! unbounded queue, no way to stop a running chain, and handles whose
+//! drop merely abandoned the event stream while the worker kept
+//! burning. This module is the missing vocabulary:
+//!
+//! - [`Limits`] bounds what a [`Service`](crate::service::Service)
+//!   admits — queue depth, per-session in-flight jobs, and a round
+//!   budget per job. Overflow is answered with a *typed*
+//!   [`JobEvent::Rejected`](crate::service::JobEvent::Rejected)
+//!   carrying a [`RejectReason`], not a hang and not an `io::Error`.
+//! - [`CancelToken`] is the cancel/abandon handshake between the
+//!   submitting side (handles, sessions) and the worker that runs the
+//!   job. Cancellation is *cooperative*: the worker polls the token at
+//!   every progress-sink call, which the batched kernels already hit
+//!   at bounded intervals — so a cancel lands within one progress
+//!   interval without a single extra branch in the hot loops.
+//!
+//! The token doubles as the queue-slot ledger. A job holds a slot from
+//! admission until a worker dequeues it (or until every handle is
+//! dropped first), so `queue_cap` bounds *waiting* jobs — exactly the
+//! resource a misbehaving client can exhaust.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ----- limits ---------------------------------------------------------
+
+/// Admission bounds for a [`Service`](crate::service::Service).
+///
+/// The default is fully open (every field at its type's maximum) so
+/// `Service::new` keeps its historical behaviour; construct with
+/// struct-update syntax to bound one axis at a time:
+///
+/// ```
+/// use lsl_core::lifecycle::Limits;
+/// let limits = Limits { queue_cap: 8, ..Limits::default() };
+/// assert_eq!(limits.queue_cap, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum jobs waiting in the queue (admitted but not yet picked
+    /// up by a worker). The job a worker is running does not count.
+    pub queue_cap: usize,
+    /// Maximum unresolved jobs a single network session may have in
+    /// flight; enforced by `net` sessions, not by the service itself.
+    pub per_session_inflight: usize,
+    /// Maximum per-job round budget
+    /// ([`JobSpec::round_budget`](crate::spec::JobSpec::round_budget));
+    /// a cheap static proxy for "how long can this job possibly run".
+    pub max_rounds: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            queue_cap: usize::MAX,
+            per_session_inflight: usize::MAX,
+            max_rounds: u64::MAX,
+        }
+    }
+}
+
+/// Why a submission was turned away at the door.
+///
+/// Round-trips through [`proto`](crate::proto) inside
+/// [`JobEvent::Rejected`](crate::service::JobEvent::Rejected) so remote
+/// clients see the same typed reason as in-process callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The service queue already holds `cap` waiting jobs.
+    QueueFull {
+        /// The configured [`Limits::queue_cap`].
+        cap: usize,
+    },
+    /// The submitting session already has `cap` jobs in flight.
+    SessionBusy {
+        /// The configured [`Limits::per_session_inflight`].
+        cap: usize,
+    },
+    /// The job's static round budget exceeds the per-job cap.
+    RoundBudget {
+        /// The job's [`JobSpec::round_budget`](crate::spec::JobSpec::round_budget).
+        budget: u64,
+        /// The configured [`Limits::max_rounds`].
+        cap: u64,
+    },
+    /// The server is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { cap } => {
+                write!(f, "the job queue is full ({cap} waiting)")
+            }
+            RejectReason::SessionBusy { cap } => {
+                write!(f, "this session already has {cap} jobs in flight")
+            }
+            RejectReason::RoundBudget { budget, cap } => {
+                write!(f, "the job's round budget {budget} exceeds the cap {cap}")
+            }
+            RejectReason::Draining => write!(f, "the server is draining for shutdown"),
+        }
+    }
+}
+
+// ----- queue slots ----------------------------------------------------
+
+/// A counting semaphore over queue slots. Shared between the service
+/// (acquire on admission) and the tokens (release on dequeue/abandon).
+#[derive(Debug)]
+pub(crate) struct SlotPool {
+    cap: usize,
+    used: AtomicUsize,
+}
+
+impl SlotPool {
+    pub(crate) fn new(cap: usize) -> Arc<Self> {
+        Arc::new(SlotPool {
+            cap,
+            used: AtomicUsize::new(0),
+        })
+    }
+
+    /// Claims a slot, or reports the pool exhausted. Lock-free CAS so
+    /// concurrent submitters never over-admit.
+    pub(crate) fn try_acquire(self: &Arc<Self>) -> Option<SlotGuard> {
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            if used >= self.cap {
+                return None;
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(SlotGuard(Arc::clone(self))),
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Slots currently held (jobs admitted but not yet dequeued).
+    pub(crate) fn in_use(&self) -> usize {
+        self.used.load(Ordering::Acquire)
+    }
+}
+
+/// RAII queue slot: dropping it returns the slot to the pool.
+#[derive(Debug)]
+pub(crate) struct SlotGuard(Arc<SlotPool>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.used.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// ----- the cancel token -----------------------------------------------
+
+/// Queued: admitted, waiting for a worker (holds its queue slot).
+const QUEUED: u8 = 0;
+/// Started: a worker dequeued it (slot released, chain may be running).
+const STARTED: u8 = 1;
+/// Done: the terminal event has been decided.
+const DONE: u8 = 2;
+/// Abandoned: every handle was dropped while still queued; the worker
+/// must skip it without emitting anything.
+const ABANDONED: u8 = 3;
+
+#[derive(Debug)]
+struct TokenInner {
+    phase: AtomicU8,
+    cancelled: AtomicBool,
+    /// The queue slot travels inside the token so *either* side — the
+    /// worker on dequeue, or the last handle's drop — can release it,
+    /// whichever comes first.
+    slot: Mutex<Option<SlotGuard>>,
+}
+
+/// A shared cancel/abandon handle for one submitted job.
+///
+/// Cloneable and `Send`; every clone addresses the same job. The two
+/// observable operations:
+///
+/// - [`cancel`](CancelToken::cancel) requests cooperative stop. A
+///   queued job terminates with `Cancelled` instead of starting; a
+///   running job notices at its next progress-sink call and terminates
+///   with `Cancelled` within one progress interval. Cancelling a
+///   finished (or rejected) job is a no-op.
+/// - dropping the *last* [`JobHandle`](crate::service::JobHandle) of a
+///   still-queued job abandons it: the slot frees immediately and the
+///   job never runs.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("phase", &self.inner.phase.load(Ordering::Relaxed))
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token for a freshly admitted job holding its queue slot.
+    pub(crate) fn queued(slot: SlotGuard) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                phase: AtomicU8::new(QUEUED),
+                cancelled: AtomicBool::new(false),
+                slot: Mutex::new(Some(slot)),
+            }),
+        }
+    }
+
+    /// A token for a submission that was resolved at the door
+    /// (rejected): already terminal, holds nothing.
+    pub(crate) fn resolved() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                phase: AtomicU8::new(DONE),
+                cancelled: AtomicBool::new(false),
+                slot: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a no-op once the job is done.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. Polled by the worker at
+    /// every progress-sink call.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the job has reached (or was born in) a terminal state.
+    pub fn is_resolved(&self) -> bool {
+        self.inner.phase.load(Ordering::Acquire) == DONE
+    }
+
+    fn release_slot(&self) {
+        if let Ok(mut slot) = self.inner.slot.lock() {
+            *slot = None;
+        }
+    }
+
+    /// Worker side, at dequeue: move QUEUED → STARTED and release the
+    /// queue slot (the job no longer waits). Returns `false` when the
+    /// job was abandoned while queued — the worker must skip it.
+    pub(crate) fn take_for_run(&self) -> bool {
+        let taken = self
+            .inner
+            .phase
+            .compare_exchange(QUEUED, STARTED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if taken {
+            self.release_slot();
+        }
+        taken
+    }
+
+    /// Handle side, on drop of the last handle: if still queued, mark
+    /// abandoned and free the slot so the job never runs. Started jobs
+    /// are unaffected (their events just go unread).
+    pub(crate) fn abandon(&self) {
+        if self
+            .inner
+            .phase
+            .compare_exchange(QUEUED, ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.release_slot();
+        }
+    }
+
+    /// Worker side, after deciding the terminal event.
+    pub(crate) fn mark_done(&self) {
+        self.inner.phase.store(DONE, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_counted_and_released() {
+        let pool = SlotPool::new(2);
+        let a = pool.try_acquire().expect("slot 1");
+        let _b = pool.try_acquire().expect("slot 2");
+        assert!(pool.try_acquire().is_none(), "pool of 2 is exhausted");
+        assert_eq!(pool.in_use(), 2);
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        assert!(pool.try_acquire().is_some(), "freed slot is reusable");
+    }
+
+    #[test]
+    fn token_phases_gate_the_worker() {
+        let pool = SlotPool::new(1);
+        let token = CancelToken::queued(pool.try_acquire().unwrap());
+        assert!(!token.is_cancelled());
+        assert!(!token.is_resolved());
+        assert!(token.take_for_run(), "queued jobs are runnable");
+        assert_eq!(pool.in_use(), 0, "dequeue releases the slot");
+        assert!(!token.take_for_run(), "a job runs at most once");
+        token.mark_done();
+        assert!(token.is_resolved());
+    }
+
+    #[test]
+    fn abandoning_a_queued_job_frees_the_slot_and_blocks_the_run() {
+        let pool = SlotPool::new(1);
+        let token = CancelToken::queued(pool.try_acquire().unwrap());
+        token.abandon();
+        assert_eq!(pool.in_use(), 0, "abandon releases the slot");
+        assert!(!token.take_for_run(), "abandoned jobs never run");
+    }
+
+    #[test]
+    fn abandoning_a_started_job_is_a_no_op() {
+        let pool = SlotPool::new(1);
+        let token = CancelToken::queued(pool.try_acquire().unwrap());
+        assert!(token.take_for_run());
+        token.abandon();
+        token.mark_done();
+        assert!(token.is_resolved());
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let text = RejectReason::RoundBudget {
+            budget: 100,
+            cap: 10,
+        }
+        .to_string();
+        assert!(text.contains("100") && text.contains("10"), "{text}");
+        assert!(RejectReason::Draining.to_string().contains("draining"));
+    }
+}

@@ -20,6 +20,7 @@ use lsl_analysis::EmpiricalDistribution;
 use lsl_local::rng::{derive_seed, Xoshiro256pp};
 use lsl_mrf::gibbs::{encode_config, Enumeration};
 use lsl_mrf::{Mrf, Spin};
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// Cap on the spins held in memory at once by the batched runners;
@@ -37,7 +38,16 @@ const PROGRESS_SLICES: usize = 8;
 /// The unit is entry-point-specific (replica-rounds for distribution
 /// jobs, trial-rounds for coalescence); consumers should only rely on
 /// monotonicity and the final `done == total` call.
-pub type ProgressSink<'a> = &'a mut dyn FnMut(u64, u64);
+///
+/// The return value is the *preemption channel*:
+/// [`ControlFlow::Continue`] keeps running,
+/// [`ControlFlow::Break`] asks the loop to stop at the sink point —
+/// the runner returns promptly with a partial value that the caller
+/// (the service worker, on cancellation) discards. Because the sink is
+/// only consulted *between* round slices and the engine's randomness
+/// is counter-keyed, neither observing nor breaking can perturb the
+/// trajectory of any replica that keeps running.
+pub type ProgressSink<'a> = &'a mut dyn FnMut(u64, u64) -> ControlFlow<()>;
 
 /// Runs `replicas` iid copies of an engine rule for `steps` rounds each
 /// (in memory-bounded batches) and returns the empirical distribution of
@@ -70,7 +80,9 @@ pub fn empirical_distribution_batched_from<R: SyncRule + Clone>(
     replicas: usize,
     seed: u64,
 ) -> EmpiricalDistribution {
-    empirical_distribution_batched_observed(mrf, rule, start, steps, replicas, seed, &mut |_, _| {})
+    empirical_distribution_batched_observed(mrf, rule, start, steps, replicas, seed, &mut |_, _| {
+        ControlFlow::Continue(())
+    })
 }
 
 /// [`empirical_distribution_batched_from`] reporting progress through
@@ -118,7 +130,11 @@ pub fn empirical_distribution_batched_observed<R: SyncRule + Clone>(
             let now = slice.min(steps - ran);
             set.run(now);
             ran += now;
-            progress(batch * steps as u64 + ran as u64, total);
+            if progress(batch * steps as u64 + ran as u64, total).is_break() {
+                // Preempted (cancellation): the partial distribution is
+                // discarded by the caller, so stop where we stand.
+                return emp;
+            }
         }
         for state in set.states() {
             emp.record(encode_config(state, mrf.q()));
@@ -128,7 +144,7 @@ pub fn empirical_distribution_batched_observed<R: SyncRule + Clone>(
     }
     if steps == 0 || replicas == 0 {
         // The round loop never ticked; still promise `done == total`.
-        progress(1, 1);
+        let _ = progress(1, 1);
     }
     emp
 }
@@ -272,7 +288,9 @@ pub fn coalescence_summary_batched<R: SyncRule + Clone>(
     max_steps: usize,
     seed: u64,
 ) -> (Summary, usize) {
-    coalescence_summary_batched_observed(mrf, rule, trials, max_steps, seed, &mut |_, _| {})
+    coalescence_summary_batched_observed(mrf, rule, trials, max_steps, seed, &mut |_, _| {
+        ControlFlow::Continue(())
+    })
 }
 
 /// [`coalescence_summary_batched`] reporting progress through

@@ -10,6 +10,16 @@
 //!   different jobs interleave; frames of one job keep the service's
 //!   event order. A malformed line is answered with a typed
 //!   [`ServerFrame::Error`] and the session stays alive.
+//! * Lifecycle over the wire: a `cancel id=N` frame cancels a line's
+//!   member jobs (each answers with a terminal
+//!   [`JobEvent::Cancelled`]); a `shutdown` frame latches
+//!   [`Server::shutdown_requested`] so the process driving the server
+//!   can call [`Server::shutdown`]. A draining server rejects new
+//!   submissions with [`RejectReason::Draining`]; a session over its
+//!   configured in-flight cap rejects with
+//!   [`RejectReason::SessionBusy`] — both without touching the
+//!   service queue. A client that disconnects mid-stream gets its
+//!   remaining jobs cancelled and its session thread reclaimed.
 //! * [`Client::connect`] speaks the other side: submit any number of
 //!   lines, then [`Client::drain`] demultiplexes the event streams
 //!   into per-line [`RemoteOutcome`]s.
@@ -21,16 +31,22 @@
 //! exactly — property-tested in `tests/remote_identity.rs`, including
 //! concurrent multi-client batches.
 
+use crate::lifecycle::{CancelToken, RejectReason};
 use crate::proto::{ClientFrame, ServerFrame, WireError};
 use crate::service::{JobEvent, Service};
 use crate::spec::{JobResult, SpecError, SweepResult, SweepSpec};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a session blocks on its socket before re-checking the
+/// server's drain/cancel flags. Bounds how stale a session's view of
+/// a shutdown can be.
+const SESSION_POLL: Duration = Duration::from_millis(25);
 
 /// Writes one frame as one line, under the session's writer lock (so
 /// concurrent forwarders never interleave *within* a line).
@@ -41,14 +57,33 @@ fn send_frame(writer: &Mutex<TcpStream>, frame: &ServerFrame) {
     let _ = writeln!(w, "{frame}");
 }
 
+/// Shutdown signals shared by every session of one [`Server`].
+#[derive(Default)]
+struct SessionCtl {
+    /// Stop admitting work: sessions reject new submissions with
+    /// [`RejectReason::Draining`] and exit once idle.
+    draining: AtomicBool,
+    /// The grace deadline passed: sessions cancel their in-flight
+    /// jobs instead of waiting them out.
+    cancel_all: AtomicBool,
+    /// A client sent the `shutdown` admin frame; the process driving
+    /// the server decides when to act on it.
+    shutdown_requested: AtomicBool,
+}
+
 /// The TCP front end over an owned [`Service`] — what `lsl serve`
 /// runs. Bound to a local address; every accepted connection becomes
 /// an independent session speaking the [`proto`](crate::proto) frame
-/// protocol.
+/// protocol. [`Server::shutdown`] drains gracefully: stop accepting,
+/// let in-flight jobs finish within a grace period, cancel the rest,
+/// join every session thread.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    ctl: Arc<SessionCtl>,
+    service: Arc<Service>,
 }
 
 impl Server {
@@ -58,24 +93,42 @@ impl Server {
     /// # Errors
     /// The bind error, if the address is unavailable.
     pub fn bind(addr: impl ToSocketAddrs, threads: usize) -> std::io::Result<Server> {
+        Server::bind_service(addr, Service::new(threads))
+    }
+
+    /// Binds `addr` and serves an already-configured [`Service`] —
+    /// the way to put admission limits or a result store behind the
+    /// wire (see [`Service::with_limits`] / [`Service::with_store`]).
+    ///
+    /// # Errors
+    /// The bind error, if the address is unavailable.
+    pub fn bind_service(addr: impl ToSocketAddrs, service: Service) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Polling accept: the loop must notice `stop` without a
         // self-connection trick.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let service = Arc::new(Service::new(threads));
+        let ctl = Arc::new(SessionCtl::default());
+        let sessions = Arc::new(Mutex::new(Vec::new()));
+        let service = Arc::new(service);
         let accept = {
             let stop = Arc::clone(&stop);
+            let ctl = Arc::clone(&ctl);
+            let sessions = Arc::clone(&sessions);
+            let service = Arc::clone(&service);
             std::thread::Builder::new()
                 .name("lsl-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop))
+                .spawn(move || accept_loop(&listener, &service, &stop, &ctl, &sessions))
                 .expect("spawning the accept loop")
         };
         Ok(Server {
             addr,
             stop,
             accept: Some(accept),
+            sessions,
+            ctl,
+            service,
         })
     }
 
@@ -83,18 +136,59 @@ impl Server {
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
-}
 
-impl Drop for Server {
-    /// Stops accepting and joins the accept loop. Sessions already
-    /// running finish on their own (they end when their client
-    /// disconnects); their in-flight jobs complete on the service
-    /// owned by the accept loop.
-    fn drop(&mut self) {
+    /// The service the server runs jobs on.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Whether any client sent the `shutdown` admin frame. The server
+    /// does not act on the request itself — the process driving it
+    /// polls this and calls [`Server::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctl.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Drains the server: stops accepting, puts every session into
+    /// draining mode (new submissions answer
+    /// [`RejectReason::Draining`]), waits up to `grace` for in-flight
+    /// jobs to finish on their own, then cancels whatever is left and
+    /// joins every session thread. Idempotent — a second call (or the
+    /// implicit one in `Drop`) finds nothing to do.
+    pub fn shutdown(&mut self, grace: Duration) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        self.ctl.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + grace;
+        loop {
+            let all_idle = {
+                let sessions = self.sessions.lock().expect("session registry lock");
+                sessions.iter().all(|h| h.is_finished())
+            };
+            if all_idle || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.ctl.cancel_all.store(true, Ordering::Release);
+        let handles: Vec<JoinHandle<()>> = {
+            let mut sessions = self.sessions.lock().expect("session registry lock");
+            sessions.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// A dropped server shuts down with zero grace: in-flight jobs
+    /// are cancelled (terminating within one progress interval) and
+    /// every session thread is joined before the drop returns.
+    fn drop(&mut self) {
+        self.shutdown(Duration::ZERO);
     }
 }
 
@@ -104,17 +198,27 @@ impl std::fmt::Debug for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<AtomicBool>) {
-    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    ctl: &Arc<SessionCtl>,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let service = Arc::clone(service);
+                let ctl = Arc::clone(ctl);
                 let handle = std::thread::Builder::new()
                     .name("lsl-session".into())
-                    .spawn(move || session(stream, &service))
+                    .spawn(move || session(stream, &service, &ctl))
                     .expect("spawning a session");
-                sessions.push(handle);
+                let mut registry = sessions.lock().expect("session registry lock");
+                registry.push(handle);
+                // Reap finished sessions so a long-lived server doesn't
+                // hold a handle per past connection.
+                registry.retain(|h| !h.is_finished());
             }
             // Transient accept errors (WouldBlock from the nonblocking
             // listener, EMFILE under fd pressure, ECONNABORTED on a
@@ -123,102 +227,219 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<Atomic
             // main loop keeps sleeping would look healthy and be dead.
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
-        // Reap finished sessions so a long-lived server doesn't hold
-        // a handle per past connection.
-        sessions.retain(|h| !h.is_finished());
     }
-    // Deliberately NOT joined: a session blocks on its client's next
-    // line, so joining here would make dropping the Server hang for as
-    // long as any client stays connected. Sessions keep the `Service`
-    // alive through their own `Arc` and wind down at client EOF.
-    drop(sessions);
 }
 
-/// One connection's lifetime: read frames until EOF. Each submitted
-/// line's member jobs route their events into one tagged channel
-/// ([`Service::submit_routed`]) drained by **one** forwarder thread
-/// per line — a `seeds=0..4096` sweep costs one thread, not 4096 —
-/// writing frames through the shared writer. Joins the forwarders
-/// before returning.
-fn session(stream: TcpStream, service: &Arc<Service>) {
-    let reader = match stream.try_clone() {
+/// One connection's lifetime: read frames until EOF or drain. Each
+/// submitted line's member jobs route their events into one tagged
+/// channel ([`Service::submit_routed`]) drained by **one** forwarder
+/// thread per line — a `seeds=0..4096` sweep costs one thread, not
+/// 4096 — writing frames through the shared writer. Reads are timed
+/// ([`SESSION_POLL`]) so the loop notices server-wide drain/cancel
+/// flags even while the client is silent. On exit (client EOF, socket
+/// error, or drain) every still-running job of the session is
+/// cancelled and the forwarders are joined.
+fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
+    // Some platforms hand accepted sockets the listener's nonblocking
+    // flag; the session loop wants timed blocking reads.
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(SESSION_POLL)).is_err()
+    {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let writer = Arc::new(Mutex::new(stream));
+    // Jobs of this session that have not reported a terminal event
+    // yet; forwarders decrement as terminals go out.
+    let inflight = Arc::new(AtomicUsize::new(0));
+    // Cancellation handles by submit id, for `cancel id=N` frames and
+    // the end-of-session sweep. Ids are session-scoped, so the map is
+    // bounded by what this client submitted.
+    let mut tokens: HashMap<u64, Vec<CancelToken>> = HashMap::new();
     let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match line.parse::<ClientFrame>() {
-            Err(e) => {
-                // The malformed-frame contract: answer typed, stay up.
-                send_frame(
-                    &writer,
-                    &ServerFrame::Error {
-                        id: None,
-                        message: e.to_string(),
-                    },
-                );
+    let mut cancelled_all = false;
+    // The line buffer persists across reads: a timed-out read may have
+    // consumed a *partial* line, which `read_line` leaves in the
+    // buffer to be completed by a later read. Cleared only after a
+    // whole line is processed.
+    let mut line = String::new();
+    loop {
+        if ctl.cancel_all.load(Ordering::Acquire) && !cancelled_all {
+            cancelled_all = true;
+            for token in tokens.values().flatten() {
+                token.cancel();
             }
-            Ok(ClientFrame::Submit { id, spec }) => match spec.parse::<SweepSpec>() {
-                Err(e) => send_frame(
+        }
+        if ctl.draining.load(Ordering::Acquire) && inflight.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                handle_frame(
+                    line.trim(),
                     &writer,
-                    &ServerFrame::Error {
-                        id: Some(id),
-                        message: e.to_string(),
-                    },
-                ),
-                Ok(sweep) => {
-                    let members = sweep.expand();
-                    let jobs = members.len();
-                    send_frame(
-                        &writer,
-                        &ServerFrame::Submitted {
-                            id,
-                            jobs: jobs as u64,
-                        },
-                    );
-                    let (tx, rx) = std::sync::mpsc::channel::<(u64, JobEvent)>();
-                    for (index, member) in members.into_iter().enumerate() {
-                        let tx = tx.clone();
-                        service.submit_routed(member, move |event| {
-                            // The forwarder may already be gone
-                            // (client hung up); dropping events then
-                            // is fine.
-                            let _ = tx.send((index as u64, event));
-                        });
-                    }
-                    drop(tx);
-                    let writer = Arc::clone(&writer);
-                    let forwarder = std::thread::Builder::new()
-                        .name("lsl-forward".into())
-                        .spawn(move || forward_line(&writer, id, jobs, &rx))
-                        .expect("spawning an event forwarder");
-                    forwarders.push(forwarder);
-                }
-            },
+                    service,
+                    ctl,
+                    &inflight,
+                    &mut tokens,
+                    &mut forwarders,
+                );
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
         }
         // Reap finished forwarders so a long-lived session submitting
         // thousands of lines doesn't hold a handle per past line.
         forwarders.retain(|h| !h.is_finished());
+    }
+    // The client is gone (or the server is draining): any job still
+    // running has nobody to report to. Cancelling resolved tokens is
+    // a no-op, so the blanket sweep is safe.
+    for token in tokens.values().flatten() {
+        token.cancel();
     }
     for f in forwarders {
         let _ = f.join();
     }
 }
 
+/// Processes one complete frame line on the session thread.
+fn handle_frame(
+    line: &str,
+    writer: &Arc<Mutex<TcpStream>>,
+    service: &Arc<Service>,
+    ctl: &Arc<SessionCtl>,
+    inflight: &Arc<AtomicUsize>,
+    tokens: &mut HashMap<u64, Vec<CancelToken>>,
+    forwarders: &mut Vec<JoinHandle<()>>,
+) {
+    if line.is_empty() {
+        return;
+    }
+    match line.parse::<ClientFrame>() {
+        Err(e) => {
+            // The malformed-frame contract: answer typed, stay up.
+            send_frame(
+                writer,
+                &ServerFrame::Error {
+                    id: None,
+                    message: e.to_string(),
+                },
+            );
+        }
+        Ok(ClientFrame::Cancel { id }) => match tokens.get(&id) {
+            // The terminal `cancelled` event (per member, through the
+            // forwarder) is the acknowledgement.
+            Some(members) => {
+                for token in members {
+                    token.cancel();
+                }
+            }
+            None => send_frame(
+                writer,
+                &ServerFrame::Error {
+                    id: Some(id),
+                    message: format!("cancel for unknown job id {id}"),
+                },
+            ),
+        },
+        Ok(ClientFrame::Shutdown) => {
+            ctl.shutdown_requested.store(true, Ordering::Release);
+        }
+        Ok(ClientFrame::Submit { id, spec }) => match spec.parse::<SweepSpec>() {
+            Err(e) => send_frame(
+                writer,
+                &ServerFrame::Error {
+                    id: Some(id),
+                    message: e.to_string(),
+                },
+            ),
+            Ok(sweep) => {
+                let members = sweep.expand();
+                let jobs = members.len();
+                send_frame(
+                    writer,
+                    &ServerFrame::Submitted {
+                        id,
+                        jobs: jobs as u64,
+                    },
+                );
+                // Session-level admission, before the service queue is
+                // touched: a draining server takes nothing new, and a
+                // session over its in-flight cap must finish (or
+                // cancel) work before submitting more.
+                let rejection = if ctl.draining.load(Ordering::Acquire) {
+                    Some(RejectReason::Draining)
+                } else {
+                    let cap = service.limits().per_session_inflight;
+                    if inflight.load(Ordering::Acquire).saturating_add(jobs) > cap {
+                        Some(RejectReason::SessionBusy { cap })
+                    } else {
+                        None
+                    }
+                };
+                if let Some(reason) = rejection {
+                    for index in 0..jobs as u64 {
+                        send_frame(
+                            writer,
+                            &ServerFrame::Event {
+                                id,
+                                index,
+                                event: JobEvent::Rejected {
+                                    reason: reason.clone(),
+                                },
+                            },
+                        );
+                    }
+                    return;
+                }
+                inflight.fetch_add(jobs, Ordering::AcqRel);
+                let (tx, rx) = std::sync::mpsc::channel::<(u64, JobEvent)>();
+                let mut member_tokens = Vec::with_capacity(jobs);
+                for (index, member) in members.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    member_tokens.push(service.submit_routed(member, move |event| {
+                        // The forwarder may already be gone (client
+                        // hung up); dropping events then is fine.
+                        let _ = tx.send((index as u64, event));
+                    }));
+                }
+                drop(tx);
+                tokens.insert(id, member_tokens);
+                let writer = Arc::clone(writer);
+                let inflight = Arc::clone(inflight);
+                let forwarder = std::thread::Builder::new()
+                    .name("lsl-forward".into())
+                    .spawn(move || forward_line(&writer, id, jobs, &rx, &inflight))
+                    .expect("spawning an event forwarder");
+                forwarders.push(forwarder);
+            }
+        },
+    }
+}
+
 /// Drains one submitted line's tagged event stream into frames until
-/// every member reported a terminal event. If the channel closes with
-/// members unresolved (the service died mid-queue), each of them is
-/// failed explicitly so the client never hangs.
+/// every member reported a terminal event, decrementing the session's
+/// in-flight count per terminal. If the channel closes with members
+/// unresolved (the service died mid-queue), each of them is failed
+/// explicitly so the client never hangs.
 fn forward_line(
     writer: &Mutex<TcpStream>,
     id: u64,
     jobs: usize,
     rx: &std::sync::mpsc::Receiver<(u64, JobEvent)>,
+    inflight: &AtomicUsize,
 ) {
     let mut resolved = vec![false; jobs];
     let mut remaining = jobs;
@@ -230,6 +451,7 @@ fn forward_line(
                 if !*slot {
                     *slot = true;
                     remaining -= 1;
+                    inflight.fetch_sub(1, Ordering::AcqRel);
                 }
             }
             if remaining == 0 {
@@ -247,6 +469,7 @@ fn forward_line(
                     event: JobEvent::Failed(SpecError::ServiceStopped),
                 },
             );
+            inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
@@ -289,7 +512,9 @@ impl RemoteOutcome {
 
 /// A blocking client session — what `lsl run --remote` speaks. Submit
 /// any number of lines ([`Client::submit`]), then [`Client::drain`]
-/// the interleaved event streams into per-line outcomes.
+/// the interleaved event streams into per-line outcomes. In-flight
+/// lines can be cancelled by id ([`Client::cancel`]); their members
+/// come back as [`SpecError::Cancelled`].
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -361,6 +586,29 @@ impl Client {
         Ok(id)
     }
 
+    /// Asks the server to cancel a submitted line's member jobs. The
+    /// server answers through the event stream: each member ends with
+    /// a terminal `cancelled` event, which [`Client::drain`] maps to
+    /// [`SpecError::Cancelled`]. Racing a job's natural completion is
+    /// fine — members that finish first stay finished.
+    ///
+    /// # Errors
+    /// The socket write error.
+    pub fn cancel(&mut self, id: u64) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", ClientFrame::Cancel { id })
+    }
+
+    /// Sends the `shutdown` admin frame, asking the serve process to
+    /// drain gracefully. The request is a latch the server's driver
+    /// polls ([`Server::shutdown_requested`]); jobs already in flight
+    /// still stream to completion within the drain grace period.
+    ///
+    /// # Errors
+    /// The socket write error.
+    pub fn request_shutdown(&mut self) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", ClientFrame::Shutdown)
+    }
+
     /// Blocks until every submitted line resolved (all member jobs
     /// terminal, or the line rejected) and returns the outcomes in
     /// submission order.
@@ -425,6 +673,10 @@ impl Client {
                     JobEvent::Progress { .. } => p.progress_events += 1,
                     JobEvent::Finished(result) => set_member(p, index, Ok(result))?,
                     JobEvent::Failed(e) => set_member(p, index, Err(e))?,
+                    JobEvent::Rejected { reason } => {
+                        set_member(p, index, Err(SpecError::Rejected(reason)))?;
+                    }
+                    JobEvent::Cancelled => set_member(p, index, Err(SpecError::Cancelled))?,
                     JobEvent::Accepted | JobEvent::Started => {}
                 }
             }

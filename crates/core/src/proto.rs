@@ -6,7 +6,9 @@
 //! per line"). A session speaks two frame alphabets:
 //!
 //! * [`ClientFrame`] — client → server:
-//!   `submit id=<id> spec=<spec-or-sweep line>`;
+//!   `submit id=<id> spec=<spec-or-sweep line>`, `cancel id=<id>`
+//!   (stop every member of a submitted id), and `shutdown` (ask the
+//!   server to drain and exit);
 //! * [`ServerFrame`] — server → client:
 //!   `submitted id=<id> jobs=<n>` (the submit ack, carrying the sweep
 //!   expansion size), `event id=<id> index=<k> <event>` (one member
@@ -25,9 +27,12 @@
 //! Frames of *different* jobs interleave arbitrarily (they race on the
 //! session writer), but frames of one `(id, index)` job preserve the
 //! service's stream order: `accepted`, `started`, monotone `progress`,
-//! then exactly one terminal `finished`/`failed`. The `submitted` ack
-//! always precedes every event of its `id`.
+//! then exactly one terminal `finished`/`failed`/`cancelled` — or a
+//! lone terminal `rejected <reason>` when admission refused the member
+//! ([`RejectReason`]). The `submitted` ack always precedes every event
+//! of its `id`.
 
+use crate::lifecycle::RejectReason;
 use crate::sampler::{Algorithm, BuildError};
 use crate::service::JobEvent;
 use crate::spec::{JobOutput, JobResult, SpecError};
@@ -275,7 +280,63 @@ pub fn encode_spec_error(e: &SpecError) -> String {
             format!("job-panicked:message={}", escape(message))
         }
         SpecError::ServiceStopped => "service-stopped".into(),
+        SpecError::Cancelled => "cancelled".into(),
+        SpecError::Rejected(reason) => format!("rejected:{}", encode_reject_reason(reason)),
     }
+}
+
+/// Encodes a [`RejectReason`] as one token; [`decode_reject_reason`]
+/// inverts it. Nested inside `rejected:` spec errors and `rejected`
+/// job events.
+#[must_use]
+pub fn encode_reject_reason(reason: &RejectReason) -> String {
+    match reason {
+        RejectReason::QueueFull { cap } => format!("queue-full:cap={cap}"),
+        RejectReason::SessionBusy { cap } => format!("session-busy:cap={cap}"),
+        RejectReason::RoundBudget { budget, cap } => {
+            format!("round-budget:budget={budget},cap={cap}")
+        }
+        RejectReason::Draining => "draining".into(),
+    }
+}
+
+/// Inverts [`encode_reject_reason`].
+///
+/// # Errors
+/// A [`WireError`] on an unknown kind or bad arity.
+pub fn decode_reject_reason(token: &str) -> Result<RejectReason, WireError> {
+    let (kind, args) = match token.split_once(':') {
+        Some((k, a)) => (k, a),
+        None => (token, ""),
+    };
+    Ok(match kind {
+        "queue-full" => {
+            let v = error_args(args, &["cap"])?;
+            RejectReason::QueueFull {
+                cap: v[0].parse().map_err(|_| wire_err("bad cap"))?,
+            }
+        }
+        "session-busy" => {
+            let v = error_args(args, &["cap"])?;
+            RejectReason::SessionBusy {
+                cap: v[0].parse().map_err(|_| wire_err("bad cap"))?,
+            }
+        }
+        "round-budget" => {
+            let v = error_args(args, &["budget", "cap"])?;
+            RejectReason::RoundBudget {
+                budget: v[0].parse().map_err(|_| wire_err("bad budget"))?,
+                cap: v[1].parse().map_err(|_| wire_err("bad cap"))?,
+            }
+        }
+        "draining" => {
+            if !args.is_empty() {
+                return Err(wire_err("draining takes no arguments"));
+            }
+            RejectReason::Draining
+        }
+        other => return Err(wire_err(format!("unknown reject reason {other:?}"))),
+    })
 }
 
 /// Inverts [`encode_spec_error`].
@@ -345,6 +406,13 @@ pub fn decode_spec_error(token: &str) -> Result<SpecError, WireError> {
             }
             SpecError::ServiceStopped
         }
+        "cancelled" => {
+            if !args.is_empty() {
+                return Err(wire_err("cancelled takes no arguments"));
+            }
+            SpecError::Cancelled
+        }
+        "rejected" => SpecError::Rejected(decode_reject_reason(args)?),
         _ if kind.starts_with("combo") => SpecError::Combo(decode_build_error(kind, args)?),
         other => return Err(wire_err(format!("unknown error kind {other:?}"))),
     })
@@ -506,16 +574,21 @@ impl FromStr for JobResult {
 // Events on the wire
 // ---------------------------------------------------------------------
 
-/// The wire form: `accepted`, `started`, `progress round=<r> of=<n>`,
-/// `finished <result>`, `failed <error>`.
+/// The wire form: `accepted`, `rejected <reason>`, `started`,
+/// `progress round=<r> of=<n>`, `finished <result>`, `failed <error>`,
+/// `cancelled`.
 impl fmt::Display for JobEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobEvent::Accepted => f.write_str("accepted"),
+            JobEvent::Rejected { reason } => {
+                write!(f, "rejected {}", encode_reject_reason(reason))
+            }
             JobEvent::Started => f.write_str("started"),
             JobEvent::Progress { round, of } => write!(f, "progress round={round} of={of}"),
             JobEvent::Finished(result) => write!(f, "finished {result}"),
             JobEvent::Failed(e) => write!(f, "failed {}", encode_spec_error(e)),
+            JobEvent::Cancelled => f.write_str("cancelled"),
         }
     }
 }
@@ -529,14 +602,22 @@ impl FromStr for JobEvent {
             None => (s, ""),
         };
         match kind {
-            "accepted" | "started" => {
+            "accepted" | "started" | "cancelled" => {
                 if !rest.is_empty() {
                     return Err(wire_err(format!("{kind} takes no arguments: {s:?}")));
                 }
-                Ok(if kind == "accepted" {
-                    JobEvent::Accepted
-                } else {
-                    JobEvent::Started
+                Ok(match kind {
+                    "accepted" => JobEvent::Accepted,
+                    "started" => JobEvent::Started,
+                    _ => JobEvent::Cancelled,
+                })
+            }
+            "rejected" => {
+                if rest.contains(' ') {
+                    return Err(wire_err(format!("rejected takes one reason token: {s:?}")));
+                }
+                Ok(JobEvent::Rejected {
+                    reason: decode_reject_reason(rest)?,
                 })
             }
             "progress" => {
@@ -577,12 +658,27 @@ pub enum ClientFrame {
         /// The spec/sweep line, verbatim (parsed server-side).
         spec: String,
     },
+    /// Cancel every member job of a previously submitted id. Each
+    /// still-unresolved member terminates with
+    /// [`JobEvent::Cancelled`]
+    /// within one progress interval; an unknown id gets a
+    /// [`ServerFrame::Error`] carrying it.
+    Cancel {
+        /// The submit id to cancel.
+        id: u64,
+    },
+    /// Ask the server to drain and shut down: stop accepting
+    /// connections, reject new submissions, let in-flight jobs finish
+    /// (or cancel them past the grace deadline), then exit.
+    Shutdown,
 }
 
 impl fmt::Display for ClientFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientFrame::Submit { id, spec } => write!(f, "submit id={id} spec={spec}"),
+            ClientFrame::Cancel { id } => write!(f, "cancel id={id}"),
+            ClientFrame::Shutdown => f.write_str("shutdown"),
         }
     }
 }
@@ -605,8 +701,22 @@ impl FromStr for ClientFrame {
                     spec: field(spec, "spec")?.to_string(),
                 })
             }
+            "cancel" => {
+                if rest.contains(' ') {
+                    return Err(wire_err(format!("cancel takes only an id: {s:?}")));
+                }
+                Ok(ClientFrame::Cancel {
+                    id: parse_num(rest, "id")?,
+                })
+            }
+            "shutdown" => {
+                if !rest.is_empty() {
+                    return Err(wire_err(format!("shutdown takes no arguments: {s:?}")));
+                }
+                Ok(ClientFrame::Shutdown)
+            }
             other => Err(wire_err(format!(
-                "unknown client frame {other:?} (expected submit)"
+                "unknown client frame {other:?} (expected submit | cancel | shutdown)"
             ))),
         }
     }

@@ -649,7 +649,9 @@ impl SamplerBuilder {
         steps: usize,
         replicas: usize,
     ) -> Result<EmpiricalDistribution, BuildError> {
-        self.distribution_observed(steps, replicas, &mut |_, _| {})
+        self.distribution_observed(steps, replicas, &mut |_, _| {
+            std::ops::ControlFlow::Continue(())
+        })
     }
 
     /// [`SamplerBuilder::distribution`] reporting progress through
@@ -686,7 +688,9 @@ impl SamplerBuilder {
         steps: usize,
         replicas: usize,
     ) -> Result<f64, BuildError> {
-        self.tv_observed(exact, steps, replicas, &mut |_, _| {})
+        self.tv_observed(exact, steps, replicas, &mut |_, _| {
+            std::ops::ControlFlow::Continue(())
+        })
     }
 
     /// [`SamplerBuilder::tv`] reporting progress through `progress`
@@ -747,7 +751,9 @@ impl SamplerBuilder {
         trials: usize,
         max_steps: usize,
     ) -> Result<CoalescenceReport, BuildError> {
-        self.coalescence_observed(trials, max_steps, &mut |_, _| {})
+        self.coalescence_observed(trials, max_steps, &mut |_, _| {
+            std::ops::ControlFlow::Continue(())
+        })
     }
 
     /// [`SamplerBuilder::coalescence`] reporting progress through

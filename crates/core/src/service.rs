@@ -77,7 +77,9 @@
 //! let result = service.submit(spec).wait().unwrap();
 //! ```
 
+use crate::lifecycle::{CancelToken, Limits, RejectReason, SlotPool};
 use crate::spec::{BuiltModel, JobResult, JobSpec, SpecError, SweepResult, SweepSpec};
+use crate::store::{ResultStore, StoreStats};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -88,14 +90,21 @@ use std::thread::JoinHandle;
 /// the wire).
 ///
 /// Per job the stream is ordered `Accepted`, `Started`, zero or more
-/// `Progress`, then exactly one terminal `Finished` / `Failed` —
-/// except for jobs that die before running (service dropped mid-queue,
-/// worker thread gone), whose stream ends with
-/// `Failed(ServiceStopped)` possibly right after `Accepted`.
+/// `Progress`, then exactly one terminal `Finished` / `Failed` /
+/// `Cancelled`. Two deviations: a submission refused admission gets a
+/// lone terminal `Rejected` (no `Accepted`), and a job that dies
+/// before running (service dropped mid-queue, worker thread gone) ends
+/// with `Failed(ServiceStopped)` possibly right after `Accepted`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobEvent {
     /// The job entered the service queue.
     Accepted,
+    /// Terminal: the job was refused admission (queue full, session
+    /// quota, round budget, or server drain) and will never run.
+    Rejected {
+        /// Which limit refused it.
+        reason: RejectReason,
+    },
     /// A worker dequeued the job and is running it.
     Started,
     /// The job's round loop reached `round` of `of` work units
@@ -113,13 +122,23 @@ pub enum JobEvent {
     /// Terminal: the job failed (invalid combination, unsupported job,
     /// contained panic, or service shutdown).
     Failed(SpecError),
+    /// Terminal: the job was cancelled — by [`JobHandle::cancel`], a
+    /// client `cancel` frame, or a draining server — before it produced
+    /// a result. Lands within one progress interval of the request.
+    Cancelled,
 }
 
 impl JobEvent {
     /// Whether the event ends its job's stream.
     #[must_use]
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobEvent::Finished(_) | JobEvent::Failed(_))
+        matches!(
+            self,
+            JobEvent::Finished(_)
+                | JobEvent::Failed(_)
+                | JobEvent::Rejected { .. }
+                | JobEvent::Cancelled
+        )
     }
 }
 
@@ -130,6 +149,8 @@ impl JobEvent {
 struct Task {
     spec: JobSpec,
     emit: Box<dyn Fn(JobEvent) + Send>,
+    /// The cancel/abandon handshake with whoever holds the handle.
+    ctl: CancelToken,
 }
 
 /// Models retained by the cache before the least-recently-used entries
@@ -219,13 +240,51 @@ pub struct Service {
     tx: Option<mpsc::Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<ModelCache>,
+    limits: Limits,
+    /// The queue-slot semaphore implementing `limits.queue_cap`.
+    slots: Arc<SlotPool>,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl Service {
     /// Spawns a service with `threads` workers (clamped to at least
     /// one; `0` means auto-detect, the engine's
-    /// [`Backend`](crate::engine::Backend) 0-means-auto contract).
+    /// [`Backend`](crate::engine::Backend) 0-means-auto contract) and
+    /// no admission limits.
+    ///
+    /// As a CI/scripting hook, if the `LSL_RESULT_STORE` environment
+    /// variable names a directory, the service attaches a
+    /// process-scoped [`ResultStore`] under it (a `pid-<n>` subdir, so
+    /// concurrent processes don't serve each other's entries). The
+    /// explicit constructors ([`Service::with_limits`],
+    /// [`Service::with_store`]) ignore the variable.
     pub fn new(threads: usize) -> Self {
+        let store = std::env::var("LSL_RESULT_STORE")
+            .ok()
+            .filter(|dir| !dir.is_empty())
+            .and_then(|dir| {
+                let dir = std::path::Path::new(&dir).join(format!("pid-{}", std::process::id()));
+                ResultStore::open(dir).ok()
+            });
+        Self::with_options(threads, Limits::default(), store)
+    }
+
+    /// [`Service::new`] with admission [`Limits`]: submissions beyond
+    /// `queue_cap` waiting jobs or `max_rounds` of budget resolve with
+    /// a terminal [`JobEvent::Rejected`] instead of queueing.
+    pub fn with_limits(threads: usize, limits: Limits) -> Self {
+        Self::with_options(threads, limits, None)
+    }
+
+    /// [`Service::with_limits`] plus a disk-backed [`ResultStore`]:
+    /// finished results are written through to it, and a submission
+    /// whose canonical spec is already stored answers from disk
+    /// (bit-identically, by the determinism contract) without running.
+    pub fn with_store(threads: usize, limits: Limits, store: ResultStore) -> Self {
+        Self::with_options(threads, limits, Some(store))
+    }
+
+    fn with_options(threads: usize, limits: Limits, store: Option<ResultStore>) -> Self {
         let threads = crate::engine::Backend::Parallel { threads }
             .worker_count()
             .max(1);
@@ -234,13 +293,15 @@ impl Service {
         // behind a mutex, each worker holding it only for the dequeue.
         let rx = Arc::new(Mutex::new(rx));
         let cache: Arc<ModelCache> = Arc::new(Mutex::new(ModelCacheInner::default()));
+        let store = store.map(Arc::new);
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let cache = Arc::clone(&cache);
+                let store = store.clone();
                 std::thread::Builder::new()
                     .name(format!("lsl-service-{i}"))
-                    .spawn(move || worker_loop(&rx, &cache))
+                    .spawn(move || worker_loop(&rx, &cache, store.as_deref()))
                     .expect("spawning a service worker")
             })
             .collect();
@@ -248,12 +309,32 @@ impl Service {
             tx: Some(tx),
             workers,
             cache,
+            limits,
+            slots: SlotPool::new(limits.queue_cap),
+            store,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The admission limits this service enforces.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Jobs currently holding queue slots (admitted, not yet dequeued
+    /// by a worker — running jobs don't count).
+    pub fn queued_jobs(&self) -> usize {
+        self.slots.in_use()
+    }
+
+    /// The result store's hit/miss/eviction counters, if one is
+    /// attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 
     /// Enqueues a job and returns immediately; the handle's event
@@ -263,7 +344,7 @@ impl Service {
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
         let (events, rx) = mpsc::channel();
         let canonical = spec.to_string();
-        self.submit_routed(spec, move |event| {
+        let token = self.submit_routed(spec, move |event| {
             // The receiver may be gone (abandoned handle); fine.
             let _ = events.send(event);
         });
@@ -271,6 +352,7 @@ impl Service {
             rx,
             spec: canonical,
             terminal: None,
+            guard: AbandonGuard(token),
         }
     }
 
@@ -282,16 +364,48 @@ impl Service {
     /// the same `Accepted … terminal` ordering as [`JobHandle::events`]
     /// applies. If the service stops before the job runs, no terminal
     /// is emitted — the routing channel closing is the signal.
-    pub fn submit_routed(&self, spec: JobSpec, route: impl Fn(JobEvent) + Send + 'static) {
+    ///
+    /// Admission happens here, synchronously: a submission over the
+    /// round budget or into a full queue gets a lone terminal
+    /// [`JobEvent::Rejected`] through `route` and an already-resolved
+    /// token. The returned [`CancelToken`] addresses the job for the
+    /// rest of its life; dropping it is harmless (unlike dropping a
+    /// [`JobHandle`], it never abandons the job).
+    pub fn submit_routed(
+        &self,
+        spec: JobSpec,
+        route: impl Fn(JobEvent) + Send + 'static,
+    ) -> CancelToken {
+        let budget = spec.round_budget();
+        if budget > self.limits.max_rounds {
+            route(JobEvent::Rejected {
+                reason: RejectReason::RoundBudget {
+                    budget,
+                    cap: self.limits.max_rounds,
+                },
+            });
+            return CancelToken::resolved();
+        }
+        let Some(slot) = self.slots.try_acquire() else {
+            route(JobEvent::Rejected {
+                reason: RejectReason::QueueFull {
+                    cap: self.limits.queue_cap,
+                },
+            });
+            return CancelToken::resolved();
+        };
         route(JobEvent::Accepted);
+        let ctl = CancelToken::queued(slot);
         let task = Task {
             spec,
             emit: Box::new(route),
+            ctl: ctl.clone(),
         };
         let tx = self.tx.as_ref().expect("service accepts until dropped");
         // A send only fails once every worker is gone; the sink then
         // never sees a terminal event (its channel closes instead).
         let _ = tx.send(task);
+        ctl
     }
 
     /// Parses and submits a spec line in one call.
@@ -346,10 +460,26 @@ impl std::fmt::Debug for Service {
     }
 }
 
+/// Drops-to-abandon: the token travels inside this guard so that when
+/// the last owner (handle or its event iterator) goes away while the
+/// job is still *queued*, the job's slot frees immediately and it
+/// never runs. A started job is unaffected — it keeps running, its
+/// events just go unread.
+#[derive(Debug)]
+struct AbandonGuard(CancelToken);
+
+impl Drop for AbandonGuard {
+    fn drop(&mut self) {
+        self.0.abandon();
+    }
+}
+
 /// A pending job: a subscription to its event stream. Use
-/// [`JobHandle::events`] to watch it run or [`JobHandle::wait`] for
-/// the terminal result; dropping the handle abandons the job (it still
-/// runs, its events are discarded).
+/// [`JobHandle::events`] to watch it run, [`JobHandle::wait`] for the
+/// terminal result, or [`JobHandle::cancel`] to stop it. Dropping the
+/// handle of a job that already started abandons it (it still runs,
+/// its events are discarded); dropping the handle of a job still in
+/// the queue frees its slot and the job never runs.
 #[must_use = "a submitted job's result arrives through its handle"]
 #[derive(Debug)]
 pub struct JobHandle {
@@ -358,12 +488,29 @@ pub struct JobHandle {
     /// Terminal result once observed by `try_wait` (so a later
     /// `wait`/`events` call does not lose it).
     terminal: Option<Result<JobResult, SpecError>>,
+    guard: AbandonGuard,
 }
 
 impl JobHandle {
     /// The canonical form of the submitted spec.
     pub fn spec(&self) -> &str {
         &self.spec
+    }
+
+    /// Requests cancellation: a queued job resolves with
+    /// [`JobEvent::Cancelled`] instead of starting; a running job
+    /// notices at its next progress tick and terminates with
+    /// `Cancelled` within one progress interval. Idempotent; a no-op
+    /// once the job is terminal.
+    pub fn cancel(&self) {
+        self.guard.0.cancel();
+    }
+
+    /// A detached [`CancelToken`] addressing this job — cancel (or
+    /// observe cancellation of) the job after the handle itself was
+    /// consumed by [`JobHandle::events`]/[`JobHandle::wait`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.guard.0.clone()
     }
 
     /// Consumes the handle into a blocking iterator over the job's
@@ -374,10 +521,13 @@ impl JobHandle {
         JobEvents {
             buffered: self.terminal.map(|t| match t {
                 Ok(result) => JobEvent::Finished(result),
+                Err(SpecError::Cancelled) => JobEvent::Cancelled,
+                Err(SpecError::Rejected(reason)) => JobEvent::Rejected { reason },
                 Err(e) => JobEvent::Failed(e),
             }),
             rx: self.rx,
             done: false,
+            _guard: self.guard,
         }
     }
 
@@ -386,13 +536,17 @@ impl JobHandle {
     ///
     /// # Errors
     /// A [`SpecError`] from the job itself (invalid combination,
-    /// unsupported job), or [`SpecError::ServiceStopped`] if the
-    /// service dropped before running it.
+    /// unsupported job), [`SpecError::Rejected`] /
+    /// [`SpecError::Cancelled`] from the lifecycle layer, or
+    /// [`SpecError::ServiceStopped`] if the service dropped before
+    /// running it.
     pub fn wait(self) -> Result<JobResult, SpecError> {
         for event in self.events() {
             match event {
                 JobEvent::Finished(result) => return Ok(result),
                 JobEvent::Failed(e) => return Err(e),
+                JobEvent::Rejected { reason } => return Err(SpecError::Rejected(reason)),
+                JobEvent::Cancelled => return Err(SpecError::Cancelled),
                 _ => {}
             }
         }
@@ -417,6 +571,15 @@ impl JobHandle {
                     self.terminal = Some(Err(e.clone()));
                     return Some(Err(e));
                 }
+                Ok(JobEvent::Rejected { reason }) => {
+                    let e = SpecError::Rejected(reason);
+                    self.terminal = Some(Err(e.clone()));
+                    return Some(Err(e));
+                }
+                Ok(JobEvent::Cancelled) => {
+                    self.terminal = Some(Err(SpecError::Cancelled));
+                    return Some(Err(SpecError::Cancelled));
+                }
                 Ok(_) => continue,
                 Err(mpsc::TryRecvError::Empty) => return None,
                 Err(mpsc::TryRecvError::Disconnected) => {
@@ -437,6 +600,8 @@ pub struct JobEvents {
     buffered: Option<JobEvent>,
     rx: mpsc::Receiver<JobEvent>,
     done: bool,
+    /// Keeps the abandon-on-drop semantics alive while iterating.
+    _guard: AbandonGuard,
 }
 
 impl Iterator for JobEvents {
@@ -505,13 +670,14 @@ impl SweepHandle {
     }
 }
 
-/// The worker body: dequeue, resolve the model through the cache, run
-/// (streaming progress), reply with the terminal event. Exits when the
-/// queue closes (service drop). Panics inside a job (parse-time
-/// validation makes them unexpected, but a bug must not shrink the
-/// pool) are caught and replied as [`SpecError::JobPanicked`]; the
-/// worker survives.
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
+/// The worker body: dequeue, resolve the model through the cache (or
+/// the whole job through the result store), run (streaming progress,
+/// polling for cancellation), reply with the terminal event. Exits
+/// when the queue closes (service drop). Panics inside a job
+/// (parse-time validation makes them unexpected, but a bug must not
+/// shrink the pool) are caught and replied as
+/// [`SpecError::JobPanicked`]; the worker survives.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache, store: Option<&ResultStore>) {
     loop {
         // Hold the queue lock only for the dequeue, so workers run
         // jobs concurrently.
@@ -519,10 +685,29 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
             Ok(task) => task,
             Err(mpsc::RecvError) => return,
         };
-        let key = task.spec.model_key();
-        let spec = task.spec;
-        let emit = task.emit;
+        let Task { spec, emit, ctl } = task;
+        // Abandoned while queued (every handle dropped): skip without
+        // emitting — nobody is listening, and the slot already freed.
+        if !ctl.take_for_run() {
+            continue;
+        }
+        // Cancelled while queued: terminal without starting.
+        if ctl.is_cancelled() {
+            ctl.mark_done();
+            emit(JobEvent::Cancelled);
+            continue;
+        }
         emit(JobEvent::Started);
+        // The canonical spec string is the result-store key (parse ∘
+        // print = id); a hit replays the stored result bit-identically
+        // and skips the run entirely.
+        let canonical = spec.to_string();
+        if let Some(stored) = store.and_then(|s| s.get(&canonical)) {
+            ctl.mark_done();
+            emit(JobEvent::Finished(stored));
+            continue;
+        }
+        let key = spec.model_key();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let cached = cache.lock().expect("cache lock").get(&key);
             let model = match cached {
@@ -548,8 +733,16 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
             // interval are dropped. The first tick and every
             // completion tick (`round == of`) always ship, keeping the
             // stream's "ends complete" shape intact.
+            //
+            // Each tick also polls the cancel token — the sink points
+            // are the preemption points, so a cancel lands within one
+            // progress interval without the engine loops ever checking
+            // a flag themselves.
             let mut last_emit: Option<std::time::Instant> = None;
             spec.run_on_observed(&model, &mut |round, of| {
+                if ctl.is_cancelled() {
+                    return std::ops::ControlFlow::Break(());
+                }
                 let now = std::time::Instant::now();
                 let due =
                     last_emit.is_none_or(|at| now.duration_since(at) >= PROGRESS_MIN_INTERVAL);
@@ -557,6 +750,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
                     last_emit = Some(now);
                     emit(JobEvent::Progress { round, of });
                 }
+                std::ops::ControlFlow::Continue(())
             })
         }));
         let result = outcome.unwrap_or_else(|payload| {
@@ -567,10 +761,25 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache) {
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             Err(SpecError::JobPanicked { message })
         });
-        let terminal = match result {
-            Ok(result) => JobEvent::Finished(result),
-            Err(e) => JobEvent::Failed(e),
+        // A cancel that raced the finish still terminates `Cancelled`:
+        // the preempted value may be partial, so it must not escape
+        // (and must not be stored).
+        let terminal = if ctl.is_cancelled() {
+            JobEvent::Cancelled
+        } else {
+            match result {
+                Ok(result) => {
+                    if let Some(store) = store {
+                        // Write-through; an IO failure only costs the
+                        // cache entry, never the answer.
+                        let _ = store.put(&result);
+                    }
+                    JobEvent::Finished(result)
+                }
+                Err(e) => JobEvent::Failed(e),
+            }
         };
+        ctl.mark_done();
         emit(terminal);
     }
 }
@@ -740,8 +949,10 @@ mod tests {
     #[test]
     fn cache_is_bounded_and_lru_keeps_hot_models() {
         // One worker: jobs run in submission order, so the cache
-        // traffic is deterministic.
-        let service = Service::new(1);
+        // traffic is deterministic. No result store (explicitly, so an
+        // ambient LSL_RESULT_STORE cannot short-circuit repeat specs
+        // past the model cache and skew the counters).
+        let service = Service::with_limits(1, Limits::default());
         let hot = "graph=torus:4x4 model=coloring:q=7 job=run:rounds=2";
         service.submit(spec(hot)).wait().unwrap();
         // A churn of more distinct cold models than the cap fits,

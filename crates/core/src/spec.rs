@@ -116,6 +116,11 @@ pub enum SpecError {
     },
     /// The service owning this job shut down before answering.
     ServiceStopped,
+    /// The job was cancelled (handle, client frame, or server drain)
+    /// before it produced a result.
+    Cancelled,
+    /// The job was refused admission; the reason says which limit.
+    Rejected(crate::lifecycle::RejectReason),
 }
 
 impl fmt::Display for SpecError {
@@ -144,6 +149,8 @@ impl fmt::Display for SpecError {
                 write!(f, "the job panicked: {message}")
             }
             SpecError::ServiceStopped => f.write_str("the sampling service shut down"),
+            SpecError::Cancelled => f.write_str("the job was cancelled"),
+            SpecError::Rejected(reason) => write!(f, "the job was rejected: {reason}"),
         }
     }
 }
@@ -860,6 +867,25 @@ impl JobSpec {
         b
     }
 
+    /// A static upper bound on the engine rounds this job may execute —
+    /// the admission proxy behind
+    /// [`Limits::max_rounds`](crate::lifecycle::Limits::max_rounds).
+    /// Saturating, so absurd specs rank as "infinite" rather than wrap.
+    pub fn round_budget(&self) -> u64 {
+        let budget = match self.job_or_default() {
+            JobKind::Run { rounds } => {
+                (rounds as u64).saturating_add(self.burn_in.unwrap_or(0) as u64)
+            }
+            JobKind::Distribution { rounds, replicas } | JobKind::Tv { rounds, replicas } => {
+                (rounds as u64).saturating_mul(replicas as u64)
+            }
+            JobKind::Coalescence { trials, max_rounds } => {
+                (trials as u64).saturating_mul(max_rounds as u64)
+            }
+        };
+        budget.max(1)
+    }
+
     /// Builds the model and runs the job — the one-call entry point.
     /// Bit-identical to hand-building the same workload through the
     /// facade (property-tested in `tests/service_identity.rs`).
@@ -870,7 +896,7 @@ impl JobSpec {
 
     /// Runs the job on an already-built model (the service's path).
     pub fn run_on(&self, model: &BuiltModel) -> Result<JobResult, SpecError> {
-        self.run_on_observed(model, &mut |_, _| {})
+        self.run_on_observed(model, &mut |_, _| std::ops::ControlFlow::Continue(()))
     }
 
     /// [`JobSpec::run_on`] reporting progress through `progress` with
@@ -902,10 +928,14 @@ impl JobSpec {
                     let now = slice.min(rounds - ran);
                     sampler.run(now);
                     ran += now;
-                    progress(ran as u64, rounds.max(1) as u64);
+                    if progress(ran as u64, rounds.max(1) as u64).is_break() {
+                        // Preempted (cancellation): the caller discards
+                        // the result, so stop at this slice boundary.
+                        break;
+                    }
                 }
                 if rounds == 0 {
-                    progress(1, 1);
+                    let _ = progress(1, 1);
                 }
                 let state = sampler.state();
                 let feasible = match model {

@@ -1,0 +1,308 @@
+//! A disk-backed result store keyed by the canonical spec print.
+//!
+//! The determinism contract makes caching trivial to state and cheap
+//! to trust: a [`JobResult`] is a pure function of its [`JobSpec`](crate::spec::JobSpec)
+//! line, and `parse ∘ print = id` holds for both
+//! ([`spec`](crate::spec), [`proto`](crate::proto)) — so the canonical
+//! spec string *is* the key, and the wire line *is* the on-disk format.
+//! A store hit replays the stored line, which re-parses to a result
+//! bit-identical to a fresh run (property-tested in
+//! `tests/store_identity.rs`).
+//!
+//! Layout: one file per entry under the store directory, named by the
+//! FNV-1a hash of the spec string (`<hash>.job`), containing exactly
+//! the result's wire line. [`ResultStore::get`] re-checks the embedded
+//! spec against the key, so a hash collision degrades to a miss, never
+//! to a wrong answer. Writes go through a temp file + rename so a
+//! crashed writer cannot leave a torn entry behind.
+//!
+//! The store mirrors the in-memory model LRU's accounting
+//! ([`CacheStats`](crate::service::CacheStats)): [`StoreStats`] counts
+//! hits, misses, and evictions, and [`ResultStore::with_capacity`]
+//! bounds the entry count with oldest-first eviction.
+
+use crate::spec::JobResult;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// Hit/miss/eviction counters for a [`ResultStore`], mirroring the
+/// in-memory model cache's [`CacheStats`](crate::service::CacheStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh run.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// FNV-1a over the spec bytes — the on-disk file name. Stable across
+/// runs and platforms (unlike `DefaultHasher`), cheap, and collisions
+/// are handled by re-checking the stored spec.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A directory of finished [`JobResult`]s keyed by canonical spec.
+///
+/// Thread-safe behind internal locking; share it via the
+/// [`Service`](crate::service::Service) (one store per service) or
+/// open the same directory from several processes — entries are
+/// immutable once written, so concurrent readers are safe, and the
+/// temp-file + rename write discipline keeps concurrent writers from
+/// tearing each other's entries.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    cap: usize,
+    stats: Mutex<StoreStats>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) an unbounded store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_capacity(dir, usize::MAX)
+    }
+
+    /// Opens a store holding at most `cap` entries; inserting beyond
+    /// that evicts the oldest entries (by modification time) and counts
+    /// them in [`StoreStats::evictions`].
+    pub fn with_capacity(dir: impl AsRef<Path>, cap: usize) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            cap: cap.max(1),
+            stats: Mutex::new(StoreStats::default()),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock().expect("store stats lock")
+    }
+
+    fn path_for(&self, spec: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.job", fnv64(spec.as_bytes())))
+    }
+
+    /// Reads one entry file into a result whose spec matches `spec`.
+    fn read_entry(path: &Path, spec: &str) -> Option<JobResult> {
+        let line = fs::read_to_string(path).ok()?;
+        let result: JobResult = line.trim_end().parse().ok()?;
+        // A hash collision (or a foreign file) is a miss, never a
+        // wrong answer: the stored line embeds its own spec.
+        (result.spec == spec).then_some(result)
+    }
+
+    /// Looks up the result for a canonical spec string. Counts a hit
+    /// or a miss.
+    pub fn get(&self, spec: &str) -> Option<JobResult> {
+        let found = Self::read_entry(&self.path_for(spec), spec);
+        let mut stats = self.stats.lock().expect("store stats lock");
+        match found {
+            Some(_) => stats.hits += 1,
+            None => stats.misses += 1,
+        }
+        found
+    }
+
+    /// Whether an entry for `spec` exists, without touching the
+    /// hit/miss counters.
+    pub fn exists(&self, spec: &str) -> bool {
+        Self::read_entry(&self.path_for(spec), spec).is_some()
+    }
+
+    /// Stores a finished result under its own canonical spec,
+    /// overwriting any previous entry, then enforces the capacity
+    /// bound (oldest entries evicted first).
+    pub fn put(&self, result: &JobResult) -> io::Result<()> {
+        let path = self.path_for(&result.spec);
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, format!("{result}\n"))?;
+        fs::rename(&tmp, &path)?;
+        self.evict_over_capacity()
+    }
+
+    /// Entries currently on disk, as canonical spec strings, sorted.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut specs: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "job") {
+                if let Ok(line) = fs::read_to_string(&path) {
+                    if let Ok(result) = line.trim_end().parse::<JobResult>() {
+                        specs.push(result.spec);
+                    }
+                }
+            }
+        }
+        specs.sort();
+        Ok(specs)
+    }
+
+    /// Number of entries on disk.
+    pub fn len(&self) -> usize {
+        self.entries().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies entries from another store directory when they are
+    /// missing here or newer there (by modification time). Returns how
+    /// many entries were imported.
+    pub fn import_if_newer(&self, src: impl AsRef<Path>) -> io::Result<usize> {
+        let mut imported = 0;
+        for entry in fs::read_dir(src.as_ref())? {
+            let from = entry?.path();
+            if from.extension().is_none_or(|e| e != "job") {
+                continue;
+            }
+            let Some(name) = from.file_name() else {
+                continue;
+            };
+            let to = self.dir.join(name);
+            let newer = match (mtime(&from), mtime(&to)) {
+                (Some(src_t), Some(dst_t)) => src_t > dst_t,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if newer {
+                fs::copy(&from, &to)?;
+                imported += 1;
+            }
+        }
+        self.evict_over_capacity()?;
+        Ok(imported)
+    }
+
+    /// `.job` entry paths with their modification times.
+    fn entries(&self) -> io::Result<Vec<(PathBuf, SystemTime)>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "job") {
+                if let Some(t) = mtime(&path) {
+                    entries.push((path, t));
+                }
+            }
+        }
+        Ok(entries)
+    }
+
+    fn evict_over_capacity(&self) -> io::Result<()> {
+        let mut entries = self.entries()?;
+        if entries.len() <= self.cap {
+            return Ok(());
+        }
+        // Oldest first; break mtime ties by name for determinism.
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let excess = entries.len() - self.cap;
+        let mut evicted = 0u64;
+        for (path, _) in entries.into_iter().take(excess) {
+            if fs::remove_file(&path).is_ok() {
+                evicted += 1;
+            }
+        }
+        self.stats.lock().expect("store stats lock").evictions += evicted;
+        Ok(())
+    }
+}
+
+fn mtime(path: &Path) -> Option<SystemTime> {
+    fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobOutput, JobResult};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lsl-store-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn result_for(spec: &str, rounds: u64) -> JobResult {
+        JobResult {
+            spec: spec.to_string(),
+            output: JobOutput::Run {
+                rounds,
+                n: 8,
+                feasible: true,
+                fingerprint: 0xfeed,
+                comm: None,
+            },
+            elapsed_secs: 0.25,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrips_and_counts() {
+        let dir = tmp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = "graph=cycle:8 model=coloring:q=5 seed=1 job=run:rounds=10";
+        assert!(store.get(spec).is_none(), "cold store misses");
+        store.put(&result_for(spec, 10)).unwrap();
+        assert!(store.exists(spec));
+        let hit = store.get(spec).expect("stored entry");
+        assert_eq!(hit, result_for(spec, 10));
+        assert_eq!(hit.elapsed_secs.to_bits(), 0.25f64.to_bits());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(store.list().unwrap(), vec![spec.to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collisions_degrade_to_misses() {
+        let dir = tmp_dir("collision");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = "graph=cycle:9 model=coloring:q=5 seed=2 job=run:rounds=10";
+        store.put(&result_for(spec, 10)).unwrap();
+        // Forge a collision: another spec's entry file moved onto this
+        // spec's slot must be rejected by the embedded-spec check.
+        let other = "graph=cycle:10 model=coloring:q=5 seed=3 job=run:rounds=10";
+        fs::write(store.path_for(other), format!("{}\n", result_for(spec, 10))).unwrap();
+        assert!(store.get(other).is_none(), "forged entry must not serve");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let dir = tmp_dir("evict");
+        let store = ResultStore::with_capacity(&dir, 2).unwrap();
+        let specs: Vec<String> = (0..4)
+            .map(|i| format!("graph=cycle:8 model=coloring:q=5 seed={i} job=run:rounds=10"))
+            .collect();
+        for spec in &specs {
+            store.put(&result_for(spec, 10)).unwrap();
+            // Distinct mtimes so "oldest" is well defined.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 2);
+        assert!(!store.exists(&specs[0]) && !store.exists(&specs[1]));
+        assert!(store.exists(&specs[2]) && store.exists(&specs[3]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -5,6 +5,7 @@
 //! typed `error` frame and keeps the session (and its other in-flight
 //! jobs) alive.
 
+use lsl_core::lifecycle::RejectReason;
 use lsl_core::net::Server;
 use lsl_core::proto::{ClientFrame, ServerFrame};
 use lsl_core::sampler::{Algorithm, BuildError};
@@ -141,6 +142,17 @@ fn arb_build_error() -> impl Strategy<Value = BuildError> {
     ]
 }
 
+/// Every admission-rejection reason the service can emit.
+fn arb_reject_reason() -> impl Strategy<Value = RejectReason> {
+    prop_oneof![
+        (0usize..10_000).prop_map(|cap| RejectReason::QueueFull { cap }),
+        (0usize..10_000).prop_map(|cap| RejectReason::SessionBusy { cap }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(budget, cap)| RejectReason::RoundBudget { budget, cap }),
+        Just(RejectReason::Draining),
+    ]
+}
+
 fn arb_spec_error() -> impl Strategy<Value = SpecError> {
     prop_oneof![
         arb_message().prop_map(|token| SpecError::NotKeyValue { token }),
@@ -158,6 +170,8 @@ fn arb_spec_error() -> impl Strategy<Value = SpecError> {
         arb_message().prop_map(|message| SpecError::Unsupported { message }),
         arb_message().prop_map(|message| SpecError::JobPanicked { message }),
         Just(SpecError::ServiceStopped),
+        Just(SpecError::Cancelled),
+        arb_reject_reason().prop_map(SpecError::Rejected),
     ]
 }
 
@@ -168,6 +182,8 @@ fn arb_event() -> impl Strategy<Value = JobEvent> {
         (any::<u64>(), any::<u64>()).prop_map(|(round, of)| JobEvent::Progress { round, of }),
         arb_result().prop_map(JobEvent::Finished),
         arb_spec_error().prop_map(JobEvent::Failed),
+        arb_reject_reason().prop_map(|reason| JobEvent::Rejected { reason }),
+        Just(JobEvent::Cancelled),
     ]
 }
 
@@ -220,6 +236,32 @@ proptest! {
         let reparsed: ClientFrame = printed.parse().expect("canonical form must parse");
         prop_assert_eq!(reparsed, frame);
     }
+
+    #[test]
+    fn cancel_frames_roundtrip(id in any::<u64>()) {
+        let frame = ClientFrame::Cancel { id };
+        let printed = frame.to_string();
+        let reparsed: ClientFrame = printed.parse().expect("canonical form must parse");
+        prop_assert_eq!(reparsed, frame);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}
+
+/// The two argument-less lifecycle frames have fixed wire forms.
+#[test]
+fn admin_frames_have_fixed_wire_forms() {
+    assert_eq!(ClientFrame::Shutdown.to_string(), "shutdown");
+    assert_eq!(
+        "shutdown".parse::<ClientFrame>().unwrap(),
+        ClientFrame::Shutdown
+    );
+    assert_eq!(
+        "cancel id=7".parse::<ClientFrame>().unwrap(),
+        ClientFrame::Cancel { id: 7 }
+    );
+    // Trailing garbage is malformed, not silently ignored.
+    assert!("shutdown now".parse::<ClientFrame>().is_err());
+    assert!("cancel id=7 extra".parse::<ClientFrame>().is_err());
 }
 
 /// The malformed-frame contract, end to end on a live session: a

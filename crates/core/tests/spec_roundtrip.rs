@@ -4,152 +4,16 @@
 //! the `FromStr`/`Display` pairs of the four workload enums round-trip
 //! on their own.
 
-use lsl_core::engine::{Backend, HotPath, Packing};
+use lsl_core::engine::{Backend, HotPath};
 use lsl_core::sampler::{Algorithm, Sched};
-use lsl_core::spec::{GraphSpec, JobKind, JobSpec, ModelSpec};
+use lsl_core::spec::{JobKind, JobSpec};
 use lsl_graph::partition::Partitioner;
 use proptest::prelude::*;
 
-// ----- strategies over the whole registry ----------------------------
-
-fn arb_graph() -> impl Strategy<Value = GraphSpec> {
-    prop_oneof![
-        (1usize..40).prop_map(|n| GraphSpec::Path { n }),
-        (3usize..40).prop_map(|n| GraphSpec::Cycle { n }),
-        (1usize..9).prop_map(|n| GraphSpec::Complete { n }),
-        (1usize..6, 1usize..6).prop_map(|(a, b)| GraphSpec::CompleteBipartite { a, b }),
-        (1usize..12).prop_map(|n| GraphSpec::Star { n }),
-        (2usize..7, 2usize..7).prop_map(|(rows, cols)| GraphSpec::Grid { rows, cols }),
-        (3usize..7, 3usize..7).prop_map(|(rows, cols)| GraphSpec::Torus { rows, cols }),
-        (1u32..5).prop_map(|dim| GraphSpec::Hypercube { dim }),
-        (1usize..10).prop_map(|pages| GraphSpec::Book { pages }),
-        (1usize..6, 1usize..4).prop_map(|(spine, legs)| GraphSpec::Caterpillar { spine, legs }),
-        (4usize..24, 0u32..=10).prop_map(|(n, tenths)| GraphSpec::Gnp {
-            n,
-            p: f64::from(tenths) / 10.0,
-        }),
-        // d < n and n*d even, by construction.
-        (2usize..5, 3usize..8).prop_map(|(half_d, extra)| {
-            let d = 2 * half_d - 2;
-            GraphSpec::RandomRegular { n: d + extra, d }
-        }),
-        (1usize..20).prop_map(|n| GraphSpec::RandomTree { n }),
-    ]
-}
-
-fn arb_model() -> impl Strategy<Value = ModelSpec> {
-    prop_oneof![
-        (2usize..12).prop_map(|q| ModelSpec::Coloring { q }),
-        (2usize..9, 1usize..3).prop_map(|(q, size)| ModelSpec::ListColoring {
-            q,
-            size: size.min(q)
-        }),
-        (1u32..=30).prop_map(|tenths| ModelSpec::Hardcore {
-            lambda: f64::from(tenths) / 10.0,
-        }),
-        Just(ModelSpec::IndependentSet),
-        Just(ModelSpec::VertexCover),
-        (1u32..=30).prop_map(|tenths| ModelSpec::Ising {
-            beta: f64::from(tenths) / 10.0,
-        }),
-        (2usize..5, 1u32..=30).prop_map(|(q, tenths)| ModelSpec::Potts {
-            q,
-            beta: f64::from(tenths) / 10.0,
-        }),
-        Just(ModelSpec::DominatingSet),
-        Just(ModelSpec::Mis),
-    ]
-}
-
-fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    prop_oneof![
-        Just(Algorithm::LocalMetropolis),
-        Just(Algorithm::LocalMetropolisNoRule3),
-        Just(Algorithm::LubyGlauber),
-        Just(Algorithm::Glauber),
-        Just(Algorithm::Metropolis),
-    ]
-}
-
-fn arb_sched() -> impl Strategy<Value = Sched> {
-    prop_oneof![
-        Just(Sched::Luby),
-        Just(Sched::Singleton),
-        (1u32..=10).prop_map(|tenths| Sched::Bernoulli(f64::from(tenths) / 10.0)),
-        Just(Sched::Chromatic),
-    ]
-}
-
-fn arb_backend() -> impl Strategy<Value = Backend> {
-    prop_oneof![
-        Just(Backend::Sequential),
-        (0usize..8).prop_map(|threads| Backend::Parallel { threads }),
-        (0usize..8).prop_map(|shards| Backend::Sharded { shards }),
-    ]
-}
-
-fn arb_partitioner() -> impl Strategy<Value = Partitioner> {
-    prop_oneof![
-        Just(Partitioner::Contiguous),
-        Just(Partitioner::Bfs),
-        Just(Partitioner::GreedyEdgeCut),
-    ]
-}
-
-fn arb_hotpath() -> impl Strategy<Value = HotPath> {
-    let packing = prop_oneof![
-        Just(None),
-        Just(Some(Packing::Wide)),
-        Just(Some(Packing::Byte)),
-        Just(Some(Packing::Bit)),
-    ];
-    prop_oneof![
-        Just(HotPath::Scalar),
-        (packing, any::<bool>())
-            .prop_map(|(packing, block_rng)| HotPath::Lanes { packing, block_rng }),
-    ]
-}
-
-fn arb_job() -> impl Strategy<Value = JobKind> {
-    prop_oneof![
-        (1usize..500).prop_map(|rounds| JobKind::Run { rounds }),
-        (1usize..100, 1usize..200)
-            .prop_map(|(rounds, replicas)| JobKind::Distribution { rounds, replicas }),
-        (1usize..100, 1usize..200).prop_map(|(rounds, replicas)| JobKind::Tv { rounds, replicas }),
-        (1usize..5, 100usize..10_000)
-            .prop_map(|(trials, max_rounds)| JobKind::Coalescence { trials, max_rounds }),
-    ]
-}
-
-prop_compose! {
-    fn arb_spec()(
-        graph in arb_graph(),
-        model in arb_model(),
-        algorithm in proptest::option::of(arb_algorithm()),
-        scheduler in proptest::option::of(arb_sched()),
-        backend in proptest::option::of(arb_backend()),
-        partitioner in proptest::option::of(arb_partitioner()),
-        hotpath in proptest::option::of(arb_hotpath()),
-        seed in proptest::option::of(0u64..1_000_000),
-        graph_seed in proptest::option::of(0u64..1_000_000),
-        burn_in in proptest::option::of(0usize..100),
-        job in proptest::option::of(arb_job()),
-    ) -> JobSpec {
-        JobSpec {
-            graph,
-            model,
-            algorithm,
-            scheduler,
-            backend,
-            partitioner,
-            hotpath,
-            seed,
-            graph_seed,
-            burn_in,
-            job,
-        }
-    }
-}
+mod common;
+use common::{
+    arb_algorithm, arb_backend, arb_graph, arb_hotpath, arb_partitioner, arb_sched, arb_spec,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

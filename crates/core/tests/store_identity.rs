@@ -1,0 +1,173 @@
+//! The result store's contract: a store **hit is bit-identical to a
+//! fresh run**. The determinism guarantee makes this a strong, simple
+//! property — a [`JobResult`] is a pure function of its canonical spec
+//! line, the wire line is the on-disk format, and `parse ∘ print = id`
+//! — so replaying a stored line must reproduce the fresh result
+//! *including* its elapsed-time field (the stored entry is returned
+//! verbatim, not recomputed). Plus the bookkeeping: hit/miss counters,
+//! `import_if_newer` mtime semantics, and capacity eviction stats.
+
+use lsl_core::lifecycle::Limits;
+use lsl_core::service::Service;
+use lsl_core::spec::{JobOutput, JobResult};
+use lsl_core::store::ResultStore;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+mod common;
+use common::arb_runnable_spec;
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsl-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A hand-built result (the store never inspects outputs, so a small
+/// synthetic `Run` is enough to exercise the file plumbing).
+fn synthetic(spec: &str, elapsed_secs: f64) -> JobResult {
+    JobResult {
+        spec: spec.to_string(),
+        output: JobOutput::Run {
+            rounds: 5,
+            n: 8,
+            feasible: true,
+            fingerprint: 0x5eed,
+            comm: None,
+        },
+        elapsed_secs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property, across random registry-wide specs: run
+    /// once through a store-backed service, run again through a second
+    /// service over the same directory — the replayed answer is
+    /// byte-for-byte the fresh one (its wire line, elapsed included),
+    /// and the second service's counters show the hit. Specs that
+    /// *fail* (incompatible combos are part of the space) must fail
+    /// identically instead.
+    #[test]
+    fn store_hits_are_bit_identical_to_fresh_runs(spec in arb_runnable_spec()) {
+        let dir = scratch("identity");
+        let first = Service::with_store(
+            1,
+            Limits::default(),
+            ResultStore::open(&dir).expect("open the scratch store"),
+        );
+        let fresh = first.submit(spec.clone()).wait();
+        drop(first);
+        let second = Service::with_store(
+            1,
+            Limits::default(),
+            ResultStore::open(&dir).expect("reopen the scratch store"),
+        );
+        let replayed = second.submit(spec).wait();
+        match (fresh, replayed) {
+            (Ok(fresh), Ok(replayed)) => {
+                prop_assert_eq!(
+                    replayed.to_string(),
+                    fresh.to_string(),
+                    "a store hit must replay the stored line verbatim"
+                );
+                let stats = second.store_stats().expect("the service has a store");
+                prop_assert!(stats.hits >= 1, "the replay must come from disk: {:?}", stats);
+            }
+            (Err(fresh), Err(replayed)) => {
+                // Errors are not stored; determinism makes the rerun
+                // fail the same way.
+                prop_assert_eq!(replayed, fresh);
+            }
+            (fresh, replayed) => {
+                prop_assert!(false, "outcomes diverged: {:?} vs {:?}", fresh, replayed);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `import_if_newer` copies entries that are missing locally or newer
+/// in the source (by mtime) — and nothing else.
+#[test]
+fn import_if_newer_copies_missing_and_newer_entries_only() {
+    let src_dir = scratch("import-src");
+    let dst_dir = scratch("import-dst");
+    let src = ResultStore::open(&src_dir).unwrap();
+    let dst = ResultStore::open(&dst_dir).unwrap();
+
+    let stale = "graph=cycle:8 model=coloring:q=5 seed=1 job=run:rounds=5";
+    let missing = "graph=cycle:9 model=coloring:q=5 seed=2 job=run:rounds=5";
+    let kept = "graph=cycle:10 model=coloring:q=5 seed=3 job=run:rounds=5";
+
+    // `kept` is newer locally than in the source; `stale` is older.
+    src.put(&synthetic(kept, 0.25)).unwrap();
+    dst.put(&synthetic(stale, 1.0)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    src.put(&synthetic(stale, 9.0)).unwrap();
+    src.put(&synthetic(missing, 3.0)).unwrap();
+    dst.put(&synthetic(kept, 0.75)).unwrap();
+
+    let imported = dst.import_if_newer(src.dir()).unwrap();
+    assert_eq!(imported, 2, "stale (newer in src) + missing, not kept");
+    assert_eq!(dst.len(), 3);
+    // The imported entries replay the source's bytes...
+    assert_eq!(
+        dst.get(stale).unwrap().elapsed_secs.to_bits(),
+        9.0f64.to_bits()
+    );
+    assert_eq!(
+        dst.get(missing).unwrap().elapsed_secs.to_bits(),
+        3.0f64.to_bits()
+    );
+    // ...and the locally-newer entry survived untouched.
+    assert_eq!(
+        dst.get(kept).unwrap().elapsed_secs.to_bits(),
+        0.75f64.to_bits()
+    );
+    // Importing again finds nothing newer.
+    assert_eq!(dst.import_if_newer(src.dir()).unwrap(), 0);
+
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}
+
+/// The capacity bound evicts oldest-first and the eviction counter
+/// mirrors it — including evictions triggered by an import.
+#[test]
+fn capacity_eviction_is_counted_across_put_and_import() {
+    let src_dir = scratch("evict-src");
+    let dst_dir = scratch("evict-dst");
+    let src = ResultStore::open(&src_dir).unwrap();
+    let dst = ResultStore::with_capacity(&dst_dir, 2).unwrap();
+
+    let a = "graph=cycle:8 model=coloring:q=5 seed=10 job=run:rounds=5";
+    let b = "graph=cycle:8 model=coloring:q=5 seed=11 job=run:rounds=5";
+    let c = "graph=cycle:8 model=coloring:q=5 seed=12 job=run:rounds=5";
+    let d = "graph=cycle:8 model=coloring:q=5 seed=13 job=run:rounds=5";
+
+    dst.put(&synthetic(a, 1.0)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    dst.put(&synthetic(b, 1.0)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    dst.put(&synthetic(c, 1.0)).unwrap();
+    assert_eq!(dst.len(), 2, "capacity 2 holds two entries");
+    assert_eq!(dst.stats().evictions, 1, "the oldest was evicted");
+    assert!(!dst.exists(a), "oldest-first: the first entry went");
+
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    src.put(&synthetic(d, 1.0)).unwrap();
+    assert_eq!(dst.import_if_newer(src.dir()).unwrap(), 1);
+    assert_eq!(dst.len(), 2, "imports respect the capacity bound");
+    assert_eq!(
+        dst.stats().evictions,
+        2,
+        "the import-triggered eviction counts"
+    );
+    assert!(dst.exists(d), "the imported entry is the newest and stays");
+
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&dst_dir);
+}

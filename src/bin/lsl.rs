@@ -21,17 +21,20 @@
 //! (bit-identical answers either way). Any failing job makes the exit
 //! code non-zero and echoes the failing spec on stderr.
 
+use lsl::core::lifecycle::Limits;
 use lsl::core::net::{Client, Server};
 use lsl::core::service::Service;
 use lsl::core::spec::{JobResult, ScenarioRegistry, SpecError, SweepResult, SweepSpec};
+use lsl::core::store::ResultStore;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 lsl — local sampling library
 
 USAGE:
-    lsl run [--threads N] [--remote ADDR] <spec>...
-    lsl serve [--addr ADDR] [--threads N]
+    lsl run [--threads N] [--remote ADDR] [--store DIR] <spec>...
+    lsl serve [--addr ADDR] [--threads N] [--queue-cap N] [--inflight N]
+              [--max-rounds N] [--store DIR] [--grace SECS]
     lsl list scenarios
     lsl help
 
@@ -45,6 +48,9 @@ SPECS:
     and several run concurrently on a worker pool (--threads N,
     default: all cores). `--remote ADDR` sends the batch to an
     `lsl serve` instance instead; answers are bit-identical.
+    `--store DIR` keeps finished results on disk, keyed by canonical
+    spec — re-running an identical spec answers from the store,
+    bit-identically, without recomputing.
 
     Sweep clauses expand one line into many jobs:
 
@@ -59,6 +65,17 @@ SERVE:
     `lsl serve` listens on --addr (default 127.0.0.1:7878; use port 0
     for an ephemeral port, printed on startup) and runs every session's
     jobs on a shared worker pool (--threads N, default: all cores).
+
+    Admission limits (unlimited when omitted):
+        --queue-cap N      at most N jobs queued service-wide; overflow
+                           is rejected with a typed `rejected` event
+        --inflight N       at most N unresolved jobs per session
+        --max-rounds N     reject specs whose round budget exceeds N
+    --store DIR attaches a disk-backed result store (as in `run`).
+
+    Shutdown is graceful: on SIGINT/SIGTERM or a client `shutdown`
+    frame the server stops accepting, lets in-flight jobs finish for
+    --grace SECS (default 5), cancels the rest, and exits cleanly.
 ";
 
 fn main() -> ExitCode {
@@ -124,13 +141,52 @@ fn take_threads(args: &mut Vec<String>) -> Result<usize, String> {
     }
 }
 
-/// Parses `run` arguments into (threads, remote, spec lines): flags,
-/// then either whole-spec arguments (contain whitespace) or bare
-/// tokens joined into a single spec.
-fn collect_specs(args: &[String]) -> Result<(usize, Option<String>, Vec<String>), String> {
+/// Takes a numeric `--flag N` out of `args`, with a default.
+fn take_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_flag(args, flag)? {
+        Some(n) => n
+            .parse::<T>()
+            .map_err(|_| format!("{flag} {n:?} is not a number")),
+        None => Ok(default),
+    }
+}
+
+/// Takes the admission-limit flags (`--queue-cap`, `--inflight`,
+/// `--max-rounds`) out of `args`; absent flags stay unlimited.
+fn take_limits(args: &mut Vec<String>) -> Result<Limits, String> {
+    let defaults = Limits::default();
+    Ok(Limits {
+        queue_cap: take_num(args, "--queue-cap", defaults.queue_cap)?,
+        per_session_inflight: take_num(args, "--inflight", defaults.per_session_inflight)?,
+        max_rounds: take_num(args, "--max-rounds", defaults.max_rounds)?,
+    })
+}
+
+/// Takes `--store DIR` out of `args` and opens the result store.
+fn take_store(args: &mut Vec<String>) -> Result<Option<ResultStore>, String> {
+    match take_flag(args, "--store")? {
+        Some(dir) => ResultStore::open(&dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open result store {dir:?}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Parses `run` arguments into (threads, remote, store, spec lines):
+/// flags, then either whole-spec arguments (contain whitespace) or
+/// bare tokens joined into a single spec.
+#[allow(clippy::type_complexity)]
+fn collect_specs(
+    args: &[String],
+) -> Result<(usize, Option<String>, Option<ResultStore>, Vec<String>), String> {
     let mut args = args.to_vec();
     let threads = take_threads(&mut args)?;
     let remote = take_flag(&mut args, "--remote")?;
+    let store = take_store(&mut args)?;
     let mut specs: Vec<String> = Vec::new();
     let mut bare: Vec<String> = Vec::new();
     for arg in args {
@@ -146,7 +202,7 @@ fn collect_specs(args: &[String]) -> Result<(usize, Option<String>, Vec<String>)
     if specs.is_empty() {
         return Err("run needs at least one spec (see `lsl help`)".into());
     }
-    Ok((threads, remote, specs))
+    Ok((threads, remote, store, specs))
 }
 
 /// One line's member results, in expansion order.
@@ -179,7 +235,7 @@ fn report(sweep: &SweepSpec, members: &LineResults) -> bool {
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let (threads, remote, lines) = match collect_specs(args) {
+    let (threads, remote, store, lines) = match collect_specs(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("{e}");
@@ -202,7 +258,10 @@ fn run(args: &[String]) -> ExitCode {
 
     let outcomes: Vec<LineResults> = match &remote {
         None => {
-            let service = Service::new(threads);
+            let service = match store {
+                Some(store) => Service::with_store(threads, Limits::default(), store),
+                None => Service::new(threads),
+            };
             let handles: Vec<_> = sweeps.iter().map(|s| service.submit_sweep(s)).collect();
             handles
                 .into_iter()
@@ -210,6 +269,9 @@ fn run(args: &[String]) -> ExitCode {
                 .collect()
         }
         Some(addr) => {
+            if store.is_some() {
+                eprintln!("note: --store is ignored with --remote (the server's store governs)");
+            }
             if threads != 0 {
                 eprintln!(
                     "note: --threads is ignored with --remote \
@@ -253,38 +315,113 @@ fn run(args: &[String]) -> ExitCode {
     }
 }
 
-fn serve(args: &[String]) -> ExitCode {
+/// Everything `lsl serve` needs, parsed or defaulted.
+struct ServeConfig {
+    addr: String,
+    threads: usize,
+    limits: Limits,
+    store: Option<ResultStore>,
+    grace: std::time::Duration,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut args = args.to_vec();
-    let addr = match take_flag(&mut args, "--addr") {
-        Ok(a) => a.unwrap_or_else(|| "127.0.0.1:7878".to_string()),
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let threads = match take_threads(&mut args) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let threads = take_threads(&mut args)?;
+    let limits = take_limits(&mut args)?;
+    let store = take_store(&mut args)?;
+    let grace = std::time::Duration::from_secs(take_num(&mut args, "--grace", 5u64)?);
     if let Some(extra) = args.first() {
-        eprintln!("unexpected serve argument {extra:?} (see `lsl help`)");
-        return ExitCode::FAILURE;
+        return Err(format!(
+            "unexpected serve argument {extra:?} (see `lsl help`)"
+        ));
     }
-    let server = match Server::bind(addr.as_str(), threads) {
+    Ok(ServeConfig {
+        addr,
+        threads,
+        limits,
+        store,
+        grace,
+    })
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let cfg = match parse_serve_args(args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match cfg.store {
+        Some(store) => Service::with_store(cfg.threads, cfg.limits, store),
+        None => Service::with_limits(cfg.threads, cfg.limits),
+    };
+    let mut server = match Server::bind_service(cfg.addr.as_str(), service) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot bind {addr}: {e}");
+            eprintln!("error: cannot bind {}: {e}", cfg.addr);
             return ExitCode::FAILURE;
         }
     };
+    sig::install();
     // The line scripts scrape for the (possibly ephemeral) port.
     println!("listening on {}", server.local_addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    while !sig::requested() && !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("draining (grace {:?})", cfg.grace);
+    let _ = std::io::stdout().flush();
+    server.shutdown(cfg.grace);
+    println!("drained");
+    ExitCode::SUCCESS
+}
+
+/// Latches SIGINT/SIGTERM into a flag the serve loop polls, so the
+/// process drains instead of dying mid-job. Raw `signal(2)` FFI — the
+/// workspace links no libc crate.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: store to an atomic.
+        REQUESTED.store(true, Ordering::Release);
+    }
+
+    /// Installs the handlers; errors are ignored (the worst case is
+    /// the default die-on-signal behaviour we had anyway).
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether a shutdown signal arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Acquire)
+    }
+}
+
+/// On non-unix targets there is no `signal(2)`; the serve loop then
+/// only reacts to the protocol's `shutdown` frame.
+#[cfg(not(unix))]
+mod sig {
+    /// No-op.
+    pub fn install() {}
+
+    /// Never requested.
+    pub fn requested() -> bool {
+        false
     }
 }
