@@ -1,0 +1,92 @@
+//! Codec bench: the hand-rolled text line codec vs the binary frame
+//! codec, isolated from sockets and chains — pure encode+decode round
+//! trips on the two payload shapes the protocol ships:
+//!
+//! * **result** — a `finished` event with a `run` output (scalars);
+//! * **state** — a `state` event with a full 256×256 torus
+//!   configuration (byte-packed, ~64 KB).
+//!
+//! Results are printed as TSV (`frames/sec` and bytes per frame for
+//! both codecs). `quick` (or `LSL_BENCH_QUICK=1`) shrinks the
+//! iteration counts for smoke runs.
+
+use lsl_core::codec::{self, StateBlob};
+use lsl_core::proto::ServerFrame;
+use lsl_core::service::JobEvent;
+use lsl_core::spec::JobSpec;
+use std::time::Instant;
+
+/// Best-of-`repeats` wall-clock of `f`, which runs one measurement block.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, result_iters, state_iters, repeats) = if quick {
+        (64usize, 2_000usize, 50usize, 2usize)
+    } else {
+        (256, 50_000, 400, 3)
+    };
+
+    let result = format!("graph=torus:{side}x{side} model=coloring:q=16 seed=1 job=run:rounds=4")
+        .parse::<JobSpec>()
+        .unwrap()
+        .run()
+        .expect("a valid bench spec");
+    let result_frame = ServerFrame::Event {
+        id: 1,
+        index: 0,
+        event: JobEvent::Finished(result),
+    };
+    let n = side * side;
+    let state: Vec<u32> = (0..n as u32).map(|i| i % 16).collect();
+    let state_frame = ServerFrame::Event {
+        id: 1,
+        index: 0,
+        event: JobEvent::State {
+            round: 100,
+            blob: StateBlob::pack(&state, 16),
+        },
+    };
+
+    println!("# codec bench: text line vs binary frame round trips ({side}x{side} states)");
+    println!("case\tcodec\tsecs\tframes_per_sec\tbytes_per_frame");
+
+    for (case, frame, iters) in [
+        ("result", &result_frame, result_iters),
+        ("state", &state_frame, state_iters),
+    ] {
+        let text = best_secs(repeats, || {
+            for _ in 0..iters {
+                let printed = frame.to_string();
+                let reparsed: ServerFrame = printed.parse().expect("canonical frame");
+                assert!(matches!(reparsed, ServerFrame::Event { .. }));
+            }
+        });
+        println!(
+            "{case}\ttext\t{text:.4}\t{:.0}\t{}",
+            iters as f64 / text,
+            frame.to_string().len() + 1
+        );
+        let binary = best_secs(repeats, || {
+            for _ in 0..iters {
+                let payload = codec::encode_server(frame);
+                let decoded = codec::decode_server(&payload).expect("canonical frame");
+                assert!(matches!(decoded, ServerFrame::Event { .. }));
+            }
+        });
+        println!(
+            "{case}\tbinary\t{binary:.4}\t{:.0}\t{}",
+            iters as f64 / binary,
+            4 + codec::encode_server(frame).len()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! E18 — text vs binary frames: codec throughput and bytes on wire.
+//!
+//! PR 9 added a negotiated binary frame codec (`hello codec=binary`)
+//! with bit-packed full-state delivery (`job=sample`, `job=stream`).
+//! This experiment measures what the codec choice buys, on the two
+//! payload shapes that matter:
+//!
+//! * **metric results** — a `finished` event carrying a `run` output
+//!   (the common case: a handful of scalars);
+//! * **full states** — a `state` event carrying a 256×256 torus
+//!   configuration (the streaming case the binary codec exists for:
+//!   ~64 KB byte-packed at q=16, ~8 KB bit-packed for Ising).
+//!
+//! For each payload × codec, the micro rows measure encode+decode
+//! round trips per second and bytes per frame (text counts the line
+//! plus its `\n`; binary counts the 4-byte length prefix plus
+//! payload). The live rows stream a real `job=stream:every=1` session
+//! over loopback TCP under each codec — both sessions' decoded state
+//! sequences are asserted identical before timing is trusted.
+//!
+//! Results are printed as TSV and recorded to `BENCH_codec.json` at
+//! the workspace root (CPU count in the meta block — this container
+//! exposes few CPUs, so live rows measure protocol overhead, not
+//! parallel scaling). `--tiny` / `quick` / `LSL_BENCH_QUICK=1`
+//! shrinks the workload and skips the JSON write.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::codec::{self, Codec, StateBlob};
+use lsl_core::net::{Client, Server};
+use lsl_core::proto::ServerFrame;
+use lsl_core::service::JobEvent;
+use lsl_core::spec::JobSpec;
+use std::time::Instant;
+
+struct Row {
+    case: String,
+    codec: &'static str,
+    frames_per_sec: f64,
+    bytes_per_frame: usize,
+    secs: f64,
+}
+
+/// Best-of-`repeats` wall-clock of `f`.
+fn best_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Text wire size of a server frame: the printed line plus `\n`.
+fn text_bytes(frame: &ServerFrame) -> usize {
+    frame.to_string().len() + 1
+}
+
+/// Binary wire size of a server frame: length prefix plus payload.
+fn binary_bytes(frame: &ServerFrame) -> usize {
+    4 + codec::encode_server(frame).len()
+}
+
+/// Micro rows: encode+decode round trips of `frame` under both codecs.
+fn codec_micro(case: &str, frame: &ServerFrame, iters: usize, repeats: usize, rows: &mut Vec<Row>) {
+    let text = best_secs(repeats, || {
+        for _ in 0..iters {
+            let printed = frame.to_string();
+            let reparsed: ServerFrame = printed.parse().expect("canonical frame");
+            assert!(matches!(reparsed, ServerFrame::Event { .. }));
+        }
+    });
+    rows.push(Row {
+        case: case.into(),
+        codec: "text",
+        frames_per_sec: iters as f64 / text,
+        bytes_per_frame: text_bytes(frame),
+        secs: text,
+    });
+    let binary = best_secs(repeats, || {
+        for _ in 0..iters {
+            let payload = codec::encode_server(frame);
+            let decoded = codec::decode_server(&payload).expect("canonical frame");
+            assert!(matches!(decoded, ServerFrame::Event { .. }));
+        }
+    });
+    rows.push(Row {
+        case: case.into(),
+        codec: "binary",
+        frames_per_sec: iters as f64 / binary,
+        bytes_per_frame: binary_bytes(frame),
+        secs: binary,
+    });
+}
+
+/// Live row: streams `line` over loopback under `codec` and returns
+/// (secs, delivered states).
+fn stream_live(server: &Server, line: &str, codec: Codec) -> (f64, Vec<(u64, StateBlob)>) {
+    let t = Instant::now();
+    let mut client = Client::connect_with(server.local_addr(), codec).expect("connect");
+    client.submit(line).expect("submit");
+    let outcome = client
+        .drain()
+        .expect("drain")
+        .into_iter()
+        .next()
+        .expect("one line");
+    assert!(outcome.is_ok(), "stream job failed");
+    let secs = t.elapsed().as_secs_f64();
+    (secs, outcome.states.into_iter().next().expect("one member"))
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, stream_rounds, iters, state_iters, repeats) = if tiny {
+        (64, 4, 2_000, 50, 2)
+    } else {
+        (256, 16, 50_000, 400, 3)
+    };
+
+    header(&[
+        "E18: wire codec (text lines vs negotiated binary frames)",
+        "micro rows: encode+decode round trips of one server frame;",
+        "live rows: a real job=stream:every=1 session over loopback TCP,",
+        "state sequences asserted identical across codecs first",
+    ]);
+    header_row("case,codec,frames_per_sec,bytes_per_frame,secs");
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Payload 1: a metric result (the common finished event).
+    let result_line =
+        format!("graph=torus:{side}x{side} model=coloring:q=16 seed=1 job=run:rounds=4");
+    let result = result_line
+        .parse::<JobSpec>()
+        .unwrap()
+        .run()
+        .expect("a valid E18 spec");
+    let result_frame = ServerFrame::Event {
+        id: 1,
+        index: 0,
+        event: JobEvent::Finished(result),
+    };
+    codec_micro("result-frame", &result_frame, iters, repeats, &mut rows);
+
+    // Payload 2: full states — byte-packed (q=16 coloring) and
+    // bit-packed (Ising) configurations of the full torus.
+    for (tag, q) in [("state-q16", 16u32), ("state-ising", 2)] {
+        let n = side * side;
+        let state: Vec<u32> = (0..n as u32).map(|i| i % q).collect();
+        let frame = ServerFrame::Event {
+            id: 1,
+            index: 0,
+            event: JobEvent::State {
+                round: 100,
+                blob: StateBlob::pack(&state, q as usize),
+            },
+        };
+        codec_micro(
+            &format!("{tag}-{side}x{side}"),
+            &frame,
+            state_iters,
+            repeats,
+            &mut rows,
+        );
+    }
+
+    // Live: stream every round of a real chain under each codec.
+    // Best-of-repeats: a whole session is short enough that thread
+    // spawn and scheduler noise would otherwise dominate the row.
+    let stream_line = format!(
+        "graph=torus:{side}x{side} model=coloring:q=16 seed=5 \
+         job=stream:rounds={stream_rounds},every=1"
+    );
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind a loopback server");
+    let live = |codec| {
+        let (mut best_secs, states) = stream_live(&server, &stream_line, codec);
+        for _ in 1..repeats {
+            let (secs, again) = stream_live(&server, &stream_line, codec);
+            assert_eq!(states, again, "a repeated stream diverged");
+            best_secs = best_secs.min(secs);
+        }
+        (best_secs, states)
+    };
+    let (text_secs, text_states) = live(Codec::Text);
+    let (binary_secs, binary_states) = live(Codec::Binary);
+    assert_eq!(
+        text_states, binary_states,
+        "the codec changed a streamed state — wire identity violated"
+    );
+    let blob_bytes = text_states[0].1.byte_len();
+    for (codec, secs) in [("text", text_secs), ("binary", binary_secs)] {
+        rows.push(Row {
+            case: format!("stream-live-{side}x{side}"),
+            codec,
+            frames_per_sec: text_states.len() as f64 / secs,
+            bytes_per_frame: blob_bytes,
+            secs,
+        });
+    }
+
+    for r in &rows {
+        row(&[
+            r.case.clone(),
+            r.codec.to_string(),
+            format!("{:.0}", r.frames_per_sec),
+            r.bytes_per_frame.to_string(),
+            format!("{:.4}", r.secs),
+        ]);
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"case\": \"{}\", \"codec\": \"{}\", \"frames_per_sec\": {:.0}, \
+                 \"bytes_per_frame\": {}, \"secs\": {:.6}}}",
+                r.case, r.codec, r.frames_per_sec, r.bytes_per_frame, r.secs,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wire_codec\",\n  \"workload\": \"text vs binary frame codec: \
+         encode+decode micro rows on result and full-state frames, plus a live \
+         job=stream:every=1 loopback session per codec ({side}x{side} torus)\",\n  \
+         \"note\": \"state sequences asserted identical across codecs; live rows on a \
+         low-CPU container measure protocol overhead, not parallel scaling\",\n  \
+         \"meta\": {},\n  \"tiny\": {tiny},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    if tiny {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# tiny run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

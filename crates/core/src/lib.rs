@@ -35,10 +35,12 @@
 //!   experimental counterpart of the path-coupling theorems);
 //! * [`mixing`] — empirical total-variation estimation against exact
 //!   ground truth;
-//! * [`spec`] / [`service`] / [`proto`] / [`net`] — the **serving
-//!   stack**: declarative job specs with seed/parameter sweeps, the
-//!   event-streaming worker-pool service, the line-delimited wire
-//!   codec, and the TCP server/client putting sessions on the network.
+//! * [`spec`] / [`service`] / [`proto`] / [`codec`] / [`net`] — the
+//!   **serving stack**: declarative job specs with seed/parameter
+//!   sweeps, the event-streaming worker-pool service, the
+//!   line-delimited wire codec, the negotiated binary frame codec with
+//!   bit-packed full-state delivery, and the TCP server/client putting
+//!   sessions on the network.
 //!
 //! # Example: sample a proper coloring with LocalMetropolis
 //!
@@ -62,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod coupling;
 pub mod csp_metropolis;
 pub mod engine;
@@ -87,6 +90,7 @@ pub mod update;
 /// [`Chain`] trait, the engine [`Backend`](engine::Backend), and the
 /// workspace PRNG.
 pub mod prelude {
+    pub use crate::codec::{Codec, StateBlob};
     pub use crate::engine::Backend;
     pub use crate::lifecycle::{CancelToken, Limits, RejectReason};
     pub use crate::net::{Client, Server};

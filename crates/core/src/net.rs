@@ -30,13 +30,23 @@
 //! in-process callers, so a remote answer equals the in-process answer
 //! exactly — property-tested in `tests/remote_identity.rs`, including
 //! concurrent multi-client batches.
+//!
+//! **Codec negotiation**: sessions start on the text codec. A client
+//! `hello codec=binary` frame switches the session to the
+//! length-prefixed binary codec ([`codec`]): the server
+//! acks in the old codec under the writer lock, then both directions
+//! speak binary — the path that makes full-state delivery
+//! ([`JobEvent::State`]) cheap. Text sessions remain fully supported
+//! (blobs fall back to base64url tokens), and both codecs answer
+//! bit-identical outcomes (`tests/codec_identity.rs`).
 
+use crate::codec::{self, Codec, CodecError, StateBlob};
 use crate::lifecycle::{CancelToken, RejectReason};
 use crate::proto::{ClientFrame, ServerFrame, WireError};
 use crate::service::{JobEvent, Service};
 use crate::spec::{JobResult, SpecError, SweepResult, SweepSpec};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,13 +58,51 @@ use std::time::{Duration, Instant};
 /// a shutdown can be.
 const SESSION_POLL: Duration = Duration::from_millis(25);
 
-/// Writes one frame as one line, under the session's writer lock (so
-/// concurrent forwarders never interleave *within* a line).
-fn send_frame(writer: &Mutex<TcpStream>, frame: &ServerFrame) {
-    let mut w = writer.lock().expect("session writer lock");
-    // A gone client is not an error worth a worker's life: the session
-    // reader will notice EOF and wind down.
-    let _ = writeln!(w, "{frame}");
+/// A session's shared write half: the socket behind a lock (so
+/// concurrent forwarders never interleave *within* a frame — including
+/// large state frames, which go out atomically) plus the codec flag,
+/// flipped under that same lock so every frame lands wholly in one
+/// codec.
+struct SessionWriter {
+    stream: Mutex<TcpStream>,
+    binary: AtomicBool,
+}
+
+impl SessionWriter {
+    fn new(stream: TcpStream) -> Self {
+        SessionWriter {
+            stream: Mutex::new(stream),
+            binary: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes one frame in the session's current codec. Text frames go
+    /// out as a single `write_all` (not a fragment-per-`write!` piece),
+    /// so Nagle + delayed-ACK never stalls a half-sent line.
+    fn send(&self, frame: &ServerFrame) {
+        let mut w = self.stream.lock().expect("session writer lock");
+        // A gone client is not an error worth a worker's life: the
+        // session reader will notice EOF and wind down.
+        let _ = if self.binary.load(Ordering::Acquire) {
+            codec::write_frame(&mut *w, &codec::encode_server(frame))
+        } else {
+            w.write_all(format!("{frame}\n").as_bytes())
+        };
+    }
+
+    /// Acks a `hello` and switches codecs atomically under the writer
+    /// lock: the ack goes out in the *old* codec, every later frame in
+    /// the new one — no frame can straddle the switch.
+    fn switch(&self, to: Codec) {
+        let mut w = self.stream.lock().expect("session writer lock");
+        let ack = ServerFrame::Hello { codec: to };
+        let _ = if self.binary.load(Ordering::Acquire) {
+            codec::write_frame(&mut *w, &codec::encode_server(&ack))
+        } else {
+            w.write_all(format!("{ack}\n").as_bytes())
+        };
+        self.binary.store(to == Codec::Binary, Ordering::Release);
+    }
 }
 
 /// Shutdown signals shared by every session of one [`Server`].
@@ -241,17 +289,19 @@ fn accept_loop(
 /// cancelled and the forwarders are joined.
 fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
     // Some platforms hand accepted sockets the listener's nonblocking
-    // flag; the session loop wants timed blocking reads.
+    // flag; the session loop wants timed blocking reads. Nagle off:
+    // event frames are latency-sensitive and already write-combined.
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(SESSION_POLL)).is_err()
+        || stream.set_nodelay(true).is_err()
     {
         return;
     }
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
+    let mut sock = match stream.try_clone() {
+        Ok(s) => s,
         Err(_) => return,
     };
-    let writer = Arc::new(Mutex::new(stream));
+    let writer = Arc::new(SessionWriter::new(stream));
     // Jobs of this session that have not reported a terminal event
     // yet; forwarders decrement as terminals go out.
     let inflight = Arc::new(AtomicUsize::new(0));
@@ -261,11 +311,16 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
     let mut tokens: HashMap<u64, Vec<CancelToken>> = HashMap::new();
     let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
     let mut cancelled_all = false;
-    // The line buffer persists across reads: a timed-out read may have
-    // consumed a *partial* line, which `read_line` leaves in the
-    // buffer to be completed by a later read. Cleared only after a
-    // whole line is processed.
-    let mut line = String::new();
+    // Raw byte accumulation persists across timed reads: in text mode
+    // complete lines are cut at `\n` (a partial tail waits for more
+    // bytes), in binary mode complete length-prefixed frames are cut
+    // by their prefix. A `hello` frame flips the mode for every byte
+    // that follows it — bytes already buffered behind the hello are
+    // re-interpreted under the new codec, exactly as the client that
+    // switched immediately after sending it intended.
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut binary = false;
+    let mut tmp = vec![0u8; 64 * 1024];
     loop {
         if ctl.cancel_all.load(Ordering::Acquire) && !cancelled_all {
             cancelled_all = true;
@@ -276,19 +331,60 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
         if ctl.draining.load(Ordering::Acquire) && inflight.load(Ordering::Acquire) == 0 {
             break;
         }
-        match reader.read_line(&mut line) {
+        match sock.read(&mut tmp) {
             Ok(0) => break,
-            Ok(_) => {
-                handle_frame(
-                    line.trim(),
-                    &writer,
-                    service,
-                    ctl,
-                    &inflight,
-                    &mut tokens,
-                    &mut forwarders,
-                );
-                line.clear();
+            Ok(n) => {
+                inbuf.extend_from_slice(&tmp[..n]);
+                // Drain every complete frame at the mode it arrives
+                // under.
+                loop {
+                    let parsed: Result<ClientFrame, String> = if binary {
+                        if inbuf.len() < 4 {
+                            break;
+                        }
+                        let len =
+                            u32::from_le_bytes([inbuf[0], inbuf[1], inbuf[2], inbuf[3]]) as usize;
+                        if len > codec::MAX_FRAME {
+                            // Resync after the 4 header bytes; the
+                            // typed error is the malformed-frame
+                            // contract, binary edition.
+                            inbuf.drain(..4);
+                            Err(CodecError::Oversize { len: len as u64 }.to_string())
+                        } else if inbuf.len() < 4 + len {
+                            break;
+                        } else {
+                            let payload: Vec<u8> = inbuf[4..4 + len].to_vec();
+                            inbuf.drain(..4 + len);
+                            codec::decode_client(&payload).map_err(|e| e.to_string())
+                        }
+                    } else {
+                        let Some(pos) = inbuf.iter().position(|&b| b == b'\n') else {
+                            break;
+                        };
+                        let line: Vec<u8> = inbuf.drain(..=pos).collect();
+                        match std::str::from_utf8(&line) {
+                            Ok(s) => {
+                                let s = s.trim();
+                                if s.is_empty() {
+                                    continue;
+                                }
+                                s.parse::<ClientFrame>().map_err(|e| e.to_string())
+                            }
+                            Err(_) => Err("malformed frame: not UTF-8".to_string()),
+                        }
+                    };
+                    if let Some(mode) = handle_frame(
+                        parsed,
+                        &writer,
+                        service,
+                        ctl,
+                        &inflight,
+                        &mut tokens,
+                        &mut forwarders,
+                    ) {
+                        binary = mode == Codec::Binary;
+                    }
+                }
             }
             Err(e)
                 if matches!(
@@ -314,29 +410,28 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
     }
 }
 
-/// Processes one complete frame line on the session thread.
+/// Processes one parsed (or unparseable) frame on the session thread.
+/// Returns the codec the *read* side should switch to, if the frame
+/// was a `hello` (the write side switches inside, under the writer
+/// lock).
 fn handle_frame(
-    line: &str,
-    writer: &Arc<Mutex<TcpStream>>,
+    parsed: Result<ClientFrame, String>,
+    writer: &Arc<SessionWriter>,
     service: &Arc<Service>,
     ctl: &Arc<SessionCtl>,
     inflight: &Arc<AtomicUsize>,
     tokens: &mut HashMap<u64, Vec<CancelToken>>,
     forwarders: &mut Vec<JoinHandle<()>>,
-) {
-    if line.is_empty() {
-        return;
-    }
-    match line.parse::<ClientFrame>() {
-        Err(e) => {
+) -> Option<Codec> {
+    match parsed {
+        Err(message) => {
             // The malformed-frame contract: answer typed, stay up.
-            send_frame(
-                writer,
-                &ServerFrame::Error {
-                    id: None,
-                    message: e.to_string(),
-                },
-            );
+            writer.send(&ServerFrame::Error { id: None, message });
+        }
+        Ok(ClientFrame::Hello { codec }) => {
+            // Ack in the old codec, then switch both directions.
+            writer.switch(codec);
+            return Some(codec);
         }
         Ok(ClientFrame::Cancel { id }) => match tokens.get(&id) {
             // The terminal `cancelled` event (per member, through the
@@ -346,35 +441,26 @@ fn handle_frame(
                     token.cancel();
                 }
             }
-            None => send_frame(
-                writer,
-                &ServerFrame::Error {
-                    id: Some(id),
-                    message: format!("cancel for unknown job id {id}"),
-                },
-            ),
+            None => writer.send(&ServerFrame::Error {
+                id: Some(id),
+                message: format!("cancel for unknown job id {id}"),
+            }),
         },
         Ok(ClientFrame::Shutdown) => {
             ctl.shutdown_requested.store(true, Ordering::Release);
         }
         Ok(ClientFrame::Submit { id, spec }) => match spec.parse::<SweepSpec>() {
-            Err(e) => send_frame(
-                writer,
-                &ServerFrame::Error {
-                    id: Some(id),
-                    message: e.to_string(),
-                },
-            ),
+            Err(e) => writer.send(&ServerFrame::Error {
+                id: Some(id),
+                message: e.to_string(),
+            }),
             Ok(sweep) => {
                 let members = sweep.expand();
                 let jobs = members.len();
-                send_frame(
-                    writer,
-                    &ServerFrame::Submitted {
-                        id,
-                        jobs: jobs as u64,
-                    },
-                );
+                writer.send(&ServerFrame::Submitted {
+                    id,
+                    jobs: jobs as u64,
+                });
                 // Session-level admission, before the service queue is
                 // touched: a draining server takes nothing new, and a
                 // session over its in-flight cap must finish (or
@@ -391,18 +477,15 @@ fn handle_frame(
                 };
                 if let Some(reason) = rejection {
                     for index in 0..jobs as u64 {
-                        send_frame(
-                            writer,
-                            &ServerFrame::Event {
-                                id,
-                                index,
-                                event: JobEvent::Rejected {
-                                    reason: reason.clone(),
-                                },
+                        writer.send(&ServerFrame::Event {
+                            id,
+                            index,
+                            event: JobEvent::Rejected {
+                                reason: reason.clone(),
                             },
-                        );
+                        });
                     }
-                    return;
+                    return None;
                 }
                 inflight.fetch_add(jobs, Ordering::AcqRel);
                 let (tx, rx) = std::sync::mpsc::channel::<(u64, JobEvent)>();
@@ -427,6 +510,7 @@ fn handle_frame(
             }
         },
     }
+    None
 }
 
 /// Drains one submitted line's tagged event stream into frames until
@@ -435,7 +519,7 @@ fn handle_frame(
 /// unresolved (the service died mid-queue), each of them is failed
 /// explicitly so the client never hangs.
 fn forward_line(
-    writer: &Mutex<TcpStream>,
+    writer: &SessionWriter,
     id: u64,
     jobs: usize,
     rx: &std::sync::mpsc::Receiver<(u64, JobEvent)>,
@@ -445,7 +529,7 @@ fn forward_line(
     let mut remaining = jobs;
     for (index, event) in rx.iter() {
         let terminal = event.is_terminal();
-        send_frame(writer, &ServerFrame::Event { id, index, event });
+        writer.send(&ServerFrame::Event { id, index, event });
         if terminal {
             if let Some(slot) = resolved.get_mut(index as usize) {
                 if !*slot {
@@ -461,14 +545,11 @@ fn forward_line(
     }
     for (index, done) in resolved.into_iter().enumerate() {
         if !done {
-            send_frame(
-                writer,
-                &ServerFrame::Event {
-                    id,
-                    index: index as u64,
-                    event: JobEvent::Failed(SpecError::ServiceStopped),
-                },
-            );
+            writer.send(&ServerFrame::Event {
+                id,
+                index: index as u64,
+                event: JobEvent::Failed(SpecError::ServiceStopped),
+            });
             inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
@@ -487,6 +568,11 @@ pub struct RemoteOutcome {
     pub members: Vec<Result<JobResult, SpecError>>,
     /// `Progress` events observed across all members.
     pub progress_events: u64,
+    /// Full-state deliveries per member, in member order: the
+    /// `(round, blob)` pairs a `stream` job's [`JobEvent::State`]
+    /// events carried. Empty vectors for non-streaming members; empty
+    /// overall when the line was rejected before expansion.
+    pub states: Vec<Vec<(u64, StateBlob)>>,
 }
 
 impl RemoteOutcome {
@@ -515,6 +601,11 @@ impl RemoteOutcome {
 /// the interleaved event streams into per-line outcomes. In-flight
 /// lines can be cancelled by id ([`Client::cancel`]); their members
 /// come back as [`SpecError::Cancelled`].
+///
+/// [`Client::connect_with`] negotiates the session codec up front:
+/// [`Codec::Binary`] switches both directions to length-prefixed
+/// binary frames (required for efficient `stream` jobs),
+/// [`Codec::Text`] keeps the line protocol.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -523,6 +614,10 @@ pub struct Client {
     pending: HashMap<u64, Pending>,
     /// Submission order, so outcomes come back in the order sent.
     order: Vec<u64>,
+    /// The negotiated session codec.
+    codec: Codec,
+    /// Reassembly buffer for binary frames.
+    fb: codec::FrameBuffer,
 }
 
 struct Pending {
@@ -530,17 +625,24 @@ struct Pending {
     /// `None` until the `submitted` ack tells us the expansion size.
     members: Option<Vec<Option<Result<JobResult, SpecError>>>>,
     progress_events: u64,
+    /// Per-member `(round, blob)` state deliveries; sized with
+    /// `members` at the `submitted` ack.
+    states: Option<Vec<Vec<(u64, StateBlob)>>>,
     /// A line-level rejection (server `error` frame for this id).
     rejected: Option<SpecError>,
 }
 
 impl Client {
-    /// Connects to an [`Server`] (or `lsl serve`) address.
+    /// Connects to an [`Server`] (or `lsl serve`) address, speaking
+    /// the default text codec.
     ///
     /// # Errors
     /// The connect error.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        // Submits and cancels are latency-sensitive one-off frames,
+        // already write-combined — Nagle only adds stalls.
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
             reader,
@@ -548,7 +650,85 @@ impl Client {
             next_id: 0,
             pending: HashMap::new(),
             order: Vec::new(),
+            codec: Codec::Text,
+            fb: codec::FrameBuffer::new(),
         })
+    }
+
+    /// Connects and negotiates `codec` for the session. The handshake
+    /// is always in text: the client sends `hello codec=<name>`, the
+    /// server acks with its own `hello` frame in the *old* codec, and
+    /// both sides switch immediately after.
+    ///
+    /// # Errors
+    /// `io::Error` on connect/handshake failure (an unexpected or
+    /// unparsable ack maps to `InvalidData`).
+    pub fn connect_with(addr: impl ToSocketAddrs, codec: Codec) -> std::io::Result<Client> {
+        let mut client = Client::connect(addr)?;
+        if codec == Codec::Text {
+            return Ok(client);
+        }
+        client
+            .writer
+            .write_all(format!("{}\n", ClientFrame::Hello { codec }).as_bytes())?;
+        let mut line = String::new();
+        let n = client.reader.read_line(&mut line)?;
+        let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        if n == 0 {
+            return Err(invalid("server closed during codec handshake".into()));
+        }
+        match line.trim_end().parse::<ServerFrame>() {
+            Ok(ServerFrame::Hello { codec: acked }) if acked == codec => {
+                client.codec = codec;
+                Ok(client)
+            }
+            Ok(frame) => Err(invalid(format!("unexpected handshake ack: {frame}"))),
+            Err(e) => Err(invalid(format!("bad handshake ack: {e}"))),
+        }
+    }
+
+    /// Sends one client frame under the negotiated codec, as a single
+    /// `write_all` either way (no Nagle-stalled half-frames).
+    fn send(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
+        match self.codec {
+            Codec::Text => self.writer.write_all(format!("{frame}\n").as_bytes()),
+            Codec::Binary => codec::write_frame(&mut self.writer, &codec::encode_client(frame)),
+        }
+    }
+
+    /// Blocks for the next server frame under the negotiated codec.
+    /// `Ok(None)` means the server closed the connection.
+    fn read_frame(&mut self) -> Result<Option<ServerFrame>, NetError> {
+        match self.codec {
+            Codec::Text => loop {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line).map_err(NetError::Io)?;
+                if n == 0 {
+                    return Ok(None);
+                }
+                let line = line.trim_end();
+                if line.is_empty() {
+                    continue;
+                }
+                return line
+                    .parse::<ServerFrame>()
+                    .map(Some)
+                    .map_err(NetError::Wire);
+            },
+            Codec::Binary => loop {
+                if let Some(payload) = self.fb.next_frame().map_err(NetError::Codec)? {
+                    return codec::decode_server(&payload)
+                        .map(Some)
+                        .map_err(NetError::Codec);
+                }
+                let mut tmp = [0u8; 64 * 1024];
+                let n = self.reader.read(&mut tmp).map_err(NetError::Io)?;
+                if n == 0 {
+                    return Ok(None);
+                }
+                self.fb.extend(&tmp[..n]);
+            },
+        }
     }
 
     /// Submits one spec/sweep line; returns its session-scoped id.
@@ -572,13 +752,14 @@ impl Client {
             id,
             spec: spec.to_string(),
         };
-        writeln!(self.writer, "{frame}")?;
+        self.send(&frame)?;
         self.pending.insert(
             id,
             Pending {
                 spec: spec.to_string(),
                 members: None,
                 progress_events: 0,
+                states: None,
                 rejected: None,
             },
         );
@@ -595,7 +776,7 @@ impl Client {
     /// # Errors
     /// The socket write error.
     pub fn cancel(&mut self, id: u64) -> std::io::Result<()> {
-        writeln!(self.writer, "{}", ClientFrame::Cancel { id })
+        self.send(&ClientFrame::Cancel { id })
     }
 
     /// Sends the `shutdown` admin frame, asking the serve process to
@@ -606,7 +787,7 @@ impl Client {
     /// # Errors
     /// The socket write error.
     pub fn request_shutdown(&mut self) -> std::io::Result<()> {
-        writeln!(self.writer, "{}", ClientFrame::Shutdown)
+        self.send(&ClientFrame::Shutdown)
     }
 
     /// Blocks until every submitted line resolved (all member jobs
@@ -619,16 +800,7 @@ impl Client {
     /// errors here; they come back inside [`RemoteOutcome::members`].
     pub fn drain(&mut self) -> Result<Vec<RemoteOutcome>, NetError> {
         while !self.all_resolved() {
-            let mut line = String::new();
-            let n = self.reader.read_line(&mut line).map_err(NetError::Io)?;
-            if n == 0 {
-                return Err(NetError::Disconnected);
-            }
-            let line = line.trim_end();
-            if line.is_empty() {
-                continue;
-            }
-            let frame = line.parse::<ServerFrame>().map_err(NetError::Wire)?;
+            let frame = self.read_frame()?.ok_or(NetError::Disconnected)?;
             self.apply(frame)?;
         }
         let mut outcomes = Vec::with_capacity(self.order.len());
@@ -647,6 +819,7 @@ impl Client {
                 spec: p.spec,
                 members,
                 progress_events: p.progress_events,
+                states: p.states.unwrap_or_default(),
             });
         }
         Ok(outcomes)
@@ -666,11 +839,21 @@ impl Client {
             ServerFrame::Submitted { id, jobs } => {
                 let p = self.pending.get_mut(&id).ok_or(NetError::UnknownId(id))?;
                 p.members = Some((0..jobs).map(|_| None).collect());
+                p.states = Some((0..jobs).map(|_| Vec::new()).collect());
             }
             ServerFrame::Event { id, index, event } => {
                 let p = self.pending.get_mut(&id).ok_or(NetError::UnknownId(id))?;
                 match event {
                     JobEvent::Progress { .. } => p.progress_events += 1,
+                    JobEvent::State { round, blob } => {
+                        let states = p.states.as_mut().ok_or_else(|| {
+                            NetError::Protocol("event before submitted ack".into())
+                        })?;
+                        let slot = states.get_mut(index as usize).ok_or_else(|| {
+                            NetError::Protocol(format!("member index {index} out of range"))
+                        })?;
+                        slot.push((round, blob));
+                    }
                     JobEvent::Finished(result) => set_member(p, index, Ok(result))?,
                     JobEvent::Failed(e) => set_member(p, index, Err(e))?,
                     JobEvent::Rejected { reason } => {
@@ -679,6 +862,11 @@ impl Client {
                     JobEvent::Cancelled => set_member(p, index, Err(SpecError::Cancelled))?,
                     JobEvent::Accepted | JobEvent::Started => {}
                 }
+            }
+            ServerFrame::Hello { codec } => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected mid-session codec ack (codec={codec})"
+                )));
             }
             ServerFrame::Error { id, message } => match id.and_then(|i| self.pending.get_mut(&i)) {
                 // Line-level rejection: the server names the id.
@@ -729,6 +917,8 @@ pub enum NetError {
     Disconnected,
     /// A server frame failed to parse.
     Wire(WireError),
+    /// A binary frame failed to decode (or exceeded the frame cap).
+    Codec(CodecError),
     /// The server referenced an id this session never submitted, or
     /// violated the frame ordering contract.
     Protocol(String),
@@ -742,6 +932,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "socket error: {e}"),
             NetError::Disconnected => f.write_str("server disconnected mid-session"),
             NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Codec(e) => write!(f, "{e}"),
             NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
             NetError::UnknownId(id) => write!(f, "server frame for unknown id {id}"),
         }

@@ -461,6 +461,23 @@ fn encode_output(output: &JobOutput) -> String {
             "coalescence:trials={trials},mean-rounds={mean_rounds},std-error={std_error},\
              timeouts={timeouts}"
         ),
+        JobOutput::Sample { rounds, states } => {
+            // The text fallback base64s each blob (`n/q/<base64url>`);
+            // the alphabet is free of the separators `,` `=` `:` `;`,
+            // so tokens join safely.
+            let blobs: Vec<String> = states.iter().map(|b| b.to_token()).collect();
+            format!("sample:rounds={rounds},states={}", blobs.join(";"))
+        }
+        JobOutput::Stream {
+            rounds,
+            every,
+            n,
+            states,
+            fingerprint,
+        } => format!(
+            "stream:rounds={rounds},every={every},n={n},states={states},\
+             fingerprint={fingerprint:016x}"
+        ),
     }
 }
 
@@ -533,6 +550,38 @@ fn decode_output(token: &str) -> Result<JobOutput, WireError> {
                 timeouts: parse_num(pieces[3], "timeouts")?,
             })
         }
+        "sample" => {
+            if pieces.len() != 2 {
+                return Err(wire_err(format!("sample has 2 fields: {token:?}")));
+            }
+            let blobs = field(pieces[1], "states")?;
+            let states = blobs
+                .split(';')
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    t.parse::<crate::codec::StateBlob>()
+                        .map_err(|e| wire_err(e.to_string()))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(JobOutput::Sample {
+                rounds: parse_num(pieces[0], "rounds")?,
+                states,
+            })
+        }
+        "stream" => {
+            if pieces.len() != 5 {
+                return Err(wire_err(format!("stream has 5 fields: {token:?}")));
+            }
+            let fingerprint = field(pieces[4], "fingerprint")?;
+            Ok(JobOutput::Stream {
+                rounds: parse_num(pieces[0], "rounds")?,
+                every: parse_num(pieces[1], "every")?,
+                n: parse_num(pieces[2], "n")?,
+                states: parse_num(pieces[3], "states")?,
+                fingerprint: u64::from_str_radix(fingerprint, 16)
+                    .map_err(|_| wire_err(format!("bad fingerprint {fingerprint:?}")))?,
+            })
+        }
         other => Err(wire_err(format!("unknown output kind {other:?}"))),
     }
 }
@@ -576,7 +625,8 @@ impl FromStr for JobResult {
 
 /// The wire form: `accepted`, `rejected <reason>`, `started`,
 /// `progress round=<r> of=<n>`, `finished <result>`, `failed <error>`,
-/// `cancelled`.
+/// `cancelled`, `state round=<r> blob=<n/q/base64url>` (the text
+/// fallback for full-state delivery).
 impl fmt::Display for JobEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -589,6 +639,9 @@ impl fmt::Display for JobEvent {
             JobEvent::Finished(result) => write!(f, "finished {result}"),
             JobEvent::Failed(e) => write!(f, "failed {}", encode_spec_error(e)),
             JobEvent::Cancelled => f.write_str("cancelled"),
+            JobEvent::State { round, blob } => {
+                write!(f, "state round={round} blob={}", blob.to_token())
+            }
         }
     }
 }
@@ -636,6 +689,17 @@ impl FromStr for JobEvent {
                 }
                 Ok(JobEvent::Failed(decode_spec_error(rest)?))
             }
+            "state" => {
+                let (round, blob) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| wire_err(format!("state needs round and blob: {s:?}")))?;
+                Ok(JobEvent::State {
+                    round: parse_num(round, "round")?,
+                    blob: field(blob, "blob")?
+                        .parse()
+                        .map_err(|e: crate::codec::CodecError| wire_err(e.to_string()))?,
+                })
+            }
             other => Err(wire_err(format!("unknown event {other:?}"))),
         }
     }
@@ -671,6 +735,14 @@ pub enum ClientFrame {
     /// connections, reject new submissions, let in-flight jobs finish
     /// (or cancel them past the grace deadline), then exit.
     Shutdown,
+    /// Negotiate the session's wire format (`hello codec=binary`). The
+    /// server acks with [`ServerFrame::Hello`] *in the session's
+    /// current codec*, then both directions switch — every frame
+    /// before the ack is old-codec, every frame after is new-codec.
+    Hello {
+        /// The requested codec.
+        codec: crate::codec::Codec,
+    },
 }
 
 impl fmt::Display for ClientFrame {
@@ -679,6 +751,7 @@ impl fmt::Display for ClientFrame {
             ClientFrame::Submit { id, spec } => write!(f, "submit id={id} spec={spec}"),
             ClientFrame::Cancel { id } => write!(f, "cancel id={id}"),
             ClientFrame::Shutdown => f.write_str("shutdown"),
+            ClientFrame::Hello { codec } => write!(f, "hello codec={codec}"),
         }
     }
 }
@@ -715,8 +788,16 @@ impl FromStr for ClientFrame {
                 }
                 Ok(ClientFrame::Shutdown)
             }
+            "hello" => {
+                if rest.contains(' ') || rest.is_empty() {
+                    return Err(wire_err(format!("hello takes codec=<name>: {s:?}")));
+                }
+                Ok(ClientFrame::Hello {
+                    codec: field(rest, "codec")?.parse().map_err(wire_err)?,
+                })
+            }
             other => Err(wire_err(format!(
-                "unknown client frame {other:?} (expected submit | cancel | shutdown)"
+                "unknown client frame {other:?} (expected submit | cancel | shutdown | hello)"
             ))),
         }
     }
@@ -751,6 +832,12 @@ pub enum ServerFrame {
         /// What was wrong.
         message: String,
     },
+    /// Ack of a [`ClientFrame::Hello`]: the codec the session now
+    /// speaks. Sent in the codec that was active *before* the switch.
+    Hello {
+        /// The codec in effect for every subsequent frame.
+        codec: crate::codec::Codec,
+    },
 }
 
 impl fmt::Display for ServerFrame {
@@ -768,6 +855,7 @@ impl fmt::Display for ServerFrame {
                 }
                 write!(f, " message={}", escape(message))
             }
+            ServerFrame::Hello { codec } => write!(f, "hello codec={codec}"),
         }
     }
 }
@@ -817,6 +905,14 @@ impl FromStr for ServerFrame {
                 Ok(ServerFrame::Error {
                     id,
                     message: unescape(field(message, "message")?)?,
+                })
+            }
+            "hello" => {
+                if rest.contains(' ') || rest.is_empty() {
+                    return Err(wire_err(format!("hello takes codec=<name>: {s:?}")));
+                }
+                Ok(ServerFrame::Hello {
+                    codec: field(rest, "codec")?.parse().map_err(wire_err)?,
                 })
             }
             other => Err(wire_err(format!("unknown server frame {other:?}"))),
@@ -1002,12 +1098,59 @@ mod tests {
     fn malformed_frames_are_typed_errors() {
         for bad in [
             "hello",
+            "hello codec=morse",
+            "hello codec=binary extra=1",
             "submit id=x spec=graph=cycle:3 model=mis",
             "event id=1 index=0 exploded",
             "event id=1 index=0 finished elapsed=zz output=tv:rounds=1,replicas=1,tv=0 spec=x",
+            "event id=1 index=0 state round=5 blob=2/3/!!!",
             "error id=7 message=bad%GG",
         ] {
             assert!(bad.parse::<ServerFrame>().is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn state_outputs_and_events_round_trip() {
+        use crate::codec::StateBlob;
+        let blob = StateBlob::pack(&[0, 2, 1, 2, 0, 1], 3);
+        let wide = StateBlob::pack(&[1, 300, 0, 299], 301);
+        let bits = StateBlob::pack(&[1, 0, 1, 1, 0, 0, 1, 0, 1], 2);
+
+        let sample = result(
+            "graph=cycle:6 model=coloring:q=3 seed=1 job=sample:rounds=10,count=3",
+            JobOutput::Sample {
+                rounds: 10,
+                states: vec![blob.clone(), wide, bits],
+            },
+        );
+        assert_eq!(sample.to_string().parse::<JobResult>().unwrap(), sample);
+
+        let stream = result(
+            "graph=cycle:6 model=coloring:q=3 seed=1 job=stream:rounds=10,every=2",
+            JobOutput::Stream {
+                rounds: 10,
+                every: 2,
+                n: 6,
+                states: 5,
+                fingerprint: 0x0123_4567_89ab_cdef,
+            },
+        );
+        assert_eq!(stream.to_string().parse::<JobResult>().unwrap(), stream);
+
+        let event = JobEvent::State { round: 4, blob };
+        assert_eq!(event.to_string().parse::<JobEvent>().unwrap(), event);
+    }
+
+    #[test]
+    fn hello_frames_round_trip() {
+        use crate::codec::Codec;
+        for codec in [Codec::Text, Codec::Binary] {
+            let client = ClientFrame::Hello { codec };
+            assert_eq!(client.to_string().parse::<ClientFrame>().unwrap(), client);
+            let server = ServerFrame::Hello { codec };
+            assert_eq!(server.to_string().parse::<ServerFrame>().unwrap(), server);
+        }
+        assert!("hello".parse::<ClientFrame>().is_err(), "codec is required");
     }
 }

@@ -126,6 +126,15 @@ pub enum JobEvent {
     /// client `cancel` frame, or a draining server — before it produced
     /// a result. Lands within one progress interval of the request.
     Cancelled,
+    /// A `stream` job delivered a full configuration. Non-terminal and
+    /// *not* throttled like `Progress` — deliveries are paced by the
+    /// spec's `every`, so the event sequence is deterministic.
+    State {
+        /// Rounds executed when the state was read (burn-in included).
+        round: u64,
+        /// The packed configuration.
+        blob: crate::codec::StateBlob,
+    },
 }
 
 impl JobEvent {
@@ -739,19 +748,32 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Task>>, cache: &ModelCache, store: Opti
             // progress interval without the engine loops ever checking
             // a flag themselves.
             let mut last_emit: Option<std::time::Instant> = None;
-            spec.run_on_observed(&model, &mut |round, of| {
-                if ctl.is_cancelled() {
-                    return std::ops::ControlFlow::Break(());
-                }
-                let now = std::time::Instant::now();
-                let due =
-                    last_emit.is_none_or(|at| now.duration_since(at) >= PROGRESS_MIN_INTERVAL);
-                if due || round == of {
-                    last_emit = Some(now);
-                    emit(JobEvent::Progress { round, of });
-                }
-                std::ops::ControlFlow::Continue(())
-            })
+            spec.run_on_streamed(
+                &model,
+                &mut |round, of| {
+                    if ctl.is_cancelled() {
+                        return std::ops::ControlFlow::Break(());
+                    }
+                    let now = std::time::Instant::now();
+                    let due =
+                        last_emit.is_none_or(|at| now.duration_since(at) >= PROGRESS_MIN_INTERVAL);
+                    if due || round == of {
+                        last_emit = Some(now);
+                        emit(JobEvent::Progress { round, of });
+                    }
+                    std::ops::ControlFlow::Continue(())
+                },
+                // State deliveries are never throttled — their pacing
+                // (`every`) is part of the spec, so the `State` event
+                // sequence stays deterministic across codecs and runs.
+                &mut |round, blob| {
+                    if ctl.is_cancelled() {
+                        return std::ops::ControlFlow::Break(());
+                    }
+                    emit(JobEvent::State { round, blob });
+                    std::ops::ControlFlow::Continue(())
+                },
+            )
         }));
         let result = outcome.unwrap_or_else(|payload| {
             let message = payload

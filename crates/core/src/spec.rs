@@ -44,6 +44,7 @@
 //! hand; [`Service`](crate::service::Service) runs specs concurrently
 //! with a model cache and the same guarantee.
 
+use crate::codec::StateBlob;
 use crate::engine::sharded::CommStats;
 use crate::engine::{Backend, HotPath};
 use crate::sampler::{Algorithm, BuildError, Sampler, SamplerBuilder, Sched};
@@ -235,6 +236,41 @@ fn parse_named(key: &str, args: &str, expected: &[&str]) -> Result<Vec<String>, 
         .zip(out)
         .map(|(&name, v)| v.ok_or_else(|| bad(key, format!("missing argument {name:?}"))))
         .collect()
+}
+
+/// Like [`parse_named`], but missing arguments fall back to
+/// `defaults` (parallel to `expected`), and an empty argument string
+/// yields all defaults — the syntax behind `sample` / `sample:count=8`.
+fn parse_named_defaults(
+    key: &str,
+    args: &str,
+    expected: &[&str],
+    defaults: &[&str],
+) -> Result<Vec<String>, SpecError> {
+    debug_assert_eq!(expected.len(), defaults.len());
+    let mut out: Vec<Option<String>> = vec![None; expected.len()];
+    if !args.is_empty() {
+        for piece in args.split(',') {
+            let (name, value) = piece
+                .split_once('=')
+                .ok_or_else(|| bad(key, format!("expected name=value, got {piece:?}")))?;
+            let slot = expected.iter().position(|&e| e == name).ok_or_else(|| {
+                bad(
+                    key,
+                    format!("unknown argument {name:?} (expected {expected:?})"),
+                )
+            })?;
+            if out[slot].is_some() {
+                return Err(bad(key, format!("argument {name:?} given twice")));
+            }
+            out[slot] = Some(value.to_string());
+        }
+    }
+    Ok(defaults
+        .iter()
+        .zip(out)
+        .map(|(&d, v)| v.unwrap_or_else(|| d.to_string()))
+        .collect())
 }
 
 fn parse_int<T: FromStr>(key: &str, value: &str) -> Result<T, SpecError> {
@@ -584,9 +620,24 @@ fn greedy_mis(g: &Graph) -> Vec<Spin> {
     in_set
 }
 
+/// The domain size `q` of a built model — what a
+/// [`StateBlob`] packs against.
+fn domain_size(model: &BuiltModel) -> usize {
+    match model {
+        BuiltModel::Mrf(mrf) => mrf.q(),
+        BuiltModel::Csp { csp, .. } => csp.q(),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Jobs
 // ---------------------------------------------------------------------
+
+/// A full-state delivery sink: `stream` jobs hand `(round, blob)`
+/// pairs here, with the same preemption contract as
+/// [`ProgressSink`](crate::mixing::ProgressSink) — `Break` stops the
+/// job at the current slice boundary.
+pub type StateSink<'a> = &'a mut dyn FnMut(u64, StateBlob) -> std::ops::ControlFlow<()>;
 
 /// What a spec measures.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -621,6 +672,27 @@ pub enum JobKind {
         trials: usize,
         /// Per-trial round budget.
         max_rounds: usize,
+    },
+    /// `sample[:rounds=N,count=K]` — advance `K` iid replicas and
+    /// return their final configurations as packed
+    /// [`StateBlob`]s (defaults
+    /// `rounds=100,count=1`; `count > 1` is MRF only, like every
+    /// replica job).
+    Sample {
+        /// Rounds to advance after burn-in.
+        rounds: usize,
+        /// Number of iid replicas whose final states ship.
+        count: usize,
+    },
+    /// `stream[:rounds=N,every=K]` — advance one trajectory,
+    /// delivering the full configuration every `K` rounds as
+    /// [`JobEvent::State`](crate::service::JobEvent::State) (defaults
+    /// `rounds=100,every=1`; the final round always ships).
+    Stream {
+        /// Rounds to advance after burn-in.
+        rounds: usize,
+        /// Rounds between state deliveries.
+        every: usize,
     },
 }
 
@@ -662,6 +734,28 @@ impl JobKind {
                     max_rounds: parse_int::<usize>(KEY, &vals[1])?,
                 })
             }
+            "sample" => {
+                let vals = parse_named_defaults(KEY, args, &["rounds", "count"], &["100", "1"])?;
+                let count = parse_int::<usize>(KEY, &vals[1])?;
+                if count == 0 {
+                    return Err(bad(KEY, "sample needs count >= 1"));
+                }
+                Ok(JobKind::Sample {
+                    rounds: parse_int::<usize>(KEY, &vals[0])?,
+                    count,
+                })
+            }
+            "stream" => {
+                let vals = parse_named_defaults(KEY, args, &["rounds", "every"], &["100", "1"])?;
+                let every = parse_int::<usize>(KEY, &vals[1])?;
+                if every == 0 {
+                    return Err(bad(KEY, "stream needs every >= 1"));
+                }
+                Ok(JobKind::Stream {
+                    rounds: parse_int::<usize>(KEY, &vals[0])?,
+                    every,
+                })
+            }
             other => Err(SpecError::UnknownScenario {
                 kind: "job",
                 name: other.to_string(),
@@ -682,6 +776,12 @@ impl fmt::Display for JobKind {
             }
             JobKind::Coalescence { trials, max_rounds } => {
                 write!(f, "coalescence:trials={trials},max-rounds={max_rounds}")
+            }
+            JobKind::Sample { rounds, count } => {
+                write!(f, "sample:rounds={rounds},count={count}")
+            }
+            JobKind::Stream { rounds, every } => {
+                write!(f, "stream:rounds={rounds},every={every}")
             }
         }
     }
@@ -882,6 +982,12 @@ impl JobSpec {
             JobKind::Coalescence { trials, max_rounds } => {
                 (trials as u64).saturating_mul(max_rounds as u64)
             }
+            JobKind::Sample { rounds, count } => (rounds as u64)
+                .saturating_add(self.burn_in.unwrap_or(0) as u64)
+                .saturating_mul(count as u64),
+            JobKind::Stream { rounds, .. } => {
+                (rounds as u64).saturating_add(self.burn_in.unwrap_or(0) as u64)
+            }
         };
         budget.max(1)
     }
@@ -911,6 +1017,25 @@ impl JobSpec {
         &self,
         model: &BuiltModel,
         progress: crate::mixing::ProgressSink<'_>,
+    ) -> Result<JobResult, SpecError> {
+        self.run_on_streamed(model, progress, &mut |_, _| {
+            std::ops::ControlFlow::Continue(())
+        })
+    }
+
+    /// [`JobSpec::run_on_observed`] with a second sink for full-state
+    /// delivery: `stream` jobs hand every `every`-th configuration to
+    /// `states` as a packed [`StateBlob`]
+    /// (final round included). Like progress observation, state
+    /// extraction never perturbs the trajectory — states are read at
+    /// slice boundaries, where `run(a); run(b)` ≡ `run(a+b)` holds by
+    /// the determinism contract. Non-streaming jobs never call
+    /// `states`.
+    pub fn run_on_streamed(
+        &self,
+        model: &BuiltModel,
+        progress: crate::mixing::ProgressSink<'_>,
+        states: StateSink<'_>,
     ) -> Result<JobResult, SpecError> {
         let started = std::time::Instant::now();
         let output = match self.job_or_default() {
@@ -989,6 +1114,98 @@ impl JobSpec {
                     mean_rounds: report.summary.mean,
                     std_error: report.summary.std_error,
                     timeouts: report.timeouts,
+                }
+            }
+            JobKind::Sample { rounds, count } => {
+                let q = domain_size(model);
+                if count == 1 {
+                    // One replica rides the plain sampler path, so
+                    // single-sample jobs work on CSPs too.
+                    let mut sampler = self
+                        .sampler_builder(model)
+                        .burn_in(self.burn_in.unwrap_or(0))
+                        .build()?;
+                    let slice = (rounds / 16).max(1);
+                    let mut ran = 0usize;
+                    while ran < rounds {
+                        let now = slice.min(rounds - ran);
+                        sampler.run(now);
+                        ran += now;
+                        if progress(ran as u64, rounds.max(1) as u64).is_break() {
+                            break;
+                        }
+                    }
+                    if rounds == 0 {
+                        let _ = progress(1, 1);
+                    }
+                    JobOutput::Sample {
+                        rounds: sampler.round(),
+                        states: vec![StateBlob::pack(sampler.state(), q)],
+                    }
+                } else {
+                    let mut replicas = self
+                        .sampler_builder(model)
+                        .burn_in(self.burn_in.unwrap_or(0))
+                        .replicas(count)
+                        .build()?;
+                    let slice = (rounds / 16).max(1);
+                    let mut ran = 0usize;
+                    while ran < rounds {
+                        let now = slice.min(rounds - ran);
+                        replicas.run(now);
+                        ran += now;
+                        if progress(ran as u64, rounds.max(1) as u64).is_break() {
+                            break;
+                        }
+                    }
+                    if rounds == 0 {
+                        let _ = progress(1, 1);
+                    }
+                    JobOutput::Sample {
+                        rounds: replicas.round(),
+                        states: (0..count)
+                            .map(|b| StateBlob::pack(replicas.state(b), q))
+                            .collect(),
+                    }
+                }
+            }
+            JobKind::Stream { rounds, every } => {
+                let q = domain_size(model);
+                let mut sampler = self
+                    .sampler_builder(model)
+                    .burn_in(self.burn_in.unwrap_or(0))
+                    .build()?;
+                let n = sampler.state().len();
+                let mut ran = 0usize;
+                let mut shipped = 0u64;
+                while ran < rounds {
+                    // Slices of `every` rounds: each boundary is a
+                    // delivery point, and the last (possibly partial)
+                    // slice ships the final configuration.
+                    let now = every.min(rounds - ran);
+                    sampler.run(now);
+                    ran += now;
+                    if states(sampler.round(), StateBlob::pack(sampler.state(), q)).is_break() {
+                        break;
+                    }
+                    shipped += 1;
+                    if progress(ran as u64, rounds.max(1) as u64).is_break() {
+                        break;
+                    }
+                }
+                if rounds == 0 {
+                    // Degenerate stream: deliver the start state once.
+                    if states(sampler.round(), StateBlob::pack(sampler.state(), q)).is_continue() {
+                        shipped += 1;
+                    }
+                    let _ = progress(1, 1);
+                }
+                JobOutput::Stream {
+                    rounds: sampler.round(),
+                    every,
+                    n,
+                    states: shipped,
+                    fingerprint: fingerprint(sampler.state()),
                 }
             }
         };
@@ -1213,6 +1430,30 @@ pub enum JobOutput {
         /// Trials that exhausted the budget.
         timeouts: usize,
     },
+    /// A `sample` job: the final configurations themselves — what the
+    /// paper's samplers exist to produce.
+    Sample {
+        /// Total rounds executed per replica (burn-in included).
+        rounds: u64,
+        /// One packed configuration per replica, in replica order.
+        states: Vec<StateBlob>,
+    },
+    /// A `stream` job's summary: the per-round states went out as
+    /// [`JobEvent::State`](crate::service::JobEvent::State) events;
+    /// the result records the stream's shape and the final
+    /// fingerprint for cross-checking against a `run` job.
+    Stream {
+        /// Total rounds executed (burn-in included).
+        rounds: u64,
+        /// Rounds between deliveries.
+        every: usize,
+        /// Number of vertices per delivered state.
+        n: usize,
+        /// States delivered.
+        states: u64,
+        /// FNV-1a fingerprint of the final configuration.
+        fingerprint: u64,
+    },
 }
 
 impl JobOutput {
@@ -1235,6 +1476,8 @@ impl JobOutput {
             JobOutput::Distribution { support, .. } => support as f64,
             JobOutput::Tv { tv, .. } => tv,
             JobOutput::Coalescence { mean_rounds, .. } => mean_rounds,
+            JobOutput::Sample { ref states, .. } => states.len() as f64,
+            JobOutput::Stream { states, .. } => states as f64,
         }
     }
 }
@@ -1279,6 +1522,30 @@ impl fmt::Display for JobOutput {
                 f,
                 "coalescence: trials={trials} mean_rounds={mean_rounds:.2} \
                  se={std_error:.2} timeouts={timeouts}"
+            ),
+            JobOutput::Sample { rounds, states } => {
+                // Human form: shape only — the blobs themselves go to
+                // `--out`, not the terminal.
+                let (n, bytes) = states
+                    .first()
+                    .map(|b| (b.n(), b.byte_len()))
+                    .unwrap_or((0, 0));
+                write!(
+                    f,
+                    "sample: rounds={rounds} count={} n={n} bytes-per-state={bytes}",
+                    states.len()
+                )
+            }
+            JobOutput::Stream {
+                rounds,
+                every,
+                n,
+                states,
+                fingerprint,
+            } => write!(
+                f,
+                "stream: rounds={rounds} every={every} n={n} states={states} \
+                 fingerprint={fingerprint:016x}"
             ),
         }
     }
@@ -1950,6 +2217,16 @@ impl ScenarioRegistry {
                 kind: K::Job,
                 syntax: "coalescence:trials=<t>,max-rounds=<m>",
                 summary: "grand-coupling coalescence rounds (MRF)",
+            },
+            ScenarioEntry {
+                kind: K::Job,
+                syntax: "sample:rounds=<n>,count=<k>",
+                summary: "ship k final configurations (defaults 100,1)",
+            },
+            ScenarioEntry {
+                kind: K::Job,
+                syntax: "stream:rounds=<n>,every=<k>",
+                summary: "stream the state every k rounds (defaults 100,1)",
             },
             // sweep clauses
             ScenarioEntry {

@@ -10,11 +10,16 @@
 //! `tests/store_identity.rs`).
 //!
 //! Layout: one file per entry under the store directory, named by the
-//! FNV-1a hash of the spec string (`<hash>.job`), containing exactly
-//! the result's wire line. [`ResultStore::get`] re-checks the embedded
-//! spec against the key, so a hash collision degrades to a miss, never
-//! to a wrong answer. Writes go through a temp file + rename so a
-//! crashed writer cannot leave a torn entry behind.
+//! FNV-1a hash of the spec string (`<hash>.job`), containing a format
+//! version header line ([`STORE_FORMAT`]) followed by exactly the
+//! result's wire line. A missing or mismatched header is a **miss**,
+//! never a parse attempt — wire-format evolutions (new job kinds, new
+//! output fields) bump the version and old entries silently re-run
+//! instead of deserializing wrongly. [`ResultStore::get`] additionally
+//! re-checks the embedded spec against the key, so a hash collision
+//! degrades to a miss, never to a wrong answer. Writes go through a
+//! temp file + rename so a crashed writer cannot leave a torn entry
+//! behind.
 //!
 //! The store mirrors the in-memory model LRU's accounting
 //! ([`CacheStats`](crate::service::CacheStats)): [`StoreStats`] counts
@@ -39,6 +44,11 @@ pub struct StoreStats {
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
 }
+
+/// The store file format version header. Bump when the result wire
+/// format changes shape; entries with any other (or no) header read as
+/// misses, so stale caches re-run rather than misparse.
+pub const STORE_FORMAT: &str = "#lsl-store-v2";
 
 /// FNV-1a over the spec bytes — the on-disk file name. Stable across
 /// runs and platforms (unlike `DefaultHasher`), cheap, and collisions
@@ -101,10 +111,19 @@ impl ResultStore {
             .join(format!("{:016x}.job", fnv64(spec.as_bytes())))
     }
 
+    /// Reads one entry file's result line, requiring the
+    /// [`STORE_FORMAT`] version header; anything else is `None`.
+    fn read_versioned(path: &Path) -> Option<JobResult> {
+        let body = fs::read_to_string(path).ok()?;
+        let (header, line) = body.split_once('\n')?;
+        (header == STORE_FORMAT)
+            .then(|| line.trim_end().parse().ok())
+            .flatten()
+    }
+
     /// Reads one entry file into a result whose spec matches `spec`.
     fn read_entry(path: &Path, spec: &str) -> Option<JobResult> {
-        let line = fs::read_to_string(path).ok()?;
-        let result: JobResult = line.trim_end().parse().ok()?;
+        let result = Self::read_versioned(path)?;
         // A hash collision (or a foreign file) is a miss, never a
         // wrong answer: the stored line embeds its own spec.
         (result.spec == spec).then_some(result)
@@ -134,7 +153,7 @@ impl ResultStore {
     pub fn put(&self, result: &JobResult) -> io::Result<()> {
         let path = self.path_for(&result.spec);
         let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-        fs::write(&tmp, format!("{result}\n"))?;
+        fs::write(&tmp, format!("{STORE_FORMAT}\n{result}\n"))?;
         fs::rename(&tmp, &path)?;
         self.evict_over_capacity()
     }
@@ -145,10 +164,8 @@ impl ResultStore {
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
             if path.extension().is_some_and(|e| e == "job") {
-                if let Ok(line) = fs::read_to_string(&path) {
-                    if let Ok(result) = line.trim_end().parse::<JobResult>() {
-                        specs.push(result.spec);
-                    }
+                if let Some(result) = Self::read_versioned(&path) {
+                    specs.push(result.spec);
                 }
             }
         }
@@ -282,8 +299,40 @@ mod tests {
         // Forge a collision: another spec's entry file moved onto this
         // spec's slot must be rejected by the embedded-spec check.
         let other = "graph=cycle:10 model=coloring:q=5 seed=3 job=run:rounds=10";
-        fs::write(store.path_for(other), format!("{}\n", result_for(spec, 10))).unwrap();
+        fs::write(
+            store.path_for(other),
+            format!("{STORE_FORMAT}\n{}\n", result_for(spec, 10)),
+        )
+        .unwrap();
         assert!(store.get(other).is_none(), "forged entry must not serve");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let dir = tmp_dir("version");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = "graph=cycle:8 model=coloring:q=5 seed=7 job=run:rounds=10";
+        store.put(&result_for(spec, 10)).unwrap();
+        assert!(store.exists(spec), "current-format entry serves");
+
+        // A pre-versioning entry (bare result line, no header) must
+        // read as a miss, not a hit and not an error.
+        fs::write(store.path_for(spec), format!("{}\n", result_for(spec, 10))).unwrap();
+        assert!(store.get(spec).is_none(), "headerless entry must miss");
+        assert!(store.list().unwrap().is_empty(), "and must not list");
+
+        // So must an entry from a future (or past) format version.
+        fs::write(
+            store.path_for(spec),
+            format!("#lsl-store-v1\n{}\n", result_for(spec, 10)),
+        )
+        .unwrap();
+        assert!(store.get(spec).is_none(), "wrong-version entry must miss");
+
+        // Re-putting rewrites the entry in the current format.
+        store.put(&result_for(spec, 10)).unwrap();
+        assert_eq!(store.get(spec), Some(result_for(spec, 10)));
         let _ = fs::remove_dir_all(&dir);
     }
 

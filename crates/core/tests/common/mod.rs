@@ -117,6 +117,8 @@ pub fn arb_job() -> impl Strategy<Value = JobKind> {
         (1usize..100, 1usize..200).prop_map(|(rounds, replicas)| JobKind::Tv { rounds, replicas }),
         (1usize..5, 100usize..10_000)
             .prop_map(|(trials, max_rounds)| JobKind::Coalescence { trials, max_rounds }),
+        (1usize..500, 1usize..8).prop_map(|(rounds, count)| JobKind::Sample { rounds, count }),
+        (1usize..500, 1usize..50).prop_map(|(rounds, every)| JobKind::Stream { rounds, every }),
     ]
 }
 
@@ -131,6 +133,8 @@ pub fn arb_small_job() -> impl Strategy<Value = JobKind> {
         (1usize..10, 1usize..12).prop_map(|(rounds, replicas)| JobKind::Tv { rounds, replicas }),
         (1usize..3, 10usize..100)
             .prop_map(|(trials, max_rounds)| JobKind::Coalescence { trials, max_rounds }),
+        (1usize..40, 1usize..4).prop_map(|(rounds, count)| JobKind::Sample { rounds, count }),
+        (1usize..40, 1usize..10).prop_map(|(rounds, every)| JobKind::Stream { rounds, every }),
     ]
 }
 

@@ -21,10 +21,11 @@
 //! (bit-identical answers either way). Any failing job makes the exit
 //! code non-zero and echoes the failing spec on stderr.
 
+use lsl::core::codec::{Codec, StateBlob};
 use lsl::core::lifecycle::Limits;
 use lsl::core::net::{Client, Server};
-use lsl::core::service::Service;
-use lsl::core::spec::{JobResult, ScenarioRegistry, SpecError, SweepResult, SweepSpec};
+use lsl::core::service::{JobEvent, Service};
+use lsl::core::spec::{JobOutput, JobResult, ScenarioRegistry, SpecError, SweepResult, SweepSpec};
 use lsl::core::store::ResultStore;
 use std::process::ExitCode;
 
@@ -32,7 +33,8 @@ const USAGE: &str = "\
 lsl — local sampling library
 
 USAGE:
-    lsl run [--threads N] [--remote ADDR] [--store DIR] <spec>...
+    lsl run [--threads N] [--remote ADDR] [--codec text|binary]
+            [--store DIR] [--out FILE] <spec>...
     lsl serve [--addr ADDR] [--threads N] [--queue-cap N] [--inflight N]
               [--max-rounds N] [--store DIR] [--grace SECS]
     lsl list scenarios
@@ -48,9 +50,15 @@ SPECS:
     and several run concurrently on a worker pool (--threads N,
     default: all cores). `--remote ADDR` sends the batch to an
     `lsl serve` instance instead; answers are bit-identical.
+    `--codec binary` negotiates length-prefixed binary frames for the
+    remote session (recommended for `job=stream`, which ships full
+    configurations); the default text codec works everywhere.
     `--store DIR` keeps finished results on disk, keyed by canonical
     spec — re-running an identical spec answers from the store,
     bit-identically, without recomputing.
+    `--out FILE` writes every received configuration (the final states
+    of `job=sample`, the per-round states of `job=stream`) to FILE as
+    bit-packed binary records.
 
     Sweep clauses expand one line into many jobs:
 
@@ -176,17 +184,30 @@ fn take_store(args: &mut Vec<String>) -> Result<Option<ResultStore>, String> {
     }
 }
 
-/// Parses `run` arguments into (threads, remote, store, spec lines):
-/// flags, then either whole-spec arguments (contain whitespace) or
-/// bare tokens joined into a single spec.
-#[allow(clippy::type_complexity)]
-fn collect_specs(
-    args: &[String],
-) -> Result<(usize, Option<String>, Option<ResultStore>, Vec<String>), String> {
+/// Everything `lsl run` needs, parsed or defaulted.
+struct RunConfig {
+    threads: usize,
+    remote: Option<String>,
+    store: Option<ResultStore>,
+    codec: Codec,
+    out: Option<String>,
+    lines: Vec<String>,
+}
+
+/// Parses `run` arguments: flags, then either whole-spec arguments
+/// (contain whitespace) or bare tokens joined into a single spec.
+fn collect_specs(args: &[String]) -> Result<RunConfig, String> {
     let mut args = args.to_vec();
     let threads = take_threads(&mut args)?;
     let remote = take_flag(&mut args, "--remote")?;
     let store = take_store(&mut args)?;
+    let codec = match take_flag(&mut args, "--codec")? {
+        Some(name) => name
+            .parse::<Codec>()
+            .map_err(|_| format!("--codec {name:?} is not a codec (text | binary)"))?,
+        None => Codec::Text,
+    };
+    let out = take_flag(&mut args, "--out")?;
     let mut specs: Vec<String> = Vec::new();
     let mut bare: Vec<String> = Vec::new();
     for arg in args {
@@ -202,7 +223,14 @@ fn collect_specs(
     if specs.is_empty() {
         return Err("run needs at least one spec (see `lsl help`)".into());
     }
-    Ok((threads, remote, store, specs))
+    Ok(RunConfig {
+        threads,
+        remote,
+        store,
+        codec,
+        out,
+        lines: specs,
+    })
 }
 
 /// One line's member results, in expansion order.
@@ -234,8 +262,51 @@ fn report(sweep: &SweepSpec, members: &LineResults) -> bool {
     ok
 }
 
+/// Per-line, per-member `(round, blob)` state deliveries.
+type LineStates = Vec<Vec<(u64, StateBlob)>>;
+
+/// Writes collected configurations as bit-packed binary records:
+/// `b"LSL1"`, u32 record count, then per record u64 round, u32 n,
+/// u32 q, u32 payload length, payload — all little-endian.
+fn write_states(path: &str, states: &[(u64, StateBlob)]) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(16 + states.len() * 24);
+    buf.extend_from_slice(b"LSL1");
+    buf.extend_from_slice(
+        &u32::try_from(states.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    for (round, blob) in states {
+        buf.extend_from_slice(&round.to_le_bytes());
+        buf.extend_from_slice(&(blob.n() as u32).to_le_bytes());
+        buf.extend_from_slice(&(blob.q() as u32).to_le_bytes());
+        buf.extend_from_slice(&(blob.byte_len() as u32).to_le_bytes());
+        buf.extend_from_slice(blob.bytes());
+    }
+    std::fs::write(path, buf)
+}
+
+/// Drains one local job's event stream, siphoning `State` events into
+/// `states` and returning the terminal result.
+fn wait_collecting(
+    handle: lsl::core::service::JobHandle,
+    states: &mut Vec<(u64, StateBlob)>,
+) -> Result<JobResult, SpecError> {
+    for event in handle.events() {
+        match event {
+            JobEvent::State { round, blob } => states.push((round, blob)),
+            JobEvent::Finished(result) => return Ok(result),
+            JobEvent::Failed(e) => return Err(e),
+            JobEvent::Rejected { reason } => return Err(SpecError::Rejected(reason)),
+            JobEvent::Cancelled => return Err(SpecError::Cancelled),
+            _ => {}
+        }
+    }
+    Err(SpecError::ServiceStopped)
+}
+
 fn run(args: &[String]) -> ExitCode {
-    let (threads, remote, store, lines) = match collect_specs(args) {
+    let cfg = match collect_specs(args) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("{e}");
@@ -245,8 +316,8 @@ fn run(args: &[String]) -> ExitCode {
 
     // Parse everything up front: a typo in job 3 should fail fast,
     // before jobs 1 and 2 burn cycles (or hit the network).
-    let mut sweeps: Vec<SweepSpec> = Vec::with_capacity(lines.len());
-    for line in &lines {
+    let mut sweeps: Vec<SweepSpec> = Vec::with_capacity(cfg.lines.len());
+    for line in &cfg.lines {
         match line.parse::<SweepSpec>() {
             Ok(sweep) => sweeps.push(sweep),
             Err(e) => {
@@ -256,29 +327,44 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    let outcomes: Vec<LineResults> = match &remote {
+    // `outcomes` and `state_lists` stay parallel: one entry per line,
+    // one inner entry per member.
+    let (outcomes, state_lists): (Vec<LineResults>, Vec<LineStates>) = match &cfg.remote {
         None => {
-            let service = match store {
-                Some(store) => Service::with_store(threads, Limits::default(), store),
-                None => Service::new(threads),
+            if cfg.codec != Codec::Text {
+                eprintln!("note: --codec is ignored without --remote (no wire involved)");
+            }
+            let service = match cfg.store {
+                Some(store) => Service::with_store(cfg.threads, Limits::default(), store),
+                None => Service::new(cfg.threads),
             };
             let handles: Vec<_> = sweeps.iter().map(|s| service.submit_sweep(s)).collect();
-            handles
-                .into_iter()
-                .map(|h| h.into_members().into_iter().map(|m| m.wait()).collect())
-                .collect()
+            let mut outcomes = Vec::with_capacity(handles.len());
+            let mut state_lists = Vec::with_capacity(handles.len());
+            for handle in handles {
+                let mut members: LineResults = Vec::new();
+                let mut states: LineStates = Vec::new();
+                for member in handle.into_members() {
+                    let mut member_states = Vec::new();
+                    members.push(wait_collecting(member, &mut member_states));
+                    states.push(member_states);
+                }
+                outcomes.push(members);
+                state_lists.push(states);
+            }
+            (outcomes, state_lists)
         }
         Some(addr) => {
-            if store.is_some() {
+            if cfg.store.is_some() {
                 eprintln!("note: --store is ignored with --remote (the server's store governs)");
             }
-            if threads != 0 {
+            if cfg.threads != 0 {
                 eprintln!(
                     "note: --threads is ignored with --remote \
                      (the server's worker pool governs)"
                 );
             }
-            let mut client = match Client::connect(addr.as_str()) {
+            let mut client = match Client::connect_with(addr.as_str(), cfg.codec) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("error: cannot connect to {addr}: {e}");
@@ -293,7 +379,7 @@ fn run(args: &[String]) -> ExitCode {
                 }
             }
             match client.drain() {
-                Ok(outcomes) => outcomes.into_iter().map(|o| o.members).collect(),
+                Ok(outcomes) => outcomes.into_iter().map(|o| (o.members, o.states)).unzip(),
                 Err(e) => {
                     eprintln!("error: session with {addr} failed: {e}");
                     return ExitCode::FAILURE;
@@ -308,6 +394,33 @@ fn run(args: &[String]) -> ExitCode {
             failed = true;
         }
     }
+
+    if let Some(path) = &cfg.out {
+        // Everything state-shaped, in (line, member, round) order:
+        // streamed per-round states first, then a sample job's final
+        // configurations (stamped with their final round).
+        let mut collected: Vec<(u64, StateBlob)> = Vec::new();
+        for (members, states) in outcomes.iter().zip(&state_lists) {
+            for (index, member) in members.iter().enumerate() {
+                if let Some(s) = states.get(index) {
+                    collected.extend(s.iter().cloned());
+                }
+                if let Ok(result) = member {
+                    if let JobOutput::Sample { rounds, ref states } = result.output {
+                        collected.extend(states.iter().cloned().map(|b| (rounds, b)));
+                    }
+                }
+            }
+        }
+        match write_states(path, &collected) {
+            Ok(()) => println!("# wrote {} state(s) to {path}", collected.len()),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
