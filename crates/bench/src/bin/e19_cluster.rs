@@ -1,0 +1,200 @@
+//! E19 — the cluster layer's cost: coordinated sweeps and
+//! cross-process sharded chains vs their local equivalents.
+//!
+//! PR 10 added [`Coordinator`]: a sweep fanned over a worker fleet
+//! (plain tier) and `backend=cluster:k` members executed as k
+//! cross-process shards exchanging per-round `shard-sync` frames
+//! (distributed tier). This experiment measures both against the
+//! in-process baselines they are bit-identical to:
+//!
+//! * **plain tier** — one seed sweep coordinated over fleets of 1, 2,
+//!   and 3 loopback workers vs a single in-process [`Service`];
+//! * **distributed tier** — one `cluster:k` member for k in {1, 2, 4}
+//!   vs the same spec run directly (the in-process sharded chain),
+//!   isolating the per-round barrier + frame cost.
+//!
+//! Every row's results are asserted **bit-identical** to the local
+//! answer, so the sweep isolates pure cluster cost: connection
+//! management, frame encode/decode, and round barriers.
+//!
+//! Results are printed as TSV and recorded to `BENCH_cluster.json` at
+//! the workspace root. `--tiny` (or `quick` / `LSL_BENCH_QUICK=1`)
+//! shrinks the workload for smoke runs and skips the JSON write.
+//!
+//! NOTE: this container exposes 1 CPU, so multi-worker rows measure
+//! coordination overhead at fixed compute, not fleet scaling — and the
+//! distributed tier pays a per-round synchronization barrier that only
+//! pays off when shards get real cores. Rerun on multicore hardware
+//! for real scaling numbers.
+
+use lsl_bench::{header, header_row, row};
+use lsl_core::cluster::Coordinator;
+use lsl_core::net::Server;
+use lsl_core::service::Service;
+use lsl_core::spec::{JobSpec, SweepSpec};
+use std::time::Instant;
+
+struct Row {
+    tier: &'static str,
+    mode: String,
+    jobs: usize,
+    secs: f64,
+    jobs_per_sec: f64,
+    vs_local: f64,
+}
+
+/// Spins up `n` loopback workers and a coordinator over them.
+fn fleet(n: usize, threads: usize) -> (Vec<Server>, Coordinator) {
+    let servers: Vec<Server> = (0..n)
+        .map(|_| Server::bind("127.0.0.1:0", threads).expect("bind a loopback worker"))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let coord = Coordinator::connect(addrs).expect("connect the fleet");
+    (servers, coord)
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny" || a == "tiny" || a == "quick")
+        || std::env::var("LSL_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let (side, rounds, seeds, worker_counts, shard_counts): (
+        usize,
+        usize,
+        usize,
+        Vec<usize>,
+        Vec<usize>,
+    ) = if tiny {
+        (8, 20, 4, vec![1, 2], vec![1, 2])
+    } else {
+        (24, 200, 24, vec![1, 2, 3], vec![1, 2, 4])
+    };
+    let threads = 2;
+
+    header(&[
+        "E19: cluster layer (coordinated sweeps + cross-process shards vs local)",
+        "plain tier: one seed sweep over 1/2/3-worker fleets vs in-process Service;",
+        "distributed tier: backend=cluster:k vs the direct run (1-CPU container:",
+        "rows measure coordination overhead at fixed compute, see rustdoc)",
+    ]);
+    header_row("tier,mode,jobs,secs,jobs_per_sec,vs_local");
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ----- plain tier: a seed sweep over the fleet --------------------
+    let line = format!(
+        "graph=torus:{side}x{side} model=coloring:q=16 job=run:rounds={rounds} seeds=0..{seeds}"
+    );
+    let sweep: SweepSpec = line.parse().expect("a valid E19 sweep");
+    let t = Instant::now();
+    let local = Service::new(threads)
+        .submit_sweep(&sweep)
+        .wait()
+        .expect("the local sweep");
+    let secs = t.elapsed().as_secs_f64();
+    let base_rate = seeds as f64 / secs;
+    rows.push(Row {
+        tier: "sweep",
+        mode: "in-process".into(),
+        jobs: seeds,
+        secs,
+        jobs_per_sec: base_rate,
+        vs_local: 1.0,
+    });
+    for &workers in &worker_counts {
+        let (_servers, coord) = fleet(workers, threads);
+        let t = Instant::now();
+        let run = coord.run_sweep(&line).expect("the coordinated sweep");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            run.result, local,
+            "the cluster changed a sweep result — determinism violated"
+        );
+        let rate = seeds as f64 / secs;
+        rows.push(Row {
+            tier: "sweep",
+            mode: format!("fleet:{workers}"),
+            jobs: seeds,
+            secs,
+            jobs_per_sec: rate,
+            vs_local: rate / base_rate,
+        });
+    }
+
+    // ----- distributed tier: one member as cross-process shards -------
+    for &k in &shard_counts {
+        let line = format!(
+            "graph=torus:{side}x{side} model=coloring:q=16 backend=cluster:{k} \
+             seed=7 job=run:rounds={rounds}"
+        );
+        let spec: JobSpec = line.parse().expect("a valid E19 member");
+        let t = Instant::now();
+        let direct = spec.run().expect("the direct run");
+        let direct_secs = t.elapsed().as_secs_f64();
+        let direct_rate = rounds as f64 / direct_secs;
+        rows.push(Row {
+            tier: "shards",
+            mode: format!("in-process:{k}"),
+            jobs: rounds,
+            secs: direct_secs,
+            jobs_per_sec: direct_rate,
+            vs_local: 1.0,
+        });
+        let (_servers, coord) = fleet(2.min(k), threads);
+        let t = Instant::now();
+        let run = coord.run_sweep(&line).expect("the distributed member");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            run.result.results[0], direct,
+            "cross-process shards changed the result — determinism violated"
+        );
+        let rate = rounds as f64 / secs;
+        rows.push(Row {
+            tier: "shards",
+            mode: format!("cluster:{k}"),
+            jobs: rounds,
+            secs,
+            jobs_per_sec: rate,
+            vs_local: rate / direct_rate,
+        });
+    }
+
+    for r in &rows {
+        row(&[
+            r.tier.to_string(),
+            r.mode.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.secs),
+            format!("{:.1}", r.jobs_per_sec),
+            format!("{:.2}", r.vs_local),
+        ]);
+    }
+
+    // Record the datapoint (hand-rolled JSON: no serde in the tree).
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"tier\": \"{}\", \"mode\": \"{}\", \"jobs\": {}, \"secs\": {:.6}, \
+                 \"jobs_per_sec\": {:.1}, \"vs_local\": {:.2}}}",
+                r.tier, r.mode, r.jobs, r.secs, r.jobs_per_sec, r.vs_local,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"workload\": \"seed sweep coordinated over \
+         1/2/3-worker loopback fleets vs in-process Service, and backend=cluster:k members \
+         (k=1/2/4) as cross-process shards vs the direct sharded run\",\n  \"note\": \"1-CPU \
+         container: rows measure coordination + per-round barrier overhead at fixed compute, \
+         not fleet scaling\",\n  \"meta\": {},\n  \"tiny\": {tiny},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lsl_bench::meta_json(),
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    if tiny {
+        // Smoke runs must not clobber the recorded full-workload datapoint.
+        println!("# tiny run: not recording {path}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not record {path}: {e}");
+    } else {
+        println!("# recorded {path}");
+    }
+}

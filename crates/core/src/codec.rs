@@ -487,12 +487,18 @@ const C_SUBMIT: u8 = 0x01;
 const C_CANCEL: u8 = 0x02;
 const C_SHUTDOWN: u8 = 0x03;
 const C_HELLO: u8 = 0x04;
+const C_PING: u8 = 0x05;
+const C_SHARD_INIT: u8 = 0x06;
+const C_SHARD_SYNC: u8 = 0x07;
 
 // Server frame tags.
 const S_SUBMITTED: u8 = 0x81;
 const S_EVENT: u8 = 0x82;
 const S_ERROR: u8 = 0x83;
 const S_HELLO: u8 = 0x84;
+const S_PONG: u8 = 0x85;
+const S_SHARD_SYNC: u8 = 0x86;
+const S_SHARD_DONE: u8 = 0x87;
 
 // Job event tags.
 const E_ACCEPTED: u8 = 1;
@@ -546,6 +552,28 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
             e.u8(C_HELLO);
             e.u8(codec_byte(*codec));
         }
+        ClientFrame::Ping { nonce } => {
+            e.u8(C_PING);
+            e.u64(*nonce);
+        }
+        ClientFrame::ShardInit {
+            id,
+            shard,
+            of,
+            spec,
+        } => {
+            e.u8(C_SHARD_INIT);
+            e.u64(*id);
+            e.u32(*shard);
+            e.u32(*of);
+            e.str(spec);
+        }
+        ClientFrame::ShardSync { id, round, blob } => {
+            e.u8(C_SHARD_SYNC);
+            e.u64(*id);
+            e.u64(*round);
+            e.blob(blob);
+        }
     }
     e.0
 }
@@ -562,6 +590,18 @@ pub fn decode_client(bytes: &[u8]) -> Result<ClientFrame, CodecError> {
         C_SHUTDOWN => ClientFrame::Shutdown,
         C_HELLO => ClientFrame::Hello {
             codec: codec_from_byte(d.u8()?)?,
+        },
+        C_PING => ClientFrame::Ping { nonce: d.u64()? },
+        C_SHARD_INIT => ClientFrame::ShardInit {
+            id: d.u64()?,
+            shard: d.u32()?,
+            of: d.u32()?,
+            spec: d.str()?.to_string(),
+        },
+        C_SHARD_SYNC => ClientFrame::ShardSync {
+            id: d.u64()?,
+            round: d.u64()?,
+            blob: d.blob()?,
         },
         tag => return Err(malformed(format!("client frame tag 0x{tag:02x}"))),
     };
@@ -599,6 +639,22 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             e.u8(S_HELLO);
             e.u8(codec_byte(*codec));
         }
+        ServerFrame::Pong { nonce } => {
+            e.u8(S_PONG);
+            e.u64(*nonce);
+        }
+        ServerFrame::ShardSync { id, round, blob } => {
+            e.u8(S_SHARD_SYNC);
+            e.u64(*id);
+            e.u64(*round);
+            e.blob(blob);
+        }
+        ServerFrame::ShardDone { id, rounds, blob } => {
+            e.u8(S_SHARD_DONE);
+            e.u64(*id);
+            e.u64(*rounds);
+            e.blob(blob);
+        }
     }
     e.0
 }
@@ -629,6 +685,17 @@ pub fn decode_server(bytes: &[u8]) -> Result<ServerFrame, CodecError> {
         }
         S_HELLO => ServerFrame::Hello {
             codec: codec_from_byte(d.u8()?)?,
+        },
+        S_PONG => ServerFrame::Pong { nonce: d.u64()? },
+        S_SHARD_SYNC => ServerFrame::ShardSync {
+            id: d.u64()?,
+            round: d.u64()?,
+            blob: d.blob()?,
+        },
+        S_SHARD_DONE => ServerFrame::ShardDone {
+            id: d.u64()?,
+            rounds: d.u64()?,
+            blob: d.blob()?,
         },
         tag => return Err(malformed(format!("server frame tag 0x{tag:02x}"))),
     };

@@ -252,6 +252,20 @@ pub enum Backend {
         /// Shard count (0 = auto-detect; see the variant docs).
         shards: usize,
     },
+    /// Cross-process sharding: the owner-computes plan of
+    /// [`Backend::Sharded`], but with each shard owned by a separate
+    /// worker *process* exchanging boundary states as `shard-sync`
+    /// frames over TCP (see `lsl_core::cluster`). Run in-process (a
+    /// plain `JobSpec::run`, or the facade), it falls back to the
+    /// sharded executor with the same partition — bit-identical to
+    /// the distributed run by the determinism contract, which is
+    /// exactly what `tests/cluster_identity.rs` asserts.
+    ///
+    /// **`shards == 0` means auto-detect**, like [`Backend::Sharded`].
+    Cluster {
+        /// Shard count = worker-process count (0 = auto-detect).
+        shards: usize,
+    },
 }
 
 impl Backend {
@@ -261,7 +275,9 @@ impl Backend {
     pub fn worker_count(self) -> usize {
         match self {
             Backend::Sequential => 1,
-            Backend::Parallel { threads: 0 } | Backend::Sharded { shards: 0 } => {
+            Backend::Parallel { threads: 0 }
+            | Backend::Sharded { shards: 0 }
+            | Backend::Cluster { shards: 0 } => {
                 // NonZeroUsize: the probe cannot yield 0, and a failed
                 // probe falls back to one worker.
                 std::thread::available_parallelism()
@@ -269,7 +285,7 @@ impl Backend {
                     .unwrap_or(1)
             }
             Backend::Parallel { threads } => threads,
-            Backend::Sharded { shards } => shards,
+            Backend::Sharded { shards } | Backend::Cluster { shards } => shards,
         }
     }
 }
@@ -282,6 +298,7 @@ impl std::fmt::Display for Backend {
             Backend::Sequential => write!(f, "sequential"),
             Backend::Parallel { threads } => write!(f, "parallel:{threads}"),
             Backend::Sharded { shards } => write!(f, "sharded:{shards}"),
+            Backend::Cluster { shards } => write!(f, "cluster:{shards}"),
         }
     }
 }
@@ -315,8 +332,12 @@ impl std::str::FromStr for Backend {
             "sharded" => Ok(Backend::Sharded {
                 shards: count(arg)?,
             }),
+            "cluster" => Ok(Backend::Cluster {
+                shards: count(arg)?,
+            }),
             other => Err(format!(
-                "unknown backend {other:?} (expected sequential | parallel[:t] | sharded[:k])"
+                "unknown backend {other:?} (expected sequential | parallel[:t] | sharded[:k] \
+                 | cluster[:k])"
             )),
         }
     }
@@ -728,6 +749,8 @@ mod tests {
             Backend::Parallel { threads: 6 },
             Backend::Sharded { shards: 0 },
             Backend::Sharded { shards: 8 },
+            Backend::Cluster { shards: 0 },
+            Backend::Cluster { shards: 3 },
         ] {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
         }
@@ -738,6 +761,10 @@ mod tests {
         assert_eq!(
             "sharded".parse::<Backend>().unwrap(),
             Backend::Sharded { shards: 0 }
+        );
+        assert_eq!(
+            "cluster".parse::<Backend>().unwrap(),
+            Backend::Cluster { shards: 0 }
         );
         assert!("sequential:2".parse::<Backend>().is_err());
         assert!("gpu".parse::<Backend>().is_err());

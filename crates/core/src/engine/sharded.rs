@@ -43,17 +43,89 @@
 
 use super::{Packing, RoundCtx, StateSlab, SyncRule};
 use lsl_graph::partition::Partition;
-use lsl_graph::VertexId;
+use lsl_graph::{Graph, VertexId};
 use lsl_mrf::{Mrf, Spin};
 use std::sync::Arc;
 
-/// One shard's private execution state.
-struct ShardWorker<R: SyncRule> {
+/// The boundary structure a [`Partition`] induces: the directed
+/// exchange channels plus, per shard, the halo it subscribes to and
+/// the owned frontier it publishes. Built once at construction by both
+/// the in-process [`ShardedChain`] and the cross-process cluster layer
+/// ([`crate::cluster`]), which must agree on it exactly — the
+/// coordinator's communication accounting replays these channels.
+pub(crate) struct ExchangePlan {
+    /// Directed boundary channels `(owner, subscriber, vertices)`,
+    /// vertices ascending, channels in `(owner, subscriber)` order.
+    pub(crate) channels: Vec<(usize, usize, Vec<VertexId>)>,
+    /// Per-shard halo: vertices owned elsewhere whose state the shard
+    /// must mirror (ascending).
+    pub(crate) halos: Vec<Vec<VertexId>>,
+    /// Per-shard published frontier: owned vertices some other shard's
+    /// halo subscribes to (ascending).
+    pub(crate) boundary_out: Vec<Vec<VertexId>>,
+}
+
+/// Computes the [`ExchangePlan`] of a partition: per-shard distance-1
+/// halos and the directed owner→subscriber channels they induce.
+pub(crate) fn exchange_plan(g: &Graph, partition: &Partition) -> ExchangePlan {
+    let k = partition.num_shards();
+    let mut halos = Vec::with_capacity(k);
+    let mut plan_map: std::collections::BTreeMap<(usize, usize), Vec<VertexId>> =
+        std::collections::BTreeMap::new();
+    for s in 0..k {
+        let mut halo: Vec<VertexId> = partition
+            .members(s)
+            .iter()
+            .flat_map(|&v| g.neighbors(v))
+            .filter(|&u| partition.shard_of(u) != s)
+            .collect();
+        halo.sort_unstable();
+        halo.dedup();
+        for &v in &halo {
+            plan_map
+                .entry((partition.shard_of(v), s))
+                .or_default()
+                .push(v);
+        }
+        halos.push(halo);
+    }
+    let mut boundary_out = vec![Vec::new(); k];
+    let channels: Vec<(usize, usize, Vec<VertexId>)> = plan_map
+        .into_iter()
+        .map(|((owner, subscriber), mut vertices)| {
+            vertices.sort_unstable();
+            vertices.dedup();
+            boundary_out[owner].extend_from_slice(&vertices);
+            (owner, subscriber, vertices)
+        })
+        .collect();
+    for frontier in &mut boundary_out {
+        frontier.sort_unstable();
+        frontier.dedup();
+    }
+    ExchangePlan {
+        channels,
+        halos,
+        boundary_out,
+    }
+}
+
+/// One shard's private execution state — the per-shard unit shared by
+/// the in-process [`ShardedChain`] and the cross-process cluster
+/// workers ([`crate::cluster`]). Both advance the *same* code here,
+/// which is what makes distributed trajectories bit-identical to local
+/// ones by construction.
+pub(crate) struct ShardCore<R: SyncRule> {
     /// Vertices this shard owns (ascending).
-    owned: Vec<VertexId>,
+    pub(crate) owned: Vec<VertexId>,
     /// Owned ∪ halo: the vertices whose slab entries are maintained
     /// (ascending). Proposals are computed over this whole set.
-    active: Vec<VertexId>,
+    pub(crate) active: Vec<VertexId>,
+    /// Halo vertices (ascending) — what a remote exchange must feed.
+    pub(crate) halo: Vec<VertexId>,
+    /// Owned frontier vertices (ascending) — what a remote exchange
+    /// must publish.
+    pub(crate) boundary_out: Vec<VertexId>,
     /// Full-length private state slab, packed at the model's auto
     /// packing (rules read it through
     /// [`StateView`](super::StateView)). Global indexing keeps the
@@ -66,6 +138,122 @@ struct ShardWorker<R: SyncRule> {
     /// Full-length locals slab; valid at `active` after a propose.
     locals: Vec<R::Local>,
     scratch: R::Scratch,
+}
+
+impl<R: SyncRule> ShardCore<R> {
+    /// Builds shard `s`'s core from the shared plan and a full start
+    /// configuration.
+    pub(crate) fn build(
+        mrf: &Arc<Mrf>,
+        rule: &R,
+        partition: &Partition,
+        plan: &ExchangePlan,
+        s: usize,
+        state: &[Spin],
+        packing: Packing,
+    ) -> Self {
+        let owned: Vec<VertexId> = partition.members(s).to_vec();
+        let halo = plan.halos[s].clone();
+        let mut active = owned.clone();
+        active.extend_from_slice(&halo);
+        active.sort_unstable();
+        let next_owned = vec![0; owned.len()];
+        ShardCore {
+            owned,
+            active,
+            halo,
+            boundary_out: plan.boundary_out[s].clone(),
+            slab: StateSlab::from_spins(packing, state),
+            next_owned,
+            locals: vec![R::Local::default(); state.len()],
+            scratch: rule.make_scratch(mrf),
+        }
+    }
+
+    /// Phase 1+2 of a synchronous round: propose over owned ∪ halo
+    /// (halo proposals recomputed locally — see the module docs), then
+    /// resolve the owned vertices into the private next buffer.
+    pub(crate) fn propose_and_resolve(&mut self, rule: &R, ctx: &RoundCtx) {
+        if R::HAS_PROPOSE {
+            for &v in &self.active {
+                let mut rng = ctx.propose_rng(v);
+                self.locals[v.index()] =
+                    rule.propose(ctx, v, &self.slab, rng.raw(), &mut self.scratch);
+            }
+        }
+        for (i, &v) in self.owned.iter().enumerate() {
+            let mut rng = ctx.resolve_rng(v);
+            self.next_owned[i] = rule.resolve(
+                ctx,
+                v,
+                &self.slab,
+                &self.locals,
+                rng.raw(),
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// Commits the resolved next states into this shard's slab,
+    /// mirroring them into `mirror` (the canonical observer-facing
+    /// configuration) when one is kept.
+    pub(crate) fn commit(&mut self, mirror: Option<&mut [Spin]>) {
+        if let Some(mirror) = mirror {
+            for (i, &v) in self.owned.iter().enumerate() {
+                self.slab.set(v.index(), self.next_owned[i]);
+                mirror[v.index()] = self.next_owned[i];
+            }
+        } else {
+            for (i, &v) in self.owned.iter().enumerate() {
+                self.slab.set(v.index(), self.next_owned[i]);
+            }
+        }
+    }
+
+    /// Resolves the active vertex of a single-site round (the caller
+    /// must own it) and commits it immediately; returns the new spin.
+    /// Single-site rules skip the propose phase, so the
+    /// (default-valued) locals slab stands in, exactly as in the flat
+    /// backends.
+    pub(crate) fn resolve_single(&mut self, rule: &R, ctx: &RoundCtx, v: VertexId) -> Spin {
+        let mut rng = ctx.resolve_rng(v);
+        let spin = rule.resolve(
+            ctx,
+            v,
+            &self.slab,
+            &self.locals,
+            rng.raw(),
+            &mut self.scratch,
+        );
+        self.slab.set(v.index(), spin);
+        spin
+    }
+
+    /// The slab's value at `v` (valid for `active` vertices).
+    pub(crate) fn get(&self, v: VertexId) -> Spin {
+        self.slab.get(v.index())
+    }
+
+    /// Drains one remotely-owned state into the halo; returns whether
+    /// the ghost copy actually changed (the `changed` accounting).
+    pub(crate) fn set_remote(&mut self, v: VertexId, spin: Spin) -> bool {
+        let changed = self.slab.get(v.index()) != spin;
+        self.slab.set(v.index(), spin);
+        changed
+    }
+
+    /// Reads the slab's values of `vs`, in order (e.g. the published
+    /// frontier, for the wire).
+    pub(crate) fn spins_of(&self, vs: &[VertexId]) -> Vec<Spin> {
+        vs.iter().map(|&v| self.slab.get(v.index())).collect()
+    }
+
+    /// Refreshes every maintained slab entry from a full configuration.
+    pub(crate) fn refresh(&mut self, state: &[Spin]) {
+        for &v in &self.active {
+            self.slab.set(v.index(), state[v.index()]);
+        }
+    }
 }
 
 /// One directed boundary channel of the shard graph: `owner` sends the
@@ -158,7 +346,9 @@ impl CommStats {
         self.total_changed = 0;
     }
 
-    fn record(&mut self, round: u64, messages: u64, changed: u64, bits_per_spin: u32) {
+    /// Accounts one round. `pub(crate)` so the cluster coordinator can
+    /// replay the exact channel accounting of the in-process exchange.
+    pub(crate) fn record(&mut self, round: u64, messages: u64, changed: u64, bits_per_spin: u32) {
         let bytes = (messages * u64::from(bits_per_spin)).div_ceil(8);
         if self.rounds.len() < MAX_ROUND_RECORDS {
             self.rounds.push(RoundComm {
@@ -206,7 +396,7 @@ pub struct ShardedChain<R: SyncRule> {
     mrf: Arc<Mrf>,
     rule: R,
     partition: Partition,
-    shards: Vec<ShardWorker<R>>,
+    shards: Vec<ShardCore<R>>,
     plan: Vec<Exchange>,
     /// Canonical observer-facing configuration, refreshed from the
     /// owners' next buffers every round.
@@ -274,43 +464,16 @@ impl<R: SyncRule> ShardedChain<R> {
         let k = partition.num_shards();
         let packing = Packing::auto_for(mrf.q());
 
-        // Per-shard halos, and the boundary channels they induce.
-        let mut shards = Vec::with_capacity(k);
-        let mut plan_map: std::collections::BTreeMap<(usize, usize), Vec<VertexId>> =
-            std::collections::BTreeMap::new();
-        for s in 0..k {
-            let owned: Vec<VertexId> = partition.members(s).to_vec();
-            let mut halo: Vec<VertexId> = owned
-                .iter()
-                .flat_map(|&v| g.neighbors(v))
-                .filter(|&u| partition.shard_of(u) != s)
-                .collect();
-            halo.sort_unstable();
-            halo.dedup();
-            for &v in &halo {
-                plan_map
-                    .entry((partition.shard_of(v), s))
-                    .or_default()
-                    .push(v);
-            }
-            let mut active = owned.clone();
-            active.extend_from_slice(&halo);
-            active.sort_unstable();
-            let next_owned = vec![0; owned.len()];
-            shards.push(ShardWorker {
-                owned,
-                active,
-                slab: StateSlab::from_spins(packing, &state),
-                next_owned,
-                locals: vec![R::Local::default(); n],
-                scratch: rule.make_scratch(&mrf),
-            });
-        }
-        let plan = plan_map
+        // The shared plan: per-shard halos, and the boundary channels
+        // they induce (the cluster layer rebuilds the same plan).
+        let ep = exchange_plan(g, &partition);
+        let shards = (0..k)
+            .map(|s| ShardCore::build(&mrf, &rule, &partition, &ep, s, &state, packing))
+            .collect();
+        let plan = ep
+            .channels
             .into_iter()
-            .map(|((owner, subscriber), mut vertices)| {
-                vertices.sort_unstable();
-                vertices.dedup();
+            .map(|(owner, subscriber, vertices)| {
                 let buffer = StateSlab::new(packing, vertices.len());
                 Exchange {
                     owner,
@@ -379,9 +542,7 @@ impl<R: SyncRule> ShardedChain<R> {
         assert_eq!(state.len(), self.state.len());
         self.state.copy_from_slice(state);
         for w in &mut self.shards {
-            for &v in &w.active {
-                w.slab.set(v.index(), state[v.index()]);
-            }
+            w.refresh(state);
         }
     }
 
@@ -438,24 +599,15 @@ impl<R: SyncRule> ShardedChain<R> {
     /// and the exchange ships that one state to subscribing halos.
     fn single_site_round(&mut self, ctx: &RoundCtx, v: VertexId) {
         let s = self.partition.shard_of(v);
-        let w = &mut self.shards[s];
-        let mut rng = ctx.resolve_rng(v);
-        // Single-site rules skip the propose phase; the (default-valued)
-        // locals slab stands in, exactly as in the flat backends.
-        let spin = self
-            .rule
-            .resolve(ctx, v, &w.slab, &w.locals, rng.raw(), &mut w.scratch);
-        w.slab.set(v.index(), spin);
+        let spin = self.shards[s].resolve_single(&self.rule, ctx, v);
         self.state[v.index()] = spin;
         let (mut messages, mut changed) = (0u64, 0u64);
-        for ex in &mut self.plan {
+        for ex in &self.plan {
             if ex.owner != s || ex.vertices.binary_search(&v).is_err() {
                 continue;
             }
-            let sub = &mut self.shards[ex.subscriber];
             messages += 1;
-            changed += u64::from(sub.slab.get(v.index()) != spin);
-            sub.slab.set(v.index(), spin);
+            changed += u64::from(self.shards[ex.subscriber].set_remote(v, spin));
         }
         self.comm
             .record(self.round, messages, changed, self.packing.bits_per_spin());
@@ -467,55 +619,38 @@ impl<R: SyncRule> ShardedChain<R> {
         let rule = &self.rule;
         // Phase 1+2: every shard proposes over owned ∪ halo and
         // resolves its owned vertices, all within its private slab.
-        let work = |w: &mut ShardWorker<R>| {
-            if R::HAS_PROPOSE {
-                for &v in &w.active {
-                    let mut rng = ctx.propose_rng(v);
-                    w.locals[v.index()] = rule.propose(ctx, v, &w.slab, rng.raw(), &mut w.scratch);
-                }
-            }
-            for (i, &v) in w.owned.iter().enumerate() {
-                let mut rng = ctx.resolve_rng(v);
-                w.next_owned[i] =
-                    rule.resolve(ctx, v, &w.slab, &w.locals, rng.raw(), &mut w.scratch);
-            }
-        };
         if self.shards.len() == 1 {
-            work(&mut self.shards[0]);
+            self.shards[0].propose_and_resolve(rule, ctx);
         } else {
             std::thread::scope(|scope| {
                 for w in self.shards.iter_mut() {
-                    let work = &work;
-                    scope.spawn(move || work(w));
+                    scope.spawn(move || w.propose_and_resolve(rule, ctx));
                 }
             });
         }
 
         // Commit: owners publish their next states (private half of the
         // double buffer) into their own slab and the canonical mirror.
+        let state = &mut self.state;
         for w in &mut self.shards {
-            for (i, &v) in w.owned.iter().enumerate() {
-                w.slab.set(v.index(), w.next_owned[i]);
-                self.state[v.index()] = w.next_owned[i];
-            }
+            w.commit(Some(&mut state[..]));
         }
 
         // Exchange, stage 1: owners fill the packed frontier buffers.
         for ex in &mut self.plan {
             let owner = &self.shards[ex.owner];
             for (i, &v) in ex.vertices.iter().enumerate() {
-                ex.buffer.set(i, owner.slab.get(v.index()));
+                ex.buffer.set(i, owner.get(v));
             }
         }
         // Exchange, stage 2: subscribers drain them into their halos.
         let (mut messages, mut changed) = (0u64, 0u64);
-        for ex in &mut self.plan {
+        for ex in &self.plan {
             let sub = &mut self.shards[ex.subscriber];
             for (i, &v) in ex.vertices.iter().enumerate() {
                 let spin = ex.buffer.get(i);
                 messages += 1;
-                changed += u64::from(sub.slab.get(v.index()) != spin);
-                sub.slab.set(v.index(), spin);
+                changed += u64::from(sub.set_remote(v, spin));
             }
         }
         self.comm

@@ -40,7 +40,12 @@
 //!   sweeps, the event-streaming worker-pool service, the
 //!   line-delimited wire codec, the negotiated binary frame codec with
 //!   bit-packed full-state delivery, and the TCP server/client putting
-//!   sessions on the network.
+//!   sessions on the network;
+//! * [`cluster`] — the **cluster layer** on top of the serving stack: a
+//!   sweep coordinator fanning member jobs over a worker fleet (with
+//!   liveness probing and deterministic replay after worker loss), and
+//!   cross-process sharded chains exchanging boundary states as
+//!   `shard-sync` frames — bit-identical to the in-process backends.
 //!
 //! # Example: sample a proper coloring with LocalMetropolis
 //!
@@ -64,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod codec;
 pub mod coupling;
 pub mod csp_metropolis;
@@ -90,10 +96,11 @@ pub mod update;
 /// [`Chain`] trait, the engine [`Backend`](engine::Backend), and the
 /// workspace PRNG.
 pub mod prelude {
+    pub use crate::cluster::{ClusterError, ClusterEvent, ClusterRun, Coordinator};
     pub use crate::codec::{Codec, StateBlob};
     pub use crate::engine::Backend;
     pub use crate::lifecycle::{CancelToken, Limits, RejectReason};
-    pub use crate::net::{Client, Server};
+    pub use crate::net::{Client, ConnectError, Server};
     pub use crate::sampler::{
         AcceptanceObserver, Algorithm, BuildError, CoalescenceReport, EnergyObserver,
         HammingObserver, Observer, ReplicaBuilder, ReplicaSampler, Sampler, SamplerBuilder, Sched,

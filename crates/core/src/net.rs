@@ -46,7 +46,7 @@ use crate::proto::{ClientFrame, ServerFrame, WireError};
 use crate::service::{JobEvent, Service};
 use crate::spec::{JobResult, SpecError, SweepResult, SweepSpec};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -310,6 +310,11 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
     // bounded by what this client submitted.
     let mut tokens: HashMap<u64, Vec<CancelToken>> = HashMap::new();
     let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    // Shard runners hosted by this session (cluster mode): the feed
+    // half of each runner's `shard-sync` channel, by shard id.
+    // Dropping the map at session end closes the feeds, which is how
+    // runners learn their coordinator is gone.
+    let mut shards: HashMap<u64, std::sync::mpsc::Sender<(u64, StateBlob)>> = HashMap::new();
     let mut cancelled_all = false;
     // Raw byte accumulation persists across timed reads: in text mode
     // complete lines are cut at `\n` (a partial tail waits for more
@@ -381,6 +386,7 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
                         &inflight,
                         &mut tokens,
                         &mut forwarders,
+                        &mut shards,
                     ) {
                         binary = mode == Codec::Binary;
                     }
@@ -401,10 +407,13 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
     }
     // The client is gone (or the server is draining): any job still
     // running has nobody to report to. Cancelling resolved tokens is
-    // a no-op, so the blanket sweep is safe.
+    // a no-op, so the blanket sweep is safe. Dropping the shard feeds
+    // *before* joining unblocks any runner waiting on a `shard-sync`
+    // that will never come.
     for token in tokens.values().flatten() {
         token.cancel();
     }
+    drop(shards);
     for f in forwarders {
         let _ = f.join();
     }
@@ -414,6 +423,7 @@ fn session(stream: TcpStream, service: &Arc<Service>, ctl: &Arc<SessionCtl>) {
 /// Returns the codec the *read* side should switch to, if the frame
 /// was a `hello` (the write side switches inside, under the writer
 /// lock).
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     parsed: Result<ClientFrame, String>,
     writer: &Arc<SessionWriter>,
@@ -422,6 +432,7 @@ fn handle_frame(
     inflight: &Arc<AtomicUsize>,
     tokens: &mut HashMap<u64, Vec<CancelToken>>,
     forwarders: &mut Vec<JoinHandle<()>>,
+    shards: &mut HashMap<u64, std::sync::mpsc::Sender<(u64, StateBlob)>>,
 ) -> Option<Codec> {
     match parsed {
         Err(message) => {
@@ -433,6 +444,54 @@ fn handle_frame(
             writer.switch(codec);
             return Some(codec);
         }
+        Ok(ClientFrame::Ping { nonce }) => {
+            // Answered inline on the session thread: a pong proves the
+            // session loop itself is alive, not just the socket.
+            writer.send(&ServerFrame::Pong { nonce });
+        }
+        Ok(ClientFrame::ShardInit {
+            id,
+            shard,
+            of,
+            spec,
+        }) => {
+            if shards.contains_key(&id) {
+                writer.send(&ServerFrame::Error {
+                    id: Some(id),
+                    message: format!("shard id {id} already initialised"),
+                });
+                return None;
+            }
+            let (tx, rx) = std::sync::mpsc::channel::<(u64, StateBlob)>();
+            shards.insert(id, tx);
+            let writer = Arc::clone(writer);
+            let runner = std::thread::Builder::new()
+                .name("lsl-shard".into())
+                .spawn(move || {
+                    crate::cluster::run_shard(
+                        move |frame: &ServerFrame| writer.send(frame),
+                        id,
+                        shard,
+                        of,
+                        &spec,
+                        &rx,
+                    );
+                })
+                .expect("spawning a shard runner");
+            forwarders.push(runner);
+        }
+        Ok(ClientFrame::ShardSync { id, round, blob }) => match shards.get(&id) {
+            // A dead runner (failed init) drops its receiver; sends
+            // then are no-ops, matching the typed error the runner
+            // already reported.
+            Some(tx) => {
+                let _ = tx.send((round, blob));
+            }
+            None => writer.send(&ServerFrame::Error {
+                id: Some(id),
+                message: format!("shard-sync for unknown shard id {id}"),
+            }),
+        },
         Ok(ClientFrame::Cancel { id }) => match tokens.get(&id) {
             // The terminal `cancelled` event (per member, through the
             // forwarder) is the acknowledgement.
@@ -607,17 +666,20 @@ impl RemoteOutcome {
 /// binary frames (required for efficient `stream` jobs),
 /// [`Codec::Text`] keeps the line protocol.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
     next_id: u64,
+    /// Nonce source for [`Client::ping`] (distinct from submit ids so
+    /// a stale pong can never alias a job frame).
+    next_nonce: u64,
     /// Submitted lines awaiting terminal events, by id.
     pending: HashMap<u64, Pending>,
     /// Submission order, so outcomes come back in the order sent.
     order: Vec<u64>,
     /// The negotiated session codec.
     codec: Codec,
-    /// Reassembly buffer for binary frames.
-    fb: codec::FrameBuffer,
+    /// Raw receive buffer, shared by both codecs (bytes buffered
+    /// across a codec switch are re-cut under the new framing).
+    inbuf: Vec<u8>,
 }
 
 struct Pending {
@@ -639,19 +701,21 @@ impl Client {
     /// # Errors
     /// The connect error.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
         // Submits and cancels are latency-sensitive one-off frames,
-        // already write-combined — Nagle only adds stalls.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
+        // already write-combined — Nagle only adds stalls. Timed reads
+        // let deadline-bounded waits (ping, shard barriers) poll the
+        // socket without giving up blocking semantics.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(SESSION_POLL))?;
         Ok(Client {
-            reader,
-            writer,
+            stream,
             next_id: 0,
+            next_nonce: 0,
             pending: HashMap::new(),
             order: Vec::new(),
             codec: Codec::Text,
-            fb: codec::FrameBuffer::new(),
+            inbuf: Vec::new(),
         })
     }
 
@@ -668,66 +732,190 @@ impl Client {
         if codec == Codec::Text {
             return Ok(client);
         }
-        client
-            .writer
-            .write_all(format!("{}\n", ClientFrame::Hello { codec }).as_bytes())?;
-        let mut line = String::new();
-        let n = client.reader.read_line(&mut line)?;
         let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
-        if n == 0 {
-            return Err(invalid("server closed during codec handshake".into()));
-        }
-        match line.trim_end().parse::<ServerFrame>() {
-            Ok(ServerFrame::Hello { codec: acked }) if acked == codec => {
+        client
+            .send(&ClientFrame::Hello { codec })
+            .map_err(|e| invalid(format!("codec handshake write failed: {e}")))?;
+        match client.read_frame_deadline(None) {
+            Ok(Some(ServerFrame::Hello { codec: acked })) if acked == codec => {
                 client.codec = codec;
                 Ok(client)
             }
-            Ok(frame) => Err(invalid(format!("unexpected handshake ack: {frame}"))),
+            Ok(Some(frame)) => Err(invalid(format!("unexpected handshake ack: {frame}"))),
+            Ok(None) => Err(invalid("server closed during codec handshake".into())),
             Err(e) => Err(invalid(format!("bad handshake ack: {e}"))),
         }
+    }
+
+    /// Connects (negotiating `codec`) with bounded exponential
+    /// backoff: up to `attempts` tries, sleeping
+    /// `base_delay * 2^(try-1)` between consecutive tries. The way a
+    /// cluster coordinator re-reaches a worker that is restarting.
+    ///
+    /// # Errors
+    /// A typed [`ConnectError`] carrying the attempt count and the
+    /// last try's error once the budget is exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        codec: Codec,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> Result<Client, ConnectError> {
+        let attempts = attempts.max(1);
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Clamp the shift: past 2^16 the delay is effectively
+                // saturated anyway and the shift must not overflow.
+                let backoff = base_delay.saturating_mul(1u32 << (attempt - 1).min(16));
+                std::thread::sleep(backoff);
+            }
+            match Client::connect_with(&addr, codec) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ConnectError {
+            attempts,
+            last: last.expect("at least one attempt was made"),
+        })
+    }
+
+    /// Sends a `ping` and blocks until the matching `pong` arrives or
+    /// `timeout` passes — the coordinator's worker-liveness probe.
+    /// Job events arriving in between are applied to their pending
+    /// lines (never lost); a stale pong from an earlier timed-out
+    /// ping is skipped.
+    ///
+    /// # Errors
+    /// [`NetError::Timeout`] if no pong arrived in time; the usual
+    /// socket/protocol errors otherwise.
+    pub fn ping(&mut self, timeout: Duration) -> Result<(), NetError> {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.send(&ClientFrame::Ping { nonce })
+            .map_err(NetError::Io)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read_frame_deadline(Some(deadline))? {
+                None => return Err(NetError::Disconnected),
+                Some(ServerFrame::Pong { nonce: got }) if got == nonce => return Ok(()),
+                Some(ServerFrame::Pong { .. }) => {}
+                Some(frame) => self.apply(frame)?,
+            }
+        }
+    }
+
+    /// Sends one raw client frame — the cluster layer's shard
+    /// channels speak `shard-init`/`shard-sync` outside the
+    /// submit/drain flow.
+    pub(crate) fn send_frame(&mut self, frame: &ClientFrame) -> Result<(), NetError> {
+        self.send(frame).map_err(NetError::Io)
+    }
+
+    /// Blocks for the next raw server frame until `deadline` (`None`
+    /// waits forever). `Ok(None)` means the server closed.
+    ///
+    /// # Errors
+    /// [`NetError::Timeout`] past the deadline; socket/decode errors
+    /// otherwise.
+    pub(crate) fn recv_frame(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<ServerFrame>, NetError> {
+        self.read_frame_deadline(deadline)
     }
 
     /// Sends one client frame under the negotiated codec, as a single
     /// `write_all` either way (no Nagle-stalled half-frames).
     fn send(&mut self, frame: &ClientFrame) -> std::io::Result<()> {
         match self.codec {
-            Codec::Text => self.writer.write_all(format!("{frame}\n").as_bytes()),
-            Codec::Binary => codec::write_frame(&mut self.writer, &codec::encode_client(frame)),
+            Codec::Text => self.stream.write_all(format!("{frame}\n").as_bytes()),
+            Codec::Binary => codec::write_frame(&mut self.stream, &codec::encode_client(frame)),
         }
     }
 
     /// Blocks for the next server frame under the negotiated codec.
     /// `Ok(None)` means the server closed the connection.
     fn read_frame(&mut self) -> Result<Option<ServerFrame>, NetError> {
-        match self.codec {
-            Codec::Text => loop {
-                let mut line = String::new();
-                let n = self.reader.read_line(&mut line).map_err(NetError::Io)?;
-                if n == 0 {
-                    return Ok(None);
+        self.read_frame_deadline(None)
+    }
+
+    /// Blocks for the next server frame, retrying timed socket reads
+    /// until `deadline` (forever when `None`). `Ok(None)` means the
+    /// server closed the connection.
+    fn read_frame_deadline(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<ServerFrame>, NetError> {
+        let mut tmp = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = self.cut_frame()? {
+                return Ok(Some(frame));
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(NetError::Timeout);
+            }
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.inbuf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Cuts one complete frame off the receive buffer under the
+    /// current codec, or `None` when more bytes are needed. Empty
+    /// text lines are skipped.
+    fn cut_frame(&mut self) -> Result<Option<ServerFrame>, NetError> {
+        loop {
+            match self.codec {
+                Codec::Text => {
+                    let Some(pos) = self.inbuf.iter().position(|&b| b == b'\n') else {
+                        return Ok(None);
+                    };
+                    let line: Vec<u8> = self.inbuf.drain(..=pos).collect();
+                    let line = std::str::from_utf8(&line)
+                        .map_err(|_| NetError::Protocol("server frame not UTF-8".into()))?
+                        .trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    return line
+                        .parse::<ServerFrame>()
+                        .map(Some)
+                        .map_err(NetError::Wire);
                 }
-                let line = line.trim_end();
-                if line.is_empty() {
-                    continue;
-                }
-                return line
-                    .parse::<ServerFrame>()
-                    .map(Some)
-                    .map_err(NetError::Wire);
-            },
-            Codec::Binary => loop {
-                if let Some(payload) = self.fb.next_frame().map_err(NetError::Codec)? {
+                Codec::Binary => {
+                    if self.inbuf.len() < 4 {
+                        return Ok(None);
+                    }
+                    let len = u32::from_le_bytes([
+                        self.inbuf[0],
+                        self.inbuf[1],
+                        self.inbuf[2],
+                        self.inbuf[3],
+                    ]) as usize;
+                    if len > codec::MAX_FRAME {
+                        return Err(NetError::Codec(CodecError::Oversize { len: len as u64 }));
+                    }
+                    if self.inbuf.len() < 4 + len {
+                        return Ok(None);
+                    }
+                    let payload: Vec<u8> = self.inbuf[4..4 + len].to_vec();
+                    self.inbuf.drain(..4 + len);
                     return codec::decode_server(&payload)
                         .map(Some)
                         .map_err(NetError::Codec);
                 }
-                let mut tmp = [0u8; 64 * 1024];
-                let n = self.reader.read(&mut tmp).map_err(NetError::Io)?;
-                if n == 0 {
-                    return Ok(None);
-                }
-                self.fb.extend(&tmp[..n]);
-            },
+            }
         }
     }
 
@@ -868,6 +1056,13 @@ impl Client {
                     "unexpected mid-session codec ack (codec={codec})"
                 )));
             }
+            // A pong whose ping already timed out: harmless, drop it.
+            ServerFrame::Pong { .. } => {}
+            ServerFrame::ShardSync { id, .. } | ServerFrame::ShardDone { id, .. } => {
+                return Err(NetError::Protocol(format!(
+                    "shard frame for id {id} outside a shard session"
+                )));
+            }
             ServerFrame::Error { id, message } => match id.and_then(|i| self.pending.get_mut(&i)) {
                 // Line-level rejection: the server names the id.
                 Some(p) => {
@@ -924,6 +1119,9 @@ pub enum NetError {
     Protocol(String),
     /// A server error frame named an id we no longer track.
     UnknownId(u64),
+    /// A deadline-bounded wait ([`Client::ping`], a shard barrier)
+    /// expired before the expected frame arrived.
+    Timeout,
 }
 
 impl std::fmt::Display for NetError {
@@ -935,16 +1133,46 @@ impl std::fmt::Display for NetError {
             NetError::Codec(e) => write!(f, "{e}"),
             NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
             NetError::UnknownId(id) => write!(f, "server frame for unknown id {id}"),
+            NetError::Timeout => f.write_str("timed out waiting for a server frame"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
 
+/// A typed connection failure after [`Client::connect_with_retry`]
+/// exhausted its attempt budget.
+#[derive(Debug)]
+pub struct ConnectError {
+    /// Connection attempts made.
+    pub attempts: u32,
+    /// The last attempt's error.
+    pub last: std::io::Error,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to connect after {} attempt{}: {}",
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.last
+        )
+    }
+}
+
+impl std::error::Error for ConnectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.last)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::JobOutput;
+    use std::io::{BufRead, BufReader};
 
     #[test]
     fn loopback_job_matches_in_process() {

@@ -7,13 +7,20 @@
 //!
 //! * [`ClientFrame`] — client → server:
 //!   `submit id=<id> spec=<spec-or-sweep line>`, `cancel id=<id>`
-//!   (stop every member of a submitted id), and `shutdown` (ask the
-//!   server to drain and exit);
+//!   (stop every member of a submitted id), `shutdown` (ask the
+//!   server to drain and exit), `ping nonce=<n>` (liveness probe),
+//!   and the cluster frames `shard-init id=<id> shard=<s> of=<k>
+//!   spec=<spec line>` / `shard-sync id=<id> round=<r>
+//!   blob=<n/q/base64url>` (open a distributed shard session;
+//!   deliver one round's halo states);
 //! * [`ServerFrame`] — server → client:
 //!   `submitted id=<id> jobs=<n>` (the submit ack, carrying the sweep
 //!   expansion size), `event id=<id> index=<k> <event>` (one member
-//!   job's [`JobEvent`]), and `error [id=<id>] message=<..>` (a typed
-//!   protocol error; the session stays alive).
+//!   job's [`JobEvent`]), `error [id=<id>] message=<..>` (a typed
+//!   protocol error; the session stays alive), `pong nonce=<n>`, and
+//!   the cluster answers `shard-sync id=<id> round=<r> blob=<..>` /
+//!   `shard-done id=<id> rounds=<r> blob=<..>` (one round's boundary
+//!   states; the shard's final owned states).
 //!
 //! [`JobEvent`] and [`JobResult`] gain `Display`/`FromStr` here — the
 //! printed form **is** the wire form, and `parse ∘ print` is the
@@ -743,6 +750,42 @@ pub enum ClientFrame {
         /// The requested codec.
         codec: crate::codec::Codec,
     },
+    /// Liveness probe: the server answers immediately with a
+    /// [`ServerFrame::Pong`] echoing the nonce, ahead of any queued
+    /// work — what a coordinator uses to tell a slow worker from a
+    /// dead one.
+    Ping {
+        /// Caller-chosen nonce, echoed verbatim in the pong.
+        nonce: u64,
+    },
+    /// Open a distributed-shard session: this connection now owns
+    /// shard `shard` of `of` of the partition that `spec` describes,
+    /// and will exchange per-round boundary states as `shard-sync`
+    /// frames until it reports [`ServerFrame::ShardDone`].
+    ShardInit {
+        /// Coordinator-chosen shard-session id (scoped to the
+        /// session, like submit ids).
+        id: u64,
+        /// The shard this connection owns.
+        shard: u32,
+        /// Total shard count (the partition's `k`).
+        of: u32,
+        /// The spec line naming the workload, verbatim (parsed
+        /// worker-side; graph, model, rule, and partition are all
+        /// derived from it deterministically).
+        spec: String,
+    },
+    /// The coordinator's half of one round barrier: the halo states
+    /// (this shard's out-of-shard neighbors, ascending vertex order)
+    /// after round `round` committed everywhere.
+    ShardSync {
+        /// The shard-session id.
+        id: u64,
+        /// The round these states close (0-based).
+        round: u64,
+        /// Halo-vertex spins, packed in ascending vertex order.
+        blob: crate::codec::StateBlob,
+    },
 }
 
 impl fmt::Display for ClientFrame {
@@ -752,6 +795,20 @@ impl fmt::Display for ClientFrame {
             ClientFrame::Cancel { id } => write!(f, "cancel id={id}"),
             ClientFrame::Shutdown => f.write_str("shutdown"),
             ClientFrame::Hello { codec } => write!(f, "hello codec={codec}"),
+            ClientFrame::Ping { nonce } => write!(f, "ping nonce={nonce}"),
+            ClientFrame::ShardInit {
+                id,
+                shard,
+                of,
+                spec,
+            } => write!(f, "shard-init id={id} shard={shard} of={of} spec={spec}"),
+            ClientFrame::ShardSync { id, round, blob } => {
+                write!(
+                    f,
+                    "shard-sync id={id} round={round} blob={}",
+                    blob.to_token()
+                )
+            }
         }
     }
 }
@@ -796,11 +853,66 @@ impl FromStr for ClientFrame {
                     codec: field(rest, "codec")?.parse().map_err(wire_err)?,
                 })
             }
+            "ping" => {
+                if rest.contains(' ') || rest.is_empty() {
+                    return Err(wire_err(format!("ping takes nonce=<n>: {s:?}")));
+                }
+                Ok(ClientFrame::Ping {
+                    nonce: parse_num(rest, "nonce")?,
+                })
+            }
+            "shard-init" => {
+                let mut pieces = rest.splitn(4, ' ');
+                let (id, shard, of, spec) =
+                    match (pieces.next(), pieces.next(), pieces.next(), pieces.next()) {
+                        (Some(id), Some(shard), Some(of), Some(spec)) => (id, shard, of, spec),
+                        _ => {
+                            return Err(wire_err(format!(
+                                "shard-init needs id, shard, of, spec: {s:?}"
+                            )))
+                        }
+                    };
+                Ok(ClientFrame::ShardInit {
+                    id: parse_num(id, "id")?,
+                    shard: parse_num(shard, "shard")?,
+                    of: parse_num(of, "of")?,
+                    spec: field(spec, "spec")?.to_string(),
+                })
+            }
+            "shard-sync" => {
+                let (id, round, blob) = split3(s, rest, "shard-sync")?;
+                Ok(ClientFrame::ShardSync {
+                    id: parse_num(id, "id")?,
+                    round: parse_num(round, "round")?,
+                    blob: parse_blob(blob)?,
+                })
+            }
             other => Err(wire_err(format!(
-                "unknown client frame {other:?} (expected submit | cancel | shutdown | hello)"
+                "unknown client frame {other:?} (expected submit | cancel | shutdown | hello \
+                 | ping | shard-init | shard-sync)"
             ))),
         }
     }
+}
+
+/// Splits a frame body into exactly three space-separated tokens.
+fn split3<'a>(
+    s: &str,
+    rest: &'a str,
+    kind: &str,
+) -> Result<(&'a str, &'a str, &'a str), WireError> {
+    let mut pieces = rest.split(' ');
+    match (pieces.next(), pieces.next(), pieces.next(), pieces.next()) {
+        (Some(a), Some(b), Some(c), None) => Ok((a, b, c)),
+        _ => Err(wire_err(format!("{kind} needs exactly 3 fields: {s:?}"))),
+    }
+}
+
+/// Parses a `blob=<n/q/base64url>` token.
+fn parse_blob(token: &str) -> Result<crate::codec::StateBlob, WireError> {
+    field(token, "blob")?
+        .parse()
+        .map_err(|e: crate::codec::CodecError| wire_err(e.to_string()))
 }
 
 /// A server → client frame.
@@ -838,6 +950,34 @@ pub enum ServerFrame {
         /// The codec in effect for every subsequent frame.
         codec: crate::codec::Codec,
     },
+    /// Answer to a [`ClientFrame::Ping`], echoing its nonce. Sent
+    /// inline from the session loop, so it overtakes queued job work.
+    Pong {
+        /// The echoed nonce.
+        nonce: u64,
+    },
+    /// The worker's half of one round barrier: its boundary-vertex
+    /// states (owned vertices with an out-of-shard neighbor, ascending
+    /// vertex order) after round `round` committed locally.
+    ShardSync {
+        /// The shard-session id.
+        id: u64,
+        /// The round these states close (0-based).
+        round: u64,
+        /// Boundary-vertex spins, packed in ascending vertex order.
+        blob: crate::codec::StateBlob,
+    },
+    /// A shard session finished: every round ran and these are the
+    /// final states of the shard's owned vertices (ascending vertex
+    /// order).
+    ShardDone {
+        /// The shard-session id.
+        id: u64,
+        /// Total rounds executed (burn-in included).
+        rounds: u64,
+        /// Owned-vertex spins, packed in ascending vertex order.
+        blob: crate::codec::StateBlob,
+    },
 }
 
 impl fmt::Display for ServerFrame {
@@ -856,6 +996,21 @@ impl fmt::Display for ServerFrame {
                 write!(f, " message={}", escape(message))
             }
             ServerFrame::Hello { codec } => write!(f, "hello codec={codec}"),
+            ServerFrame::Pong { nonce } => write!(f, "pong nonce={nonce}"),
+            ServerFrame::ShardSync { id, round, blob } => {
+                write!(
+                    f,
+                    "shard-sync id={id} round={round} blob={}",
+                    blob.to_token()
+                )
+            }
+            ServerFrame::ShardDone { id, rounds, blob } => {
+                write!(
+                    f,
+                    "shard-done id={id} rounds={rounds} blob={}",
+                    blob.to_token()
+                )
+            }
         }
     }
 }
@@ -913,6 +1068,30 @@ impl FromStr for ServerFrame {
                 }
                 Ok(ServerFrame::Hello {
                     codec: field(rest, "codec")?.parse().map_err(wire_err)?,
+                })
+            }
+            "pong" => {
+                if rest.contains(' ') || rest.is_empty() {
+                    return Err(wire_err(format!("pong takes nonce=<n>: {s:?}")));
+                }
+                Ok(ServerFrame::Pong {
+                    nonce: parse_num(rest, "nonce")?,
+                })
+            }
+            "shard-sync" => {
+                let (id, round, blob) = split3(s, rest, "shard-sync")?;
+                Ok(ServerFrame::ShardSync {
+                    id: parse_num(id, "id")?,
+                    round: parse_num(round, "round")?,
+                    blob: parse_blob(blob)?,
+                })
+            }
+            "shard-done" => {
+                let (id, rounds, blob) = split3(s, rest, "shard-done")?;
+                Ok(ServerFrame::ShardDone {
+                    id: parse_num(id, "id")?,
+                    rounds: parse_num(rounds, "rounds")?,
+                    blob: parse_blob(blob)?,
                 })
             }
             other => Err(wire_err(format!("unknown server frame {other:?}"))),
@@ -1152,5 +1331,68 @@ mod tests {
             assert_eq!(server.to_string().parse::<ServerFrame>().unwrap(), server);
         }
         assert!("hello".parse::<ClientFrame>().is_err(), "codec is required");
+    }
+
+    #[test]
+    fn cluster_frames_round_trip() {
+        use crate::codec::StateBlob;
+        let blob = StateBlob::pack(&[0, 2, 1, 2], 3);
+        let empty = StateBlob::pack(&[], 3);
+        let client_frames = [
+            ClientFrame::Ping { nonce: 42 },
+            ClientFrame::ShardInit {
+                id: 3,
+                shard: 1,
+                of: 4,
+                spec: "graph=torus:6x6 model=coloring:q=12 backend=cluster:4 \
+                       job=run:rounds=30"
+                    .into(),
+            },
+            ClientFrame::ShardSync {
+                id: 3,
+                round: 7,
+                blob: blob.clone(),
+            },
+            ClientFrame::ShardSync {
+                id: 3,
+                round: 0,
+                blob: empty.clone(),
+            },
+        ];
+        for frame in client_frames {
+            assert_eq!(frame.to_string().parse::<ClientFrame>().unwrap(), frame);
+        }
+        let server_frames = [
+            ServerFrame::Pong { nonce: 42 },
+            ServerFrame::ShardSync {
+                id: 3,
+                round: 7,
+                blob: blob.clone(),
+            },
+            ServerFrame::ShardDone {
+                id: 3,
+                rounds: 30,
+                blob,
+            },
+            ServerFrame::ShardSync {
+                id: 3,
+                round: 0,
+                blob: empty,
+            },
+        ];
+        for frame in server_frames {
+            assert_eq!(frame.to_string().parse::<ServerFrame>().unwrap(), frame);
+        }
+        for bad in [
+            "ping",
+            "ping nonce=7 extra=1",
+            "shard-init id=1 shard=0 of=2",
+            "shard-sync id=1 round=0",
+            "shard-sync id=1 round=0 blob=2/3/!!!",
+        ] {
+            assert!(bad.parse::<ClientFrame>().is_err(), "{bad:?}");
+        }
+        assert!("pong".parse::<ServerFrame>().is_err());
+        assert!("shard-done id=1 rounds=2".parse::<ServerFrame>().is_err());
     }
 }

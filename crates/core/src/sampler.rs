@@ -349,6 +349,11 @@ macro_rules! dispatch_rule {
     }};
 }
 
+// The cluster layer monomorphizes its shard runners over the same
+// matrix (`crate::cluster` — worker and coordinator both re-derive the
+// rule from the spec line).
+pub(crate) use dispatch_rule;
+
 /// The model a builder targets — *owned* behind an [`Arc`], so built
 /// samplers are `'static + Send` handles (the ownership redesign that
 /// lets a [`Service`](crate::service::Service) hold and serve them
@@ -464,7 +469,9 @@ impl SamplerBuilder {
     }
 
     /// Validates the (algorithm, scheduler, start) combination.
-    fn validate(&self) -> Result<(), BuildError> {
+    /// `pub(crate)` so the cluster layer can pre-flight a spec before
+    /// monomorphizing a shard runner for it.
+    pub(crate) fn validate(&self) -> Result<(), BuildError> {
         if self.model.num_vertices() == 0 {
             return Err(BuildError::EmptyModel);
         }
@@ -520,29 +527,33 @@ impl SamplerBuilder {
                     // The sharded backend is a different executor, not a
                     // different sweep order: owner-computes shards over a
                     // contiguous partition, exchanging boundary states.
-                    let inner: Box<dyn DynSampler + Send> = if let Backend::Sharded { .. } = backend
-                    {
-                        // min-then-max (not clamp) so a hypothetical
-                        // empty model degrades instead of panicking.
-                        let k = backend.worker_count().min(mrf.num_vertices()).max(1);
-                        let partition = self.partitioner.partition(mrf.graph(), k);
-                        let start =
-                            start.unwrap_or_else(|| crate::single_site::default_start(&mrf));
-                        Box::new(ShardedChain::with_state(
-                            Arc::clone(&mrf),
-                            rule,
-                            seed,
-                            start,
-                            partition,
-                        ))
-                    } else {
-                        let mut chain = wire(Arc::clone(&mrf), rule, seed, start, backend);
-                        if let Some(hp) = hotpath {
-                            // Validated above, so this cannot panic.
-                            chain.set_hotpath(hp);
-                        }
-                        Box::new(chain)
-                    };
+                    // `cluster:k` built in-process is the same executor
+                    // with the same partition — the distributed run (see
+                    // `crate::cluster`) is bit-identical to it by the
+                    // determinism contract.
+                    let inner: Box<dyn DynSampler + Send> =
+                        if let Backend::Sharded { .. } | Backend::Cluster { .. } = backend {
+                            // min-then-max (not clamp) so a hypothetical
+                            // empty model degrades instead of panicking.
+                            let k = backend.worker_count().min(mrf.num_vertices()).max(1);
+                            let partition = self.partitioner.partition(mrf.graph(), k);
+                            let start =
+                                start.unwrap_or_else(|| crate::single_site::default_start(&mrf));
+                            Box::new(ShardedChain::with_state(
+                                Arc::clone(&mrf),
+                                rule,
+                                seed,
+                                start,
+                                partition,
+                            ))
+                        } else {
+                            let mut chain = wire(Arc::clone(&mrf), rule, seed, start, backend);
+                            if let Some(hp) = hotpath {
+                                // Validated above, so this cannot panic.
+                                chain.set_hotpath(hp);
+                            }
+                            Box::new(chain)
+                        };
                     Sampler {
                         inner,
                         mrf: Some(mrf),

@@ -2181,6 +2181,11 @@ impl ScenarioRegistry {
                 syntax: "sharded:<shards>",
                 summary: "owner-computes shards with boundary exchange (0 = auto)",
             },
+            ScenarioEntry {
+                kind: K::Backend,
+                syntax: "cluster:<shards>",
+                summary: "cross-process worker fleet (in-process fallback when run locally)",
+            },
             // partitioners
             ScenarioEntry {
                 kind: K::Partitioner,

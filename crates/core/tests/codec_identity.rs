@@ -305,6 +305,11 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
         (proptest::option::of(any::<u64>()), arb_string())
             .prop_map(|(id, message)| ServerFrame::Error { id, message }),
         arb_codec().prop_map(|codec| ServerFrame::Hello { codec }),
+        any::<u64>().prop_map(|nonce| ServerFrame::Pong { nonce }),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, round, blob)| ServerFrame::ShardSync { id, round, blob }),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, rounds, blob)| ServerFrame::ShardDone { id, rounds, blob }),
     ]
 }
 
@@ -314,6 +319,17 @@ fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
         any::<u64>().prop_map(|id| ClientFrame::Cancel { id }),
         Just(ClientFrame::Shutdown),
         arb_codec().prop_map(|codec| ClientFrame::Hello { codec }),
+        any::<u64>().prop_map(|nonce| ClientFrame::Ping { nonce }),
+        (any::<u64>(), any::<u32>(), any::<u32>(), arb_string()).prop_map(
+            |(id, shard, of, spec)| ClientFrame::ShardInit {
+                id,
+                shard,
+                of,
+                spec,
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, round, blob)| ClientFrame::ShardSync { id, round, blob }),
     ]
 }
 

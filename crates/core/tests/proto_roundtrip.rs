@@ -5,6 +5,7 @@
 //! typed `error` frame and keeps the session (and its other in-flight
 //! jobs) alive.
 
+use lsl_core::codec::StateBlob;
 use lsl_core::lifecycle::RejectReason;
 use lsl_core::net::Server;
 use lsl_core::proto::{ClientFrame, ServerFrame};
@@ -84,6 +85,19 @@ fn arb_spec_string() -> impl Strategy<Value = String> {
     (3usize..40, 2usize..12, 0u64..1_000_000).prop_map(|(n, q, seed)| {
         format!("graph=cycle:{n} model=coloring:q={q} seed={seed} job=run:rounds=50")
     })
+}
+
+/// Packed state blobs across spin widths (1-bit Ising up to 10-bit
+/// alphabets), including the empty halo a 1-shard partition ships.
+fn arb_blob() -> impl Strategy<Value = StateBlob> {
+    (
+        prop_oneof![Just(2usize), Just(3), Just(16), Just(1000)],
+        0usize..40,
+    )
+        .prop_flat_map(|(q, n)| {
+            proptest::collection::vec(0u32..u32::try_from(q).unwrap(), n)
+                .prop_map(move |spins| StateBlob::pack(&spins, q))
+        })
 }
 
 fn arb_result() -> impl Strategy<Value = JobResult> {
@@ -194,6 +208,30 @@ fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
             .prop_map(|(id, index, event)| ServerFrame::Event { id, index, event }),
         (proptest::option::of(any::<u64>()), arb_message())
             .prop_map(|(id, message)| ServerFrame::Error { id, message }),
+        any::<u64>().prop_map(|nonce| ServerFrame::Pong { nonce }),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, round, blob)| ServerFrame::ShardSync { id, round, blob }),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, rounds, blob)| ServerFrame::ShardDone { id, rounds, blob }),
+    ]
+}
+
+/// The coordinator-side frames the cluster layer added: liveness
+/// probes and the shard-session alphabet (the spec rides verbatim to
+/// end-of-line, exactly like `submit`).
+fn arb_cluster_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        any::<u64>().prop_map(|nonce| ClientFrame::Ping { nonce }),
+        (any::<u64>(), any::<u32>(), any::<u32>(), arb_spec_string()).prop_map(
+            |(id, shard, of, spec)| ClientFrame::ShardInit {
+                id,
+                shard,
+                of,
+                spec,
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_blob())
+            .prop_map(|(id, round, blob)| ClientFrame::ShardSync { id, round, blob }),
     ]
 }
 
@@ -237,6 +275,18 @@ proptest! {
         prop_assert_eq!(reparsed, frame);
     }
 
+    /// The cluster frames round-trip like everything else: pings,
+    /// shard-init lines, and bit-packed shard-sync blobs in both
+    /// directions, single-line and fixed-point.
+    #[test]
+    fn cluster_frames_roundtrip(frame in arb_cluster_client_frame()) {
+        let printed = frame.to_string();
+        prop_assert!(!printed.contains('\n'), "frames are single lines: {}", printed);
+        let reparsed: ClientFrame = printed.parse().expect("canonical form must parse");
+        prop_assert_eq!(&reparsed, &frame, "wire form: {}", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
     #[test]
     fn cancel_frames_roundtrip(id in any::<u64>()) {
         let frame = ClientFrame::Cancel { id };
@@ -259,9 +309,15 @@ fn admin_frames_have_fixed_wire_forms() {
         "cancel id=7".parse::<ClientFrame>().unwrap(),
         ClientFrame::Cancel { id: 7 }
     );
+    assert_eq!(ClientFrame::Ping { nonce: 9 }.to_string(), "ping nonce=9");
+    assert_eq!(
+        "pong nonce=9".parse::<ServerFrame>().unwrap(),
+        ServerFrame::Pong { nonce: 9 }
+    );
     // Trailing garbage is malformed, not silently ignored.
     assert!("shutdown now".parse::<ClientFrame>().is_err());
     assert!("cancel id=7 extra".parse::<ClientFrame>().is_err());
+    assert!("ping nonce=9 extra".parse::<ClientFrame>().is_err());
 }
 
 /// The malformed-frame contract, end to end on a live session: a

@@ -21,6 +21,7 @@
 //! (bit-identical answers either way). Any failing job makes the exit
 //! code non-zero and echoes the failing spec on stderr.
 
+use lsl::core::cluster::Coordinator;
 use lsl::core::codec::{Codec, StateBlob};
 use lsl::core::lifecycle::Limits;
 use lsl::core::net::{Client, Server};
@@ -37,6 +38,8 @@ USAGE:
             [--store DIR] [--out FILE] <spec>...
     lsl serve [--addr ADDR] [--threads N] [--queue-cap N] [--inflight N]
               [--max-rounds N] [--store DIR] [--grace SECS]
+    lsl coordinate --workers A:PORT,B:PORT[,..] [--codec text|binary]
+                   [--ping-timeout SECS] [--attempts N] <spec>...
     lsl list scenarios
     lsl help
 
@@ -84,6 +87,19 @@ SERVE:
     Shutdown is graceful: on SIGINT/SIGTERM or a client `shutdown`
     frame the server stops accepting, lets in-flight jobs finish for
     --grace SECS (default 5), cancels the rest, and exits cleanly.
+
+COORDINATE:
+    `lsl coordinate` runs sweep lines over a fleet of `lsl serve`
+    workers (--workers, comma-separated addresses) and prints the same
+    report as a local `lsl run` — the aggregate is bit-identical, even
+    if a worker dies mid-sweep (lost members are requeued and replayed
+    deterministically; fleet events go to stderr). Members with
+    `backend=cluster:k` execute as k cross-process shards spread over
+    the fleet, exchanging boundary states every round.
+    --codec picks the worker session codec (default binary);
+    --ping-timeout bounds the liveness probe (default 5s);
+    --attempts bounds reconnects and distributed-member retries
+    (default 4).
 ";
 
 fn main() -> ExitCode {
@@ -91,6 +107,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("coordinate") => coordinate(&args[1..]),
         Some("list") => match args.get(1).map(String::as_str) {
             Some("scenarios") => {
                 print!("{}", ScenarioRegistry::render());
@@ -421,6 +438,118 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn coordinate(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let workers: Vec<String> = match take_flag(&mut args, "--workers") {
+        Ok(Some(list)) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|w| !w.is_empty())
+            .map(String::from)
+            .collect(),
+        Ok(None) => {
+            eprintln!("coordinate needs --workers A:PORT,B:PORT (see `lsl help`)");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let codec = match take_flag(&mut args, "--codec") {
+        Ok(Some(name)) => match name.parse::<Codec>() {
+            Ok(codec) => codec,
+            Err(_) => {
+                eprintln!("--codec {name:?} is not a codec (text | binary)");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => Codec::Binary,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ping_timeout = match take_num(&mut args, "--ping-timeout", 5.0f64) {
+        Ok(secs) => std::time::Duration::from_secs_f64(secs),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let attempts = match take_num(&mut args, "--attempts", 4u32) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Same spec collection as `run`: whole-line arguments stand alone,
+    // bare tokens join into one line.
+    let mut lines: Vec<String> = Vec::new();
+    let mut bare: Vec<String> = Vec::new();
+    for arg in args {
+        if arg.split_whitespace().count() > 1 {
+            lines.push(arg);
+        } else {
+            bare.push(arg);
+        }
+    }
+    if !bare.is_empty() {
+        lines.push(bare.join(" "));
+    }
+    if lines.is_empty() {
+        eprintln!("coordinate needs at least one spec (see `lsl help`)");
+        return ExitCode::FAILURE;
+    }
+    let mut sweeps: Vec<SweepSpec> = Vec::with_capacity(lines.len());
+    for line in &lines {
+        match line.parse::<SweepSpec>() {
+            Ok(sweep) => sweeps.push(sweep),
+            Err(e) => {
+                eprintln!("error: {e}\n  in spec: {line}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let coord = match Coordinator::connect(workers) {
+        Ok(coord) => coord
+            .codec(codec)
+            .ping_timeout(ping_timeout)
+            .attempts(attempts),
+        Err(e) => {
+            eprintln!("error: cannot reach the fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for sweep in &sweeps {
+        match coord.run_sweep(&sweep.to_string()) {
+            Ok(run) => {
+                for event in &run.events {
+                    eprintln!("# fleet: {event}");
+                }
+                let members: LineResults = run.result.results.into_iter().map(Ok).collect();
+                if !report(sweep, &members) {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n  in spec: {sweep}");
+                failed = true;
+            }
+        }
+    }
     if failed {
         ExitCode::FAILURE
     } else {
